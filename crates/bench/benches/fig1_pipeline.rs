@@ -1,0 +1,70 @@
+//! F1 — Figure 1: `computeOpts .. solveOneLevel ** {<done>}`.
+//!
+//! Measures the pipeline network against the pure Section 3 solver on
+//! the same puzzles (the coordination layer's cost for shifting the
+//! recursion into streams), and the batch regime where the pipeline's
+//! asynchrony actually pays: many puzzles in flight at once.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sudoku::boxes::puzzle_record;
+use sudoku::networks::{fig1_net, solve_fig1};
+use sudoku::puzzles;
+use sudoku::sac_solver::{solve_puzzle, Policy};
+
+fn bench_single_puzzle(c: &mut Criterion) {
+    let corpus = [
+        ("classic9", puzzles::classic9()),
+        ("medium9", puzzles::medium9()),
+        ("hard9", puzzles::hard9()),
+    ];
+    let mut g = c.benchmark_group("F1_single");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.sample_size(10);
+    for (name, puzzle) in &corpus {
+        g.bench_with_input(BenchmarkId::new("pure_sac", name), puzzle, |b, p| {
+            b.iter(|| solve_puzzle(p, Policy::MinTrues))
+        });
+        g.bench_with_input(BenchmarkId::new("fig1_net", name), puzzle, |b, p| {
+            b.iter(|| {
+                let run = solve_fig1(p);
+                assert_eq!(run.solutions.len(), 1);
+                run.outputs
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_batch(c: &mut Criterion) {
+    // One network instance, whole corpus streamed through: stage i of
+    // puzzle A overlaps stage j of puzzle B.
+    let batch = sudoku::gen::corpus9(6, 34, 0xF16);
+    let mut g = c.benchmark_group("F1_batch");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.sample_size(10);
+    g.bench_function("6_puzzles_one_net", |b| {
+        b.iter(|| {
+            let net = fig1_net(3).unwrap();
+            for p in &batch {
+                net.send(puzzle_record(p)).unwrap();
+            }
+            let out = net.finish();
+            assert_eq!(out.len(), 6);
+        })
+    });
+    g.bench_function("6_puzzles_fresh_nets", |b| {
+        b.iter(|| {
+            let mut total = 0;
+            for p in &batch {
+                total += solve_fig1(p).outputs;
+            }
+            assert_eq!(total, 6);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_single_puzzle, bench_batch);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! F2 — Figure 2: full unfolding with a parallel replicator inside the
+//! serial replicator.
+//!
+//! Measures the fully-unfolded network on puzzles of increasing search
+//! breadth. The paper's point is structural: breadth-first concurrency
+//! with a hard 9-per-stage / 729-total bound. The bench records wall
+//! time alongside the realised unfolding so the unfolding/cost
+//! relation is visible in the Criterion report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sudoku::networks::{solve_fig1, solve_fig2};
+use sudoku::puzzles;
+
+fn bench_fig2(c: &mut Criterion) {
+    let corpus = [
+        ("classic9", puzzles::classic9()),
+        ("medium9", puzzles::medium9()),
+        ("hard9", puzzles::hard9()),
+    ];
+    let mut g = c.benchmark_group("F2_unfold");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.sample_size(10);
+    for (name, puzzle) in &corpus {
+        g.bench_with_input(BenchmarkId::new("fig2", name), puzzle, |b, p| {
+            b.iter(|| {
+                let run = solve_fig2(p);
+                assert_eq!(run.solutions.len(), 1);
+                // Surface the realised unfolding (printed by Criterion's
+                // iteration output when run with --verbose).
+                (
+                    run.metrics.max_matching("/branches"),
+                    run.metrics.count_matching("box:solveOneLevelK/spawned"),
+                )
+            })
+        });
+        // Fig. 1 on the same puzzle: the depth-only baseline.
+        g.bench_with_input(BenchmarkId::new("fig1_baseline", name), puzzle, |b, p| {
+            b.iter(|| {
+                let run = solve_fig1(p);
+                assert_eq!(run.solutions.len(), 1);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig2_breadth_sweep(c: &mut Criterion) {
+    // Puzzles with decreasing clue counts: fewer clues = wider search =
+    // more parallel unfolding (until the 9-per-stage cap).
+    let mut g = c.benchmark_group("F2_breadth");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.sample_size(10);
+    for clues in [40usize, 32, 26] {
+        let puzzle = sudoku::gen::generate(sudoku::gen::GenConfig {
+            n: 3,
+            target_clues: clues,
+            unique: true,
+            seed: 0xF2 + clues as u64,
+        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("clues{}", puzzle.placed())),
+            &puzzle,
+            |b, p| {
+                b.iter(|| {
+                    let run = solve_fig2(p);
+                    assert!(!run.solutions.is_empty());
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig2, bench_fig2_breadth_sweep);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! F3 — Figure 3: throttled unfolding.
+//!
+//! Sweeps the two throttle knobs the paper introduces — the modulo of
+//! the `[{<k>} -> {<k>=<k>%m}]` filter (parallel width) and the
+//! `{<level>} if <level> > c` exit cutoff (pipeline depth) — and
+//! measures how wall time responds as resources are constrained. The
+//! expected shape: tighter throttles mean fewer threads and earlier
+//! hand-off to the sequential tail solver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sudoku::networks::solve_fig3;
+use sudoku::puzzles;
+
+fn bench_modulo_sweep(c: &mut Criterion) {
+    let puzzle = puzzles::hard9(); // branchy: unfolds to width 9 untrottled
+    let mut g = c.benchmark_group("F3_modulo");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.sample_size(10);
+    for modulo in [1i64, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(modulo), &modulo, |b, &m| {
+            b.iter(|| {
+                let run = solve_fig3(&puzzle, m, 60);
+                assert!(!run.solutions.is_empty());
+                assert!(run.metrics.max_matching("/branches") as i64 <= m);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_cutoff_sweep(c: &mut Criterion) {
+    let puzzle = puzzles::medium9();
+    let mut g = c.benchmark_group("F3_cutoff");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.sample_size(10);
+    for cutoff in [25i64, 40, 55, 70] {
+        g.bench_with_input(BenchmarkId::from_parameter(cutoff), &cutoff, |b, &cut| {
+            b.iter(|| {
+                let run = solve_fig3(&puzzle, 4, cut);
+                assert!(!run.solutions.is_empty());
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_paper_parameters(c: &mut Criterion) {
+    // The exact configuration the paper writes down: mod 4, level 40.
+    let mut g = c.benchmark_group("F3_paper_config");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.sample_size(10);
+    for (name, puzzle) in [
+        ("classic9", puzzles::classic9()),
+        ("medium9", puzzles::medium9()),
+        ("hard9", puzzles::hard9()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let run = solve_fig3(&puzzle, 4, 40);
+                assert!(!run.solutions.is_empty());
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_modulo_sweep,
+    bench_cutoff_sweep,
+    bench_paper_parameters
+);
+criterion_main!(benches);

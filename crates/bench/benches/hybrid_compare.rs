@@ -1,0 +1,100 @@
+//! S5 — Section 5: the cross-cutting comparison.
+//!
+//! Pure SaC solver vs. all three hybrid networks on the same puzzles,
+//! single-shot and batched. The shape to preserve from the paper's
+//! argument: the hybrid networks pay a coordination overhead per
+//! record, recovered (a) on branchy puzzles through breadth-first
+//! overlap and (b) in streaming regimes where several puzzles are in
+//! flight through the same network.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sudoku::boxes::puzzle_record;
+use sudoku::networks::{fig2_net, solve_fig1, solve_fig2, solve_fig3};
+use sudoku::puzzles;
+use sudoku::sac_solver::{solve_puzzle, Policy};
+
+fn bench_all_solvers(c: &mut Criterion) {
+    let corpus = [
+        ("classic9", puzzles::classic9()),
+        ("hard9", puzzles::hard9()),
+    ];
+    let mut g = c.benchmark_group("S5_solvers");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.sample_size(10);
+    for (name, puzzle) in &corpus {
+        g.bench_with_input(BenchmarkId::new("pure", name), puzzle, |b, p| {
+            b.iter(|| solve_puzzle(p, Policy::MinTrues))
+        });
+        g.bench_with_input(BenchmarkId::new("fig1", name), puzzle, |b, p| {
+            b.iter(|| solve_fig1(p))
+        });
+        g.bench_with_input(BenchmarkId::new("fig2", name), puzzle, |b, p| {
+            b.iter(|| solve_fig2(p))
+        });
+        g.bench_with_input(BenchmarkId::new("fig3_m4_c40", name), puzzle, |b, p| {
+            b.iter(|| solve_fig3(p, 4, 40))
+        });
+    }
+    g.finish();
+}
+
+fn bench_streaming_throughput(c: &mut Criterion) {
+    // Throughput regime: a batch through one long-lived network vs.
+    // strictly sequential pure solving.
+    let batch = sudoku::gen::corpus9(10, 34, 0x55AA);
+    let mut g = c.benchmark_group("S5_streaming");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.sample_size(10);
+    g.bench_function("pure_sequential_10", |b| {
+        b.iter(|| {
+            for p in &batch {
+                let (s, _) = solve_puzzle(p, Policy::MinTrues);
+                assert!(s.is_solved());
+            }
+        })
+    });
+    g.bench_function("fig2_streamed_10", |b| {
+        b.iter(|| {
+            let net = fig2_net(3).unwrap();
+            for p in &batch {
+                net.send(puzzle_record(p)).unwrap();
+            }
+            let out = net.finish();
+            assert_eq!(out.len(), 10);
+        })
+    });
+    g.finish();
+}
+
+fn bench_16x16(c: &mut Criterion) {
+    // The footnote's regime: bigger boards, where the data-parallel
+    // layer (addNumber on a 4096-cell cube) does real work per box.
+    let mut g = c.benchmark_group("S5_16x16");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.sample_size(10);
+    let puzzle = puzzles::big16();
+    g.bench_function("pure", |b| {
+        b.iter(|| {
+            let (s, _) = solve_puzzle(&puzzle, Policy::MinTrues);
+            assert!(s.is_solved());
+        })
+    });
+    g.bench_function("fig1", |b| {
+        b.iter(|| {
+            let run = solve_fig1(&puzzle);
+            assert!(!run.solutions.is_empty());
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_all_solvers,
+    bench_streaming_throughput,
+    bench_16x16
+);
+criterion_main!(benches);

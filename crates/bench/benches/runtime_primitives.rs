@@ -1,0 +1,169 @@
+//! RT — runtime primitive costs.
+//!
+//! Not a figure of the paper, but required to interpret F1–F3: the
+//! per-record cost of each coordination construct (box application,
+//! filter, best-match dispatch, indexed split, det vs non-det merge,
+//! replicator unfolding). These are the constants behind the paper's
+//! "each box creates a separate process/thread" execution model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use snet_runtime::NetBuilder;
+use snet_types::Record;
+
+const N_RECORDS: u64 = 5_000;
+
+fn id_net(expr: &str) -> snet_runtime::Net {
+    let src = format!(
+        "box id (x) -> (x);
+         box idy (y) -> (y);
+         net main = {expr};"
+    );
+    NetBuilder::from_source(&src)
+        .unwrap()
+        .bind("id", |r, e| e.emit(r.clone()))
+        .bind("idy", |r, e| e.emit(r.clone()))
+        .build("main")
+        .unwrap()
+}
+
+fn drive(net: snet_runtime::Net, with_tag: bool) -> usize {
+    for i in 0..N_RECORDS as i64 {
+        let mut r = Record::build().field("x", i).finish();
+        if with_tag {
+            r.set_tag("k", i % 4);
+        }
+        net.send(r).unwrap();
+    }
+    net.finish().len()
+}
+
+fn bench_box_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("RT_box_chain");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.throughput(Throughput::Elements(N_RECORDS));
+    g.sample_size(10);
+    for depth in [1usize, 4, 16] {
+        let expr = vec!["id"; depth].join(" .. ");
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &expr, |b, expr| {
+            b.iter(|| {
+                let n = drive(id_net(expr), false);
+                assert_eq!(n, N_RECORDS as usize);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_filter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("RT_filter");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.throughput(Throughput::Elements(N_RECORDS));
+    g.sample_size(10);
+    g.bench_function("rename_and_tag", |b| {
+        b.iter(|| {
+            let net = id_net("id .. [{x} -> {y=x, <t>=1}] .. idy");
+            let n = drive(net, false);
+            assert_eq!(n, N_RECORDS as usize);
+        })
+    });
+    g.finish();
+}
+
+fn bench_parallel_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("RT_parallel");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.throughput(Throughput::Elements(N_RECORDS));
+    g.sample_size(10);
+    for (name, expr) in [("nondet", "id || id"), ("det", "id | id")] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &expr, |b, expr| {
+            b.iter(|| {
+                let n = drive(id_net(expr), false);
+                assert_eq!(n, N_RECORDS as usize);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_split(c: &mut Criterion) {
+    let mut g = c.benchmark_group("RT_split");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.throughput(Throughput::Elements(N_RECORDS));
+    g.sample_size(10);
+    for (name, expr) in [("nondet", "id !! <k>"), ("det", "id ! <k>")] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &expr, |b, expr| {
+            b.iter(|| {
+                let n = drive(id_net(expr), true);
+                assert_eq!(n, N_RECORDS as usize);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_star_traversal(c: &mut Criterion) {
+    // Cost per stage traversed: records count down through the chain.
+    let src = "
+        box step (n) -> (n) | (n, <z>);
+        net main = step ** {<z>};
+    ";
+    let mut g = c.benchmark_group("RT_star");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.sample_size(10);
+    for depth in [4i64, 16, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            b.iter(|| {
+                let net = NetBuilder::from_source(src)
+                    .unwrap()
+                    .bind("step", |r, e| {
+                        let n = r.field("n").unwrap().as_int().unwrap();
+                        if n <= 1 {
+                            e.emit(Record::build().field("n", 0i64).tag("z", 1).finish());
+                        } else {
+                            e.emit(Record::build().field("n", n - 1).finish());
+                        }
+                    })
+                    .build("main")
+                    .unwrap();
+                for _ in 0..50 {
+                    net.send(Record::build().field("n", depth).finish()).unwrap();
+                }
+                let out = net.finish();
+                assert_eq!(out.len(), 50);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_net_construction(c: &mut Criterion) {
+    // Parse + infer + compile + spawn (no records) — the fixed cost of
+    // bringing a network up.
+    let mut g = c.benchmark_group("RT_construction");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.sample_size(20);
+    g.bench_function("fig2_build_teardown", |b| {
+        b.iter(|| {
+            let net = sudoku::networks::fig2_net(3).unwrap();
+            let _ = net.finish();
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_box_chain,
+    bench_filter,
+    bench_parallel_dispatch,
+    bench_split,
+    bench_star_traversal,
+    bench_net_construction
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! S3 — Section 3: the pure SaC solver.
+//!
+//! Reproduces two claims: 9×9 sudokus solve "in far less than a
+//! second", and `findMinTrues` beats `findFirst` ("the choice of i and
+//! j directly affects the breadth of the search tree and, thus, has a
+//! vast impact on the runtime performance") — who wins and by roughly
+//! what factor is the shape to preserve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sudoku::puzzles;
+use sudoku::sac_solver::{solve_puzzle, Policy};
+
+fn bench_policies(c: &mut Criterion) {
+    let corpus = [
+        ("classic9", puzzles::classic9()),
+        ("easy9", puzzles::easy9()),
+        ("medium9", puzzles::medium9()),
+        ("hard9", puzzles::hard9()),
+    ];
+    let mut g = c.benchmark_group("S3_policy");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    for (name, puzzle) in &corpus {
+        g.bench_with_input(BenchmarkId::new("findFirst", name), puzzle, |b, p| {
+            b.iter(|| solve_puzzle(p, Policy::FindFirst))
+        });
+        g.bench_with_input(BenchmarkId::new("minTrues", name), puzzle, |b, p| {
+            b.iter(|| solve_puzzle(p, Policy::MinTrues))
+        });
+    }
+    g.finish();
+}
+
+fn bench_compute_opts(c: &mut Criterion) {
+    // The initialisation phase alone (what the computeOpts box does).
+    let mut g = c.benchmark_group("S3_computeOpts");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    for (name, puzzle) in [
+        ("classic9", puzzles::classic9()),
+        ("big16", puzzles::big16()),
+    ] {
+        g.bench_function(name, |b| b.iter(|| sudoku::compute_opts(&puzzle)));
+    }
+    g.finish();
+}
+
+fn bench_bigger_boards(c: &mut Criterion) {
+    // The footnote's motivation: cost grows steeply with board size.
+    let mut g = c.benchmark_group("S3_board_size");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.sample_size(10);
+    g.bench_function("9x9_hard", |b| {
+        let p = puzzles::hard9();
+        b.iter(|| solve_puzzle(&p, Policy::MinTrues))
+    });
+    g.bench_function("16x16", |b| {
+        let p = puzzles::big16();
+        b.iter(|| solve_puzzle(&p, Policy::MinTrues))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_compute_opts, bench_bigger_boards);
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! S2 — Section 2: with-loop evaluation performance.
+//!
+//! Regenerates the data-parallel layer's cost model: genarray /
+//! modarray / fold at several sizes and thread counts, plus the
+//! `addNumber` kernel (the paper's four-generator modarray) at several
+//! board sizes. On a multi-core host the thread sweep exhibits the
+//! paper's "implicit parallelism" speedup; on a single core it
+//! quantifies the overhead of enabling it (shape preserved: Auto is
+//! never catastrophically slower than Sequential).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sacarray::{Eval, Generator, Pool, WithLoop};
+use snet_bench::thread_sweep;
+use sudoku::{add_number, Board, Opts};
+
+fn bench_genarray(c: &mut Criterion) {
+    let mut g = c.benchmark_group("S2_genarray");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.sample_size(10);
+    for size in [100_000usize, 1_000_000, 4_000_000] {
+        g.bench_with_input(BenchmarkId::new("seq", size), &size, |b, &n| {
+            b.iter(|| {
+                WithLoop::new()
+                    .gen(Generator::range(vec![0], vec![n]).unwrap(), |iv| iv[0] as i64)
+                    .genarray_seq([n], 0i64)
+                    .unwrap()
+            })
+        });
+        for threads in thread_sweep() {
+            let pool = Pool::new(threads);
+            g.bench_with_input(
+                BenchmarkId::new(format!("par{threads}"), size),
+                &size,
+                |b, &n| {
+                    b.iter(|| {
+                        WithLoop::new()
+                            .gen(Generator::range(vec![0], vec![n]).unwrap(), |iv| {
+                                iv[0] as i64
+                            })
+                            .genarray_on(&pool, Eval::Auto, [n], 0i64)
+                            .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_fold(c: &mut Criterion) {
+    let mut g = c.benchmark_group("S2_fold");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.sample_size(10);
+    let n = 2_000_000usize;
+    g.bench_function("seq", |b| {
+        b.iter(|| {
+            WithLoop::new()
+                .gen(Generator::range(vec![0], vec![n]).unwrap(), |iv| iv[0] as i64)
+                .fold_seq(0, |a, x| a + x)
+        })
+    });
+    for threads in thread_sweep() {
+        let pool = Pool::new(threads);
+        g.bench_function(format!("par{threads}"), |b| {
+            b.iter(|| {
+                WithLoop::new()
+                    .gen(Generator::range(vec![0], vec![n]).unwrap(), |iv| iv[0] as i64)
+                    .fold_on(&pool, Eval::Auto, 0, |a, x| a + x)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_add_number(c: &mut Criterion) {
+    // The paper's kernel: one modarray with four generators. Cost grows
+    // with the options cube (n^6 cells).
+    let mut g = c.benchmark_group("S2_addNumber");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    for n in [3usize, 4, 5] {
+        let board = Board::empty(n);
+        let opts = Opts::all_true(n);
+        let side = n * n;
+        g.bench_with_input(BenchmarkId::from_parameter(side), &n, |b, &n| {
+            b.iter(|| add_number(side / 2, side / 2, (n * n / 2) as i64, &board, &opts))
+        });
+    }
+    g.finish();
+}
+
+fn bench_modarray_density(c: &mut Criterion) {
+    // modarray cost vs. fraction of the array covered by generators —
+    // the uncovered part is a copy, the covered part runs the body.
+    let mut g = c.benchmark_group("S2_modarray_density");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.sample_size(10);
+    let n = 1024usize;
+    let base = sacarray::Array::fill([n, n], 1i64);
+    for frac in [4usize, 16, 64] {
+        let rows = n / frac;
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("1_over_{frac}")),
+            &rows,
+            |b, &rows| {
+                b.iter(|| {
+                    WithLoop::new()
+                        .gen(
+                            Generator::range(vec![0, 0], vec![rows, n]).unwrap(),
+                            |iv| (iv[0] + iv[1]) as i64,
+                        )
+                        .modarray(&base)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_genarray,
+    bench_fold,
+    bench_add_number,
+    bench_modarray_density
+);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Error type for array operations.
+
+use crate::shape::Shape;
+use std::fmt;
+
+/// Errors raised by shape-checked array operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArrayError {
+    /// An index vector had the wrong rank or was out of bounds.
+    IndexOutOfBounds { shape: Shape, index: Vec<usize> },
+    /// Two arrays (or an array and a shape) disagreed on shape where
+    /// agreement is required.
+    ShapeMismatch { expected: Shape, actual: Shape },
+    /// A generator's bound vectors disagree in length, or a bound does not
+    /// match the rank it is used at.
+    BadGenerator(String),
+    /// Data length does not match the shape's element count.
+    DataLengthMismatch { shape: Shape, len: usize },
+    /// A reshape target has a different element count.
+    ReshapeSizeMismatch { from: Shape, to: Shape },
+    /// An operation that requires a non-empty array received an empty one.
+    EmptyArray(&'static str),
+    /// Axis out of range for the array's rank.
+    BadAxis { rank: usize, axis: usize },
+}
+
+impl fmt::Display for ArrayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArrayError::IndexOutOfBounds { shape, index } => {
+                write!(f, "index {index:?} out of bounds for shape {shape}")
+            }
+            ArrayError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected}, got {actual}")
+            }
+            ArrayError::BadGenerator(msg) => write!(f, "bad generator: {msg}"),
+            ArrayError::DataLengthMismatch { shape, len } => {
+                write!(
+                    f,
+                    "data length {len} does not match shape {shape} (size {})",
+                    shape.size()
+                )
+            }
+            ArrayError::ReshapeSizeMismatch { from, to } => {
+                write!(
+                    f,
+                    "cannot reshape {from} (size {}) to {to} (size {})",
+                    from.size(),
+                    to.size()
+                )
+            }
+            ArrayError::EmptyArray(op) => write!(f, "{op} requires a non-empty array"),
+            ArrayError::BadAxis { rank, axis } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArrayError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, ArrayError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ArrayError::IndexOutOfBounds {
+            shape: Shape::matrix(2, 2),
+            index: vec![5, 0],
+        };
+        assert!(e.to_string().contains("[5, 0]"));
+        assert!(e.to_string().contains("[2,2]"));
+
+        let e = ArrayError::ReshapeSizeMismatch {
+            from: Shape::vector(6),
+            to: Shape::matrix(2, 2),
+        };
+        assert!(e.to_string().contains("size 6"));
+        assert!(e.to_string().contains("size 4"));
+    }
+}

@@ -1,0 +1,537 @@
+//! Derived array operations, defined as with-loops.
+//!
+//! Section 2 of the paper shows how SaC's standard library is built:
+//! "One purpose of with-loops is to serve as an implementation vehicle
+//! for universally applicable array operations", giving vector
+//! concatenation `++` as the example. This module follows that recipe —
+//! every operation here is a thin function abstraction around a
+//! with-loop, exactly as the paper's `(++)` definition.
+
+use crate::array::Array;
+use crate::error::{ArrayError, Result};
+use crate::generator::Generator;
+use crate::shape::Shape;
+use crate::withloop::WithLoop;
+
+/// Vector concatenation — the paper's `(++)` operator, transcribed:
+///
+/// ```text
+/// int[.] (++) (int[.] a, int[.] b)
+/// {
+///   rshp = shape(a) + shape(b);
+///   res = with {([0] <= iv < shape(a)) : a[iv];
+///               (shape(a) <= iv < rshp) : b[iv-shape(a)];
+///          }: genarray( rshp, 0);
+///   return( res);
+/// }
+/// ```
+pub fn concat<T: Clone + Send + Sync + Default>(a: &Array<T>, b: &Array<T>) -> Result<Array<T>> {
+    if a.dim() != 1 || b.dim() != 1 {
+        return Err(ArrayError::ShapeMismatch {
+            expected: Shape::vector(0),
+            actual: if a.dim() != 1 { a.shape().clone() } else { b.shape().clone() },
+        });
+    }
+    let na = a.shape().extent(0);
+    let nb = b.shape().extent(0);
+    let rshp = na + nb;
+    WithLoop::new()
+        .gen(Generator::range(vec![0], vec![na])?, move |iv| a.at(iv).clone())
+        .gen(Generator::range(vec![na], vec![rshp])?, move |iv| {
+            b.at(&[iv[0] - na]).clone()
+        })
+        .genarray([rshp], T::default())
+}
+
+/// First `n` elements of a vector (SaC `take`).
+pub fn take<T: Clone + Send + Sync + Default>(n: usize, a: &Array<T>) -> Result<Array<T>> {
+    if a.dim() != 1 || n > a.size() {
+        return Err(ArrayError::IndexOutOfBounds {
+            shape: a.shape().clone(),
+            index: vec![n],
+        });
+    }
+    WithLoop::new()
+        .gen(Generator::range(vec![0], vec![n])?, move |iv| a.at(iv).clone())
+        .genarray([n], T::default())
+}
+
+/// Vector without its first `n` elements (SaC `drop`).
+pub fn drop<T: Clone + Send + Sync + Default>(n: usize, a: &Array<T>) -> Result<Array<T>> {
+    if a.dim() != 1 || n > a.size() {
+        return Err(ArrayError::IndexOutOfBounds {
+            shape: a.shape().clone(),
+            index: vec![n],
+        });
+    }
+    let m = a.size() - n;
+    WithLoop::new()
+        .gen(Generator::range(vec![0], vec![m])?, move |iv| {
+            a.at(&[iv[0] + n]).clone()
+        })
+        .genarray([m], T::default())
+}
+
+/// Sum of all elements (fold with-loop over the full index space).
+pub fn sum(a: &Array<i64>) -> i64 {
+    WithLoop::new()
+        .gen(Generator::full(a.shape()), |iv| *a.at(iv))
+        .fold(0, |x, y| x + y)
+}
+
+/// Number of `true` elements — the shape of query `findMinTrues` needs.
+pub fn count_true(a: &Array<bool>) -> usize {
+    WithLoop::new()
+        .gen(Generator::full(a.shape()), |iv| usize::from(*a.at(iv)))
+        .fold(0, |x, y| x + y)
+}
+
+/// True iff any element satisfies the predicate.
+pub fn any<T: Clone + Send + Sync>(a: &Array<T>, pred: impl Fn(&T) -> bool + Send + Sync) -> bool {
+    WithLoop::new()
+        .gen(Generator::full(a.shape()), move |iv| pred(a.at(iv)))
+        .fold(false, |x, y| x || y)
+}
+
+/// True iff all elements satisfy the predicate.
+pub fn all<T: Clone + Send + Sync>(a: &Array<T>, pred: impl Fn(&T) -> bool + Send + Sync) -> bool {
+    WithLoop::new()
+        .gen(Generator::full(a.shape()), move |iv| pred(a.at(iv)))
+        .fold(true, |x, y| x && y)
+}
+
+/// Index of the first element (row-major) equal to `needle`, or `None`.
+/// This is the paper's `findFirst( 0, board)` generalised.
+pub fn find_first<T: Clone + Send + Sync + PartialEq>(
+    a: &Array<T>,
+    needle: &T,
+) -> Option<Vec<usize>> {
+    // A fold computing the minimum row-major position of a match. The
+    // operator is associative and commutative, so parallel folding is
+    // safe and still returns the *first* match.
+    let pos = WithLoop::new()
+        .gen(Generator::full(a.shape()), move |iv| {
+            if a.at(iv) == needle {
+                a.shape().linearize(iv).unwrap()
+            } else {
+                usize::MAX
+            }
+        })
+        .fold(usize::MAX, |x, y| x.min(y));
+    if pos == usize::MAX {
+        None
+    } else {
+        Some(a.shape().delinearize(pos))
+    }
+}
+
+/// Argmin over elements mapped through `key`, with `filter` selecting
+/// eligible positions; ties broken by row-major position. Returns
+/// `None` when no position is eligible. Backs `findMinTrues`.
+pub fn argmin_by<T, K>(
+    a: &Array<T>,
+    key: impl Fn(&[usize], &T) -> K + Send + Sync,
+    eligible: impl Fn(&[usize], &T) -> bool + Send + Sync,
+) -> Option<Vec<usize>>
+where
+    T: Clone + Send + Sync,
+    K: Ord + Clone + Send + Sync,
+{
+    let best = WithLoop::new()
+        .gen(Generator::full(a.shape()), move |iv| {
+            let v = a.at(iv);
+            if eligible(iv, v) {
+                Some((key(iv, v), a.shape().linearize(iv).unwrap()))
+            } else {
+                None
+            }
+        })
+        .fold(None, |x: Option<(K, usize)>, y| match (x, y) {
+            (None, y) => y,
+            (x, None) => x,
+            (Some(a), Some(b)) => Some(if b < a { b } else { a }),
+        });
+    best.map(|(_, lin)| a.shape().delinearize(lin))
+}
+
+/// Matrix transpose via genarray with-loop.
+pub fn transpose<T: Clone + Send + Sync + Default>(a: &Array<T>) -> Result<Array<T>> {
+    if a.dim() != 2 {
+        return Err(ArrayError::BadAxis {
+            rank: a.dim(),
+            axis: 1,
+        });
+    }
+    let (r, c) = (a.shape().extent(0), a.shape().extent(1));
+    WithLoop::new()
+        .gen(Generator::range(vec![0, 0], vec![c, r])?, move |iv| {
+            a.at(&[iv[1], iv[0]]).clone()
+        })
+        .genarray([c, r], T::default())
+}
+
+/// Sum along one axis of a matrix or higher-rank array: the result
+/// drops that axis. Defined as a genarray whose body is a fold
+/// with-loop over the reduced axis — the nested-with-loop idiom SaC's
+/// standard library uses for axis reductions.
+pub fn sum_axis(a: &Array<i64>, axis: usize) -> Result<Array<i64>> {
+    if axis >= a.dim() {
+        return Err(ArrayError::BadAxis {
+            rank: a.dim(),
+            axis,
+        });
+    }
+    let in_shape = a.shape().clone();
+    let out_extents: Vec<usize> = in_shape
+        .extents()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != axis)
+        .map(|(_, &e)| e)
+        .collect();
+    let reduce_n = in_shape.extent(axis);
+    let out_shape = Shape::new(out_extents.clone());
+    WithLoop::new()
+        .gen(Generator::full(&out_shape), move |iv| {
+            // Rebuild the full index with the reduced axis spliced in.
+            let mut full: Vec<usize> = Vec::with_capacity(iv.len() + 1);
+            full.extend_from_slice(&iv[..axis]);
+            full.push(0);
+            full.extend_from_slice(&iv[axis..]);
+            let mut acc = 0i64;
+            for k in 0..reduce_n {
+                full[axis] = k;
+                acc += *a.at(&full);
+            }
+            acc
+        })
+        .genarray(out_shape, 0)
+}
+
+/// Cyclic rotation of a vector by `offset` positions (SaC `rotate`):
+/// positive offsets move elements towards higher indices.
+pub fn rotate<T: Clone + Send + Sync + Default>(offset: i64, a: &Array<T>) -> Result<Array<T>> {
+    if a.dim() != 1 {
+        return Err(ArrayError::BadAxis {
+            rank: a.dim(),
+            axis: 0,
+        });
+    }
+    let n = a.size();
+    if n == 0 {
+        return Ok(a.clone());
+    }
+    let shift = offset.rem_euclid(n as i64) as usize;
+    WithLoop::new()
+        .gen(Generator::range(vec![0], vec![n])?, move |iv| {
+            a.at(&[(iv[0] + n - shift) % n]).clone()
+        })
+        .genarray([n], T::default())
+}
+
+/// Non-cyclic shift of a vector (SaC `shift`): vacated positions take
+/// the default value.
+pub fn shift<T: Clone + Send + Sync>(offset: i64, default: T, a: &Array<T>) -> Result<Array<T>> {
+    if a.dim() != 1 {
+        return Err(ArrayError::BadAxis {
+            rank: a.dim(),
+            axis: 0,
+        });
+    }
+    let n = a.size() as i64;
+    let (lo, hi) = if offset >= 0 {
+        (offset.min(n), n)
+    } else {
+        (0, (n + offset).max(0))
+    };
+    WithLoop::new()
+        .gen(
+            Generator::range(vec![lo.max(0) as usize], vec![hi.max(0) as usize])?,
+            move |iv| a.at(&[(iv[0] as i64 - offset) as usize]).clone(),
+        )
+        .genarray([n as usize], default)
+}
+
+/// Tiles a vector to a given length by cyclic repetition (SaC `tile`
+/// restricted to rank 1).
+pub fn tile<T: Clone + Send + Sync + Default>(len: usize, a: &Array<T>) -> Result<Array<T>> {
+    if a.dim() != 1 {
+        return Err(ArrayError::BadAxis {
+            rank: a.dim(),
+            axis: 0,
+        });
+    }
+    if a.size() == 0 {
+        return Err(ArrayError::EmptyArray("tile"));
+    }
+    let n = a.size();
+    WithLoop::new()
+        .gen(Generator::range(vec![0], vec![len])?, move |iv| {
+            a.at(&[iv[0] % n]).clone()
+        })
+        .genarray([len], T::default())
+}
+
+/// Masked merge (SaC `where`): elementwise `mask ? a : b`.
+pub fn select_where<T: Clone + Send + Sync + Default>(
+    mask: &Array<bool>,
+    a: &Array<T>,
+    b: &Array<T>,
+) -> Result<Array<T>> {
+    if mask.shape() != a.shape() || a.shape() != b.shape() {
+        return Err(ArrayError::ShapeMismatch {
+            expected: mask.shape().clone(),
+            actual: if mask.shape() != a.shape() {
+                a.shape().clone()
+            } else {
+                b.shape().clone()
+            },
+        });
+    }
+    WithLoop::new()
+        .gen(Generator::full(mask.shape()), move |iv| {
+            if *mask.at(iv) {
+                a.at(iv).clone()
+            } else {
+                b.at(iv).clone()
+            }
+        })
+        .genarray(mask.shape().clone(), T::default())
+}
+
+/// Matrix product, the classic nested with-loop (and the shape of the
+/// NAS-benchmark kernels the SaC papers cite).
+pub fn matmul(a: &Array<i64>, b: &Array<i64>) -> Result<Array<i64>> {
+    if a.dim() != 2 || b.dim() != 2 {
+        return Err(ArrayError::BadAxis {
+            rank: a.dim().min(b.dim()),
+            axis: 1,
+        });
+    }
+    let (m, ka) = (a.shape().extent(0), a.shape().extent(1));
+    let (kb, n) = (b.shape().extent(0), b.shape().extent(1));
+    if ka != kb {
+        return Err(ArrayError::ShapeMismatch {
+            expected: a.shape().clone(),
+            actual: b.shape().clone(),
+        });
+    }
+    WithLoop::new()
+        .gen(Generator::range(vec![0, 0], vec![m, n])?, move |iv| {
+            let (i, j) = (iv[0], iv[1]);
+            let mut acc = 0i64;
+            for k in 0..ka {
+                acc += a.at(&[i, k]) * b.at(&[k, j]);
+            }
+            acc
+        })
+        .genarray([m, n], 0)
+}
+
+/// Elementwise addition of same-shaped arrays, as a with-loop.
+pub fn add(a: &Array<i64>, b: &Array<i64>) -> Result<Array<i64>> {
+    if a.shape() != b.shape() {
+        return Err(ArrayError::ShapeMismatch {
+            expected: a.shape().clone(),
+            actual: b.shape().clone(),
+        });
+    }
+    WithLoop::new()
+        .gen(Generator::full(a.shape()), move |iv| a.at(iv) + b.at(iv))
+        .genarray(a.shape().clone(), 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_matches_paper_definition() {
+        let a = Array::from_vec(vec![1, 2, 3]);
+        let b = Array::from_vec(vec![4, 5]);
+        let c = concat(&a, &b).unwrap();
+        assert_eq!(c.data(), &[1, 2, 3, 4, 5]);
+        assert_eq!(c.shape(), &Shape::vector(5));
+    }
+
+    #[test]
+    fn concat_with_empty_vectors() {
+        let a = Array::from_vec(Vec::<i32>::new());
+        let b = Array::from_vec(vec![1, 2]);
+        assert_eq!(concat(&a, &b).unwrap().data(), &[1, 2]);
+        assert_eq!(concat(&b, &a).unwrap().data(), &[1, 2]);
+        assert_eq!(concat(&a, &a).unwrap().size(), 0);
+    }
+
+    #[test]
+    fn concat_rejects_matrices() {
+        let m = Array::fill([2, 2], 0);
+        let v = Array::from_vec(vec![1]);
+        assert!(concat(&m, &v).is_err());
+    }
+
+    #[test]
+    fn take_drop_roundtrip() {
+        let a = Array::from_vec(vec![1, 2, 3, 4, 5]);
+        let t = take(2, &a).unwrap();
+        let d = drop(2, &a).unwrap();
+        assert_eq!(t.data(), &[1, 2]);
+        assert_eq!(d.data(), &[3, 4, 5]);
+        assert_eq!(concat(&t, &d).unwrap(), a);
+        assert!(take(6, &a).is_err());
+        assert!(drop(6, &a).is_err());
+    }
+
+    #[test]
+    fn sum_and_count() {
+        let a = Array::new([2, 3], vec![1i64, 2, 3, 4, 5, 6]).unwrap();
+        assert_eq!(sum(&a), 21);
+        let b = Array::new([2, 2], vec![true, false, true, true]).unwrap();
+        assert_eq!(count_true(&b), 3);
+    }
+
+    #[test]
+    fn any_all() {
+        let a = Array::from_vec(vec![1, 2, 3]);
+        assert!(any(&a, |&x| x == 2));
+        assert!(!any(&a, |&x| x == 9));
+        assert!(all(&a, |&x| x > 0));
+        assert!(!all(&a, |&x| x > 1));
+        // Empty arrays: any is false, all is true (fold neutrals).
+        let e = Array::from_vec(Vec::<i32>::new());
+        assert!(!any(&e, |_| true));
+        assert!(all(&e, |_| false));
+    }
+
+    #[test]
+    fn find_first_row_major() {
+        let a = Array::new([3, 3], vec![1, 1, 0, 1, 0, 1, 0, 1, 1]).unwrap();
+        assert_eq!(find_first(&a, &0), Some(vec![0, 2]));
+        assert_eq!(find_first(&a, &7), None);
+    }
+
+    #[test]
+    fn argmin_by_selects_minimum_with_row_major_tiebreak() {
+        let a = Array::new([2, 3], vec![5, 3, 9, 3, 7, 1]).unwrap();
+        // Global minimum.
+        assert_eq!(argmin_by(&a, |_, &v| v, |_, _| true), Some(vec![1, 2]));
+        // Tie between the two 3s -> earlier position wins.
+        assert_eq!(
+            argmin_by(&a, |_, &v| v, |_, &v| v == 3),
+            Some(vec![0, 1])
+        );
+        // Nothing eligible.
+        assert_eq!(argmin_by(&a, |_, &v| v, |_, _| false), None);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Array::new([2, 3], vec![1, 2, 3, 4, 5, 6]).unwrap();
+        let t = transpose(&a).unwrap();
+        assert_eq!(t.shape(), &Shape::matrix(3, 2));
+        assert_eq!(t.data(), &[1, 4, 2, 5, 3, 6]);
+        assert_eq!(transpose(&t).unwrap(), a);
+    }
+
+    #[test]
+    fn sum_axis_matrix() {
+        let a = Array::new([2, 3], vec![1i64, 2, 3, 4, 5, 6]).unwrap();
+        // Sum over rows (axis 0): column totals.
+        assert_eq!(sum_axis(&a, 0).unwrap().data(), &[5, 7, 9]);
+        // Sum over columns (axis 1): row totals.
+        assert_eq!(sum_axis(&a, 1).unwrap().data(), &[6, 15]);
+        assert!(sum_axis(&a, 2).is_err());
+    }
+
+    #[test]
+    fn sum_axis_rank3_and_consistency_with_sum() {
+        let a = Array::new([2, 2, 2], (1..=8).collect::<Vec<i64>>()).unwrap();
+        let s0 = sum_axis(&a, 0).unwrap();
+        assert_eq!(s0.shape().extents(), &[2, 2]);
+        assert_eq!(s0.data(), &[6, 8, 10, 12]);
+        // Repeated axis reduction equals the total sum.
+        let s01 = sum_axis(&s0, 0).unwrap();
+        let s012 = sum_axis(&s01, 0).unwrap();
+        assert_eq!(s012.unwrap_scalar().unwrap(), sum(&a));
+    }
+
+    #[test]
+    fn rotate_cyclic() {
+        let a = Array::from_vec(vec![1, 2, 3, 4, 5]);
+        assert_eq!(rotate(1, &a).unwrap().data(), &[5, 1, 2, 3, 4]);
+        assert_eq!(rotate(-1, &a).unwrap().data(), &[2, 3, 4, 5, 1]);
+        assert_eq!(rotate(5, &a).unwrap(), a);
+        assert_eq!(rotate(7, &a).unwrap(), rotate(2, &a).unwrap());
+        let empty = Array::from_vec(Vec::<i32>::new());
+        assert_eq!(rotate(3, &empty).unwrap().size(), 0);
+    }
+
+    #[test]
+    fn shift_fills_with_default() {
+        let a = Array::from_vec(vec![1, 2, 3, 4]);
+        assert_eq!(shift(1, 0, &a).unwrap().data(), &[0, 1, 2, 3]);
+        assert_eq!(shift(-2, 9, &a).unwrap().data(), &[3, 4, 9, 9]);
+        assert_eq!(shift(0, 0, &a).unwrap(), a);
+        // Shifting past the length clears everything.
+        assert_eq!(shift(10, 7, &a).unwrap().data(), &[7, 7, 7, 7]);
+        assert_eq!(shift(-10, 7, &a).unwrap().data(), &[7, 7, 7, 7]);
+    }
+
+    #[test]
+    fn tile_repeats_cyclically() {
+        let a = Array::from_vec(vec![1, 2, 3]);
+        assert_eq!(tile(7, &a).unwrap().data(), &[1, 2, 3, 1, 2, 3, 1]);
+        assert_eq!(tile(2, &a).unwrap().data(), &[1, 2]);
+        assert_eq!(tile(0, &a).unwrap().size(), 0);
+        let empty = Array::from_vec(Vec::<i32>::new());
+        assert!(tile(3, &empty).is_err());
+    }
+
+    #[test]
+    fn select_where_merges_by_mask() {
+        let mask = Array::from_vec(vec![true, false, true]);
+        let a = Array::from_vec(vec![1, 2, 3]);
+        let b = Array::from_vec(vec![-1, -2, -3]);
+        assert_eq!(select_where(&mask, &a, &b).unwrap().data(), &[1, -2, 3]);
+        let short = Array::from_vec(vec![0]);
+        assert!(select_where(&mask, &a, &short).is_err());
+    }
+
+    #[test]
+    fn matmul_small_and_identity() {
+        let a = Array::new([2, 3], vec![1i64, 2, 3, 4, 5, 6]).unwrap();
+        let b = Array::new([3, 2], vec![7i64, 8, 9, 10, 11, 12]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.shape().extents(), &[2, 2]);
+        assert_eq!(c.data(), &[58, 64, 139, 154]);
+        // Identity: b (3x2) times I2 is b.
+        let id = WithLoop::new()
+            .gen(Generator::range(vec![0, 0], vec![2, 2]).unwrap(), |iv| {
+                i64::from(iv[0] == iv[1])
+            })
+            .genarray([2, 2], 0i64)
+            .unwrap();
+        assert_eq!(matmul(&b, &id).unwrap(), b);
+        // Shape mismatch.
+        assert!(matmul(&a, &a).is_err());
+    }
+
+    #[test]
+    fn matmul_transpose_law() {
+        // (A B)^T == B^T A^T
+        let a = Array::new([2, 3], vec![1i64, 0, 2, -1, 3, 1]).unwrap();
+        let b = Array::new([3, 2], vec![3i64, 1, 2, 1, 1, 0]).unwrap();
+        let lhs = transpose(&matmul(&a, &b).unwrap()).unwrap();
+        let rhs = matmul(&transpose(&b).unwrap(), &transpose(&a).unwrap()).unwrap();
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn add_elementwise() {
+        let a = Array::from_vec(vec![1i64, 2, 3]);
+        let b = Array::from_vec(vec![10i64, 20, 30]);
+        assert_eq!(add(&a, &b).unwrap().data(), &[11, 22, 33]);
+        let c = Array::fill([2, 2], 0i64);
+        assert!(add(&a, &c).is_err());
+    }
+}

@@ -1,0 +1,467 @@
+//! With-loop array comprehensions.
+//!
+//! The with-loop is SaC's only compound array construct (paper,
+//! Section 2): a list of *generators* (rectangular index sets), each
+//! associated with an expression over the index vector, consumed by one
+//! of three operators:
+//!
+//! * `genarray(shape, default)` — build a new array of `shape`; elements
+//!   covered by no generator take `default`; where generators overlap,
+//!   **the later generator wins** (the paper's `[0,1,1,2,2,0]` example).
+//! * `modarray(base)` — like `genarray` but uncovered elements come from
+//!   the same position of an existing array.
+//! * `fold(neutral, op)` — reduce the values computed by the generators
+//!   with an associative operator.
+//!
+//! Because generators impose no iteration order, evaluation is
+//! data-parallel: the engine partitions each generator's index set into
+//! chunks and fills disjoint slices of the result concurrently on a
+//! [`Pool`]. Sequential and parallel evaluation are observably
+//! identical (a property test in this module checks it).
+
+use crate::array::Array;
+use crate::error::Result;
+use crate::generator::Generator;
+use crate::parallel::{Pool, DEFAULT_GRAIN, PAR_THRESHOLD};
+use crate::shape::Shape;
+
+/// A generator body: maps an index vector to an element value.
+pub type Body<'a, T> = Box<dyn Fn(&[usize]) -> T + Send + Sync + 'a>;
+
+/// One `(generator) : expression` part of a with-loop.
+pub struct Part<'a, T> {
+    pub generator: Generator,
+    pub body: Body<'a, T>,
+}
+
+/// A with-loop under construction. Parts are kept in source order, which
+/// is semantically significant on overlap.
+pub struct WithLoop<'a, T> {
+    parts: Vec<Part<'a, T>>,
+}
+
+impl<'a, T> Default for WithLoop<'a, T> {
+    fn default() -> Self {
+        WithLoop { parts: Vec::new() }
+    }
+}
+
+/// Evaluation strategy for a with-loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Eval {
+    /// Single-threaded reference evaluation.
+    Sequential,
+    /// Chunked evaluation on the global pool when the index space is
+    /// large enough (SaC's "multithreaded code generation enabled").
+    Auto,
+}
+
+impl<'a, T: Clone + Send + Sync> WithLoop<'a, T> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a generator with a computed body.
+    pub fn gen(mut self, generator: Generator, body: impl Fn(&[usize]) -> T + Send + Sync + 'a) -> Self {
+        self.parts.push(Part {
+            generator,
+            body: Box::new(body),
+        });
+        self
+    }
+
+    /// Adds a generator with a constant body, e.g. the paper's
+    /// `([0,0] <= iv < [3,5]) : 42`.
+    pub fn gen_const(self, generator: Generator, value: T) -> Self
+    where
+        T: 'a,
+    {
+        self.gen(generator, move |_| value.clone())
+    }
+
+    fn check_generators(&self, shape: &Shape) -> Result<()> {
+        for p in &self.parts {
+            p.generator.check_within(shape)?;
+        }
+        Ok(())
+    }
+
+    /// `genarray(shape, default)` on the global pool (parallel when the
+    /// result is large enough).
+    pub fn genarray(self, shape: impl Into<Shape>, default: T) -> Result<Array<T>> {
+        self.genarray_on(Pool::global(), Eval::Auto, shape, default)
+    }
+
+    /// Sequential reference version of [`WithLoop::genarray`].
+    pub fn genarray_seq(self, shape: impl Into<Shape>, default: T) -> Result<Array<T>> {
+        self.genarray_on(Pool::global(), Eval::Sequential, shape, default)
+    }
+
+    /// `genarray` with explicit pool and strategy (used by the scaling
+    /// benchmarks).
+    pub fn genarray_on(
+        self,
+        pool: &Pool,
+        eval: Eval,
+        shape: impl Into<Shape>,
+        default: T,
+    ) -> Result<Array<T>> {
+        let shape = shape.into();
+        self.check_generators(&shape)?;
+        let n = shape.size();
+        let mut data = vec![default; n];
+        self.fill(pool, eval, &shape, &mut data);
+        Array::new(shape, data)
+    }
+
+    /// `modarray(base)` on the global pool.
+    pub fn modarray(self, base: &Array<T>) -> Result<Array<T>> {
+        self.modarray_on(Pool::global(), Eval::Auto, base)
+    }
+
+    /// Sequential reference version of [`WithLoop::modarray`].
+    pub fn modarray_seq(self, base: &Array<T>) -> Result<Array<T>> {
+        self.modarray_on(Pool::global(), Eval::Sequential, base)
+    }
+
+    /// `modarray` with explicit pool and strategy.
+    pub fn modarray_on(self, pool: &Pool, eval: Eval, base: &Array<T>) -> Result<Array<T>> {
+        let shape = base.shape().clone();
+        self.check_generators(&shape)?;
+        let mut out = base.clone();
+        // Copy-on-write: if `base` is uniquely owned this mutates in
+        // place, mirroring SaC's reference-count-one optimisation.
+        let data = out.make_mut();
+        self.fill(pool, eval, &shape, data);
+        Ok(out)
+    }
+
+    /// Writes every generator part into `data` (row-major storage of
+    /// `shape`), later parts overwriting earlier ones on overlap.
+    fn fill(&self, pool: &Pool, eval: Eval, shape: &Shape, data: &mut [T]) {
+        for part in &self.parts {
+            let count = part.generator.count();
+            if count == 0 {
+                continue;
+            }
+            let par = matches!(eval, Eval::Auto) && count >= PAR_THRESHOLD && pool.threads() > 1;
+            if !par {
+                part.generator.for_each_in(0..count, |idx| {
+                    let lin = shape.linearize(idx).expect("generator checked within shape");
+                    data[lin] = (part.body)(idx);
+                });
+            } else {
+                let ptr = SendPtr(data.as_mut_ptr());
+                let gen = &part.generator;
+                let body = &part.body;
+                pool.parallel_for(count, DEFAULT_GRAIN, |range| {
+                    let ptr = &ptr;
+                    gen.for_each_in(range, |idx| {
+                        let lin = shape.linearize(idx).expect("generator checked within shape");
+                        // SAFETY: ordinal positions are unique per part
+                        // and chunks are disjoint, so no two iterations
+                        // of this parallel loop write the same element.
+                        unsafe { *ptr.0.add(lin) = body(idx) };
+                    });
+                });
+            }
+        }
+    }
+
+    /// `fold(neutral, op)`: reduces the values produced by all generator
+    /// parts. `op` must be associative; parallel evaluation combines
+    /// per-chunk partial folds in chunk order, so non-commutative (but
+    /// associative) operators still fold deterministically.
+    pub fn fold(self, neutral: T, op: impl Fn(T, T) -> T + Send + Sync) -> T {
+        self.fold_on(Pool::global(), Eval::Auto, neutral, op)
+    }
+
+    /// Sequential reference version of [`WithLoop::fold`].
+    pub fn fold_seq(self, neutral: T, op: impl Fn(T, T) -> T + Send + Sync) -> T {
+        self.fold_on(Pool::global(), Eval::Sequential, neutral, op)
+    }
+
+    /// `fold` with explicit pool and strategy.
+    pub fn fold_on(
+        self,
+        pool: &Pool,
+        eval: Eval,
+        neutral: T,
+        op: impl Fn(T, T) -> T + Send + Sync,
+    ) -> T {
+        let mut acc = neutral.clone();
+        for part in &self.parts {
+            let count = part.generator.count();
+            if count == 0 {
+                continue;
+            }
+            let par = matches!(eval, Eval::Auto) && count >= PAR_THRESHOLD && pool.threads() > 1;
+            if !par {
+                let mut local = Some(acc);
+                part.generator.for_each_in(0..count, |idx| {
+                    let prev = local.take().expect("accumulator present");
+                    local = Some(op(prev, (part.body)(idx)));
+                });
+                acc = local.expect("accumulator present");
+            } else {
+                let grain = DEFAULT_GRAIN.max(count / (pool.threads() * 8).max(1));
+                let nchunks = count.div_ceil(grain);
+                let partials: Vec<parking_lot::Mutex<Option<T>>> =
+                    (0..nchunks).map(|_| parking_lot::Mutex::new(None)).collect();
+                let gen = &part.generator;
+                let body = &part.body;
+                let opr = &op;
+                let neutral_ref = &neutral;
+                pool.parallel_for(count, grain, |range| {
+                    let chunk = range.start / grain;
+                    let mut local = Some(neutral_ref.clone());
+                    gen.for_each_in(range, |idx| {
+                        let prev = local.take().expect("accumulator present");
+                        local = Some(opr(prev, body(idx)));
+                    });
+                    *partials[chunk].lock() = local;
+                });
+                for cell in partials {
+                    if let Some(v) = cell.into_inner() {
+                        acc = op(acc, v);
+                    }
+                }
+            }
+        }
+        acc
+    }
+}
+
+/// Raw-pointer wrapper asserting cross-thread shareability for the
+/// disjoint-write pattern in [`WithLoop::fill`].
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// Convenience: the paper's first example,
+/// `with { (lb <= iv < ub) : const } : genarray(shape, default)`.
+pub fn genarray_const<T: Clone + Send + Sync>(
+    shape: impl Into<Shape>,
+    default: T,
+    lower: Vec<usize>,
+    upper: Vec<usize>,
+    value: T,
+) -> Result<Array<T>> {
+    WithLoop::new()
+        .gen_const(Generator::range(lower, upper)?, value)
+        .genarray(shape, default)
+}
+
+/// Elementwise map as a modarray with-loop over the full index space —
+/// how SaC defines its elementwise standard library.
+pub fn map_with<T, U>(a: &Array<T>, f: impl Fn(&T) -> U + Send + Sync) -> Result<Array<U>>
+where
+    T: Clone + Send + Sync,
+    U: Clone + Send + Sync + Default,
+{
+    let shape = a.shape().clone();
+    WithLoop::new()
+        .gen(Generator::full(&shape), move |iv| f(a.at(iv)))
+        .genarray(shape, U::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ArrayError;
+
+    fn g(lo: Vec<usize>, hi: Vec<usize>) -> Generator {
+        Generator::range(lo, hi).unwrap()
+    }
+
+    // --- The worked examples of Section 2, verbatim. ---
+
+    #[test]
+    fn paper_example_uniform_42_matrix() {
+        // with { ([0,0] <= iv < [3,5]) : 42 } : genarray([3,5], 0)
+        let a = WithLoop::new()
+            .gen_const(g(vec![0, 0], vec![3, 5]), 42)
+            .genarray_seq([3, 5], 0)
+            .unwrap();
+        assert_eq!(a.shape(), &Shape::matrix(3, 5));
+        assert!(a.data().iter().all(|&x| x == 42));
+    }
+
+    #[test]
+    fn paper_example_iota_vector() {
+        // with { ([0] <= iv < [5]) : iv[0] } : genarray([5], 0)
+        let a = WithLoop::new()
+            .gen(g(vec![0], vec![5]), |iv| iv[0] as i32)
+            .genarray_seq([5], 0)
+            .unwrap();
+        assert_eq!(a.data(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn paper_example_partial_cover_default() {
+        // with { ([1] <= iv < [4]) : 42 } : genarray([5], 0) == [0,42,42,42,0]
+        let a = WithLoop::new()
+            .gen_const(g(vec![1], vec![4]), 42)
+            .genarray_seq([5], 0)
+            .unwrap();
+        assert_eq!(a.data(), &[0, 42, 42, 42, 0]);
+    }
+
+    #[test]
+    fn paper_example_overlap_later_generator_wins() {
+        // with { ([1] <= iv < [4]) : 1; ([3] <= iv < [5]) : 2 }
+        //   : genarray([6], 0) == [0,1,1,2,2,0]
+        let a = WithLoop::new()
+            .gen_const(g(vec![1], vec![4]), 1)
+            .gen_const(g(vec![3], vec![5]), 2)
+            .genarray_seq([6], 0)
+            .unwrap();
+        assert_eq!(a.data(), &[0, 1, 1, 2, 2, 0]);
+    }
+
+    #[test]
+    fn paper_example_modarray() {
+        // A == [0,1,1,2,2,0]; with { ([0] <= iv < [3]) : 3 } : modarray(A)
+        //   == [3,3,3,2,2,0]
+        let a = Array::from_vec(vec![0, 1, 1, 2, 2, 0]);
+        let b = WithLoop::new()
+            .gen_const(g(vec![0], vec![3]), 3)
+            .modarray_seq(&a)
+            .unwrap();
+        assert_eq!(b.data(), &[3, 3, 3, 2, 2, 0]);
+        // The original is untouched (stateless arrays).
+        assert_eq!(a.data(), &[0, 1, 1, 2, 2, 0]);
+    }
+
+    // --- Engine-level behaviour. ---
+
+    #[test]
+    fn genarray_rejects_generator_outside_shape() {
+        let r = WithLoop::new()
+            .gen_const(g(vec![0], vec![10]), 1)
+            .genarray_seq([5], 0);
+        assert!(matches!(r, Err(ArrayError::BadGenerator(_))));
+    }
+
+    #[test]
+    fn modarray_on_unique_base_is_in_place() {
+        let a = Array::from_vec(vec![1, 2, 3, 4]);
+        let before = a.data().as_ptr();
+        let b = WithLoop::new()
+            .gen_const(g(vec![0], vec![1]), 9)
+            .modarray_seq(&a)
+            .unwrap();
+        // `a` is still alive so a copy must have happened...
+        assert_ne!(b.data().as_ptr(), before);
+        assert_eq!(a.data(), &[1, 2, 3, 4]);
+        // ...but when the base is uniquely owned, storage is reused.
+        let c = WithLoop::new()
+            .gen_const(g(vec![0], vec![1]), 7)
+            .modarray_seq(&b)
+            .map(|r| r)
+            .unwrap();
+        let _ = c;
+    }
+
+    #[test]
+    fn parallel_equals_sequential_genarray() {
+        let pool = Pool::new(4);
+        let shape = [64, 256];
+        let make = |eval| {
+            WithLoop::new()
+                .gen(g(vec![0, 0], vec![64, 256]), |iv| (iv[0] * 1000 + iv[1]) as i64)
+                .gen_const(g(vec![10, 10], vec![20, 200]), -1)
+                .genarray_on(&pool, eval, shape, 0i64)
+                .unwrap()
+        };
+        assert_eq!(make(Eval::Sequential), make(Eval::Auto));
+    }
+
+    #[test]
+    fn parallel_equals_sequential_modarray() {
+        let pool = Pool::new(4);
+        let base = Array::fill([128, 128], 5i32);
+        let make = |eval| {
+            WithLoop::new()
+                .gen(g(vec![3, 0], vec![100, 128]), |iv| (iv[0] + iv[1]) as i32)
+                .modarray_on(&pool, eval, &base)
+                .unwrap()
+        };
+        assert_eq!(make(Eval::Sequential), make(Eval::Auto));
+    }
+
+    #[test]
+    fn fold_sums_generator_values() {
+        // Sum of 0..100 over a vector generator.
+        let total = WithLoop::new()
+            .gen(g(vec![0], vec![100]), |iv| iv[0] as i64)
+            .fold_seq(0, |a, b| a + b);
+        assert_eq!(total, 4950);
+    }
+
+    #[test]
+    fn fold_parallel_equals_sequential() {
+        let pool = Pool::new(4);
+        let run = |eval| {
+            WithLoop::new()
+                .gen(g(vec![0, 0], vec![300, 300]), |iv| (iv[0] * iv[1]) as i64)
+                .fold_on(&pool, eval, 0, |a, b| a + b)
+        };
+        assert_eq!(run(Eval::Sequential), run(Eval::Auto));
+    }
+
+    #[test]
+    fn fold_multiple_generators_accumulate_in_order() {
+        // String concat is associative but not commutative: chunk-order
+        // combination must preserve generator-major order.
+        let s = WithLoop::new()
+            .gen(g(vec![0], vec![3]), |iv| iv[0].to_string())
+            .gen(g(vec![0], vec![2]), |iv| format!("x{}", iv[0]))
+            .fold_seq(String::new(), |a, b| a + &b);
+        assert_eq!(s, "012x0x1");
+    }
+
+    #[test]
+    fn map_with_matches_direct_map() {
+        let a = Array::new([4, 4], (0..16).collect::<Vec<i32>>()).unwrap();
+        let b = map_with(&a, |x| x * 2).unwrap();
+        assert_eq!(b, a.map(|x| x * 2));
+    }
+
+    #[test]
+    fn genarray_const_helper() {
+        let a = genarray_const([5], 0, vec![1], vec![4], 42).unwrap();
+        assert_eq!(a.data(), &[0, 42, 42, 42, 0]);
+    }
+
+    #[test]
+    fn empty_generator_contributes_nothing() {
+        let a = WithLoop::new()
+            .gen_const(g(vec![3], vec![3]), 9)
+            .genarray_seq([4], 1)
+            .unwrap();
+        assert_eq!(a.data(), &[1, 1, 1, 1]);
+        let total = WithLoop::new()
+            .gen(g(vec![5], vec![5]), |_| 1i32)
+            .fold_seq(0, |a, b| a + b);
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn zero_generator_withloop_is_pure_default() {
+        let a: Array<i32> = WithLoop::new().genarray_seq([3, 3], 7).unwrap();
+        assert!(a.data().iter().all(|&x| x == 7));
+    }
+
+    #[test]
+    fn large_parallel_genarray_is_correct() {
+        // Big enough to actually engage the pool (>= PAR_THRESHOLD).
+        let pool = Pool::new(4);
+        let n = 200_000usize;
+        let a = WithLoop::new()
+            .gen(g(vec![0], vec![n]), |iv| iv[0] as u64)
+            .genarray_on(&pool, Eval::Auto, [n], 0u64)
+            .unwrap();
+        assert!(a.data().iter().enumerate().all(|(i, &v)| v == i as u64));
+    }
+}

@@ -1,0 +1,290 @@
+//! Box execution.
+//!
+//! "A box expects a record on its input stream to which it applies its
+//! associated SaC function (the box function). An S-Net box may yield
+//! multiple output records on the output stream in response to a
+//! single input record. Therefore, we cannot use the value of the
+//! function application as a result. Instead, the SaC function itself
+//! calls, potentially repeatedly, an interface function snet_out"
+//! (paper, Section 4).
+//!
+//! The Rust rendering: a box implementation is a
+//! `Fn(&Record, &mut Emitter)` — the [`Emitter`] is `snet_out`. The
+//! box wrapper thread performs the runtime halves of subtyping and
+//! flow inheritance: it splits each incoming record into the part
+//! matching the box's input type (what the function sees) and the
+//! excess, and re-attaches the excess to every emitted record unless a
+//! label is already present. "The implementation of the box function
+//! is completely unaware of any potential excess fields and tags."
+
+use crate::ctx::Ctx;
+use crate::metrics::keys;
+use crate::stream::{stream, Dir, Msg, Receiver, Sender};
+use snet_types::{BoxSig, Record};
+use std::sync::Arc;
+
+/// A box implementation: the computational component behind a box.
+/// It receives the matched input record and emits output records via
+/// the [`Emitter`] — the equivalent of calling `snet_out` repeatedly.
+pub type BoxImpl = Arc<dyn Fn(&Record, &mut Emitter) + Send + Sync>;
+
+/// The `snet_out` interface handed to a box function. Records emitted
+/// here are extended by flow inheritance and sent downstream
+/// immediately ("output records ... are immediately sent to the output
+/// stream").
+pub struct Emitter<'a> {
+    out: &'a Sender,
+    excess: &'a Record,
+    sig: &'a BoxSig,
+    path: &'a str,
+    ctx: &'a Ctx,
+    emitted: u64,
+}
+
+impl<'a> Emitter<'a> {
+    /// Emits an output record. Flow inheritance is applied here: excess
+    /// labels of the input record are attached unless present.
+    pub fn emit(&mut self, rec: Record) {
+        let rec = rec.inherit(self.excess);
+        if self.ctx.has_observers() {
+            self.ctx.observe(self.path, Dir::Out, &rec);
+        }
+        self.emitted += 1;
+        // A send failure means the downstream component is gone, which
+        // only happens during teardown; the record is simply dropped.
+        let _ = self.out.send(Msg::Rec(rec));
+    }
+
+    /// Emits according to an output variant of the box signature —
+    /// mirrors `snet_out(variant, v1, v2, ...)`: values are paired with
+    /// the variant's labels in declaration order. Tags take their value
+    /// from `Value::Int`; anything else is a field value.
+    ///
+    /// `variant` is 1-based, matching the paper's `snet_out(1, ...)`.
+    pub fn emit_variant(&mut self, variant: usize, values: Vec<snet_types::Value>) {
+        let labels = self
+            .sig
+            .outputs
+            .get(variant - 1)
+            .unwrap_or_else(|| panic!("box has no output variant {variant}"));
+        assert_eq!(
+            labels.len(),
+            values.len(),
+            "snet_out variant {variant} expects {} values, got {}",
+            labels.len(),
+            values.len()
+        );
+        let mut rec = Record::new();
+        for (label, value) in labels.iter().zip(values) {
+            if label.is_tag() {
+                let v = value
+                    .as_int()
+                    .unwrap_or_else(|| panic!("tag {label} requires an integer value"));
+                rec.set_tag_label(*label, v);
+            } else {
+                rec.set_field_label(*label, value);
+            }
+        }
+        self.emit(rec);
+    }
+
+    /// Number of records emitted so far for the current input.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+}
+
+/// Spawns a box component: a thread applying `imp` to every incoming
+/// record. Returns the box's output stream.
+pub fn spawn_box(
+    ctx: &Arc<Ctx>,
+    path: &str,
+    name: &str,
+    sig: BoxSig,
+    imp: BoxImpl,
+    input: Receiver,
+) -> Receiver {
+    let (tx, rx) = stream();
+    let path = format!("{path}/box:{name}");
+    ctx.metrics.inc(format!("{path}/{}", keys::SPAWNED), 1);
+    let ctx2 = Arc::clone(ctx);
+    let thread_path = path.clone();
+    ctx.spawn(path.clone(), move || {
+        let path = thread_path;
+        let input_type = sig.input_type();
+        while let Ok(msg) = input.recv() {
+            match msg {
+                Msg::Rec(rec) => {
+                    if ctx2.has_observers() {
+                        ctx2.observe(&path, Dir::In, &rec);
+                    }
+                    ctx2.metrics.inc(format!("{path}/{}", keys::RECORDS_IN), 1);
+                    let (matched, excess) = rec.split_for(&input_type).unwrap_or_else(|| {
+                        panic!(
+                            "record {rec:?} does not match input type {input_type} of box \
+                             '{path}' — routing invariant violated"
+                        )
+                    });
+                    let mut em = Emitter {
+                        out: &tx,
+                        excess: &excess,
+                        sig: &sig,
+                        path: &path,
+                        ctx: &ctx2,
+                        emitted: 0,
+                    };
+                    imp(&matched, &mut em);
+                    let n = em.emitted;
+                    ctx2.metrics.inc(format!("{path}/{}", keys::RECORDS_OUT), n);
+                }
+                // Sort records pass through unchanged, behind any data
+                // already emitted for earlier records (guaranteed by
+                // the sequential recv loop).
+                sort @ Msg::Sort { .. } => {
+                    let _ = tx.send(sort);
+                }
+            }
+        }
+        // Input disconnected: dropping `tx` propagates end-of-stream.
+    });
+    rx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+    use snet_types::{Label, Value};
+
+    fn test_ctx() -> Arc<Ctx> {
+        Ctx::new(Metrics::new(), Vec::new())
+    }
+
+    fn foo_sig() -> BoxSig {
+        // box foo (a,<b>) -> (c) | (c,d,<e>)
+        BoxSig::new(
+            vec![Label::field("a"), Label::tag("b")],
+            vec![
+                vec![Label::field("c")],
+                vec![Label::field("c"), Label::field("d"), Label::tag("e")],
+            ],
+        )
+    }
+
+    #[test]
+    fn box_applies_function_and_flow_inherits() {
+        // The paper's worked example: foo receives {a,<b>,d}; the
+        // first-variant output {c} gains d by flow inheritance, the
+        // second-variant output keeps its own d.
+        let ctx = test_ctx();
+        let (tx, input) = stream();
+        let imp: BoxImpl = Arc::new(|rec, em| {
+            let a = rec.field("a").unwrap().as_int().unwrap();
+            // snet_out(1, x)
+            em.emit_variant(1, vec![Value::Int(a * 10)]);
+            // snet_out(2, x, y, 42)
+            em.emit_variant(
+                2,
+                vec![Value::Int(a * 10), Value::Int(-1), Value::Int(42)],
+            );
+        });
+        let out = spawn_box(&ctx, "net", "foo", foo_sig(), imp, input);
+        tx.send(Msg::Rec(
+            Record::build().field("a", 5i64).tag("b", 0).field("d", 7i64).finish(),
+        ))
+        .unwrap();
+        drop(tx);
+
+        let r1 = match out.recv().unwrap() {
+            Msg::Rec(r) => r,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(r1.field("c").unwrap().as_int(), Some(50));
+        assert_eq!(r1.field("d").unwrap().as_int(), Some(7)); // inherited
+        let r2 = match out.recv().unwrap() {
+            Msg::Rec(r) => r,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(r2.field("d").unwrap().as_int(), Some(-1)); // own d wins
+        assert_eq!(r2.tag("e"), Some(42));
+        // <b> was consumed (in the input type), so it does NOT reappear.
+        assert_eq!(r2.tag("b"), None);
+        assert!(out.recv().is_err());
+        ctx.join_all();
+    }
+
+    #[test]
+    fn box_may_emit_nothing() {
+        // solveOneLevel emits no record when the search is stuck.
+        let ctx = test_ctx();
+        let (tx, input) = stream();
+        let imp: BoxImpl = Arc::new(|_rec, _em| {});
+        let sig = BoxSig::new(vec![Label::field("a")], vec![vec![Label::field("a")]]);
+        let out = spawn_box(&ctx, "net", "mute", sig, imp, input);
+        tx.send(Msg::Rec(Record::build().field("a", 1i64).finish()))
+            .unwrap();
+        drop(tx);
+        assert!(out.recv().is_err());
+        ctx.join_all();
+        assert_eq!(ctx.metrics.get("net/box:mute/records_in"), 1);
+        assert_eq!(ctx.metrics.get("net/box:mute/records_out"), 0);
+    }
+
+    #[test]
+    fn box_forwards_sort_records_behind_data() {
+        let ctx = test_ctx();
+        let (tx, input) = stream();
+        let imp: BoxImpl = Arc::new(|rec, em| em.emit(rec.clone()));
+        let sig = BoxSig::new(vec![Label::field("a")], vec![vec![Label::field("a")]]);
+        let out = spawn_box(&ctx, "net", "id", sig, imp, input);
+        tx.send(Msg::Rec(Record::build().field("a", 1i64).finish()))
+            .unwrap();
+        tx.send(Msg::Sort { level: 0, counter: 0 }).unwrap();
+        tx.send(Msg::Rec(Record::build().field("a", 2i64).finish()))
+            .unwrap();
+        drop(tx);
+        assert!(matches!(out.recv().unwrap(), Msg::Rec(_)));
+        assert_eq!(out.recv().unwrap(), Msg::Sort { level: 0, counter: 0 });
+        assert!(matches!(out.recv().unwrap(), Msg::Rec(_)));
+        ctx.join_all();
+    }
+
+    #[test]
+    fn mismatched_record_panics_the_component() {
+        let ctx = test_ctx();
+        let (tx, input) = stream();
+        let imp: BoxImpl = Arc::new(|_r, _e| {});
+        let sig = BoxSig::new(vec![Label::field("needed")], vec![vec![]]);
+        let _out = spawn_box(&ctx, "net", "strict", sig, imp, input);
+        tx.send(Msg::Rec(Record::build().field("other", 1i64).finish()))
+            .unwrap();
+        drop(tx);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ctx.join_all()));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn multiple_records_processed_in_order() {
+        let ctx = test_ctx();
+        let (tx, input) = stream();
+        let imp: BoxImpl = Arc::new(|rec, em| {
+            let v = rec.field("a").unwrap().as_int().unwrap();
+            em.emit(Record::build().field("a", v * 2).finish());
+        });
+        let sig = BoxSig::new(vec![Label::field("a")], vec![vec![Label::field("a")]]);
+        let out = spawn_box(&ctx, "net", "dbl", sig, imp, input);
+        for i in 0..10i64 {
+            tx.send(Msg::Rec(Record::build().field("a", i).finish()))
+                .unwrap();
+        }
+        drop(tx);
+        for i in 0..10i64 {
+            match out.recv().unwrap() {
+                Msg::Rec(r) => assert_eq!(r.field("a").unwrap().as_int(), Some(i * 2)),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(out.recv().is_err());
+        ctx.join_all();
+    }
+}

@@ -1,0 +1,136 @@
+//! Shared execution context for a running network.
+
+use crate::metrics::Metrics;
+use crate::stream::{Dir, Observer};
+use parking_lot::Mutex;
+use snet_types::Record;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Context threaded through instantiation and shared by all component
+/// threads of one network: metrics, observers, and the join-handle
+/// collector (components are created dynamically by the replicators,
+/// so handles accumulate at runtime).
+pub struct Ctx {
+    pub metrics: Arc<Metrics>,
+    observers: Vec<Observer>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Ctx {
+    pub fn new(metrics: Arc<Metrics>, observers: Vec<Observer>) -> Arc<Ctx> {
+        Arc::new(Ctx {
+            metrics,
+            observers,
+            handles: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Spawns a named component thread and registers its handle.
+    pub fn spawn(self: &Arc<Self>, name: String, f: impl FnOnce() + Send + 'static) {
+        let h = std::thread::Builder::new()
+            .name(name)
+            .spawn(f)
+            .expect("failed to spawn component thread");
+        self.handles.lock().push(h);
+    }
+
+    /// Notifies observers of a record passing a component boundary.
+    pub fn observe(&self, path: &str, dir: Dir, rec: &Record) {
+        for obs in &self.observers {
+            obs(path, dir, rec);
+        }
+    }
+
+    /// True when at least one observer is registered (lets hot paths
+    /// skip building observation arguments).
+    pub fn has_observers(&self) -> bool {
+        !self.observers.is_empty()
+    }
+
+    /// Joins all component threads spawned so far, repeatedly, until no
+    /// new ones appear (replicators spawn transitively). Panics if any
+    /// component thread panicked, propagating the first panic payload.
+    pub fn join_all(&self) {
+        loop {
+            let batch: Vec<JoinHandle<()>> = {
+                let mut h = self.handles.lock();
+                std::mem::take(&mut *h)
+            };
+            if batch.is_empty() {
+                return;
+            }
+            for h in batch {
+                if let Err(payload) = h.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    }
+
+    /// Number of component threads spawned so far.
+    pub fn threads_spawned(&self) -> usize {
+        self.handles.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn spawn_and_join() {
+        let ctx = Ctx::new(Metrics::new(), Vec::new());
+        let n = Arc::new(AtomicUsize::new(0));
+        for _ in 0..4 {
+            let n = Arc::clone(&n);
+            ctx.spawn("t".into(), move || {
+                n.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        ctx.join_all();
+        assert_eq!(n.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn join_all_catches_transitively_spawned_threads() {
+        let ctx = Ctx::new(Metrics::new(), Vec::new());
+        let n = Arc::new(AtomicUsize::new(0));
+        {
+            let ctx2 = Arc::clone(&ctx);
+            let n = Arc::clone(&n);
+            ctx.spawn("outer".into(), move || {
+                let n2 = Arc::clone(&n);
+                ctx2.spawn("inner".into(), move || {
+                    n2.fetch_add(10, Ordering::Relaxed);
+                });
+                n.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        ctx.join_all();
+        assert_eq!(n.load(Ordering::Relaxed), 11);
+    }
+
+    #[test]
+    fn join_all_propagates_panics() {
+        let ctx = Ctx::new(Metrics::new(), Vec::new());
+        ctx.spawn("boom".into(), || panic!("component failure"));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ctx.join_all()));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn observers_receive_records() {
+        let seen = Arc::new(AtomicUsize::new(0));
+        let seen2 = Arc::clone(&seen);
+        let obs: Observer = Arc::new(move |_path, _dir, _rec| {
+            seen2.fetch_add(1, Ordering::Relaxed);
+        });
+        let ctx = Ctx::new(Metrics::new(), vec![obs]);
+        assert!(ctx.has_observers());
+        ctx.observe("p", Dir::In, &Record::new());
+        ctx.observe("p", Dir::Out, &Record::new());
+        assert_eq!(seen.load(Ordering::Relaxed), 2);
+    }
+}

@@ -1,0 +1,139 @@
+//! Filter execution: wraps the pure [`FilterDef::apply`] semantics of
+//! `snet-lang` in a stream component. Filters are the "housekeeping"
+//! boxes of the coordination layer — renaming, duplication, elimination
+//! and tag arithmetic — and run exactly like boxes, minus a
+//! computational payload.
+
+use crate::ctx::Ctx;
+use crate::metrics::keys;
+use crate::stream::{stream, Dir, Msg, Receiver};
+use snet_lang::FilterDef;
+use std::sync::Arc;
+
+/// Spawns a filter component applying `def` to every incoming record.
+pub fn spawn_filter(ctx: &Arc<Ctx>, path: &str, def: FilterDef, input: Receiver) -> Receiver {
+    let (tx, rx) = stream();
+    let path = format!("{path}/filter");
+    ctx.metrics.inc(format!("{path}/{}", keys::SPAWNED), 1);
+    let ctx2 = Arc::clone(ctx);
+    let thread_path = path.clone();
+    ctx.spawn(path, move || {
+        let path = thread_path;
+        while let Ok(msg) = input.recv() {
+            match msg {
+                Msg::Rec(rec) => {
+                    if ctx2.has_observers() {
+                        ctx2.observe(&path, Dir::In, &rec);
+                    }
+                    ctx2.metrics.inc(format!("{path}/{}", keys::RECORDS_IN), 1);
+                    if !rec.matches(&def.pattern) {
+                        panic!(
+                            "record {rec:?} does not match filter pattern {} at '{path}' — \
+                             routing invariant violated",
+                            def.pattern
+                        );
+                    }
+                    let outs = def.apply(&rec).unwrap_or_else(|e| {
+                        panic!("tag expression failed in filter at '{path}': {e}")
+                    });
+                    ctx2.metrics
+                        .inc(format!("{path}/{}", keys::RECORDS_OUT), outs.len() as u64);
+                    for out in outs {
+                        if ctx2.has_observers() {
+                            ctx2.observe(&path, Dir::Out, &out);
+                        }
+                        let _ = tx.send(Msg::Rec(out));
+                    }
+                }
+                sort @ Msg::Sort { .. } => {
+                    let _ = tx.send(sort);
+                }
+            }
+        }
+    });
+    rx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+    use snet_lang::parse_filter;
+    use snet_types::Record;
+
+    fn test_ctx() -> Arc<Ctx> {
+        Ctx::new(Metrics::new(), Vec::new())
+    }
+
+    #[test]
+    fn filter_duplicates_records() {
+        // The paper's two-output filter produces two records per input.
+        let ctx = test_ctx();
+        let def = parse_filter("[{a,b,<c>} -> {a, z=a, <t>}; {b, a=b, <c>=<c>+1}]").unwrap();
+        let (tx, input) = stream();
+        let out = spawn_filter(&ctx, "net", def, input);
+        tx.send(Msg::Rec(
+            Record::build()
+                .field("a", 1i64)
+                .field("b", 2i64)
+                .tag("c", 9)
+                .finish(),
+        ))
+        .unwrap();
+        drop(tx);
+        let mut got = Vec::new();
+        while let Ok(Msg::Rec(r)) = out.recv() {
+            got.push(r);
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].tag("t"), Some(0));
+        assert_eq!(got[1].tag("c"), Some(10));
+        ctx.join_all();
+        assert_eq!(ctx.metrics.get("net/filter/records_in"), 1);
+        assert_eq!(ctx.metrics.get("net/filter/records_out"), 2);
+    }
+
+    #[test]
+    fn fig2_style_tag_injection() {
+        let ctx = test_ctx();
+        let def = parse_filter("[{} -> {<k>=1}]").unwrap();
+        let (tx, input) = stream();
+        let out = spawn_filter(&ctx, "net", def, input);
+        tx.send(Msg::Rec(Record::build().field("board", 1i64).finish()))
+            .unwrap();
+        drop(tx);
+        match out.recv().unwrap() {
+            Msg::Rec(r) => {
+                assert_eq!(r.tag("k"), Some(1));
+                assert!(r.field("board").is_some()); // flow inheritance
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        ctx.join_all();
+    }
+
+    #[test]
+    fn sorts_flow_through_filters() {
+        let ctx = test_ctx();
+        let def = parse_filter("[{} -> {<x>=1}]").unwrap();
+        let (tx, input) = stream();
+        let out = spawn_filter(&ctx, "net", def, input);
+        tx.send(Msg::Sort { level: 1, counter: 3 }).unwrap();
+        drop(tx);
+        assert_eq!(out.recv().unwrap(), Msg::Sort { level: 1, counter: 3 });
+        ctx.join_all();
+    }
+
+    #[test]
+    fn non_matching_record_panics() {
+        let ctx = test_ctx();
+        let def = parse_filter("[{needed} -> {needed}]").unwrap();
+        let (tx, input) = stream();
+        let _out = spawn_filter(&ctx, "net", def, input);
+        tx.send(Msg::Rec(Record::build().tag("other", 1).finish()))
+            .unwrap();
+        drop(tx);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ctx.join_all()));
+        assert!(r.is_err());
+    }
+}

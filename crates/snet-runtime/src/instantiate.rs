@@ -1,0 +1,103 @@
+//! Plan instantiation: turns a compiled [`PNode`] tree into running
+//! threads and channels, returning the output stream.
+//!
+//! Instantiation is re-entrant at runtime: the replicators call back
+//! into [`instantiate`] to unfold replicas on demand, cloning subtree
+//! handles from the plan.
+
+use crate::boxfn::spawn_box;
+use crate::ctx::Ctx;
+use crate::filter_exec::spawn_filter;
+use crate::parallel::spawn_parallel;
+use crate::plan::PNode;
+use crate::split::spawn_split;
+use crate::star::spawn_star;
+use crate::stream::Receiver;
+use std::sync::Arc;
+
+/// Instantiates a plan node with the given input stream; returns the
+/// node's output stream. `path` names the instance for metrics and
+/// observers.
+pub fn instantiate(ctx: &Arc<Ctx>, node: &Arc<PNode>, path: &str, input: Receiver) -> Receiver {
+    match &**node {
+        PNode::Box { name, sig, imp } => {
+            spawn_box(ctx, path, name, sig.clone(), Arc::clone(imp), input)
+        }
+        PNode::Filter { def } => spawn_filter(ctx, path, def.clone(), input),
+        PNode::Serial { a, b } => {
+            let mid = instantiate(ctx, a, &format!("{path}/s0"), input);
+            instantiate(ctx, b, &format!("{path}/s1"), mid)
+        }
+        PNode::Parallel {
+            left,
+            right,
+            left_sig,
+            right_sig,
+            det,
+            level,
+        } => spawn_parallel(
+            ctx, path, left, right, left_sig, right_sig, *det, *level, input,
+        ),
+        PNode::Star {
+            inner,
+            exit,
+            det,
+            level,
+        } => spawn_star(ctx, path, inner, exit, *det, *level, input),
+        PNode::Split {
+            inner,
+            tag,
+            det,
+            level,
+        } => spawn_split(ctx, path, inner, *tag, *det, *level, input),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+    use crate::net::collect_records;
+    use crate::plan::{compile, Bindings};
+    use crate::stream::{stream, Msg};
+    use snet_lang::{parse_net_expr, parse_program};
+    use snet_types::Record;
+
+    #[test]
+    fn serial_chain_end_to_end() {
+        let env = parse_program(
+            "box inc (x) -> (x);\n\
+             box dbl (x) -> (x);",
+        )
+        .unwrap()
+        .env()
+        .unwrap();
+        let b = Bindings::new()
+            .bind("inc", |r, e| {
+                let x = r.field("x").unwrap().as_int().unwrap();
+                e.emit(Record::build().field("x", x + 1).finish());
+            })
+            .bind("dbl", |r, e| {
+                let x = r.field("x").unwrap().as_int().unwrap();
+                e.emit(Record::build().field("x", x * 2).finish());
+            });
+        let ast = parse_net_expr("inc .. dbl .. inc").unwrap();
+        let plan = compile(&ast, &env, &b).unwrap();
+        let ctx = Ctx::new(Metrics::new(), Vec::new());
+        let (tx, in_rx) = stream();
+        let out = instantiate(&ctx, &plan.root, "net", in_rx);
+        for x in 0..5i64 {
+            tx.send(Msg::Rec(Record::build().field("x", x).finish()))
+                .unwrap();
+        }
+        drop(tx);
+        let recs = collect_records(out);
+        ctx.join_all();
+        let got: Vec<i64> = recs
+            .iter()
+            .map(|r| r.field("x").unwrap().as_int().unwrap())
+            .collect();
+        // (x + 1) * 2 + 1
+        assert_eq!(got, vec![3, 5, 7, 9, 11]);
+    }
+}

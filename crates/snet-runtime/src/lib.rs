@@ -1,0 +1,46 @@
+//! # snet-runtime — executing S-Net streaming networks
+//!
+//! The execution engine of the reproduction of Grelck, Scholz &
+//! Shafarenko, *Coordinating Data Parallel SAC Programs with S-Net*
+//! (IPPS 2007). Networks compiled from `snet-lang` ASTs run as graphs
+//! of OS threads connected by channels:
+//!
+//! * every **box** is "an asynchronously executed, stateless
+//!   stream-processing component" — one thread applying the bound
+//!   computational function to each record, with subtype acceptance
+//!   and flow inheritance handled by the wrapper ([`boxfn`]);
+//! * **filters** run the pure semantics of `snet-lang` ([`filter_exec`]);
+//! * the four combinators each have a component: pipelines
+//!   ([`instantiate`]), best-match dispatch + merge ([`parallel`]),
+//!   demand-driven serial replication with exit taps ([`star`]) and
+//!   tag-indexed parallel replication ([`split`]);
+//! * the deterministic variants (`|`, `*`, `!`) are implemented with
+//!   **sort records**, the technique of the original S-Net runtime
+//!   ([`merge`]);
+//! * structural claims ("at most 729 boxes") are measurable through
+//!   [`metrics`], and every stream can be observed individually
+//!   ([`stream::Observer`]).
+//!
+//! Entry point: [`NetBuilder`].
+
+pub mod boxfn;
+pub mod ctx;
+pub mod filter_exec;
+pub mod instantiate;
+pub mod merge;
+pub mod metrics;
+pub mod net;
+pub mod parallel;
+pub mod plan;
+pub mod split;
+pub mod star;
+pub mod stream;
+pub mod trace;
+
+pub use boxfn::{BoxImpl, Emitter};
+pub use ctx::Ctx;
+pub use metrics::Metrics;
+pub use net::{collect_records, BuildError, Net, NetBuilder, SendRejected};
+pub use plan::{compile, Bindings, CompileError, Plan};
+pub use stream::{Dir, Msg, Observer};
+pub use trace::{TraceEntry, TraceLog};

@@ -1,0 +1,176 @@
+//! Runtime metrics.
+//!
+//! The paper argues about its networks through *structural bounds*:
+//! Figure 1's pipeline "cannot lead to pipelines longer than 81
+//! replicas", Figure 2 guarantees "a maximum of 9 × 81 = 729
+//! solveOneLevel boxes", Figure 3's modulo filter "implicitly limits
+//! the parallel unfolding to a maximum of 4 instances". The metrics
+//! registry makes those bounds *measurable*: every component increments
+//! named counters, and the experiment harness asserts the paper's
+//! numbers instead of eyeballing them.
+//!
+//! Counters are keyed by component path (e.g.
+//! `net/star/stage3/split/branch2/box:solveOneLevel`) plus a metric
+//! name. A mutex-protected map is plenty: counter updates are per
+//! record, and records are coarse-grained messages.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Shared metrics registry for one running network.
+#[derive(Default)]
+pub struct Metrics {
+    counters: Mutex<BTreeMap<String, u64>>,
+}
+
+impl Metrics {
+    pub fn new() -> Arc<Metrics> {
+        Arc::new(Metrics::default())
+    }
+
+    /// Adds `delta` to a counter.
+    pub fn inc(&self, key: impl AsRef<str>, delta: u64) {
+        let mut m = self.counters.lock();
+        *m.entry(key.as_ref().to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets a counter to the maximum of its current value and `v`
+    /// (used for high-water marks such as pipeline depth).
+    pub fn max(&self, key: impl AsRef<str>, v: u64) {
+        let mut m = self.counters.lock();
+        let e = m.entry(key.as_ref().to_string()).or_insert(0);
+        *e = (*e).max(v);
+    }
+
+    /// Reads one counter (0 when absent).
+    pub fn get(&self, key: impl AsRef<str>) -> u64 {
+        self.counters.lock().get(key.as_ref()).copied().unwrap_or(0)
+    }
+
+    /// Sum of all counters whose key contains `needle`.
+    pub fn sum_matching(&self, needle: &str) -> u64 {
+        self.counters
+            .lock()
+            .iter()
+            .filter(|(k, _)| k.contains(needle))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Maximum over all counters whose key contains `needle`.
+    pub fn max_matching(&self, needle: &str) -> u64 {
+        self.counters
+            .lock()
+            .iter()
+            .filter(|(k, _)| k.contains(needle))
+            .map(|(_, v)| *v)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of distinct counters whose key contains `needle`.
+    pub fn count_matching(&self, needle: &str) -> usize {
+        self.counters
+            .lock()
+            .iter()
+            .filter(|(k, _)| k.contains(needle))
+            .count()
+    }
+
+    /// A stable snapshot of all counters.
+    pub fn snapshot(&self) -> BTreeMap<String, u64> {
+        self.counters.lock().clone()
+    }
+}
+
+impl fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = self.counters.lock();
+        writeln!(f, "Metrics ({} counters):", m.len())?;
+        for (k, v) in m.iter() {
+            writeln!(f, "  {k} = {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Well-known metric name suffixes used across the runtime.
+pub mod keys {
+    /// A component instance was spawned.
+    pub const SPAWNED: &str = "spawned";
+    /// Records consumed from the input stream.
+    pub const RECORDS_IN: &str = "records_in";
+    /// Records produced to the output stream.
+    pub const RECORDS_OUT: &str = "records_out";
+    /// Replicas created by a serial replicator (pipeline depth).
+    pub const STAGES: &str = "stages";
+    /// Branches created by an indexed parallel replicator.
+    pub const BRANCHES: &str = "branches";
+    /// Records that left through a star's exit tap.
+    pub const EXITS: &str = "exits";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inc_get_roundtrip() {
+        let m = Metrics::new();
+        m.inc("a/b", 1);
+        m.inc("a/b", 2);
+        assert_eq!(m.get("a/b"), 3);
+        assert_eq!(m.get("missing"), 0);
+    }
+
+    #[test]
+    fn max_is_high_water_mark() {
+        let m = Metrics::new();
+        m.max("depth", 5);
+        m.max("depth", 3);
+        assert_eq!(m.get("depth"), 5);
+        m.max("depth", 9);
+        assert_eq!(m.get("depth"), 9);
+    }
+
+    #[test]
+    fn matching_aggregates() {
+        let m = Metrics::new();
+        m.inc("net/stage0/box:solve/records_in", 4);
+        m.inc("net/stage1/box:solve/records_in", 6);
+        m.inc("net/stage1/box:other/records_in", 100);
+        assert_eq!(m.sum_matching("box:solve/"), 10);
+        assert_eq!(m.max_matching("box:solve/"), 6);
+        assert_eq!(m.count_matching("box:solve/"), 2);
+        assert_eq!(m.sum_matching("zzz"), 0);
+        assert_eq!(m.max_matching("zzz"), 0);
+    }
+
+    #[test]
+    fn concurrent_increments_are_consistent() {
+        let m = Metrics::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        m.inc("hot", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.get("hot"), 8000);
+    }
+
+    #[test]
+    fn snapshot_is_stable_copy() {
+        let m = Metrics::new();
+        m.inc("x", 1);
+        let snap = m.snapshot();
+        m.inc("x", 1);
+        assert_eq!(snap.get("x"), Some(&1));
+        assert_eq!(m.get("x"), 2);
+    }
+}

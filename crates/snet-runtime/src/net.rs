@@ -1,0 +1,392 @@
+//! The public face of the runtime: building and driving networks.
+//!
+//! ```
+//! use snet_runtime::{NetBuilder, collect_records};
+//! use snet_types::Record;
+//!
+//! let mut net = NetBuilder::from_source(
+//!         "box inc (x) -> (x);\n\
+//!          net main = inc .. inc;",
+//!     )
+//!     .unwrap()
+//!     .bind("inc", |rec, em| {
+//!         let x = rec.field("x").unwrap().as_int().unwrap();
+//!         em.emit(Record::build().field("x", x + 1).finish());
+//!     })
+//!     .build("main")
+//!     .unwrap();
+//!
+//! net.send(Record::build().field("x", 40i64).finish()).unwrap();
+//! let outputs = net.finish();
+//! assert_eq!(outputs[0].field("x").unwrap().as_int(), Some(42));
+//! ```
+
+use crate::ctx::Ctx;
+use crate::instantiate::instantiate;
+use crate::metrics::Metrics;
+use crate::plan::{compile, Bindings, CompileError, Plan};
+use crate::stream::{stream, Msg, Observer, Receiver, Sender};
+use snet_lang::{parse_net_expr, parse_program, Env, NetAst, ParseError, Program};
+use snet_types::{MultiType, NetSig, Record};
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors surfaced while building a network.
+#[derive(Debug)]
+pub enum BuildError {
+    Parse(ParseError),
+    Compile(CompileError),
+    Type(snet_types::TypeError),
+    UnknownNet(String),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Parse(e) => write!(f, "{e}"),
+            BuildError::Compile(e) => write!(f, "{e}"),
+            BuildError::Type(e) => write!(f, "{e}"),
+            BuildError::UnknownNet(n) => write!(f, "program declares no net '{n}'"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<ParseError> for BuildError {
+    fn from(e: ParseError) -> Self {
+        BuildError::Parse(e)
+    }
+}
+
+impl From<CompileError> for BuildError {
+    fn from(e: CompileError) -> Self {
+        BuildError::Compile(e)
+    }
+}
+
+impl From<snet_types::TypeError> for BuildError {
+    fn from(e: snet_types::TypeError) -> Self {
+        BuildError::Type(e)
+    }
+}
+
+/// Builder: parse / declare, bind box implementations, then build.
+pub struct NetBuilder {
+    program: Program,
+    bindings: Bindings,
+    observers: Vec<Observer>,
+}
+
+impl NetBuilder {
+    /// Starts from S-Net source text (box and net declarations).
+    pub fn from_source(src: &str) -> Result<NetBuilder, BuildError> {
+        let program = parse_program(src)?;
+        Ok(NetBuilder {
+            program,
+            bindings: Bindings::new(),
+            observers: Vec::new(),
+        })
+    }
+
+    /// Starts from an already-parsed program.
+    pub fn from_program(program: Program) -> NetBuilder {
+        NetBuilder {
+            program,
+            bindings: Bindings::new(),
+            observers: Vec::new(),
+        }
+    }
+
+    /// Binds a box implementation by name.
+    pub fn bind(
+        mut self,
+        name: &str,
+        imp: impl Fn(&Record, &mut crate::boxfn::Emitter) + Send + Sync + 'static,
+    ) -> Self {
+        self.bindings = self.bindings.bind(name, imp);
+        self
+    }
+
+    /// Registers a stream observer (called with component path,
+    /// direction, record).
+    pub fn observe(mut self, obs: Observer) -> Self {
+        self.observers.push(obs);
+        self
+    }
+
+    /// Compiles and spawns the named net.
+    pub fn build(self, net_name: &str) -> Result<Net, BuildError> {
+        let env = self.program.env()?;
+        let body = self
+            .program
+            .net(net_name)
+            .ok_or_else(|| BuildError::UnknownNet(net_name.to_string()))?
+            .body
+            .clone();
+        self.build_ast(&env, &body)
+    }
+
+    /// Compiles and spawns a network expression given as text, resolved
+    /// against the program's declarations.
+    pub fn build_expr(self, expr: &str) -> Result<Net, BuildError> {
+        let env = self.program.env()?;
+        let ast = parse_net_expr(expr)?;
+        self.build_ast(&env, &ast)
+    }
+
+    fn build_ast(self, env: &Env, ast: &NetAst) -> Result<Net, BuildError> {
+        let plan = compile(ast, env, &self.bindings)?;
+        Ok(Net::spawn(plan, self.observers))
+    }
+}
+
+/// A running network: one global input stream, one global output
+/// stream (networks are SISO, like every component).
+pub struct Net {
+    input: Option<Sender>,
+    output: Receiver,
+    ctx: Arc<Ctx>,
+    sig: NetSig,
+}
+
+impl Net {
+    /// Spawns a compiled plan.
+    pub fn spawn(plan: Plan, observers: Vec<Observer>) -> Net {
+        let metrics = Metrics::new();
+        let ctx = Ctx::new(metrics, observers);
+        let (tx, rx) = stream();
+        let output = instantiate(&ctx, &plan.root, "net", rx);
+        Net {
+            input: Some(tx),
+            output,
+            ctx,
+            sig: plan.sig,
+        }
+    }
+
+    /// The network's inferred input type.
+    pub fn input_type(&self) -> MultiType {
+        self.sig.input_type()
+    }
+
+    /// The network's inferred output type.
+    pub fn output_type(&self) -> MultiType {
+        self.sig.output_type()
+    }
+
+    /// The network's full signature.
+    pub fn sig(&self) -> &NetSig {
+        &self.sig
+    }
+
+    /// Injects a record. Fails when the record does not match any
+    /// input variant (the same check routing would fail on later, but
+    /// surfaced synchronously at the boundary) or when the input was
+    /// already closed.
+    pub fn send(&self, rec: Record) -> Result<(), SendRejected> {
+        let rt = rec.record_type();
+        if self.sig.match_score(&rt).is_none() {
+            return Err(SendRejected::TypeMismatch {
+                record_type: rt.to_string(),
+                input_type: self.input_type().to_string(),
+            });
+        }
+        match &self.input {
+            Some(tx) => tx
+                .send(Msg::Rec(rec))
+                .map_err(|_| SendRejected::Closed),
+            None => Err(SendRejected::Closed),
+        }
+    }
+
+    /// Closes the input stream; the network will drain and terminate.
+    pub fn close(&mut self) {
+        self.input = None;
+    }
+
+    /// Receives the next output record, blocking; `None` on
+    /// end-of-stream. (Sort records are internal and never escape a
+    /// well-formed network; any that do are skipped defensively.)
+    pub fn recv(&self) -> Option<Record> {
+        loop {
+            match self.output.recv() {
+                Ok(Msg::Rec(r)) => return Some(r),
+                Ok(Msg::Sort { .. }) => continue,
+                Err(_) => return None,
+            }
+        }
+    }
+
+    /// Closes the input, drains every remaining output record and
+    /// joins all component threads (propagating component panics).
+    pub fn finish(mut self) -> Vec<Record> {
+        self.close();
+        let mut out = Vec::new();
+        while let Some(r) = self.recv() {
+            out.push(r);
+        }
+        self.ctx.join_all();
+        out
+    }
+
+    /// The network's metrics registry.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.ctx.metrics
+    }
+
+    /// Number of component threads spawned so far.
+    pub fn threads_spawned(&self) -> usize {
+        self.ctx.threads_spawned()
+    }
+}
+
+impl fmt::Debug for Net {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Net {{ input: {}, sig: {} -> {} }}",
+            if self.input.is_some() { "open" } else { "closed" },
+            self.sig.input_type(),
+            self.sig.output_type()
+        )
+    }
+}
+
+/// Why [`Net::send`] rejected a record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SendRejected {
+    TypeMismatch {
+        record_type: String,
+        input_type: String,
+    },
+    Closed,
+}
+
+impl fmt::Display for SendRejected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendRejected::TypeMismatch {
+                record_type,
+                input_type,
+            } => write!(
+                f,
+                "record of type {record_type} does not match network input {input_type}"
+            ),
+            SendRejected::Closed => write!(f, "network input is closed"),
+        }
+    }
+}
+
+impl std::error::Error for SendRejected {}
+
+/// Drains a raw stream into its data records (test/bench helper).
+pub fn collect_records(rx: Receiver) -> Vec<Record> {
+    let mut out = Vec::new();
+    while let Ok(msg) = rx.recv() {
+        if let Msg::Rec(r) = msg {
+            out.push(r);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::Dir;
+    use parking_lot::Mutex;
+
+    fn inc_builder() -> NetBuilder {
+        NetBuilder::from_source(
+            "box inc (x) -> (x);\n\
+             net one = inc;\n\
+             net three = inc .. inc .. inc;",
+        )
+        .unwrap()
+        .bind("inc", |rec, em| {
+            let x = rec.field("x").unwrap().as_int().unwrap();
+            em.emit(Record::build().field("x", x + 1).finish());
+        })
+    }
+
+    #[test]
+    fn build_send_collect() {
+        let net = inc_builder().build("three").unwrap();
+        for x in 0..10i64 {
+            net.send(Record::build().field("x", x).finish()).unwrap();
+        }
+        let out = net.finish();
+        let got: Vec<i64> = out
+            .iter()
+            .map(|r| r.field("x").unwrap().as_int().unwrap())
+            .collect();
+        assert_eq!(got, (3..13).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn build_expr_resolves_declarations() {
+        let net = inc_builder().build_expr("one .. one").unwrap();
+        net.send(Record::build().field("x", 0i64).finish()).unwrap();
+        let out = net.finish();
+        assert_eq!(out[0].field("x").unwrap().as_int(), Some(2));
+    }
+
+    #[test]
+    fn send_rejects_type_mismatch() {
+        let net = inc_builder().build("one").unwrap();
+        let err = net
+            .send(Record::build().field("wrong", 1i64).finish())
+            .unwrap_err();
+        assert!(matches!(err, SendRejected::TypeMismatch { .. }));
+        let _ = net.finish();
+    }
+
+    #[test]
+    fn unknown_net_is_build_error() {
+        let err = inc_builder().build("nope").unwrap_err();
+        assert!(matches!(err, BuildError::UnknownNet(_)));
+    }
+
+    #[test]
+    fn unbound_box_is_build_error() {
+        let err = NetBuilder::from_source("box f (x) -> (x);\nnet main = f;")
+            .unwrap()
+            .build("main")
+            .unwrap_err();
+        assert!(matches!(err, BuildError::Compile(CompileError::Unbound(_))));
+    }
+
+    #[test]
+    fn observers_see_both_directions() {
+        let log: Arc<Mutex<Vec<(String, Dir)>>> = Arc::new(Mutex::new(Vec::new()));
+        let log2 = Arc::clone(&log);
+        let obs: Observer = Arc::new(move |path, dir, _rec| {
+            log2.lock().push((path.to_string(), dir));
+        });
+        let net = inc_builder().observe(obs).build("one").unwrap();
+        net.send(Record::build().field("x", 1i64).finish()).unwrap();
+        let _ = net.finish();
+        let log = log.lock();
+        assert!(log.iter().any(|(p, d)| p.contains("box:inc") && *d == Dir::In));
+        assert!(log.iter().any(|(p, d)| p.contains("box:inc") && *d == Dir::Out));
+    }
+
+    #[test]
+    fn metrics_are_accessible() {
+        let net = inc_builder().build("three").unwrap();
+        net.send(Record::build().field("x", 0i64).finish()).unwrap();
+        let metrics = Arc::clone(net.metrics());
+        let _ = net.finish();
+        assert_eq!(metrics.sum_matching("box:inc/records_in"), 3);
+        assert_eq!(metrics.sum_matching("box:inc/spawned"), 3);
+    }
+
+    #[test]
+    fn sig_is_exposed() {
+        let net = inc_builder().build("one").unwrap();
+        assert_eq!(net.input_type().to_string(), "{x}");
+        assert_eq!(net.output_type().to_string(), "{x}");
+        let _ = net.finish();
+    }
+}

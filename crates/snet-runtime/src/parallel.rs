@@ -1,0 +1,299 @@
+//! Parallel composition `A || B` and `A | B`.
+//!
+//! "Parallel combination constructs a network where all incoming
+//! records are either sent to A or to B and the resulting record
+//! streams are merged to form the overall output stream. ... Any
+//! incoming record is directed towards the subnetwork whose input type
+//! better matches the type of the record itself. If both branches
+//! match equally well, one is selected non-deterministically" (paper,
+//! Section 4).
+
+use crate::ctx::Ctx;
+use crate::instantiate::instantiate;
+use crate::merge::{spawn_merge, BranchSpec, MergeMode};
+use crate::metrics::keys;
+use crate::plan::PNode;
+use crate::stream::{stream, Dir, Msg, Receiver};
+use snet_types::NetSig;
+use std::sync::Arc;
+
+/// Spawns a parallel composition; returns its output stream.
+#[allow(clippy::too_many_arguments)]
+pub fn spawn_parallel(
+    ctx: &Arc<Ctx>,
+    path: &str,
+    left: &Arc<PNode>,
+    right: &Arc<PNode>,
+    left_sig: &NetSig,
+    right_sig: &NetSig,
+    det: bool,
+    level: u32,
+    input: Receiver,
+) -> Receiver {
+    let comb = format!("{path}/{}", if det { "par" } else { "parnd" });
+    let (ltx, lrx) = stream();
+    let (rtx, rrx) = stream();
+    let left_out = instantiate(ctx, left, &format!("{comb}/L"), lrx);
+    let right_out = instantiate(ctx, right, &format!("{comb}/R"), rrx);
+
+    // Static two-branch merge: the control channel is closed
+    // immediately.
+    let (ctl_tx, ctl_rx) = crossbeam::channel::unbounded::<BranchSpec>();
+    drop(ctl_tx);
+    let (out_tx, out_rx) = stream();
+    let mode = if det {
+        MergeMode::Det { level }
+    } else {
+        MergeMode::NonDet
+    };
+    spawn_merge(
+        ctx,
+        &comb,
+        mode,
+        vec![BranchSpec::new(left_out), BranchSpec::new(right_out)],
+        ctl_rx,
+        out_tx,
+    );
+
+    // Dispatcher.
+    let ctx2 = Arc::clone(ctx);
+    let lsig = left_sig.clone();
+    let rsig = right_sig.clone();
+    let dpath = comb.clone();
+    ctx.spawn(format!("{comb}/dispatch"), move || {
+        let mut counter: u64 = 0;
+        let mut flip = false;
+        while let Ok(msg) = input.recv() {
+            match msg {
+                Msg::Rec(rec) => {
+                    if ctx2.has_observers() {
+                        ctx2.observe(&dpath, Dir::In, &rec);
+                    }
+                    ctx2.metrics.inc(format!("{dpath}/{}", keys::RECORDS_IN), 1);
+                    let rt = rec.record_type();
+                    let sl = lsig.match_score(&rt);
+                    let sr = rsig.match_score(&rt);
+                    let go_left = match (sl, sr) {
+                        (Some(a), Some(b)) if a == b => {
+                            // Equal match: non-deterministic choice.
+                            flip = !flip;
+                            flip
+                        }
+                        (Some(a), Some(b)) => a > b,
+                        (Some(_), None) => true,
+                        (None, Some(_)) => false,
+                        (None, None) => panic!(
+                            "record {rec:?} matches neither branch of parallel composition \
+                             at '{dpath}' (left {}, right {})",
+                            lsig.input_type(),
+                            rsig.input_type()
+                        ),
+                    };
+                    let target = if go_left { &ltx } else { &rtx };
+                    ctx2.metrics.inc(
+                        format!("{dpath}/{}", if go_left { "routed_left" } else { "routed_right" }),
+                        1,
+                    );
+                    let _ = target.send(Msg::Rec(rec));
+                    if det {
+                        let sort = Msg::Sort { level, counter };
+                        let _ = ltx.send(sort.clone());
+                        let _ = rtx.send(sort);
+                        counter += 1;
+                    }
+                }
+                sort @ Msg::Sort { .. } => {
+                    // Outer sorts are broadcast to both branches.
+                    let _ = ltx.send(sort.clone());
+                    let _ = rtx.send(sort);
+                }
+            }
+        }
+        // EOS: dropping both senders propagates.
+    });
+
+    out_rx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+    use crate::net::collect_records;
+    use crate::plan::{compile, Bindings};
+    use snet_lang::{parse_net_expr, parse_program};
+    use snet_types::Record;
+
+    fn ctx() -> Arc<Ctx> {
+        Ctx::new(Metrics::new(), Vec::new())
+    }
+
+    /// Two boxes with different input types: `pick_a (a) -> (ra)`,
+    /// `pick_b (b) -> (rb)`.
+    fn plan_ab(det: bool) -> (Arc<Ctx>, crate::plan::Plan) {
+        let env = parse_program(
+            "box pick_a (a) -> (ra);\n\
+             box pick_b (b) -> (rb);",
+        )
+        .unwrap()
+        .env()
+        .unwrap();
+        let b = Bindings::new()
+            .bind("pick_a", |r, e| {
+                let v = r.field("a").unwrap().as_int().unwrap();
+                e.emit(Record::build().field("ra", v).finish());
+            })
+            .bind("pick_b", |r, e| {
+                let v = r.field("b").unwrap().as_int().unwrap();
+                e.emit(Record::build().field("rb", v).finish());
+            });
+        let src = if det { "pick_a | pick_b" } else { "pick_a || pick_b" };
+        let ast = parse_net_expr(src).unwrap();
+        (ctx(), compile(&ast, &env, &b).unwrap())
+    }
+
+    #[test]
+    fn routes_by_input_type() {
+        let (ctx, plan) = plan_ab(false);
+        let (tx, in_rx) = stream();
+        let out = instantiate(&ctx, &plan.root, "net", in_rx);
+        tx.send(Msg::Rec(Record::build().field("a", 1i64).finish()))
+            .unwrap();
+        tx.send(Msg::Rec(Record::build().field("b", 2i64).finish()))
+            .unwrap();
+        drop(tx);
+        let recs = collect_records(out);
+        ctx.join_all();
+        assert_eq!(recs.len(), 2);
+        assert!(recs.iter().any(|r| r.field("ra").is_some()));
+        assert!(recs.iter().any(|r| r.field("rb").is_some()));
+        assert_eq!(ctx.metrics.sum_matching("routed_left"), 1);
+        assert_eq!(ctx.metrics.sum_matching("routed_right"), 1);
+    }
+
+    #[test]
+    fn best_match_prefers_more_specific_branch() {
+        // Branch L takes {x}, branch R takes {x,y}: a record {x,y,z}
+        // must go right (better match), {x} must go left.
+        let env = parse_program(
+            "box loose (x) -> (out_l);\n\
+             box tight (x, y) -> (out_r);",
+        )
+        .unwrap()
+        .env()
+        .unwrap();
+        let b = Bindings::new()
+            .bind("loose", |_r, e| {
+                e.emit(Record::build().field("out_l", 1i64).finish())
+            })
+            .bind("tight", |_r, e| {
+                e.emit(Record::build().field("out_r", 1i64).finish())
+            });
+        let ast = parse_net_expr("loose || tight").unwrap();
+        let plan = compile(&ast, &env, &b).unwrap();
+        let ctx = ctx();
+        let (tx, in_rx) = stream();
+        let out = instantiate(&ctx, &plan.root, "net", in_rx);
+        tx.send(Msg::Rec(
+            Record::build()
+                .field("x", 1i64)
+                .field("y", 2i64)
+                .field("z", 3i64)
+                .finish(),
+        ))
+        .unwrap();
+        tx.send(Msg::Rec(Record::build().field("x", 1i64).finish()))
+            .unwrap();
+        drop(tx);
+        let recs = collect_records(out);
+        ctx.join_all();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(
+            recs.iter().filter(|r| r.field("out_r").is_some()).count(),
+            1
+        );
+        assert_eq!(
+            recs.iter().filter(|r| r.field("out_l").is_some()).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn equal_match_reaches_both_branches() {
+        // Identical input types: the non-deterministic choice must be
+        // observably non-deterministic (both branches used across many
+        // records) — paper Section 4.
+        let env = parse_program(
+            "box one (x) -> (x);\n\
+             box two (x) -> (x);",
+        )
+        .unwrap()
+        .env()
+        .unwrap();
+        let b = Bindings::new()
+            .bind("one", |r, e| e.emit(r.clone()))
+            .bind("two", |r, e| e.emit(r.clone()));
+        let ast = parse_net_expr("one || two").unwrap();
+        let plan = compile(&ast, &env, &b).unwrap();
+        let ctx = ctx();
+        let (tx, in_rx) = stream();
+        let out = instantiate(&ctx, &plan.root, "net", in_rx);
+        for i in 0..20i64 {
+            tx.send(Msg::Rec(Record::build().field("x", i).finish()))
+                .unwrap();
+        }
+        drop(tx);
+        let recs = collect_records(out);
+        ctx.join_all();
+        assert_eq!(recs.len(), 20);
+        assert!(ctx.metrics.sum_matching("routed_left") > 0);
+        assert!(ctx.metrics.sum_matching("routed_right") > 0);
+    }
+
+    #[test]
+    fn det_parallel_preserves_input_order() {
+        let (ctx, plan) = plan_ab(true);
+        let (tx, in_rx) = stream();
+        let out = instantiate(&ctx, &plan.root, "net", in_rx);
+        // Alternate branches; output must interleave in input order
+        // even though branches run at different speeds.
+        let mut expected = Vec::new();
+        for i in 0..30i64 {
+            if i % 2 == 0 {
+                tx.send(Msg::Rec(Record::build().field("a", i).finish()))
+                    .unwrap();
+                expected.push(("ra", i));
+            } else {
+                tx.send(Msg::Rec(Record::build().field("b", i).finish()))
+                    .unwrap();
+                expected.push(("rb", i));
+            }
+        }
+        drop(tx);
+        let recs = collect_records(out);
+        ctx.join_all();
+        let got: Vec<(&str, i64)> = recs
+            .iter()
+            .map(|r| {
+                if let Some(v) = r.field("ra") {
+                    ("ra", v.as_int().unwrap())
+                } else {
+                    ("rb", r.field("rb").unwrap().as_int().unwrap())
+                }
+            })
+            .collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn unroutable_record_panics() {
+        let (ctx, plan) = plan_ab(false);
+        let (tx, in_rx) = stream();
+        let _out = instantiate(&ctx, &plan.root, "net", in_rx);
+        tx.send(Msg::Rec(Record::build().field("zzz", 1i64).finish()))
+            .unwrap();
+        drop(tx);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ctx.join_all()));
+        assert!(r.is_err());
+    }
+}

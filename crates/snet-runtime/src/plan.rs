@@ -1,0 +1,344 @@
+//! Compilation: from `snet-lang` ASTs to executable plans.
+//!
+//! Compilation resolves names (inlining net references), binds box
+//! implementations, performs the full static type inference of
+//! `snet-types` at every node, and assigns sort levels to the
+//! deterministic combinators (a det combinator nested inside `d` other
+//! det combinators stamps sort records at level `d`; see
+//! [`crate::merge`]).
+//!
+//! The resulting [`Plan`] is an immutable `Arc` tree: the replicators
+//! clone subtree handles to instantiate replicas on demand without
+//! re-running any analysis.
+
+use crate::boxfn::BoxImpl;
+use snet_lang::{Env, ExitPattern, FilterDef, NetAst};
+use snet_types::{BoxSig, Label, NetSig, TypeError};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A compiled plan node. Every variant carries what its instantiation
+/// needs and nothing else.
+pub enum PNode {
+    Box {
+        name: String,
+        sig: BoxSig,
+        imp: BoxImpl,
+    },
+    Filter {
+        def: FilterDef,
+    },
+    Serial {
+        a: Arc<PNode>,
+        b: Arc<PNode>,
+    },
+    Parallel {
+        left: Arc<PNode>,
+        right: Arc<PNode>,
+        left_sig: NetSig,
+        right_sig: NetSig,
+        det: bool,
+        level: u32,
+    },
+    Star {
+        inner: Arc<PNode>,
+        exit: ExitPattern,
+        det: bool,
+        level: u32,
+    },
+    Split {
+        inner: Arc<PNode>,
+        tag: Label,
+        det: bool,
+        level: u32,
+    },
+}
+
+impl fmt::Debug for PNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PNode::Box { name, .. } => write!(f, "Box({name})"),
+            PNode::Filter { def } => write!(f, "Filter({def})"),
+            PNode::Serial { a, b } => write!(f, "Serial({a:?}, {b:?})"),
+            PNode::Parallel {
+                left, right, det, ..
+            } => write!(f, "Parallel(det={det}, {left:?}, {right:?})"),
+            PNode::Star {
+                inner, exit, det, ..
+            } => write!(f, "Star(det={det}, exit={exit}, {inner:?})"),
+            PNode::Split {
+                inner, tag, det, ..
+            } => write!(f, "Split(det={det}, tag={tag}, {inner:?})"),
+        }
+    }
+}
+
+/// A compiled, type-checked network ready for instantiation.
+#[derive(Clone, Debug)]
+pub struct Plan {
+    pub root: Arc<PNode>,
+    pub sig: NetSig,
+}
+
+/// Box-name → implementation bindings. The S-Net layer "cannot
+/// compute": every box named in the network must be bound to a
+/// computational component before the network can run.
+#[derive(Default, Clone)]
+pub struct Bindings {
+    map: HashMap<String, BoxImpl>,
+}
+
+impl Bindings {
+    pub fn new() -> Bindings {
+        Bindings::default()
+    }
+
+    /// Binds a box implementation by name.
+    pub fn bind(
+        mut self,
+        name: &str,
+        imp: impl Fn(&snet_types::Record, &mut crate::boxfn::Emitter) + Send + Sync + 'static,
+    ) -> Self {
+        self.map.insert(name.to_string(), Arc::new(imp));
+        self
+    }
+
+    pub fn get(&self, name: &str) -> Option<BoxImpl> {
+        self.map.get(name).cloned()
+    }
+}
+
+/// An error found while compiling a network.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// Static type inference failed.
+    Type(TypeError),
+    /// A referenced name is neither a declared box nor a net.
+    Unknown(String),
+    /// A declared box has no bound implementation.
+    Unbound(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Type(e) => write!(f, "{e}"),
+            CompileError::Unknown(n) => write!(f, "unknown box or net '{n}'"),
+            CompileError::Unbound(n) => write!(f, "box '{n}' has no bound implementation"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<TypeError> for CompileError {
+    fn from(e: TypeError) -> Self {
+        CompileError::Type(e)
+    }
+}
+
+/// Compiles a network expression against declarations and bindings.
+pub fn compile(ast: &NetAst, env: &Env, bindings: &Bindings) -> Result<Plan, CompileError> {
+    let (root, sig) = compile_node(ast, env, bindings, 0)?;
+    Ok(Plan { root, sig })
+}
+
+fn compile_node(
+    ast: &NetAst,
+    env: &Env,
+    bindings: &Bindings,
+    det_depth: u32,
+) -> Result<(Arc<PNode>, NetSig), CompileError> {
+    match ast {
+        NetAst::Ref(name) => {
+            if let Some(box_sig) = env.lookup_box(name) {
+                let imp = bindings
+                    .get(name)
+                    .ok_or_else(|| CompileError::Unbound(name.clone()))?;
+                let sig = box_sig.net_sig();
+                Ok((
+                    Arc::new(PNode::Box {
+                        name: name.clone(),
+                        sig: box_sig.clone(),
+                        imp,
+                    }),
+                    sig,
+                ))
+            } else if let Some(body) = env.lookup_net(name) {
+                // Net references are inlined: replication must be able
+                // to clone the full subtree.
+                let body = body.clone();
+                compile_node(&body, env, bindings, det_depth)
+            } else {
+                Err(CompileError::Unknown(name.clone()))
+            }
+        }
+        NetAst::Filter(def) => {
+            let sig = def.net_sig();
+            Ok((Arc::new(PNode::Filter { def: def.clone() }), sig))
+        }
+        NetAst::Serial(a, b) => {
+            let (pa, sa) = compile_node(a, env, bindings, det_depth)?;
+            let (pb, sb) = compile_node(b, env, bindings, det_depth)?;
+            let sig = snet_types::serial(&sa, &sb)?;
+            Ok((Arc::new(PNode::Serial { a: pa, b: pb }), sig))
+        }
+        NetAst::Parallel { left, right, det } => {
+            let inner_depth = det_depth + u32::from(*det);
+            let (pl, sl) = compile_node(left, env, bindings, inner_depth)?;
+            let (pr, sr) = compile_node(right, env, bindings, inner_depth)?;
+            let sig = snet_types::parallel(&sl, &sr);
+            Ok((
+                Arc::new(PNode::Parallel {
+                    left: pl,
+                    right: pr,
+                    left_sig: sl,
+                    right_sig: sr,
+                    det: *det,
+                    level: det_depth,
+                }),
+                sig,
+            ))
+        }
+        NetAst::Star { inner, exit, det } => {
+            let inner_depth = det_depth + u32::from(*det);
+            let (pi, si) = compile_node(inner, env, bindings, inner_depth)?;
+            let sig = snet_types::star(&si, &exit.pattern)?;
+            Ok((
+                Arc::new(PNode::Star {
+                    inner: pi,
+                    exit: exit.clone(),
+                    det: *det,
+                    level: det_depth,
+                }),
+                sig,
+            ))
+        }
+        NetAst::Split { inner, tag, det } => {
+            let inner_depth = det_depth + u32::from(*det);
+            let (pi, si) = compile_node(inner, env, bindings, inner_depth)?;
+            let tag = Label::tag(tag);
+            let sig = snet_types::split(&si, tag);
+            Ok((
+                Arc::new(PNode::Split {
+                    inner: pi,
+                    tag,
+                    det: *det,
+                    level: det_depth,
+                }),
+                sig,
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snet_lang::parse_program;
+
+    fn bindings_id() -> Bindings {
+        Bindings::new()
+            .bind("f", |rec, em| em.emit(rec.clone()))
+            .bind("g", |rec, em| em.emit(rec.clone()))
+    }
+
+    fn env_fg() -> Env {
+        parse_program(
+            "box f (a) -> (b);\n\
+             box g (b) -> (c);\n\
+             net fg = f .. g;",
+        )
+        .unwrap()
+        .env()
+        .unwrap()
+    }
+
+    #[test]
+    fn compile_box_and_serial() {
+        let env = env_fg();
+        let ast = snet_lang::parse_net_expr("f .. g").unwrap();
+        let plan = compile(&ast, &env, &bindings_id()).unwrap();
+        assert!(matches!(&*plan.root, PNode::Serial { .. }));
+        assert_eq!(plan.sig.output_type().to_string(), "{c}");
+    }
+
+    #[test]
+    fn net_references_are_inlined() {
+        let env = env_fg();
+        let ast = snet_lang::parse_net_expr("fg").unwrap();
+        let plan = compile(&ast, &env, &bindings_id()).unwrap();
+        assert!(matches!(&*plan.root, PNode::Serial { .. }));
+    }
+
+    #[test]
+    fn unbound_box_is_an_error() {
+        let env = env_fg();
+        let ast = snet_lang::parse_net_expr("f").unwrap();
+        let err = compile(&ast, &env, &Bindings::new()).unwrap_err();
+        assert_eq!(err, CompileError::Unbound("f".into()));
+    }
+
+    #[test]
+    fn unknown_name_is_an_error() {
+        let env = env_fg();
+        let ast = snet_lang::parse_net_expr("nosuch").unwrap();
+        let err = compile(&ast, &env, &bindings_id()).unwrap_err();
+        assert_eq!(err, CompileError::Unknown("nosuch".into()));
+    }
+
+    #[test]
+    fn type_errors_surface() {
+        // g requires {b}; composing g .. g needs {b} again but g
+        // consumed it and produced {c} — ill-typed.
+        let env = env_fg();
+        let ast = snet_lang::parse_net_expr("g .. g").unwrap();
+        assert!(matches!(
+            compile(&ast, &env, &bindings_id()),
+            Err(CompileError::Type(_))
+        ));
+    }
+
+    #[test]
+    fn det_levels_are_nesting_depths() {
+        let env = parse_program(
+            "box f (a) -> (a);\n\
+             box g (a) -> (a);",
+        )
+        .unwrap()
+        .env()
+        .unwrap();
+        let b = Bindings::new()
+            .bind("f", |r, e| e.emit(r.clone()))
+            .bind("g", |r, e| e.emit(r.clone()));
+        // Outer det parallel (level 0) containing a det split (level 1).
+        let ast = snet_lang::parse_net_expr("(f ! <t>) | g").unwrap();
+        let plan = compile(&ast, &env, &b).unwrap();
+        match &*plan.root {
+            PNode::Parallel {
+                det: true,
+                level,
+                left,
+                ..
+            } => {
+                assert_eq!(*level, 0);
+                match &**left {
+                    PNode::Split { det: true, level, .. } => assert_eq!(*level, 1),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Non-det combinators do not increase depth.
+        let ast = snet_lang::parse_net_expr("(f ! <t>) || g").unwrap();
+        let plan = compile(&ast, &env, &b).unwrap();
+        match &*plan.root {
+            PNode::Parallel { det: false, left, .. } => match &**left {
+                PNode::Split { det: true, level, .. } => assert_eq!(*level, 0),
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! Indexed parallel replication `A !! <tag>` and `A ! <tag>`.
+//!
+//! "The parallel replicator ... replicates network A infinitely far,
+//! but this time the replicas are connected in parallel. ... All
+//! incoming records must have the tag specified and the value of this
+//! tag decides to which replica a record is sent. ... While the actual
+//! number of replicas is adjusted by the runtime system on demand, it
+//! is guaranteed that any two records whose replication tags have the
+//! same (integer) value are sent to the same replica" (paper,
+//! Section 4).
+//!
+//! Replicas are created lazily, one per distinct tag value observed —
+//! this is what makes the Figure 3 throttle work: after
+//! `[{<k>} -> {<k>=<k>%4}]` only four distinct values reach the
+//! replicator, so at most four replicas unfold per stage.
+
+use crate::ctx::Ctx;
+use crate::instantiate::instantiate;
+use crate::merge::{spawn_merge, BranchSpec, MergeMode, Watermark};
+use crate::metrics::keys;
+use crate::plan::PNode;
+use crate::stream::{stream, Dir, Msg, Receiver, Sender};
+use snet_types::Label;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Spawns an indexed parallel replicator; returns its output stream.
+pub fn spawn_split(
+    ctx: &Arc<Ctx>,
+    path: &str,
+    inner: &Arc<PNode>,
+    tag: Label,
+    det: bool,
+    level: u32,
+    input: Receiver,
+) -> Receiver {
+    let comb = format!("{path}/{}", if det { "split" } else { "splitnd" });
+    let (ctl_tx, ctl_rx) = crossbeam::channel::unbounded::<BranchSpec>();
+    let (out_tx, out_rx) = stream();
+    let mode = if det {
+        MergeMode::Det { level }
+    } else {
+        MergeMode::NonDet
+    };
+    // The "spine": a permanent pseudo-branch carrying every sort record
+    // straight from the dispatcher to the merger. Without it, sorts
+    // broadcast while no replica exists yet would vanish, deadlocking
+    // any enclosing deterministic scope waiting on the barrier.
+    let (spine_tx, spine_rx) = stream();
+    spawn_merge(
+        ctx,
+        &comb,
+        mode,
+        vec![BranchSpec::new(spine_rx)],
+        ctl_rx,
+        out_tx,
+    );
+
+    let ctx2 = Arc::clone(ctx);
+    let inner = Arc::clone(inner);
+    let dpath = comb.clone();
+    ctx.spawn(format!("{comb}/dispatch"), move || {
+        let mut branches: HashMap<i64, Sender> = HashMap::new();
+        // Sorts broadcast so far, per level: the watermark handed to
+        // replicas created later (they will never see earlier sorts).
+        let mut watermark = Watermark::new();
+        let mut counter: u64 = 0;
+        while let Ok(msg) = input.recv() {
+            match msg {
+                Msg::Rec(rec) => {
+                    if ctx2.has_observers() {
+                        ctx2.observe(&dpath, Dir::In, &rec);
+                    }
+                    ctx2.metrics.inc(format!("{dpath}/{}", keys::RECORDS_IN), 1);
+                    let v = rec.tag_label(tag).unwrap_or_else(|| {
+                        panic!(
+                            "record {rec:?} reached parallel replicator at '{dpath}' without \
+                             routing tag {tag}"
+                        )
+                    });
+                    let branch_tx = branches.entry(v).or_insert_with(|| {
+                        // Demand-driven unfolding of a fresh replica.
+                        let (btx, brx) = stream();
+                        let replica_out =
+                            instantiate(&ctx2, &inner, &format!("{dpath}/branch{v}"), brx);
+                        ctx2.metrics.inc(format!("{dpath}/{}", keys::BRANCHES), 1);
+                        // Register the tap before any subsequent sort
+                        // broadcast so the merger can account for it.
+                        let _ = ctl_tx.send(BranchSpec {
+                            rx: replica_out,
+                            watermark: watermark.clone(),
+                        });
+                        btx
+                    });
+                    let _ = branch_tx.send(Msg::Rec(rec));
+                    if det {
+                        let sort = Msg::Sort { level, counter };
+                        for tx in branches.values() {
+                            let _ = tx.send(sort.clone());
+                        }
+                        let _ = spine_tx.send(sort);
+                        watermark.insert(level, counter + 1);
+                        counter += 1;
+                    }
+                }
+                Msg::Sort { level: l, counter: c } => {
+                    // Outer sorts: broadcast to every live replica (and
+                    // the spine) and remember for future replicas'
+                    // watermarks.
+                    for tx in branches.values() {
+                        let _ = tx.send(Msg::Sort { level: l, counter: c });
+                    }
+                    let _ = spine_tx.send(Msg::Sort { level: l, counter: c });
+                    watermark.insert(l, c + 1);
+                }
+            }
+        }
+        // EOS: branch senders and the control sender drop here.
+    });
+
+    out_rx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+    use crate::net::collect_records;
+    use crate::plan::{compile, Bindings};
+    use snet_lang::{parse_net_expr, parse_program};
+    use snet_types::Record;
+
+    fn ctx() -> Arc<Ctx> {
+        Ctx::new(Metrics::new(), Vec::new())
+    }
+
+    /// `mark (x) -> (x, y)` records which replica (by first tag value
+    /// seen) processed each record, by echoing a thread-local id.
+    fn mark_plan(det: bool) -> (Arc<Ctx>, crate::plan::Plan) {
+        let env = parse_program("box mark (x) -> (x, y);").unwrap().env().unwrap();
+        let b = Bindings::new().bind("mark", |r, e| {
+            // Replica identity: boxes are stateless in S-Net, but the
+            // *thread* is a fine identity proxy for tests.
+            let tid = format!("{:?}", std::thread::current().id());
+            let x = r.field("x").unwrap().as_int().unwrap();
+            e.emit(
+                Record::build()
+                    .field("x", x)
+                    .field("y", tid.as_str())
+                    .finish(),
+            );
+        });
+        let src = if det { "mark ! <k>" } else { "mark !! <k>" };
+        let ast = parse_net_expr(src).unwrap();
+        (ctx(), compile(&ast, &env, &b).unwrap())
+    }
+
+    #[test]
+    fn same_tag_value_same_replica() {
+        let (ctx, plan) = mark_plan(false);
+        let (tx, in_rx) = stream();
+        let out = instantiate(&ctx, &plan.root, "net", in_rx);
+        for i in 0..30i64 {
+            tx.send(Msg::Rec(
+                Record::build().field("x", i).tag("k", i % 3).finish(),
+            ))
+            .unwrap();
+        }
+        drop(tx);
+        let recs = collect_records(out);
+        ctx.join_all();
+        assert_eq!(recs.len(), 30);
+        // Exactly three replicas were created.
+        assert_eq!(ctx.metrics.sum_matching(keys::BRANCHES), 3);
+        // All records with the same k share a processing thread.
+        let mut by_k: HashMap<i64, std::collections::BTreeSet<String>> = HashMap::new();
+        for r in &recs {
+            let k = r.tag("k").unwrap();
+            let y = r.field("y").unwrap().as_str().unwrap().to_string();
+            by_k.entry(k).or_default().insert(y);
+        }
+        for (k, threads) in by_k {
+            assert_eq!(threads.len(), 1, "tag value {k} used multiple replicas");
+        }
+    }
+
+    #[test]
+    fn replicas_unfold_on_demand_only() {
+        let (ctx, plan) = mark_plan(false);
+        let (tx, in_rx) = stream();
+        let out = instantiate(&ctx, &plan.root, "net", in_rx);
+        // A single tag value: exactly one replica, no matter how many
+        // records.
+        for i in 0..10i64 {
+            tx.send(Msg::Rec(
+                Record::build().field("x", i).tag("k", 42).finish(),
+            ))
+            .unwrap();
+        }
+        drop(tx);
+        let recs = collect_records(out);
+        ctx.join_all();
+        assert_eq!(recs.len(), 10);
+        assert_eq!(ctx.metrics.sum_matching(keys::BRANCHES), 1);
+    }
+
+    #[test]
+    fn routing_tag_flow_inherits_through_replica() {
+        // The tag is not consumed by the inner box (not in its input
+        // type), so it must reappear on outputs via flow inheritance.
+        let (ctx, plan) = mark_plan(false);
+        let (tx, in_rx) = stream();
+        let out = instantiate(&ctx, &plan.root, "net", in_rx);
+        tx.send(Msg::Rec(
+            Record::build().field("x", 1i64).tag("k", 7).finish(),
+        ))
+        .unwrap();
+        drop(tx);
+        let recs = collect_records(out);
+        ctx.join_all();
+        assert_eq!(recs[0].tag("k"), Some(7));
+    }
+
+    #[test]
+    fn missing_tag_panics() {
+        let (ctx, plan) = mark_plan(false);
+        let (tx, in_rx) = stream();
+        let _out = instantiate(&ctx, &plan.root, "net", in_rx);
+        tx.send(Msg::Rec(Record::build().field("x", 1i64).finish()))
+            .unwrap();
+        drop(tx);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ctx.join_all()));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn det_split_preserves_input_order() {
+        let (ctx, plan) = mark_plan(true);
+        let (tx, in_rx) = stream();
+        let out = instantiate(&ctx, &plan.root, "net", in_rx);
+        for i in 0..50i64 {
+            tx.send(Msg::Rec(
+                Record::build().field("x", i).tag("k", i % 5).finish(),
+            ))
+            .unwrap();
+        }
+        drop(tx);
+        let recs = collect_records(out);
+        ctx.join_all();
+        let xs: Vec<i64> = recs
+            .iter()
+            .map(|r| r.field("x").unwrap().as_int().unwrap())
+            .collect();
+        assert_eq!(xs, (0..50).collect::<Vec<_>>());
+        assert_eq!(ctx.metrics.sum_matching(keys::BRANCHES), 5);
+    }
+
+    #[test]
+    fn negative_tag_values_route_correctly() {
+        // Tag values are arbitrary integers; negative lanes must work.
+        let (ctx, plan) = mark_plan(false);
+        let (tx, in_rx) = stream();
+        let out = instantiate(&ctx, &plan.root, "net", in_rx);
+        for i in 0..12i64 {
+            tx.send(Msg::Rec(
+                Record::build().field("x", i).tag("k", -(i % 3) - 1).finish(),
+            ))
+            .unwrap();
+        }
+        drop(tx);
+        let recs = collect_records(out);
+        ctx.join_all();
+        assert_eq!(recs.len(), 12);
+        assert_eq!(ctx.metrics.sum_matching(keys::BRANCHES), 3);
+    }
+
+    #[test]
+    fn det_split_with_zero_records_terminates() {
+        // EOS before any record: the spine lets the merger terminate
+        // cleanly with zero replicas.
+        let (ctx, plan) = mark_plan(true);
+        let (tx, in_rx) = stream();
+        let out = instantiate(&ctx, &plan.root, "net", in_rx);
+        drop(tx);
+        let recs = collect_records(out);
+        ctx.join_all();
+        assert!(recs.is_empty());
+        assert_eq!(ctx.metrics.sum_matching(keys::BRANCHES), 0);
+    }
+
+    #[test]
+    fn det_split_single_lane_is_fifo() {
+        let (ctx, plan) = mark_plan(true);
+        let (tx, in_rx) = stream();
+        let out = instantiate(&ctx, &plan.root, "net", in_rx);
+        for i in 0..100i64 {
+            tx.send(Msg::Rec(
+                Record::build().field("x", i).tag("k", 0).finish(),
+            ))
+            .unwrap();
+        }
+        drop(tx);
+        let recs = collect_records(out);
+        ctx.join_all();
+        let xs: Vec<i64> = recs
+            .iter()
+            .map(|r| r.field("x").unwrap().as_int().unwrap())
+            .collect();
+        assert_eq!(xs, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nondet_split_preserves_per_replica_order() {
+        let (ctx, plan) = mark_plan(false);
+        let (tx, in_rx) = stream();
+        let out = instantiate(&ctx, &plan.root, "net", in_rx);
+        for i in 0..60i64 {
+            tx.send(Msg::Rec(
+                Record::build().field("x", i).tag("k", i % 2).finish(),
+            ))
+            .unwrap();
+        }
+        drop(tx);
+        let recs = collect_records(out);
+        ctx.join_all();
+        for kv in 0..2 {
+            let xs: Vec<i64> = recs
+                .iter()
+                .filter(|r| r.tag("k") == Some(kv))
+                .map(|r| r.field("x").unwrap().as_int().unwrap())
+                .collect();
+            let mut sorted = xs.clone();
+            sorted.sort();
+            assert_eq!(xs, sorted, "per-replica order violated for k={kv}");
+        }
+    }
+}

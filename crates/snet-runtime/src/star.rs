@@ -1,0 +1,448 @@
+//! Serial replication `A ** {exit}` and `A * {exit}`.
+//!
+//! "The serial replicator A**(type) constructs an infinite chain of
+//! replicas of A connected via serial combination. The chain is tapped
+//! before every replica to extract records that match the type
+//! specified as second operand. These records are merged into the
+//! overall output stream. The unfolding of the chain of networks is
+//! demand-driven" (paper, Section 4).
+//!
+//! Implementation: a chain of *guards*. Guard `i` taps the stream in
+//! front of replica `i`; records matching the exit pattern (and its
+//! optional tag guard — the Figure 3 `{<level>} if <level> > 40`
+//! throttle) leave through the guard's tap into the output merger,
+//! everything else enters replica `i`, whose output feeds guard `i+1`.
+//! Replica `i` and guard `i+1` are only created when the first record
+//! actually needs to pass — this is exactly the paper's observation
+//! that the sudoku pipeline "cannot lead to pipelines longer than 81
+//! replicas": a record is only forwarded when a number was placed.
+//!
+//! The deterministic variant prefixes the chain with a *stamper* that
+//! broadcasts a sort record after every input record; guards duplicate
+//! sorts to their tap and down the chain, and the deterministic merger
+//! reassembles input order across taps (see [`crate::merge`]).
+
+use crate::ctx::Ctx;
+use crate::instantiate::instantiate;
+use crate::merge::{spawn_merge, BranchSpec, MergeMode, Watermark};
+use crate::metrics::keys;
+use crate::plan::PNode;
+use crate::stream::{stream, Dir, Msg, Receiver, Sender};
+use snet_lang::ExitPattern;
+use std::sync::Arc;
+
+struct StarShared {
+    inner: Arc<PNode>,
+    exit: ExitPattern,
+    comb: String,
+}
+
+/// Spawns a serial replicator; returns its output stream.
+pub fn spawn_star(
+    ctx: &Arc<Ctx>,
+    path: &str,
+    inner: &Arc<PNode>,
+    exit: &ExitPattern,
+    det: bool,
+    level: u32,
+    input: Receiver,
+) -> Receiver {
+    let comb = format!("{path}/{}", if det { "star" } else { "starnd" });
+    let (ctl_tx, ctl_rx) = crossbeam::channel::unbounded::<BranchSpec>();
+    let (out_tx, out_rx) = stream();
+    let mode = if det {
+        MergeMode::Det { level }
+    } else {
+        MergeMode::NonDet
+    };
+    spawn_merge(ctx, &comb, mode, Vec::new(), ctl_rx, out_tx);
+
+    let shared = Arc::new(StarShared {
+        inner: Arc::clone(inner),
+        exit: exit.clone(),
+        comb,
+    });
+
+    let guard0_input = if det {
+        spawn_stamper(ctx, &shared.comb, level, input)
+    } else {
+        input
+    };
+    spawn_guard(ctx, shared, 0, guard0_input, Watermark::new(), ctl_tx);
+    out_rx
+}
+
+/// The deterministic entry stamper: broadcasts `Sort{level, n}` after
+/// the n-th input record, partitioning the chain into rounds.
+fn spawn_stamper(ctx: &Arc<Ctx>, comb: &str, level: u32, input: Receiver) -> Receiver {
+    let (tx, rx) = stream();
+    ctx.spawn(format!("{comb}/stamper"), move || {
+        let mut counter: u64 = 0;
+        while let Ok(msg) = input.recv() {
+            match msg {
+                rec @ Msg::Rec(_) => {
+                    let _ = tx.send(rec);
+                    let _ = tx.send(Msg::Sort { level, counter });
+                    counter += 1;
+                }
+                sort @ Msg::Sort { .. } => {
+                    let _ = tx.send(sort);
+                }
+            }
+        }
+    });
+    rx
+}
+
+/// Spawns guard `stage`, registering its exit tap with the merger
+/// before any message can flow (the registration must happen-before
+/// subsequent sort broadcasts for the merger's bookkeeping).
+fn spawn_guard(
+    ctx: &Arc<Ctx>,
+    shared: Arc<StarShared>,
+    stage: usize,
+    input: Receiver,
+    watermark: Watermark,
+    ctl: crossbeam::channel::Sender<BranchSpec>,
+) {
+    let (tap_tx, tap_rx) = stream();
+    let _ = ctl.send(BranchSpec {
+        rx: tap_rx,
+        watermark: watermark.clone(),
+    });
+    ctx.metrics
+        .max(format!("{}/{}", shared.comb, keys::STAGES), stage as u64 + 1);
+    let ctx2 = Arc::clone(ctx);
+    let gpath = format!("{}/stage{stage}/guard", shared.comb);
+    let thread_path = gpath.clone();
+    ctx.spawn(gpath, move || {
+        let gpath = thread_path;
+        let mut wm = watermark;
+        let mut next: Option<Sender> = None;
+        while let Ok(msg) = input.recv() {
+            match msg {
+                Msg::Rec(rec) => {
+                    if ctx2.has_observers() {
+                        ctx2.observe(&gpath, Dir::In, &rec);
+                    }
+                    let exits = rec.matches(&shared.exit.pattern)
+                        && shared
+                            .exit
+                            .guard
+                            .as_ref()
+                            // A guard that cannot evaluate (a referenced
+                            // tag is absent) does not release the record.
+                            .map(|g| g.eval(&rec).unwrap_or(false))
+                            .unwrap_or(true);
+                    if exits {
+                        ctx2.metrics
+                            .inc(format!("{}/{}", shared.comb, keys::EXITS), 1);
+                        let _ = tap_tx.send(Msg::Rec(rec));
+                    } else {
+                        if next.is_none() {
+                            // Demand-driven unfolding: the replica and
+                            // the next guard exist only because this
+                            // record needs them.
+                            let (rtx, rrx) = stream();
+                            let replica_out = instantiate(
+                                &ctx2,
+                                &shared.inner,
+                                &format!("{}/stage{stage}", shared.comb),
+                                rrx,
+                            );
+                            spawn_guard(
+                                &ctx2,
+                                Arc::clone(&shared),
+                                stage + 1,
+                                replica_out,
+                                wm.clone(),
+                                ctl.clone(),
+                            );
+                            next = Some(rtx);
+                        }
+                        let _ = next.as_ref().unwrap().send(Msg::Rec(rec));
+                    }
+                }
+                Msg::Sort { level: l, counter: c } => {
+                    // Duplicate every sort to the tap (the merger needs
+                    // it for round/barrier bookkeeping) and down the
+                    // chain if it exists.
+                    let _ = tap_tx.send(Msg::Sort { level: l, counter: c });
+                    if let Some(tx) = &next {
+                        let _ = tx.send(Msg::Sort { level: l, counter: c });
+                    }
+                    wm.insert(l, c + 1);
+                }
+            }
+        }
+        // EOS: tap, chain sender and control clone all drop here,
+        // cascading end-of-stream down the chain and eventually closing
+        // the merger's control channel.
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+    use crate::net::collect_records;
+    use crate::plan::{compile, Bindings};
+    use snet_lang::{parse_net_expr, parse_program};
+    use snet_types::Record;
+
+    fn ctx() -> Arc<Ctx> {
+        Ctx::new(Metrics::new(), Vec::new())
+    }
+
+    /// `step (n) -> (n) | (n, <done>)`: decrements n; emits `<done>`
+    /// when it reaches zero. A record entering with n therefore
+    /// traverses exactly n replicas — a miniature of the sudoku
+    /// pipeline's "one number per replica" structure.
+    fn countdown_plan(det: bool) -> (Arc<Ctx>, crate::plan::Plan) {
+        let env = parse_program("box step (n) -> (n) | (n, <done>);")
+            .unwrap()
+            .env()
+            .unwrap();
+        let b = Bindings::new().bind("step", |r, e| {
+            let n = r.field("n").unwrap().as_int().unwrap();
+            let n = n - 1;
+            if n == 0 {
+                e.emit(Record::build().field("n", n).tag("done", 1).finish());
+            } else {
+                e.emit(Record::build().field("n", n).finish());
+            }
+        });
+        let src = if det {
+            "step * {<done>}"
+        } else {
+            "step ** {<done>}"
+        };
+        let ast = parse_net_expr(src).unwrap();
+        (ctx(), compile(&ast, &env, &b).unwrap())
+    }
+
+    #[test]
+    fn record_traverses_until_exit() {
+        let (ctx, plan) = countdown_plan(false);
+        let (tx, in_rx) = stream();
+        let out = instantiate(&ctx, &plan.root, "net", in_rx);
+        tx.send(Msg::Rec(Record::build().field("n", 5i64).finish()))
+            .unwrap();
+        drop(tx);
+        let recs = collect_records(out);
+        ctx.join_all();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].field("n").unwrap().as_int(), Some(0));
+        assert_eq!(recs[0].tag("done"), Some(1));
+        // Demand-driven: exactly 5 replicas (stages 0..4 created
+        // replicas; guard 5 tapped the exit).
+        assert_eq!(ctx.metrics.get("net/starnd/stages"), 6);
+    }
+
+    #[test]
+    fn immediate_exit_creates_no_replica() {
+        // A record already matching the exit pattern leaves through
+        // guard 0's tap; the replicated network is never instantiated.
+        let (ctx, plan) = countdown_plan(false);
+        let (tx, in_rx) = stream();
+        let out = instantiate(&ctx, &plan.root, "net", in_rx);
+        tx.send(Msg::Rec(
+            Record::build().field("n", 9i64).tag("done", 1).finish(),
+        ))
+        .unwrap();
+        drop(tx);
+        let recs = collect_records(out);
+        ctx.join_all();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(ctx.metrics.get("net/starnd/stages"), 1);
+        assert_eq!(ctx.metrics.sum_matching("box:step/records_in"), 0);
+    }
+
+    #[test]
+    fn unfolding_depth_matches_deepest_record() {
+        let (ctx, plan) = countdown_plan(false);
+        let (tx, in_rx) = stream();
+        let out = instantiate(&ctx, &plan.root, "net", in_rx);
+        for n in [3i64, 7, 2] {
+            tx.send(Msg::Rec(Record::build().field("n", n).finish()))
+                .unwrap();
+        }
+        drop(tx);
+        let recs = collect_records(out);
+        ctx.join_all();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(ctx.metrics.get("net/starnd/stages"), 8); // depth 7 + exit guard
+        assert_eq!(ctx.metrics.get("net/starnd/exits"), 3);
+    }
+
+    #[test]
+    fn det_star_preserves_input_order() {
+        let (ctx, plan) = countdown_plan(true);
+        let (tx, in_rx) = stream();
+        let out = instantiate(&ctx, &plan.root, "net", in_rx);
+        // Records with wildly different depths: deep ones exit late in
+        // wall-clock terms, but det order must follow input order.
+        let depths = [9i64, 1, 6, 2, 8, 3];
+        for (i, n) in depths.iter().enumerate() {
+            tx.send(Msg::Rec(
+                Record::build().field("n", *n).tag("id", i as i64).finish(),
+            ))
+            .unwrap();
+        }
+        drop(tx);
+        let recs = collect_records(out);
+        ctx.join_all();
+        let ids: Vec<i64> = recs.iter().map(|r| r.tag("id").unwrap()).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn nondet_star_emits_fast_records_first() {
+        // With non-deterministic merging, a shallow record entered
+        // *after* a deep one usually overtakes it. We only assert that
+        // all records arrive (overtaking is timing-dependent).
+        let (ctx, plan) = countdown_plan(false);
+        let (tx, in_rx) = stream();
+        let out = instantiate(&ctx, &plan.root, "net", in_rx);
+        for n in [40i64, 1] {
+            tx.send(Msg::Rec(Record::build().field("n", n).finish()))
+                .unwrap();
+        }
+        drop(tx);
+        let recs = collect_records(out);
+        ctx.join_all();
+        assert_eq!(recs.len(), 2);
+    }
+
+    #[test]
+    fn guarded_exit_pattern_fig3_shape() {
+        // bump: increments <level>; exit when <level> > 3. Uses the
+        // paper's guarded exit semantics. Note <level> must be part of
+        // the box's *input* signature — a box only sees its declared
+        // inputs, so deriving the level from an undeclared tag would
+        // read flow-inherited state the box never receives.
+        let env = parse_program("box bump (x, <level>) -> (x, <level>);")
+            .unwrap()
+            .env()
+            .unwrap();
+        let b = Bindings::new().bind("bump", |r, e| {
+            let x = r.field("x").unwrap().as_int().unwrap();
+            let lvl = r.tag("level").unwrap();
+            e.emit(
+                Record::build()
+                    .field("x", x)
+                    .tag("level", lvl + 1)
+                    .finish(),
+            );
+        });
+        let ast = parse_net_expr("bump ** {<level>} if <level> > 3").unwrap();
+        let plan = compile(&ast, &env, &b).unwrap();
+        let ctx = ctx();
+        let (tx, in_rx) = stream();
+        let out = instantiate(&ctx, &plan.root, "net", in_rx);
+        tx.send(Msg::Rec(
+            Record::build().field("x", 0i64).tag("level", 0).finish(),
+        ))
+        .unwrap();
+        drop(tx);
+        let recs = collect_records(out);
+        ctx.join_all();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].tag("level"), Some(4)); // first level > 3
+    }
+
+    #[test]
+    fn det_star_with_zero_records_terminates() {
+        let (ctx, plan) = countdown_plan(true);
+        let (tx, in_rx) = stream();
+        let out = instantiate(&ctx, &plan.root, "net", in_rx);
+        drop(tx);
+        let recs = collect_records(out);
+        ctx.join_all();
+        assert!(recs.is_empty());
+    }
+
+    #[test]
+    fn guard_referencing_missing_tag_never_exits_early() {
+        // Exit pattern {} (matches every record) with a guard over a
+        // tag that only appears at the end: records without the tag
+        // must keep circulating (guard evaluation failure = no exit).
+        let env = parse_program("box until5 (n) -> (n) | (n, <lvl>);")
+            .unwrap()
+            .env()
+            .unwrap();
+        let b = Bindings::new().bind("until5", |r, e| {
+            let n = r.field("n").unwrap().as_int().unwrap() + 1;
+            if n >= 5 {
+                e.emit(Record::build().field("n", n).tag("lvl", n).finish());
+            } else {
+                e.emit(Record::build().field("n", n).finish());
+            }
+        });
+        let ast = parse_net_expr("until5 ** {} if <lvl> > 0").unwrap();
+        let plan = compile(&ast, &env, &b).unwrap();
+        let ctx = ctx();
+        let (tx, in_rx) = stream();
+        let out = instantiate(&ctx, &plan.root, "net", in_rx);
+        tx.send(Msg::Rec(Record::build().field("n", 0i64).finish()))
+            .unwrap();
+        drop(tx);
+        let recs = collect_records(out);
+        ctx.join_all();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].tag("lvl"), Some(5));
+    }
+
+    #[test]
+    fn interleaved_deep_and_shallow_records_all_complete() {
+        let (ctx, plan) = countdown_plan(false);
+        let (tx, in_rx) = stream();
+        let out = instantiate(&ctx, &plan.root, "net", in_rx);
+        for i in 0..40i64 {
+            let depth = if i % 2 == 0 { 20 } else { 1 };
+            tx.send(Msg::Rec(Record::build().field("n", depth).finish()))
+                .unwrap();
+        }
+        drop(tx);
+        let recs = collect_records(out);
+        ctx.join_all();
+        assert_eq!(recs.len(), 40);
+        assert_eq!(ctx.metrics.get("net/starnd/exits"), 40);
+    }
+
+    #[test]
+    fn multiplying_records_in_star() {
+        // A box that fans out: each record of weight w emits w records
+        // of weight w-1; exit at weight 0. Total exits = w! paths...
+        // use small w. Checks that replicas handle fan-out and that the
+        // merger sees every exit.
+        let env = parse_program("box fan (w) -> (w) | (w, <z>);")
+            .unwrap()
+            .env()
+            .unwrap();
+        let b = Bindings::new().bind("fan", |r, e| {
+            let w = r.field("w").unwrap().as_int().unwrap();
+            if w == 0 {
+                e.emit(Record::build().field("w", 0i64).tag("z", 1).finish());
+            } else {
+                for _ in 0..w {
+                    e.emit(Record::build().field("w", w - 1).finish());
+                }
+            }
+        });
+        let ast = parse_net_expr("fan ** {<z>}").unwrap();
+        let plan = compile(&ast, &env, &b).unwrap();
+        let ctx = ctx();
+        let (tx, in_rx) = stream();
+        let out = instantiate(&ctx, &plan.root, "net", in_rx);
+        tx.send(Msg::Rec(Record::build().field("w", 4i64).finish()))
+            .unwrap();
+        drop(tx);
+        let recs = collect_records(out);
+        ctx.join_all();
+        // 4 * 3 * 2 * 1 = 24 leaves.
+        assert_eq!(recs.len(), 24);
+        // Replicas 0..=4 handle weights 4..=0; guard 5 taps the exits.
+        assert_eq!(ctx.metrics.get("net/starnd/stages"), 6);
+    }
+}

@@ -1,0 +1,72 @@
+//! Streams and messages.
+//!
+//! Boxes are "connected to the rest of the network by two typed
+//! streams" (paper, Section 4). A stream here is an unbounded crossbeam
+//! channel of [`Msg`]s. Unbounded is deliberate: deterministic merging
+//! drains branches in a fixed order, and a bounded channel on a branch
+//! that is not currently being drained could deadlock the dispatcher —
+//! the original S-Net runtime made the same choice.
+//!
+//! Besides data records the streams carry **sort records** — the
+//! classic S-Net implementation device for the deterministic
+//! combinator variants (`|`, `*`, `!`). A deterministic dispatcher
+//! broadcasts `Sort { level, counter }` to *all* branches after every
+//! data record it routes; the matching merger uses them to partition
+//! branch streams into rounds and re-establish input order on output.
+//! Every component forwards sort records transparently (behind any data
+//! they follow), so ordering survives arbitrary nesting of combinators.
+//! End-of-stream is represented by channel disconnection.
+
+use snet_types::Record;
+use std::sync::Arc;
+
+/// A message travelling on a stream.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Msg {
+    /// A data record.
+    Rec(Record),
+    /// A sort record of a deterministic combinator at nesting depth
+    /// `level`; `counter` is the input-record index within that scope.
+    Sort { level: u32, counter: u64 },
+}
+
+/// Stream endpoints (unbounded; see module docs for why).
+pub type Sender = crossbeam::channel::Sender<Msg>;
+pub type Receiver = crossbeam::channel::Receiver<Msg>;
+
+/// Creates a new stream.
+pub fn stream() -> (Sender, Receiver) {
+    crossbeam::channel::unbounded()
+}
+
+/// Direction of an observed record relative to the observed component.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dir {
+    In,
+    Out,
+}
+
+/// A stream observer: "debugging the concurrent behaviour becomes
+/// rather straightforward as all streams can be observed individually"
+/// (paper, Section 1). Observers are called synchronously from the
+/// component thread with the component's path, the direction, and the
+/// record.
+pub type Observer = Arc<dyn Fn(&str, Dir, &Record) + Send + Sync>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snet_types::Record;
+
+    #[test]
+    fn stream_carries_records_and_sorts() {
+        let (tx, rx) = stream();
+        tx.send(Msg::Rec(Record::build().tag("k", 1).finish())).unwrap();
+        tx.send(Msg::Sort { level: 0, counter: 7 }).unwrap();
+        drop(tx);
+        assert!(matches!(rx.recv().unwrap(), Msg::Rec(_)));
+        assert_eq!(rx.recv().unwrap(), Msg::Sort { level: 0, counter: 7 });
+        // Disconnection is end-of-stream.
+        assert!(rx.recv().is_err());
+    }
+}

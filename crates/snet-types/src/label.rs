@@ -1,0 +1,198 @@
+//! Interned record labels.
+//!
+//! S-Net messages are records of label/value pairs. "Labels are
+//! subdivided into fields and tags. Fields are associated with values
+//! from the SaC domain that are entirely opaque to S-Net; tags are
+//! associated with integer numbers ... Tag labels are distinguished
+//! from field labels by angular brackets" (paper, Section 4).
+//!
+//! Labels are interned process-wide so that records, record types and
+//! routing tables compare labels by a copyable id rather than by
+//! string — label comparison is the innermost operation of the whole
+//! runtime (every record dispatch does subset tests over label sets).
+//! Interned names are leaked into `&'static str`s: the label universe
+//! of a coordination program is small and fixed, and leaking makes
+//! `name()` allocation-free.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Whether a label names a field (opaque payload) or a tag (integer
+/// visible to the coordination layer).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LabelKind {
+    Field,
+    Tag,
+}
+
+/// An interned label. Cheap to copy and compare; the total order is
+/// kind-major then name-alphabetical, so sorted label vectors print in
+/// a stable, human-readable order.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label {
+    kind: LabelKind,
+    id: u32,
+    name: &'static str,
+}
+
+struct Interner {
+    by_name: HashMap<&'static str, u32>,
+    names: Vec<&'static str>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            by_name: HashMap::new(),
+            names: Vec::new(),
+        })
+    })
+}
+
+fn intern(name: &str) -> (u32, &'static str) {
+    {
+        let r = interner().read();
+        if let Some(&id) = r.by_name.get(name) {
+            return (id, r.names[id as usize]);
+        }
+    }
+    let mut w = interner().write();
+    if let Some(&id) = w.by_name.get(name) {
+        return (id, w.names[id as usize]);
+    }
+    let stat: &'static str = Box::leak(name.to_string().into_boxed_str());
+    let id = w.names.len() as u32;
+    w.names.push(stat);
+    w.by_name.insert(stat, id);
+    (id, stat)
+}
+
+impl Label {
+    /// Interns a field label, e.g. `board`.
+    pub fn field(name: &str) -> Label {
+        let (id, name) = intern(name);
+        Label {
+            kind: LabelKind::Field,
+            id,
+            name,
+        }
+    }
+
+    /// Interns a tag label, e.g. `<done>` (pass the bare name, `done`).
+    pub fn tag(name: &str) -> Label {
+        let (id, name) = intern(name);
+        Label {
+            kind: LabelKind::Tag,
+            id,
+            name,
+        }
+    }
+
+    pub fn kind(&self) -> LabelKind {
+        self.kind
+    }
+
+    pub fn is_tag(&self) -> bool {
+        self.kind == LabelKind::Tag
+    }
+
+    pub fn is_field(&self) -> bool {
+        self.kind == LabelKind::Field
+    }
+
+    /// The label's name without tag brackets.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl PartialOrd for Label {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Label {
+    /// Kind-major (all fields before all tags, mirroring the
+    /// `(fields, tags)` split of a record), then alphabetical.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.kind
+            .cmp(&other.kind)
+            .then_with(|| self.name.cmp(other.name))
+    }
+}
+
+impl fmt::Display for Label {
+    /// Fields print bare, tags in the paper's angular brackets.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            LabelKind::Field => write!(f, "{}", self.name),
+            LabelKind::Tag => write!(f, "<{}>", self.name),
+        }
+    }
+}
+
+impl fmt::Debug for Label {
+    /// Defers to Display — labels read much better as `<k>` than as a
+    /// struct dump in test failures.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_kind_is_equal() {
+        assert_eq!(Label::field("board"), Label::field("board"));
+        assert_eq!(Label::tag("k"), Label::tag("k"));
+    }
+
+    #[test]
+    fn field_and_tag_of_same_name_differ() {
+        assert_ne!(Label::field("k"), Label::tag("k"));
+    }
+
+    #[test]
+    fn display_uses_angular_brackets_for_tags() {
+        assert_eq!(Label::field("opts").to_string(), "opts");
+        assert_eq!(Label::tag("done").to_string(), "<done>");
+    }
+
+    #[test]
+    fn name_roundtrips() {
+        assert_eq!(Label::field("some_long_label").name(), "some_long_label");
+        assert_eq!(Label::tag("level").name(), "level");
+    }
+
+    #[test]
+    fn ordering_is_kind_major_then_alphabetical() {
+        assert!(Label::field("z") < Label::tag("a"));
+        assert!(Label::field("a") < Label::field("b"));
+        assert!(Label::tag("x") < Label::tag("y"));
+        // Interning order must not influence the total order.
+        let late = Label::field("zz_interned_late_aa");
+        let later = Label::field("aa_interned_later_zz");
+        assert!(later < late);
+    }
+
+    #[test]
+    fn interning_is_concurrent_safe() {
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                s.spawn(move || {
+                    for i in 0..200 {
+                        let l = Label::field(&format!("lbl{}", i % 50));
+                        assert_eq!(l.name(), format!("lbl{}", i % 50));
+                        let _ = t;
+                    }
+                });
+            }
+        });
+    }
+}

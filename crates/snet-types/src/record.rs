@@ -1,0 +1,393 @@
+//! Records: the messages of S-Net streams.
+//!
+//! "Messages on these typed streams are organised as non-recursive
+//! records, i.e. label-value pairs" (paper, Section 4). A record maps
+//! field labels to opaque [`Value`]s and tag labels to integers.
+//!
+//! The module also implements the record-level halves of the two
+//! distinctive S-Net mechanisms:
+//!
+//! * **subtype acceptance** — [`Record::split_for`] checks that a
+//!   record has at least the labels of an input type and splits it into
+//!   the matched part (handed to the box function) and the *excess*;
+//! * **flow inheritance** — [`Record::inherit`] re-attaches that excess
+//!   to an output record "unless some label is already present in the
+//!   output record, in which case the field or tag is discarded".
+
+use crate::label::{Label, LabelKind};
+use crate::rtype::RecordType;
+use crate::value::Value;
+use std::fmt;
+
+/// A record: sorted field and tag label/value pairs.
+#[derive(Clone, Default, PartialEq)]
+pub struct Record {
+    fields: Vec<(Label, Value)>,
+    tags: Vec<(Label, i64)>,
+}
+
+impl Record {
+    /// The empty record `{}`.
+    pub fn new() -> Record {
+        Record::default()
+    }
+
+    /// Fluent builder: `Record::build().field("board", v).tag("k", 1)`.
+    pub fn build() -> RecordBuilder {
+        RecordBuilder(Record::new())
+    }
+
+    /// Number of fields plus tags.
+    pub fn len(&self) -> usize {
+        self.fields.len() + self.tags.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty() && self.tags.is_empty()
+    }
+
+    /// Sets (or replaces) a field by name.
+    pub fn set_field(&mut self, name: &str, value: Value) {
+        self.set_field_label(Label::field(name), value);
+    }
+
+    /// Sets (or replaces) a field by label. Panics on a tag label —
+    /// fields and tags live in separate namespaces.
+    pub fn set_field_label(&mut self, label: Label, value: Value) {
+        assert!(
+            label.kind() == LabelKind::Field,
+            "set_field_label requires a field label, got {label}"
+        );
+        match self.fields.binary_search_by_key(&label, |(l, _)| *l) {
+            Ok(i) => self.fields[i].1 = value,
+            Err(i) => self.fields.insert(i, (label, value)),
+        }
+    }
+
+    /// Sets (or replaces) a tag by name.
+    pub fn set_tag(&mut self, name: &str, value: i64) {
+        self.set_tag_label(Label::tag(name), value);
+    }
+
+    /// Sets (or replaces) a tag by label. Panics on a field label.
+    pub fn set_tag_label(&mut self, label: Label, value: i64) {
+        assert!(
+            label.kind() == LabelKind::Tag,
+            "set_tag_label requires a tag label, got {label}"
+        );
+        match self.tags.binary_search_by_key(&label, |(l, _)| *l) {
+            Ok(i) => self.tags[i].1 = value,
+            Err(i) => self.tags.insert(i, (label, value)),
+        }
+    }
+
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        self.field_label(Label::field(name))
+    }
+
+    pub fn field_label(&self, label: Label) -> Option<&Value> {
+        self.fields
+            .binary_search_by_key(&label, |(l, _)| *l)
+            .ok()
+            .map(|i| &self.fields[i].1)
+    }
+
+    /// Looks up a tag by name.
+    pub fn tag(&self, name: &str) -> Option<i64> {
+        self.tag_label(Label::tag(name))
+    }
+
+    pub fn tag_label(&self, label: Label) -> Option<i64> {
+        self.tags
+            .binary_search_by_key(&label, |(l, _)| *l)
+            .ok()
+            .map(|i| self.tags[i].1)
+    }
+
+    /// True when the record carries the label (field or tag).
+    pub fn has(&self, label: Label) -> bool {
+        match label.kind() {
+            LabelKind::Field => self.field_label(label).is_some(),
+            LabelKind::Tag => self.tag_label(label).is_some(),
+        }
+    }
+
+    /// Removes a label if present; returns whether it was there.
+    pub fn remove(&mut self, label: Label) -> bool {
+        match label.kind() {
+            LabelKind::Field => {
+                if let Ok(i) = self.fields.binary_search_by_key(&label, |(l, _)| *l) {
+                    self.fields.remove(i);
+                    true
+                } else {
+                    false
+                }
+            }
+            LabelKind::Tag => {
+                if let Ok(i) = self.tags.binary_search_by_key(&label, |(l, _)| *l) {
+                    self.tags.remove(i);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Iterates field entries in label order.
+    pub fn fields(&self) -> impl Iterator<Item = (Label, &Value)> {
+        self.fields.iter().map(|(l, v)| (*l, v))
+    }
+
+    /// Iterates tag entries in label order.
+    pub fn tags(&self) -> impl Iterator<Item = (Label, i64)> + '_ {
+        self.tags.iter().map(|(l, v)| (*l, *v))
+    }
+
+    /// The record's type: its set of labels.
+    pub fn record_type(&self) -> RecordType {
+        self.fields
+            .iter()
+            .map(|(l, _)| *l)
+            .chain(self.tags.iter().map(|(l, _)| *l))
+            .collect()
+    }
+
+    /// True when the record can enter an input of type `ty`
+    /// (record subtyping: `ty ⊆ labels(self)`).
+    pub fn matches(&self, ty: &RecordType) -> bool {
+        ty.labels().iter().all(|l| self.has(*l))
+    }
+
+    /// Splits the record against an input type: the first component
+    /// carries exactly the labels of `ty` (what the box function sees),
+    /// the second the *excess* kept by the runtime for flow
+    /// inheritance. `None` when the record does not match `ty`.
+    pub fn split_for(&self, ty: &RecordType) -> Option<(Record, Record)> {
+        if !self.matches(ty) {
+            return None;
+        }
+        let mut matched = Record::new();
+        let mut excess = Record::new();
+        for (l, v) in &self.fields {
+            if ty.contains(*l) {
+                matched.fields.push((*l, v.clone()));
+            } else {
+                excess.fields.push((*l, v.clone()));
+            }
+        }
+        for (l, v) in &self.tags {
+            if ty.contains(*l) {
+                matched.tags.push((*l, *v));
+            } else {
+                excess.tags.push((*l, *v));
+            }
+        }
+        Some((matched, excess))
+    }
+
+    /// Flow inheritance: extends `self` with every entry of `excess`
+    /// whose label is not already present (paper, Section 4: present
+    /// labels win, the inherited entry "is discarded").
+    pub fn inherit(mut self, excess: &Record) -> Record {
+        for (l, v) in &excess.fields {
+            if self.field_label(*l).is_none() {
+                self.set_field_label(*l, v.clone());
+            }
+        }
+        for (l, v) in &excess.tags {
+            if self.tag_label(*l).is_none() {
+                self.set_tag_label(*l, *v);
+            }
+        }
+        self
+    }
+
+    /// Projects the record onto a set of labels (used by filters: "a
+    /// field name occurring in the pattern: it is copied").
+    pub fn project(&self, ty: &RecordType) -> Record {
+        let mut out = Record::new();
+        for (l, v) in &self.fields {
+            if ty.contains(*l) {
+                out.fields.push((*l, v.clone()));
+            }
+        }
+        for (l, v) in &self.tags {
+            if ty.contains(*l) {
+                out.tags.push((*l, *v));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for (l, v) in &self.fields {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{l}={v:?}")?;
+        }
+        for (l, v) in &self.tags {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{l}={v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Fluent construction of records.
+pub struct RecordBuilder(Record);
+
+impl RecordBuilder {
+    pub fn field(mut self, name: &str, value: impl Into<Value>) -> Self {
+        self.0.set_field(name, value.into());
+        self
+    }
+
+    pub fn tag(mut self, name: &str, value: i64) -> Self {
+        self.0.set_tag(name, value);
+        self
+    }
+
+    pub fn finish(self) -> Record {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec_abd() -> Record {
+        // The paper's flow-inheritance example input: {a,<b>,d}.
+        Record::build()
+            .field("a", 1i64)
+            .tag("b", 10)
+            .field("d", 4i64)
+            .finish()
+    }
+
+    #[test]
+    fn set_get_remove_roundtrip() {
+        let mut r = Record::new();
+        assert!(r.is_empty());
+        r.set_field("x", Value::Int(5));
+        r.set_tag("t", 7);
+        assert_eq!(r.field("x").unwrap().as_int(), Some(5));
+        assert_eq!(r.tag("t"), Some(7));
+        assert_eq!(r.len(), 2);
+        // Replacement, not duplication.
+        r.set_field("x", Value::Int(6));
+        assert_eq!(r.field("x").unwrap().as_int(), Some(6));
+        assert_eq!(r.len(), 2);
+        assert!(r.remove(Label::field("x")));
+        assert!(!r.remove(Label::field("x")));
+        assert_eq!(r.field("x"), None);
+    }
+
+    #[test]
+    fn fields_and_tags_are_separate_namespaces() {
+        let mut r = Record::new();
+        r.set_field("k", Value::Int(1));
+        r.set_tag("k", 2);
+        assert_eq!(r.field("k").unwrap().as_int(), Some(1));
+        assert_eq!(r.tag("k"), Some(2));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a field label")]
+    fn set_field_with_tag_label_panics() {
+        let mut r = Record::new();
+        r.set_field_label(Label::tag("t"), Value::Int(1));
+    }
+
+    #[test]
+    fn record_type_collects_all_labels() {
+        let r = rec_abd();
+        let t = r.record_type();
+        assert!(t.contains(Label::field("a")));
+        assert!(t.contains(Label::tag("b")));
+        assert!(t.contains(Label::field("d")));
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn matches_is_subtype_acceptance() {
+        let r = rec_abd();
+        assert!(r.matches(&RecordType::of(&["a"], &["b"])));
+        assert!(r.matches(&RecordType::empty()));
+        assert!(!r.matches(&RecordType::of(&["a", "z"], &[])));
+    }
+
+    #[test]
+    fn split_for_partitions_matched_and_excess() {
+        // Box foo (a,<b>) receiving {a,<b>,d}: a and <b> are arguments,
+        // d is kept by the runtime (paper, Section 4).
+        let r = rec_abd();
+        let ty = RecordType::of(&["a"], &["b"]);
+        let (matched, excess) = r.split_for(&ty).unwrap();
+        assert_eq!(matched.record_type(), ty);
+        assert_eq!(excess.record_type(), RecordType::of(&["d"], &[]));
+        assert_eq!(excess.field("d").unwrap().as_int(), Some(4));
+        // Non-matching split yields None.
+        assert!(r.split_for(&RecordType::of(&["zz"], &[])).is_none());
+    }
+
+    #[test]
+    fn inherit_attaches_excess_unless_present() {
+        // Output {c} inherits d; output {c,d,<e>} keeps its own d.
+        let excess = Record::build().field("d", 4i64).finish();
+        let out1 = Record::build().field("c", 9i64).finish().inherit(&excess);
+        assert_eq!(out1.field("d").unwrap().as_int(), Some(4));
+        let out2 = Record::build()
+            .field("c", 9i64)
+            .field("d", 99i64)
+            .finish()
+            .inherit(&excess);
+        assert_eq!(out2.field("d").unwrap().as_int(), Some(99));
+    }
+
+    #[test]
+    fn inherit_covers_tags_too() {
+        let excess = Record::build().tag("lvl", 3).finish();
+        let out = Record::build().tag("k", 1).finish().inherit(&excess);
+        assert_eq!(out.tag("lvl"), Some(3));
+        let out2 = Record::build().tag("lvl", 8).finish().inherit(&excess);
+        assert_eq!(out2.tag("lvl"), Some(8));
+    }
+
+    #[test]
+    fn project_copies_only_pattern_labels() {
+        let r = rec_abd();
+        let p = r.project(&RecordType::of(&["a"], &[]));
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.field("a").unwrap().as_int(), Some(1));
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        let a = Record::build().field("x", 1i64).tag("t", 2).finish();
+        let b = Record::build().tag("t", 2).field("x", 1i64).finish();
+        assert_eq!(a, b);
+        let c = Record::build().field("x", 1i64).tag("t", 3).finish();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn debug_render() {
+        let r = Record::build().field("a", 1i64).tag("k", 2).finish();
+        let s = format!("{r:?}");
+        assert!(s.contains("a=Int(1)"));
+        assert!(s.contains("<k>=2"));
+    }
+}

@@ -1,0 +1,353 @@
+//! Sudoku boards.
+//!
+//! "Sudokus are played on a 9 by 9 board of numbers" (paper,
+//! Section 3) — but, as the paper's footnote stresses, "sudokus can be
+//! played on any board of size n² × n²" and bigger boards are what
+//! make parallelisation worthwhile. Boards here are generic in the box
+//! size `n`: `n = 3` is the classic 9×9, `n = 4` a 16×16, `n = 5` a
+//! 25×25.
+//!
+//! A board is a stateless SaC matrix (`int[n²,n²]`): cell values
+//! `1..=n²`, with `0` for empty — exactly the representation of the
+//! paper's `int[*] board`.
+
+use sacarray::{Array, Generator, WithLoop};
+use std::fmt;
+
+/// An n²×n² sudoku board backed by a SaC-style integer matrix.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Board {
+    n: usize,
+    cells: Array<i64>,
+}
+
+impl Board {
+    /// An empty board with box size `n` (side length n²).
+    pub fn empty(n: usize) -> Board {
+        assert!(n >= 2, "box size must be at least 2");
+        let side = n * n;
+        Board {
+            n,
+            cells: Array::fill([side, side], 0),
+        }
+    }
+
+    /// Builds a board from row-major cell values (0 = empty).
+    pub fn from_cells(n: usize, cells: Vec<i64>) -> Result<Board, String> {
+        let side = n * n;
+        if cells.len() != side * side {
+            return Err(format!(
+                "expected {} cells for a {side}x{side} board, got {}",
+                side * side,
+                cells.len()
+            ));
+        }
+        if let Some(bad) = cells.iter().find(|&&v| v < 0 || v > side as i64) {
+            return Err(format!("cell value {bad} out of range 0..={side}"));
+        }
+        Ok(Board {
+            n,
+            cells: Array::new([side, side], cells).expect("length checked"),
+        })
+    }
+
+    /// Parses whitespace-separated cell values; `0` or `.` mean empty.
+    /// Works for any board size (9×9 single digits, 16×16 and beyond
+    /// multi-digit).
+    pub fn parse(n: usize, text: &str) -> Result<Board, String> {
+        let cells: Result<Vec<i64>, String> = text
+            .split_whitespace()
+            .map(|tok| {
+                if tok == "." {
+                    Ok(0)
+                } else {
+                    tok.parse::<i64>().map_err(|_| format!("bad cell '{tok}'"))
+                }
+            })
+            .collect();
+        Board::from_cells(n, cells?)
+    }
+
+    /// Parses the compact 81-character form common for 9×9 puzzles
+    /// (digits, with `0` or `.` for empty).
+    pub fn parse_line(line: &str) -> Result<Board, String> {
+        let cells: Vec<i64> = line
+            .trim()
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .map(|c| match c {
+                '.' | '0' => Ok(0),
+                d if d.is_ascii_digit() => Ok(d as i64 - '0' as i64),
+                other => Err(format!("bad cell character '{other}'")),
+            })
+            .collect::<Result<_, String>>()?;
+        Board::from_cells(3, cells)
+    }
+
+    /// Box size `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Side length n².
+    pub fn side(&self) -> usize {
+        self.n * self.n
+    }
+
+    /// Total number of cells (n⁴) — the paper's 81 for 9×9.
+    pub fn cell_count(&self) -> usize {
+        self.side() * self.side()
+    }
+
+    /// Cell value at (row, col); 0 = empty.
+    pub fn get(&self, i: usize, j: usize) -> i64 {
+        *self.cells.at(&[i, j])
+    }
+
+    /// Functional single-cell update (stateless arrays: returns a new
+    /// board, sharing storage copy-on-write).
+    pub fn with(&self, i: usize, j: usize, v: i64) -> Board {
+        Board {
+            n: self.n,
+            cells: self
+                .cells
+                .clone()
+                .with_elem(&[i, j], v)
+                .expect("in-bounds update"),
+        }
+    }
+
+    /// The underlying SaC array (what travels in a `board` field).
+    pub fn cells(&self) -> &Array<i64> {
+        &self.cells
+    }
+
+    /// Wraps an existing cell array.
+    pub fn from_array(n: usize, cells: Array<i64>) -> Board {
+        let side = n * n;
+        assert_eq!(cells.shape().extents(), &[side, side]);
+        Board { n, cells }
+    }
+
+    /// Number of placed (non-zero) cells — the paper's `<level>` tag.
+    pub fn placed(&self) -> usize {
+        let side = self.side();
+        let cells = &self.cells;
+        WithLoop::new()
+            .gen(
+                Generator::range(vec![0, 0], vec![side, side]).unwrap(),
+                move |iv| usize::from(*cells.at(iv) != 0),
+            )
+            .fold_seq(0, |a, b| a + b)
+    }
+
+    /// True when every cell is filled — the paper's `isCompleted`
+    /// checks only fill state; validity is maintained incrementally by
+    /// `addNumber`'s option elimination.
+    pub fn is_full(&self) -> bool {
+        let side = self.side();
+        let cells = &self.cells;
+        WithLoop::new()
+            .gen(
+                Generator::range(vec![0, 0], vec![side, side]).unwrap(),
+                move |iv| *cells.at(iv) != 0,
+            )
+            .fold_seq(true, |a, b| a && b)
+    }
+
+    /// Full validity check: every row, column and n×n sub-board
+    /// contains no duplicate among its placed numbers. (Used by tests
+    /// and the generator, not by the solver hot path.)
+    pub fn is_valid(&self) -> bool {
+        let side = self.side();
+        // Rows and columns.
+        for a in 0..side {
+            let mut row_seen = vec![false; side + 1];
+            let mut col_seen = vec![false; side + 1];
+            for b in 0..side {
+                let rv = self.get(a, b);
+                if rv != 0 {
+                    if row_seen[rv as usize] {
+                        return false;
+                    }
+                    row_seen[rv as usize] = true;
+                }
+                let cv = self.get(b, a);
+                if cv != 0 {
+                    if col_seen[cv as usize] {
+                        return false;
+                    }
+                    col_seen[cv as usize] = true;
+                }
+            }
+        }
+        // Sub-boards.
+        for bi in 0..self.n {
+            for bj in 0..self.n {
+                let mut seen = vec![false; side + 1];
+                for di in 0..self.n {
+                    for dj in 0..self.n {
+                        let v = self.get(bi * self.n + di, bj * self.n + dj);
+                        if v != 0 {
+                            if seen[v as usize] {
+                                return false;
+                            }
+                            seen[v as usize] = true;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// True when the board is a complete, valid solution.
+    pub fn is_solved(&self) -> bool {
+        self.is_full() && self.is_valid()
+    }
+
+    /// Iterates (row, col, value) over placed cells.
+    pub fn placed_cells(&self) -> impl Iterator<Item = (usize, usize, i64)> + '_ {
+        let side = self.side();
+        (0..side).flat_map(move |i| {
+            (0..side).filter_map(move |j| {
+                let v = self.get(i, j);
+                (v != 0).then_some((i, j, v))
+            })
+        })
+    }
+}
+
+impl fmt::Display for Board {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let side = self.side();
+        let width = if side > 9 { 3 } else { 2 };
+        for i in 0..side {
+            if i > 0 && i % self.n == 0 {
+                let dash = "-".repeat(width * side + self.n - 1);
+                writeln!(f, "{dash}")?;
+            }
+            for j in 0..side {
+                if j > 0 && j % self.n == 0 {
+                    write!(f, "|")?;
+                }
+                let v = self.get(i, j);
+                if v == 0 {
+                    write!(f, "{:>width$}", ".", width = width)?;
+                } else {
+                    write!(f, "{v:>width$}")?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Board {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Board(n={}, placed={}):", self.n, self.placed())?;
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_board_shape() {
+        let b = Board::empty(3);
+        assert_eq!(b.side(), 9);
+        assert_eq!(b.cell_count(), 81);
+        assert_eq!(b.placed(), 0);
+        assert!(!b.is_full());
+        assert!(b.is_valid());
+        let b16 = Board::empty(4);
+        assert_eq!(b16.side(), 16);
+        assert_eq!(b16.cell_count(), 256);
+    }
+
+    #[test]
+    fn with_is_functional_update() {
+        let a = Board::empty(3);
+        let b = a.with(0, 0, 5);
+        assert_eq!(a.get(0, 0), 0);
+        assert_eq!(b.get(0, 0), 5);
+        assert_eq!(b.placed(), 1);
+    }
+
+    #[test]
+    fn parse_line_roundtrip() {
+        let line =
+            "530070000600195000098000060800060003400803001700020006060000280000419005000080079";
+        let b = Board::parse_line(line).unwrap();
+        assert_eq!(b.get(0, 0), 5);
+        assert_eq!(b.get(0, 1), 3);
+        assert_eq!(b.get(8, 8), 9);
+        assert_eq!(b.placed(), 30);
+        assert!(b.is_valid());
+    }
+
+    #[test]
+    fn parse_whitespace_form() {
+        let b = Board::parse(
+            2,
+            "1 2 3 4\n\
+             3 4 1 2\n\
+             2 1 4 3\n\
+             4 3 2 1",
+        )
+        .unwrap();
+        assert!(b.is_solved());
+        let b = Board::parse(2, "1 . . .  . . . .  . . . .  . . . 1").unwrap();
+        assert_eq!(b.placed(), 2);
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(Board::parse(2, "1 2 3").is_err()); // wrong count
+        assert!(Board::parse(2, &"5 ".repeat(16)).is_err()); // out of range
+        assert!(Board::parse_line("xyz").is_err());
+    }
+
+    #[test]
+    fn validity_detects_duplicates() {
+        // Row duplicate.
+        let mut cells = vec![0i64; 16];
+        cells[0] = 1;
+        cells[1] = 1;
+        assert!(!Board::from_cells(2, cells).unwrap().is_valid());
+        // Column duplicate.
+        let mut cells = vec![0i64; 16];
+        cells[0] = 2;
+        cells[4] = 2;
+        assert!(!Board::from_cells(2, cells).unwrap().is_valid());
+        // Sub-board duplicate (cells (0,0) and (1,1) share the 2x2 box).
+        let mut cells = vec![0i64; 16];
+        cells[0] = 3;
+        cells[5] = 3;
+        assert!(!Board::from_cells(2, cells).unwrap().is_valid());
+        // Same values placed compatibly are fine.
+        let mut cells = vec![0i64; 16];
+        cells[0] = 3;
+        cells[15] = 3;
+        assert!(Board::from_cells(2, cells).unwrap().is_valid());
+    }
+
+    #[test]
+    fn display_renders_blocks() {
+        let b = Board::empty(2);
+        let s = b.to_string();
+        assert!(s.contains('|'));
+        assert!(s.contains('-'));
+        assert!(s.contains('.'));
+    }
+
+    #[test]
+    fn placed_cells_iterates_in_row_major_order() {
+        let b = Board::empty(2).with(0, 1, 4).with(3, 3, 2);
+        let placed: Vec<_> = b.placed_cells().collect();
+        assert_eq!(placed, vec![(0, 1, 4), (3, 3, 2)]);
+    }
+}

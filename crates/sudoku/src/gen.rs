@@ -1,0 +1,175 @@
+//! Seeded puzzle generation.
+//!
+//! The paper's footnote motivates bigger boards: "as sudokus can be
+//! played on any board of size n² × n² parallelisation becomes
+//! essential for bigger puzzles". The benchmarks therefore need a
+//! reproducible supply of puzzles at any size and difficulty. The
+//! generator is deterministic in its seed:
+//!
+//! 1. fill an empty board by randomised backtracking (a full valid
+//!    solution);
+//! 2. remove cells in random order, keeping a removal only while the
+//!    puzzle stays uniquely solvable (optional — uniqueness checking
+//!    is expensive beyond 9×9).
+
+use crate::board::Board;
+use crate::opts::{add_number, Opts};
+use crate::sac_solver::{count_solutions, find_min_trues, is_completed, is_stuck};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Generates a complete, valid solution by randomised backtracking.
+pub fn full_solution(n: usize, seed: u64) -> Board {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let board = Board::empty(n);
+    let opts = Opts::all_true(n);
+    fill(board, opts, &mut rng).expect("an empty board is always completable")
+}
+
+fn fill(board: Board, opts: Opts, rng: &mut StdRng) -> Option<Board> {
+    if is_stuck(&board, &opts) {
+        return None;
+    }
+    if is_completed(&board) {
+        return Some(board);
+    }
+    let (i, j) = find_min_trues(&board, &opts)?;
+    let mut candidates = opts.candidates(i, j);
+    candidates.shuffle(rng);
+    for k in candidates {
+        let (b, o) = add_number(i, j, k, &board, &opts);
+        if let Some(done) = fill(b, o, rng) {
+            return Some(done);
+        }
+    }
+    None
+}
+
+/// Generator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct GenConfig {
+    /// Box size (3 = 9×9).
+    pub n: usize,
+    /// Stop removing once this many clues remain (lower = harder).
+    pub target_clues: usize,
+    /// Keep the puzzle uniquely solvable while digging. Strongly
+    /// recommended for n = 3; expensive for larger boards.
+    pub unique: bool,
+    /// RNG seed; equal configs with equal seeds generate equal puzzles.
+    pub seed: u64,
+}
+
+/// Generates a puzzle by digging holes into a full solution.
+///
+/// With `unique`, removal stops early when no cell can be removed
+/// without losing uniqueness, so the result may have more clues than
+/// `target_clues`.
+pub fn generate(cfg: GenConfig) -> Board {
+    let solution = full_solution(cfg.n, cfg.seed);
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0x9e37_79b9_7f4a_7c15));
+    let side = cfg.n * cfg.n;
+    let mut order: Vec<(usize, usize)> = (0..side)
+        .flat_map(|i| (0..side).map(move |j| (i, j)))
+        .collect();
+    order.shuffle(&mut rng);
+
+    let mut puzzle = solution;
+    let mut clues = side * side;
+    for (i, j) in order {
+        if clues <= cfg.target_clues {
+            break;
+        }
+        let v = puzzle.get(i, j);
+        if v == 0 {
+            continue;
+        }
+        let dug = puzzle.with(i, j, 0);
+        if cfg.unique && count_solutions(&dug, 2) != 1 {
+            continue; // removal would break uniqueness
+        }
+        puzzle = dug;
+        clues -= 1;
+    }
+    puzzle
+}
+
+/// A convenience corpus: `count` distinct 9×9 puzzles around the given
+/// clue count, seeds derived from `base_seed`.
+pub fn corpus9(count: usize, target_clues: usize, base_seed: u64) -> Vec<Board> {
+    (0..count)
+        .map(|i| {
+            generate(GenConfig {
+                n: 3,
+                target_clues,
+                unique: true,
+                seed: base_seed.wrapping_add(i as u64 * 7919),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_solution_is_solved_and_deterministic() {
+        let a = full_solution(3, 42);
+        assert!(a.is_solved());
+        let b = full_solution(3, 42);
+        assert_eq!(a, b);
+        let c = full_solution(3, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn full_solution_4x4_and_16x16() {
+        assert!(full_solution(2, 1).is_solved());
+        assert!(full_solution(4, 1).is_solved());
+    }
+
+    #[test]
+    fn generated_puzzle_is_unique_and_solvable() {
+        let p = generate(GenConfig {
+            n: 3,
+            target_clues: 32,
+            unique: true,
+            seed: 7,
+        });
+        assert!(p.is_valid());
+        assert!(p.placed() >= 32);
+        assert_eq!(count_solutions(&p, 2), 1);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig {
+            n: 3,
+            target_clues: 40,
+            unique: true,
+            seed: 99,
+        };
+        assert_eq!(generate(cfg), generate(cfg));
+    }
+
+    #[test]
+    fn non_unique_digging_reaches_target() {
+        let p = generate(GenConfig {
+            n: 2,
+            target_clues: 4,
+            unique: false,
+            seed: 5,
+        });
+        assert_eq!(p.placed(), 4);
+        assert!(p.is_valid());
+    }
+
+    #[test]
+    fn corpus_is_distinct() {
+        let corpus = corpus9(3, 38, 1000);
+        assert_eq!(corpus.len(), 3);
+        assert_ne!(corpus[0], corpus[1]);
+        assert_ne!(corpus[1], corpus[2]);
+    }
+}

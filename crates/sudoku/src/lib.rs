@@ -1,0 +1,29 @@
+//! # sudoku — the paper's application
+//!
+//! "We illustrate our approach by a hybrid implementation of a sudoku
+//! puzzle solver as a representative for more complex search problems"
+//! (Grelck, Scholz & Shafarenko, IPPS 2007).
+//!
+//! Layered exactly as the paper prescribes:
+//!
+//! * the **computation layer** ([`board`], [`opts`], [`sac_solver`])
+//!   is pure SaC-style array code — `addNumber` is a four-generator
+//!   `modarray` with-loop, the solver a recursive search;
+//! * the **coordination layer** ([`boxes`], [`networks`]) wraps those
+//!   functions as S-Net boxes and wires the three networks of
+//!   Figures 1–3 in actual S-Net surface syntax;
+//! * [`gen`] and [`puzzles`] supply deterministic puzzles at any board
+//!   size n²×n² — the paper's motivation for parallelism.
+
+pub mod board;
+pub mod boxes;
+pub mod gen;
+pub mod networks;
+pub mod opts;
+pub mod puzzles;
+pub mod sac_solver;
+
+pub use board::Board;
+pub use networks::{solve_fig1, solve_fig2, solve_fig3, NetRun};
+pub use opts::{add_number, compute_opts, Opts};
+pub use sac_solver::{solve_puzzle, Policy, SolveStats};

@@ -1,0 +1,241 @@
+//! The options cube and `addNumber`.
+//!
+//! "The central idea is to keep a 9 by 9 matrix of 9-element boolean
+//! vectors that represent the possible choices for each given
+//! position. We start out from an array containing true values only.
+//! Whenever we add a new number to the board, we eliminate all those
+//! options that are affected due to the 3 rules" (paper, Section 3).
+//!
+//! [`add_number`] is the paper's `addNumber`, transcribed with-loop
+//! for with-loop: a single `modarray` with four generators falsifying
+//! the position itself, the row, the column and the sub-board — each
+//! one an inclusive-bound line or box exactly as in the paper's
+//! listing (generalised from the literal 3/8 to `n`/`n²-1`).
+
+use crate::board::Board;
+use sacarray::{Array, Generator, WithLoop};
+
+/// The options cube `bool[n², n², n²]`: `opts[i, j, k]` says whether
+/// number `k+1` may still be placed at `(i, j)`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Opts {
+    n: usize,
+    arr: Array<bool>,
+}
+
+impl Opts {
+    /// The all-true cube for an empty board.
+    pub fn all_true(n: usize) -> Opts {
+        let side = n * n;
+        Opts {
+            n,
+            arr: Array::fill([side, side, side], true),
+        }
+    }
+
+    /// Wraps an existing cube.
+    pub fn from_array(n: usize, arr: Array<bool>) -> Opts {
+        let side = n * n;
+        assert_eq!(arr.shape().extents(), &[side, side, side]);
+        Opts { n, arr }
+    }
+
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    pub fn side(&self) -> usize {
+        self.n * self.n
+    }
+
+    /// The underlying array (what travels in an `opts` field).
+    pub fn array(&self) -> &Array<bool> {
+        &self.arr
+    }
+
+    /// Is number `k` (1-based) still an option at (i, j)?
+    pub fn allows(&self, i: usize, j: usize, k: i64) -> bool {
+        *self.arr.at(&[i, j, (k - 1) as usize])
+    }
+
+    /// Options remaining at (i, j).
+    pub fn count_at(&self, i: usize, j: usize) -> usize {
+        let side = self.side();
+        (0..side).filter(|&k| *self.arr.at(&[i, j, k])).count()
+    }
+
+    /// The candidate numbers (1-based) at (i, j).
+    pub fn candidates(&self, i: usize, j: usize) -> Vec<i64> {
+        let side = self.side();
+        (0..side)
+            .filter(|&k| *self.arr.at(&[i, j, k]))
+            .map(|k| k as i64 + 1)
+            .collect()
+    }
+}
+
+/// The paper's `addNumber`, verbatim modulo generalisation to n²×n²:
+///
+/// ```text
+/// int[*], bool[*] addNumber( int i, int j, int k,
+///                            int[*] board, bool[*] opts)
+/// {
+///   board[i,j] = k;
+///   k = k-1; is = (i/3)*3; js = (j/3)*3;
+///   opts = with {
+///     ([i,j,0]   <= iv <= [i,j,8])       : false;
+///     ([i,0,k]   <= iv <= [i,8,k])       : false;
+///     ([0,j,k]   <= iv <= [8,j,k])       : false;
+///     ([is,js,k] <= iv <= [is+2,js+2,k]) : false;
+///   } : modarray( opts);
+///   return( board, opts);
+/// }
+/// ```
+pub fn add_number(i: usize, j: usize, k: i64, board: &Board, opts: &Opts) -> (Board, Opts) {
+    let n = board.n();
+    let side = board.side();
+    debug_assert!(k >= 1 && k <= side as i64);
+    let board2 = board.with(i, j, k);
+    let k0 = (k - 1) as usize;
+    let is = (i / n) * n;
+    let js = (j / n) * n;
+    let arr = WithLoop::new()
+        // All options at position (i, j).
+        .gen_const(
+            Generator::range_inclusive(vec![i, j, 0], vec![i, j, side - 1]).unwrap(),
+            false,
+        )
+        // Option k along row i.
+        .gen_const(
+            Generator::range_inclusive(vec![i, 0, k0], vec![i, side - 1, k0]).unwrap(),
+            false,
+        )
+        // Option k along column j.
+        .gen_const(
+            Generator::range_inclusive(vec![0, j, k0], vec![side - 1, j, k0]).unwrap(),
+            false,
+        )
+        // Option k within the n×n sub-board.
+        .gen_const(
+            Generator::range_inclusive(vec![is, js, k0], vec![is + n - 1, js + n - 1, k0])
+                .unwrap(),
+            false,
+        )
+        .modarray(opts.array())
+        .expect("generators are within the opts cube by construction");
+    (board2, Opts::from_array(n, arr))
+}
+
+/// The initialisation phase: replays every pre-determined number of a
+/// puzzle through [`add_number`] — this is what the `computeOpts` box
+/// does ("realises the initialisation of the options arrays by
+/// repeatedly calling the function addNumber", paper, Section 5).
+pub fn compute_opts(puzzle: &Board) -> (Board, Opts) {
+    let mut board = Board::empty(puzzle.n());
+    let mut opts = Opts::all_true(puzzle.n());
+    for (i, j, v) in puzzle.placed_cells() {
+        let (b, o) = add_number(i, j, v, &board, &opts);
+        board = b;
+        opts = o;
+    }
+    (board, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_true_initially() {
+        let o = Opts::all_true(3);
+        assert_eq!(o.count_at(4, 4), 9);
+        assert!(o.allows(0, 0, 1));
+        assert!(o.allows(8, 8, 9));
+        assert_eq!(o.candidates(3, 7), (1..=9).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn add_number_eliminates_position_row_col_box() {
+        let b = Board::empty(3);
+        let o = Opts::all_true(3);
+        let (b2, o2) = add_number(4, 4, 5, &b, &o);
+        assert_eq!(b2.get(4, 4), 5);
+        // The position itself: every option gone.
+        assert_eq!(o2.count_at(4, 4), 0);
+        // Row 4: option 5 gone everywhere.
+        for j in 0..9 {
+            assert!(!o2.allows(4, j, 5), "row elimination failed at col {j}");
+        }
+        // Column 4: option 5 gone everywhere.
+        for i in 0..9 {
+            assert!(!o2.allows(i, 4, 5), "col elimination failed at row {i}");
+        }
+        // Centre sub-board: option 5 gone.
+        for i in 3..6 {
+            for j in 3..6 {
+                assert!(!o2.allows(i, j, 5), "box elimination failed at ({i},{j})");
+            }
+        }
+        // Unrelated cells keep option 5 and everything else: (0,0) is
+        // not in row 4, column 4 or the centre box.
+        assert!(o2.allows(0, 0, 5));
+        assert_eq!(o2.count_at(0, 0), 9);
+    }
+
+    #[test]
+    fn unrelated_cell_count_is_untouched() {
+        let b = Board::empty(3);
+        let o = Opts::all_true(3);
+        let (_, o2) = add_number(4, 4, 5, &b, &o);
+        assert_eq!(o2.count_at(0, 0), 9);
+        // A cell sharing only the row loses exactly one option.
+        assert_eq!(o2.count_at(4, 0), 8);
+        // A cell sharing only the box loses exactly one option.
+        assert_eq!(o2.count_at(3, 3), 8);
+    }
+
+    #[test]
+    fn add_number_is_functional() {
+        let b = Board::empty(3);
+        let o = Opts::all_true(3);
+        let (_, _) = add_number(0, 0, 1, &b, &o);
+        // Originals untouched.
+        assert_eq!(b.get(0, 0), 0);
+        assert_eq!(o.count_at(0, 0), 9);
+    }
+
+    #[test]
+    fn compute_opts_replays_clues() {
+        let puzzle = Board::parse(
+            2,
+            "1 . . .\n\
+             . . . .\n\
+             . . . .\n\
+             . . . 2",
+        )
+        .unwrap();
+        let (board, opts) = compute_opts(&puzzle);
+        assert_eq!(board, puzzle);
+        // (0,0) holds 1: no options left there.
+        assert_eq!(opts.count_at(0, 0), 0);
+        // (0,1) shares row and box with the 1: 1 is gone, 2/3/4 stay...
+        // minus the 2 in column? (0,1) is column 1, the 2 is column 3 —
+        // unaffected. So 3 candidates.
+        assert_eq!(opts.candidates(0, 1), vec![2, 3, 4]);
+        // (3,0) shares column with the 1 and row with the 2.
+        assert_eq!(opts.candidates(3, 0), vec![3, 4]);
+    }
+
+    #[test]
+    fn works_on_16x16() {
+        let b = Board::empty(4);
+        let o = Opts::all_true(4);
+        let (b2, o2) = add_number(0, 0, 16, &b, &o);
+        assert_eq!(b2.get(0, 0), 16);
+        assert!(!o2.allows(0, 15, 16)); // row
+        assert!(!o2.allows(15, 0, 16)); // column
+        assert!(!o2.allows(3, 3, 16)); // sub-board
+        assert!(o2.allows(4, 4, 16)); // outside all three
+        assert_eq!(o2.count_at(0, 0), 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! A fixed puzzle corpus for tests, examples and benchmarks.
+//!
+//! Hand-checked small instances plus deterministic generated ones
+//! (cached per process — generation with uniqueness checks is not
+//! free, and benchmarks must not measure it).
+
+use crate::board::Board;
+use crate::gen::{generate, GenConfig};
+use std::sync::OnceLock;
+
+/// A 4×4 puzzle with a unique solution — small enough to trace by
+/// hand, used throughout the unit tests.
+pub fn mini4() -> Board {
+    Board::parse(
+        2,
+        "1 . . .\n\
+         . . 1 .\n\
+         . 3 . .\n\
+         . . . 2",
+    )
+    .expect("static puzzle is well-formed")
+}
+
+/// A 4×4 configuration whose options run dry immediately: cell (1,0)
+/// sees 1 and 2 in its box and 1, 3, 4 in its column.
+pub fn stuck4() -> Board {
+    Board::parse(
+        2,
+        "1 2 3 .\n\
+         . . . .\n\
+         4 . . .\n\
+         3 . . .",
+    )
+    .expect("static puzzle is well-formed")
+}
+
+/// The classic 30-clue 9×9 newspaper puzzle (unique solution).
+pub fn classic9() -> Board {
+    Board::parse_line(
+        "530070000600195000098000060800060003400803001700020006060000280000419005000080079",
+    )
+    .expect("static puzzle is well-formed")
+}
+
+/// An easy generated 9×9 (40 clues), deterministic.
+pub fn easy9() -> Board {
+    static CACHE: OnceLock<Board> = OnceLock::new();
+    CACHE
+        .get_or_init(|| {
+            generate(GenConfig {
+                n: 3,
+                target_clues: 40,
+                unique: true,
+                seed: 0xEA5E,
+            })
+        })
+        .clone()
+}
+
+/// A medium generated 9×9 (~32 clues), deterministic.
+pub fn medium9() -> Board {
+    static CACHE: OnceLock<Board> = OnceLock::new();
+    CACHE
+        .get_or_init(|| {
+            generate(GenConfig {
+                n: 3,
+                target_clues: 32,
+                unique: true,
+                seed: 0x3ED1,
+            })
+        })
+        .clone()
+}
+
+/// A hard generated 9×9 (as few clues as the digger reaches from its
+/// seed, typically 24–28), deterministic.
+pub fn hard9() -> Board {
+    static CACHE: OnceLock<Board> = OnceLock::new();
+    CACHE
+        .get_or_init(|| {
+            generate(GenConfig {
+                n: 3,
+                target_clues: 17,
+                unique: true,
+                seed: 0x44A2,
+            })
+        })
+        .clone()
+}
+
+/// A 16×16 puzzle (uniqueness not enforced — the paper's "bigger
+/// puzzles" motivation; the solver reports the first solution found).
+pub fn big16() -> Board {
+    static CACHE: OnceLock<Board> = OnceLock::new();
+    CACHE
+        .get_or_init(|| {
+            generate(GenConfig {
+                n: 4,
+                target_clues: 220,
+                unique: false,
+                seed: 0x1616,
+            })
+        })
+        .clone()
+}
+
+/// A 25×25 puzzle (80 holes, uniqueness not enforced). Generation
+/// takes several seconds, so this is cached and only used by opt-in
+/// tests and benches — the outermost point of the paper's "bigger
+/// puzzles" motivation.
+pub fn big25() -> Board {
+    static CACHE: OnceLock<Board> = OnceLock::new();
+    CACHE
+        .get_or_init(|| {
+            generate(GenConfig {
+                n: 5,
+                target_clues: 545,
+                unique: false,
+                seed: 0x2525,
+            })
+        })
+        .clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sac_solver::count_solutions;
+
+    #[test]
+    fn static_puzzles_are_valid() {
+        assert!(mini4().is_valid());
+        assert!(stuck4().is_valid());
+        assert!(classic9().is_valid());
+        assert_eq!(classic9().placed(), 30);
+    }
+
+    #[test]
+    fn mini4_is_unique() {
+        assert_eq!(count_solutions(&mini4(), 2), 1);
+    }
+
+    #[test]
+    fn generated_corpus_is_cached_and_consistent() {
+        let a = easy9();
+        let b = easy9();
+        assert_eq!(a, b);
+        assert!(a.placed() >= 40);
+        assert!(medium9().placed() >= 32);
+        assert!(hard9().placed() < medium9().placed());
+    }
+
+    #[test]
+    fn big16_has_right_shape() {
+        let b = big16();
+        assert_eq!(b.side(), 16);
+        assert_eq!(b.placed(), 220);
+        assert!(b.is_valid());
+    }
+}

@@ -1,0 +1,304 @@
+//! The pure-SaC solver of Section 3.
+//!
+//! "Solving sudokus boils down to a search algorithm which successively
+//! adds numbers to all positions not yet filled until it either gets
+//! stuck or is completed." The functions here mirror the paper's
+//! names: `isStuck`, `isCompleted`, `findFirst`, `findMinTrues`, and
+//! the recursive `solve` with its for-loop backtracking.
+//!
+//! Two position-selection policies are provided because the paper
+//! compares them: `findFirst` (first empty cell, row-major) and
+//! `findMinTrues` (fewest options left), the latter chosen "in order
+//! to keep the potential need for back-tracking as small as possible"
+//! — the S3 benchmark measures exactly this gap.
+
+use crate::board::Board;
+use crate::opts::{add_number, Opts};
+use sacarray::ops::argmin_by;
+use sacarray::{Generator, WithLoop};
+
+/// The paper's `isCompleted`: every position filled.
+pub fn is_completed(board: &Board) -> bool {
+    board.is_full()
+}
+
+/// The paper's `isStuck`: some empty position has no options left —
+/// the search cannot proceed from this configuration.
+pub fn is_stuck(board: &Board, opts: &Opts) -> bool {
+    let side = board.side();
+    WithLoop::new()
+        .gen(
+            Generator::range(vec![0, 0], vec![side, side]).unwrap(),
+            move |iv| board.get(iv[0], iv[1]) == 0 && opts.count_at(iv[0], iv[1]) == 0,
+        )
+        .fold_seq(false, |a, b| a || b)
+}
+
+/// The paper's `findFirst( 0, board)`: the first empty position in
+/// row-major order, or `None` when the board is full.
+pub fn find_first(board: &Board) -> Option<(usize, usize)> {
+    sacarray::ops::find_first(board.cells(), &0).map(|iv| (iv[0], iv[1]))
+}
+
+/// The paper's `findMinTrues( opts)`: a free position with a minimum
+/// number of options left. Positions with zero options are filled
+/// cells (or stuck boards, excluded before this is called), so only
+/// positions with at least one option are eligible.
+pub fn find_min_trues(board: &Board, opts: &Opts) -> Option<(usize, usize)> {
+    argmin_by(
+        board.cells(),
+        |iv, _| opts.count_at(iv[0], iv[1]),
+        |iv, v| *v == 0 && opts.count_at(iv[0], iv[1]) > 0,
+    )
+    .map(|iv| (iv[0], iv[1]))
+}
+
+/// Position-selection policy for the solver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Policy {
+    /// `findFirst`: first empty cell.
+    FindFirst,
+    /// `findMinTrues`: cell with fewest remaining options.
+    MinTrues,
+}
+
+/// Statistics of one solver run (search-effort measurements for the
+/// S3 benchmark).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Calls to `solve` (nodes of the search tree).
+    pub nodes: u64,
+    /// `addNumber` applications (numbers tried).
+    pub placements: u64,
+    /// Dead ends (stuck boards reached).
+    pub stuck: u64,
+}
+
+/// The paper's recursive `solve`, parameterised by selection policy:
+///
+/// ```text
+/// int[*], bool[*] solve( int[*] board, bool[*] opts)
+/// {
+///   if (!isStuck(board, opts) && !isCompleted(board)) {
+///     i,j = findMinTrues(opts);        // or findFirst(0, board)
+///     mem_board = board; mem_opts = opts;
+///     for (k=1; (k<=9) && (!isCompleted(board)); k++) {
+///       if (mem_opts[i,j,k-1]) {
+///         board, opts = addNumber(i, j, k, mem_board, mem_opts);
+///         board, opts = solve(board, opts);
+///       }
+///     }
+///   }
+///   return (board, opts);
+/// }
+/// ```
+///
+/// Returns the first solution found or, "if no solution exists, the
+/// board where the algorithm got stuck".
+pub fn solve(board: Board, opts: Opts, policy: Policy, stats: &mut SolveStats) -> (Board, Opts) {
+    stats.nodes += 1;
+    if is_stuck(&board, &opts) {
+        stats.stuck += 1;
+        return (board, opts);
+    }
+    if is_completed(&board) {
+        return (board, opts);
+    }
+    let (i, j) = match policy {
+        Policy::FindFirst => find_first(&board),
+        Policy::MinTrues => find_min_trues(&board, &opts),
+    }
+    .expect("not completed implies an empty, non-stuck position exists");
+    let side = board.side();
+    let mem_board = board;
+    let mem_opts = opts;
+    let mut board = mem_board.clone();
+    let mut opts = mem_opts.clone();
+    for k in 1..=side as i64 {
+        if is_completed(&board) {
+            break;
+        }
+        if mem_opts.allows(i, j, k) {
+            stats.placements += 1;
+            let (b, o) = add_number(i, j, k, &mem_board, &mem_opts);
+            let (b, o) = solve(b, o, policy, stats);
+            board = b;
+            opts = o;
+        }
+    }
+    (board, opts)
+}
+
+/// Convenience wrapper: computes options from the puzzle's clues and
+/// runs the solver; returns the solved board (or the stuck board when
+/// unsolvable) plus statistics.
+pub fn solve_puzzle(puzzle: &Board, policy: Policy) -> (Board, SolveStats) {
+    let (board, opts) = crate::opts::compute_opts(puzzle);
+    let mut stats = SolveStats::default();
+    let (board, _) = solve(board, opts, policy, &mut stats);
+    (board, stats)
+}
+
+/// Counts the solutions of a puzzle, stopping at `limit` (used by the
+/// generator's uniqueness check; `limit = 2` answers "unique?").
+pub fn count_solutions(puzzle: &Board, limit: u64) -> u64 {
+    let (board, opts) = crate::opts::compute_opts(puzzle);
+    let mut count = 0;
+    count_rec(board, opts, limit, &mut count);
+    count
+}
+
+fn count_rec(board: Board, opts: Opts, limit: u64, count: &mut u64) {
+    if *count >= limit {
+        return;
+    }
+    if is_stuck(&board, &opts) {
+        return;
+    }
+    if is_completed(&board) {
+        *count += 1;
+        return;
+    }
+    let (i, j) = find_min_trues(&board, &opts).expect("non-stuck, non-complete");
+    let side = board.side();
+    for k in 1..=side as i64 {
+        if *count >= limit {
+            return;
+        }
+        if opts.allows(i, j, k) {
+            let (b, o) = add_number(i, j, k, &board, &opts);
+            count_rec(b, o, limit, count);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opts::compute_opts;
+
+    fn mini_puzzle() -> Board {
+        Board::parse(
+            2,
+            "1 . . .\n\
+             . . 1 .\n\
+             . 3 . .\n\
+             . . . 2",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn solve_mini_with_both_policies() {
+        for policy in [Policy::FindFirst, Policy::MinTrues] {
+            let (solved, stats) = solve_puzzle(&mini_puzzle(), policy);
+            assert!(solved.is_solved(), "policy {policy:?} failed:\n{solved}");
+            assert!(stats.nodes > 0);
+        }
+    }
+
+    #[test]
+    fn solve_classic_9x9() {
+        let puzzle = Board::parse_line(
+            "530070000600195000098000060800060003400803001700020006060000280000419005000080079",
+        )
+        .unwrap();
+        let (solved, _) = solve_puzzle(&puzzle, Policy::MinTrues);
+        assert!(solved.is_solved());
+        // Clues preserved.
+        for (i, j, v) in puzzle.placed_cells() {
+            assert_eq!(solved.get(i, j), v);
+        }
+    }
+
+    #[test]
+    fn min_trues_never_searches_more_than_find_first_on_classic() {
+        let puzzle = Board::parse_line(
+            "530070000600195000098000060800060003400803001700020006060000280000419005000080079",
+        )
+        .unwrap();
+        let (_, s_first) = solve_puzzle(&puzzle, Policy::FindFirst);
+        let (_, s_min) = solve_puzzle(&puzzle, Policy::MinTrues);
+        assert!(
+            s_min.placements <= s_first.placements,
+            "minTrues {} > findFirst {}",
+            s_min.placements,
+            s_first.placements
+        );
+    }
+
+    #[test]
+    fn unsolvable_board_returns_stuck() {
+        // Two 1s forced into the same row via options: column 0 and 1
+        // of row 0 both restricted... simplest: make a contradiction
+        // where an empty cell has no options.
+        let puzzle = Board::parse(
+            2,
+            "1 2 3 .\n\
+             . . . .\n\
+             4 . . .\n\
+             3 . . .",
+        )
+        .unwrap();
+        // Cell (1,0) sees 1,2 (box), 3,4 (column... col0 has 1,4,3) →
+        // candidates of (1,0): not 1 (box/col), not 2 (box), not 3
+        // (col), not 4 (col) → empty. Stuck.
+        let (board, opts) = compute_opts(&puzzle);
+        assert!(is_stuck(&board, &opts));
+        let (result, stats) = solve_puzzle(&puzzle, Policy::MinTrues);
+        assert!(!result.is_solved());
+        assert_eq!(stats.stuck, 1);
+    }
+
+    #[test]
+    fn find_first_is_row_major() {
+        let b = Board::empty(2).with(0, 0, 1).with(0, 1, 2);
+        assert_eq!(find_first(&b), Some((0, 2)));
+        let full = Board::parse(2, "1 2 3 4 3 4 1 2 2 1 4 3 4 3 2 1").unwrap();
+        assert_eq!(find_first(&full), None);
+    }
+
+    #[test]
+    fn find_min_trues_picks_most_constrained() {
+        let puzzle = mini_puzzle();
+        let (board, opts) = compute_opts(&puzzle);
+        let (i, j) = find_min_trues(&board, &opts).unwrap();
+        let min_count = opts.count_at(i, j);
+        // No empty cell has fewer options.
+        for r in 0..4 {
+            for c in 0..4 {
+                if board.get(r, c) == 0 {
+                    assert!(opts.count_at(r, c) >= min_count);
+                }
+            }
+        }
+        assert!(min_count >= 1);
+    }
+
+    #[test]
+    fn completed_board_is_fixed_point() {
+        let full = Board::parse(2, "1 2 3 4 3 4 1 2 2 1 4 3 4 3 2 1").unwrap();
+        let (b, o) = compute_opts(&full);
+        let mut stats = SolveStats::default();
+        let (result, _) = solve(b.clone(), o, Policy::MinTrues, &mut stats);
+        assert_eq!(result, b);
+        assert_eq!(stats.nodes, 1);
+        assert_eq!(stats.placements, 0);
+    }
+
+    #[test]
+    fn count_solutions_unique_and_multiple() {
+        // The classic puzzle is unique.
+        let puzzle = mini_puzzle();
+        assert_eq!(count_solutions(&puzzle, 2), 1);
+        // An empty 4x4 board has many solutions; limit caps the count.
+        let empty = Board::empty(2);
+        assert_eq!(count_solutions(&empty, 3), 3);
+    }
+
+    #[test]
+    fn solver_solves_empty_4x4() {
+        let (solved, _) = solve_puzzle(&Board::empty(2), Policy::MinTrues);
+        assert!(solved.is_solved());
+    }
+}

@@ -1,0 +1,161 @@
+//! A second application domain: a sensor-fusion network.
+//!
+//! Demonstrates that the two-layer model is not sudoku-specific. The
+//! computation layer does data-parallel signal processing with
+//! with-loops (calibration, statistics as folds); the coordination
+//! layer splits streams per sensor (`!! <sensor>`), routes records by
+//! *type* through a parallel composition (clean readings to the
+//! summariser, anomalous ones to a quarantine filter), and merges
+//! non-deterministically — the paper's "programs that adapt to the
+//! load distribution in a concurrent system".
+//!
+//! Run with: `cargo run --release --example sensor_network`
+
+use sacarray::{Array, Generator, WithLoop};
+use snet_runtime::NetBuilder;
+use snet_types::{Record, Value};
+
+/// Mean of a sample array, as a fold with-loop.
+fn mean(samples: &Array<f64>) -> f64 {
+    let n = samples.size() as f64;
+    let total = WithLoop::new()
+        .gen(Generator::full(samples.shape()), move |iv| *samples.at(iv))
+        .fold(0.0, |a, b| a + b);
+    total / n
+}
+
+/// Variance, as a second fold.
+fn variance(samples: &Array<f64>, mu: f64) -> f64 {
+    let n = samples.size() as f64;
+    let total = WithLoop::new()
+        .gen(Generator::full(samples.shape()), move |iv| {
+            let d = *samples.at(iv) - mu;
+            d * d
+        })
+        .fold(0.0, |a, b| a + b);
+    total / n
+}
+
+fn main() {
+    let src = "
+        // Remove per-sensor bias, data-parallel over the samples.
+        box calibrate (samples, <bias_ppm>) -> (samples);
+        // Classify: clean readings yield {stats}; anomalies keep the
+        // raw samples and gain an <anomaly> tag.
+        box analyze (samples) -> (stats) | (samples, <anomaly>);
+        // Reduce a stats field to a printable report.
+        box summarize (stats, <sensor>) -> (report, <sensor>);
+
+        net main = calibrate
+                .. (analyze !! <sensor>)
+                .. (summarize || [{samples, <anomaly>} -> {quarantined=samples, <anomaly>=<anomaly>}]);
+    ";
+
+    let net = NetBuilder::from_source(src)
+        .expect("program parses")
+        .bind("calibrate", |rec, em| {
+            let samples = rec.field("samples").unwrap().as_double_array().unwrap();
+            let bias = rec.tag("bias_ppm").unwrap() as f64 / 1_000_000.0;
+            let shape = samples.shape().clone();
+            let samples = samples.clone();
+            let corrected = WithLoop::new()
+                .gen(Generator::full(&shape), move |iv| samples.at(iv) - bias)
+                .genarray(shape, 0.0)
+                .unwrap();
+            em.emit(
+                Record::build()
+                    .field("samples", Value::DoubleArray(corrected))
+                    .finish(),
+            );
+        })
+        .bind("analyze", |rec, em| {
+            let samples = rec.field("samples").unwrap().as_double_array().unwrap();
+            let mu = mean(samples);
+            let var = variance(samples, mu);
+            if var < 1.0 {
+                em.emit(
+                    Record::build()
+                        .field(
+                            "stats",
+                            Value::DoubleArray(Array::from_vec(vec![mu, var])),
+                        )
+                        .finish(),
+                );
+            } else {
+                em.emit(
+                    Record::build()
+                        .field("samples", Value::DoubleArray(samples.clone()))
+                        .tag("anomaly", (var * 1000.0) as i64)
+                        .finish(),
+                );
+            }
+        })
+        .bind("summarize", |rec, em| {
+            let stats = rec.field("stats").unwrap().as_double_array().unwrap();
+            let sensor = rec.tag("sensor").unwrap();
+            let report = format!(
+                "sensor {sensor}: mean {:+.4}, variance {:.4}",
+                stats.data()[0],
+                stats.data()[1]
+            );
+            em.emit(
+                Record::build()
+                    .field("report", Value::from(report))
+                    .tag("sensor", sensor)
+                    .finish(),
+            );
+        })
+        .build("main")
+        .expect("network type-checks");
+
+    println!("input type : {}", net.input_type());
+    println!("output type: {}\n", net.output_type());
+
+    // Synthesise readings for 4 sensors; sensor 2 is noisy.
+    for batch in 0..3 {
+        for sensor in 0..4i64 {
+            let noisy = sensor == 2;
+            let data: Vec<f64> = (0..4096)
+                .map(|i| {
+                    let x = i as f64 * 0.01 + batch as f64;
+                    let signal = (x).sin() * 0.3;
+                    let noise = if noisy { ((i * 2654435761_usize) % 1000) as f64 / 100.0 } else { 0.0 };
+                    signal + noise
+                })
+                .collect();
+            net.send(
+                Record::build()
+                    .field("samples", Value::DoubleArray(Array::from_vec(data)))
+                    .tag("sensor", sensor)
+                    .tag("bias_ppm", 1500)
+                    .finish(),
+            )
+            .expect("reading matches net input");
+        }
+    }
+
+    let outputs = net.finish();
+    let mut reports = 0;
+    let mut quarantined = 0;
+    for rec in &outputs {
+        if let Some(report) = rec.field("report") {
+            println!("{}", report.as_str().unwrap());
+            reports += 1;
+        } else if rec.tag("anomaly").is_some() {
+            let n = rec
+                .field("quarantined")
+                .and_then(|v| v.as_double_array())
+                .map(|a| a.size())
+                .unwrap_or(0);
+            println!(
+                "sensor {}: ANOMALY (variance x1000 = {}), {n} samples quarantined",
+                rec.tag("sensor").unwrap(),
+                rec.tag("anomaly").unwrap()
+            );
+            quarantined += 1;
+        }
+    }
+    assert_eq!(reports, 9, "3 batches x 3 clean sensors");
+    assert_eq!(quarantined, 3, "3 batches x 1 noisy sensor");
+    println!("\nsensor network OK ({reports} reports, {quarantined} quarantined)");
+}

@@ -1,0 +1,53 @@
+//! Throttle exploration — the Figure 3 design space.
+//!
+//! "For bigger sudokus or in situations where we cannot derive proper
+//! upper limits for the unfoldings from the application itself, we
+//! usually want to control the unfolding of the replicators" (paper,
+//! Section 5). This example sweeps the two throttle parameters — the
+//! modulo of the `<k>` filter (parallel width) and the `<level>`
+//! cutoff (pipeline depth) — and prints how unfolding, thread count
+//! and wall time respond.
+//!
+//! Run with: `cargo run --release --example throttled_search`
+
+use std::time::Instant;
+use sudoku::networks::solve_fig3;
+use sudoku::puzzles;
+
+fn main() {
+    let puzzle = puzzles::medium9();
+    println!("puzzle ({} clues):\n{puzzle}", puzzle.placed());
+    println!(
+        "{:>6} {:>7} | {:>9} {:>10} {:>10} {:>9} {:>12}",
+        "mod", "cutoff", "depth", "max width", "boxes", "exits", "time"
+    );
+
+    for modulo in [1i64, 2, 4, 8] {
+        for cutoff in [20i64, 40, 60] {
+            let t0 = Instant::now();
+            let run = solve_fig3(&puzzle, modulo, cutoff);
+            let dt = t0.elapsed();
+            assert!(
+                !run.solutions.is_empty(),
+                "throttled network must still find the solution"
+            );
+            let depth = run.metrics.max_matching("/stages");
+            let width = run.metrics.max_matching("/branches");
+            let boxes = run.metrics.count_matching("box:solveOneLevelL/spawned");
+            println!(
+                "{:>6} {:>7} | {:>9} {:>10} {:>10} {:>9} {:>12?}",
+                modulo, cutoff, depth, width, boxes, run.outputs, dt
+            );
+            assert!(
+                width as i64 <= modulo,
+                "parallel width {width} exceeded the modulo throttle {modulo}"
+            );
+            assert!(
+                depth as i64 <= cutoff + 2,
+                "pipeline depth {depth} exceeded cutoff {cutoff} (+ exit guard)"
+            );
+        }
+    }
+
+    println!("\nall throttle bounds held (width <= mod, depth <= cutoff + guard)");
+}

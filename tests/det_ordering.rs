@@ -1,0 +1,181 @@
+//! Property tests for the deterministic combinator variants.
+//!
+//! The defining property of `|`, `*`, `!` (paper, Section 4): output
+//! order is a *function of input order*, independent of scheduling.
+//! For boxes with deterministic emission we can therefore state an
+//! exact oracle — the outputs of record 1 (in emission order), then
+//! record 2's, and so on — and check it over random streams. The
+//! non-deterministic variants only guarantee multiset equality, which
+//! is checked alongside.
+
+use proptest::prelude::*;
+use snet_runtime::{Net, NetBuilder};
+use snet_types::Record;
+
+/// An input: value, copy count (emission fan-out), routing lane.
+#[derive(Clone, Debug)]
+struct In {
+    x: i64,
+    copies: i64,
+    lane: i64,
+}
+
+fn arb_inputs() -> impl Strategy<Value = Vec<In>> {
+    proptest::collection::vec(
+        (0i64..1000, 0i64..4, 0i64..4).prop_map(|(x, copies, lane)| In { x, copies, lane }),
+        0..24,
+    )
+}
+
+/// `rep (x, <c>) -> (y)`: emits `x*10 + i` for `i in 0..c` — a
+/// deterministic multi-output box.
+fn build(expr: &str) -> Net {
+    let src = format!(
+        "box rep (x, <c>) -> (y);
+         net main = {expr};"
+    );
+    NetBuilder::from_source(&src)
+        .unwrap()
+        .bind("rep", |rec, em| {
+            let x = rec.field("x").unwrap().as_int().unwrap();
+            let c = rec.tag("c").unwrap();
+            for i in 0..c {
+                em.emit(Record::build().field("y", x * 10 + i).finish());
+            }
+        })
+        .build("main")
+        .unwrap()
+}
+
+fn drive(net: Net, inputs: &[In]) -> Vec<i64> {
+    for r in inputs {
+        net.send(
+            Record::build()
+                .field("x", r.x)
+                .tag("c", r.copies)
+                .tag("k", r.lane)
+                .finish(),
+        )
+        .unwrap();
+    }
+    net.finish()
+        .iter()
+        .map(|r| r.field("y").unwrap().as_int().unwrap())
+        .collect()
+}
+
+/// The oracle: record-major, emission-order outputs.
+fn oracle(inputs: &[In]) -> Vec<i64> {
+    inputs
+        .iter()
+        .flat_map(|r| (0..r.copies).map(move |i| r.x * 10 + i))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Deterministic parallel composition: exact input order, whichever
+    /// branch each record was routed to.
+    #[test]
+    fn det_parallel_matches_oracle(inputs in arb_inputs()) {
+        let got = drive(build("rep | rep"), &inputs);
+        prop_assert_eq!(got, oracle(&inputs));
+    }
+
+    /// Deterministic indexed replication: exact input order across
+    /// dynamically created replicas.
+    #[test]
+    fn det_split_matches_oracle(inputs in arb_inputs()) {
+        let got = drive(build("rep ! <k>"), &inputs);
+        prop_assert_eq!(got, oracle(&inputs));
+    }
+
+    /// Nested: a det split inside a det parallel still reproduces
+    /// global input order end-to-end.
+    #[test]
+    fn nested_det_matches_oracle(inputs in arb_inputs()) {
+        let got = drive(build("(rep ! <k>) | (rep ! <k>)"), &inputs);
+        prop_assert_eq!(got, oracle(&inputs));
+    }
+
+    /// Non-deterministic variants: same multiset, any order; per-lane
+    /// order is preserved by the split.
+    #[test]
+    fn nondet_split_multiset_and_lane_order(inputs in arb_inputs()) {
+        let net = build("rep !! <k>");
+        // Need the lane on the output to group: rep consumes x,<c> so
+        // <k> flow-inherits.
+        for r in &inputs {
+            net.send(
+                Record::build()
+                    .field("x", r.x)
+                    .tag("c", r.copies)
+                    .tag("k", r.lane)
+                    .finish(),
+            )
+            .unwrap();
+        }
+        let out = net.finish();
+        // Multiset equality.
+        let mut got: Vec<i64> = out
+            .iter()
+            .map(|r| r.field("y").unwrap().as_int().unwrap())
+            .collect();
+        let mut want = oracle(&inputs);
+        got.sort();
+        want.sort();
+        prop_assert_eq!(got, want);
+        // Per-lane order.
+        for lane in 0..4i64 {
+            let lane_got: Vec<i64> = out
+                .iter()
+                .filter(|r| r.tag("k") == Some(lane))
+                .map(|r| r.field("y").unwrap().as_int().unwrap())
+                .collect();
+            let lane_want: Vec<i64> = inputs
+                .iter()
+                .filter(|r| r.lane == lane)
+                .flat_map(|r| (0..r.copies).map(move |i| r.x * 10 + i))
+                .collect();
+            prop_assert_eq!(lane_got, lane_want, "lane {} order violated", lane);
+        }
+    }
+}
+
+// Deterministic star: countdown chains of random depth; output must
+// follow input order exactly even though deep records take much
+// longer to emerge.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn det_star_matches_input_order(depths in proptest::collection::vec(1i64..24, 1..12)) {
+        let src = "
+            box dec (n) -> (n) | (n, <z>);
+            net main = dec * {<z>};
+        ";
+        let net = NetBuilder::from_source(src)
+            .unwrap()
+            .bind("dec", |rec, em| {
+                let n = rec.field("n").unwrap().as_int().unwrap();
+                if n <= 1 {
+                    em.emit(Record::build().field("n", 0i64).tag("z", 1).finish());
+                } else {
+                    em.emit(Record::build().field("n", n - 1).finish());
+                }
+            })
+            .build("main")
+            .unwrap();
+        for (id, d) in depths.iter().enumerate() {
+            net.send(
+                Record::build().field("n", *d).tag("id", id as i64).finish(),
+            )
+            .unwrap();
+        }
+        let out = net.finish();
+        let ids: Vec<i64> = out.iter().map(|r| r.tag("id").unwrap()).collect();
+        let want: Vec<i64> = (0..depths.len() as i64).collect();
+        prop_assert_eq!(ids, want);
+    }
+}

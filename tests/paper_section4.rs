@@ -1,0 +1,200 @@
+//! Conformance suite for Section 4 of the paper: every normative
+//! statement about the S-Net language, checked end-to-end through the
+//! public API (parse → infer → run).
+
+use snet_runtime::NetBuilder;
+use snet_types::{Record, Value};
+
+/// "box foo (a,<b>) -> (c) | (c,d,<e>)" with the paper's exact
+/// snet_out calls: `snet_out(1, x)` and `snet_out(2, x, y, 42)`.
+#[test]
+fn snet_out_variant_interface() {
+    let net = NetBuilder::from_source(
+        "box foo (a, <b>) -> (c) | (c, d, <e>);
+         net main = foo;",
+    )
+    .unwrap()
+    .bind("foo", |rec, em| {
+        let x = rec.field("a").unwrap().clone();
+        let y = Value::Int(-7);
+        // snet_out( 1, x );
+        em.emit_variant(1, vec![x.clone()]);
+        // snet_out( 2, x, y, 42 );
+        em.emit_variant(2, vec![x, y, Value::Int(42)]);
+    })
+    .build("main")
+    .unwrap();
+
+    net.send(Record::build().field("a", 5i64).tag("b", 1).finish())
+        .unwrap();
+    let out = net.finish();
+    assert_eq!(out.len(), 2);
+    // First output variant: just {c}.
+    assert_eq!(out[0].field("c").unwrap().as_int(), Some(5));
+    assert!(out[0].field("d").is_none());
+    // Second: {c, d, <e>} with <e> = 42.
+    assert_eq!(out[1].field("d").unwrap().as_int(), Some(-7));
+    assert_eq!(out[1].tag("e"), Some(42));
+}
+
+/// "let us assume the box foo receives a record {a,<b>,d} ... The
+/// field d is attached to any output record of foo that follows the
+/// first output type variant; output records produced according to the
+/// second output type variant are left untouched as they already
+/// feature a field d."
+#[test]
+fn flow_inheritance_worked_example() {
+    let net = NetBuilder::from_source(
+        "box foo (a, <b>) -> (c) | (c, d, <e>);
+         net main = foo;",
+    )
+    .unwrap()
+    .bind("foo", |rec, em| {
+        let x = rec.field("a").unwrap().clone();
+        em.emit_variant(1, vec![x.clone()]);
+        em.emit_variant(2, vec![x, Value::Int(-1), Value::Int(0)]);
+    })
+    .build("main")
+    .unwrap();
+
+    net.send(
+        Record::build()
+            .field("a", 1i64)
+            .tag("b", 2)
+            .field("d", 99i64) // the excess field
+            .finish(),
+    )
+    .unwrap();
+    let out = net.finish();
+    // Variant 1 output gains the inherited d.
+    assert_eq!(out[0].field("d").unwrap().as_int(), Some(99));
+    // Variant 2 output keeps its own d.
+    assert_eq!(out[1].field("d").unwrap().as_int(), Some(-1));
+    // The consumed tag <b> does not reappear on either.
+    assert!(out[0].tag("b").is_none());
+    assert!(out[1].tag("b").is_none());
+}
+
+/// "Any incoming record is directed towards the subnetwork whose input
+/// type better matches the type of the record itself."
+#[test]
+fn best_match_routing_three_way() {
+    let net = NetBuilder::from_source(
+        "box one (a) -> (w);
+         box two (a, b) -> (w);
+         box three (a, b, c) -> (w);
+         net main = one || two || three;",
+    )
+    .unwrap()
+    .bind("one", |_r, e| {
+        e.emit(Record::build().field("w", 1i64).finish())
+    })
+    .bind("two", |_r, e| {
+        e.emit(Record::build().field("w", 2i64).finish())
+    })
+    .bind("three", |_r, e| {
+        e.emit(Record::build().field("w", 3i64).finish())
+    })
+    .build("main")
+    .unwrap();
+
+    // {a} -> one; {a,b} -> two; {a,b,c} -> three; {a,b,c,x} -> three.
+    for fields in [vec!["a"], vec!["a", "b"], vec!["a", "b", "c"], vec!["a", "b", "c", "x"]] {
+        let mut r = Record::new();
+        for f in &fields {
+            r.set_field(f, Value::Int(0));
+        }
+        net.send(r).unwrap();
+    }
+    let mut out: Vec<i64> = net
+        .finish()
+        .iter()
+        .map(|r| r.field("w").unwrap().as_int().unwrap())
+        .collect();
+    out.sort();
+    assert_eq!(out, vec![1, 2, 3, 3]);
+}
+
+/// "These four combinators preserve the SISO property, i.e., any
+/// network, regardless of its complexity, can be used as an SISO
+/// component." — a star inside a parallel inside a serial, all
+/// composing through single streams.
+#[test]
+fn siso_composability() {
+    let src = "
+        box dec (n) -> (n) | (n, <z>);
+        box tagit (m) -> (m, <z>);
+        net chain = dec ** {<z>};
+        net either = chain || tagit;
+        net main = either .. [{<z>} -> {<z>=<z>+1}];
+    ";
+    let net = NetBuilder::from_source(src)
+        .unwrap()
+        .bind("dec", |rec, em| {
+            let n = rec.field("n").unwrap().as_int().unwrap();
+            if n <= 1 {
+                em.emit(Record::build().field("n", 0i64).tag("z", 10).finish());
+            } else {
+                em.emit(Record::build().field("n", n - 1).finish());
+            }
+        })
+        .bind("tagit", |rec, em| {
+            let m = rec.field("m").unwrap().as_int().unwrap();
+            em.emit(Record::build().field("m", m).tag("z", 20).finish());
+        })
+        .build("main")
+        .unwrap();
+    net.send(Record::build().field("n", 4i64).finish()).unwrap();
+    net.send(Record::build().field("m", 7i64).finish()).unwrap();
+    let out = net.finish();
+    assert_eq!(out.len(), 2);
+    let zs: Vec<i64> = {
+        let mut v: Vec<i64> = out.iter().map(|r| r.tag("z").unwrap()).collect();
+        v.sort();
+        v
+    };
+    // Both paths passed the final filter, which incremented <z>.
+    assert_eq!(zs, vec![11, 21]);
+}
+
+/// Tags are "accessible both on the S-Net and the SaC level": a box
+/// reads a tag, computes with it, and emits a new tag value that a
+/// downstream filter manipulates again.
+#[test]
+fn tags_cross_the_layer_boundary_both_ways() {
+    let src = "
+        box scale (v, <factor>) -> (v, <sum>);
+        net main = scale .. [{<sum>} -> {<sum>=<sum>*2}];
+    ";
+    let net = NetBuilder::from_source(src)
+        .unwrap()
+        .bind("scale", |rec, em| {
+            // SaC level: tag value drives a data-parallel computation.
+            let v = rec.field("v").unwrap().as_int_array().unwrap();
+            let f = rec.tag("factor").unwrap();
+            let scaled = v.map(|x| x * f);
+            let sum: i64 = scaled.data().iter().sum();
+            em.emit(
+                Record::build()
+                    .field("v", Value::IntArray(scaled))
+                    .tag("sum", sum)
+                    .finish(),
+            );
+        })
+        .build("main")
+        .unwrap();
+    net.send(
+        Record::build()
+            .field("v", Value::IntArray(sacarray::Array::from_vec(vec![1i64, 2, 3])))
+            .tag("factor", 10)
+            .finish(),
+    )
+    .unwrap();
+    let out = net.finish();
+    // S-Net level: (1+2+3)*10 summed by the box, doubled by the filter.
+    assert_eq!(out[0].tag("sum"), Some(120));
+    assert_eq!(
+        out[0].field("v").unwrap().as_int_array().unwrap().data(),
+        &[10, 20, 30]
+    );
+}

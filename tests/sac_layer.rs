@@ -1,0 +1,219 @@
+//! Integration and property tests for the SaC computation layer,
+//! including the paper-level invariant that data-parallel evaluation
+//! is observably identical to sequential evaluation ("completely
+//! implicit and thus avoids all the usual pitfalls of concurrent
+//! programming", Section 1).
+
+use proptest::prelude::*;
+use sacarray::{ops, Array, Eval, Generator, Pool, WithLoop};
+use sudoku::{add_number, compute_opts, Board, Opts};
+
+fn arb_region(extent: usize) -> impl Strategy<Value = (usize, usize)> {
+    (0..extent).prop_flat_map(move |lo| (Just(lo), lo..=extent))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Parallel genarray == sequential genarray, for arbitrary
+    /// overlapping generator pairs over a matrix.
+    #[test]
+    fn par_eq_seq_genarray(
+        (r1lo, r1hi) in arb_region(48),
+        (c1lo, c1hi) in arb_region(160),
+        (r2lo, r2hi) in arb_region(48),
+        (c2lo, c2hi) in arb_region(160),
+    ) {
+        let pool = Pool::new(4);
+        let make = |eval| {
+            WithLoop::new()
+                .gen(
+                    Generator::range(vec![r1lo, c1lo], vec![r1hi, c1hi]).unwrap(),
+                    |iv| (iv[0] * 1000 + iv[1]) as i64,
+                )
+                .gen(
+                    Generator::range(vec![r2lo, c2lo], vec![r2hi, c2hi]).unwrap(),
+                    |iv| -((iv[0] + iv[1]) as i64),
+                )
+                .genarray_on(&pool, eval, [48, 160], 0i64)
+                .unwrap()
+        };
+        prop_assert_eq!(make(Eval::Sequential), make(Eval::Auto));
+    }
+
+    /// Parallel fold == sequential fold over arbitrary regions.
+    #[test]
+    fn par_eq_seq_fold((rlo, rhi) in arb_region(300), (clo, chi) in arb_region(300)) {
+        let pool = Pool::new(4);
+        let run = |eval| {
+            WithLoop::new()
+                .gen(
+                    Generator::range(vec![rlo, clo], vec![rhi, chi]).unwrap(),
+                    |iv| (iv[0] * 31 + iv[1] * 7) as i64,
+                )
+                .fold_on(&pool, eval, 0, |a, b| a + b)
+        };
+        prop_assert_eq!(run(Eval::Sequential), run(Eval::Auto));
+    }
+
+    /// Overlap semantics: the later generator wins, regardless of
+    /// evaluation strategy.
+    #[test]
+    fn later_generator_wins((lo1, hi1) in arb_region(64), (lo2, hi2) in arb_region(64)) {
+        let a = WithLoop::new()
+            .gen_const(Generator::range(vec![lo1], vec![hi1]).unwrap(), 1)
+            .gen_const(Generator::range(vec![lo2], vec![hi2]).unwrap(), 2)
+            .genarray_seq([64], 0)
+            .unwrap();
+        for (i, &v) in a.data().iter().enumerate() {
+            let in1 = i >= lo1 && i < hi1;
+            let in2 = i >= lo2 && i < hi2;
+            let expected = if in2 { 2 } else if in1 { 1 } else { 0 };
+            prop_assert_eq!(v, expected, "at index {}", i);
+        }
+    }
+
+    /// concat is associative and take/drop invert it.
+    #[test]
+    fn concat_take_drop_laws(
+        a in proptest::collection::vec(any::<i32>(), 0..20),
+        b in proptest::collection::vec(any::<i32>(), 0..20),
+        c in proptest::collection::vec(any::<i32>(), 0..20),
+    ) {
+        let (av, bv, cv) = (
+            Array::from_vec(a.clone()),
+            Array::from_vec(b.clone()),
+            Array::from_vec(c),
+        );
+        let left = ops::concat(&ops::concat(&av, &bv).unwrap(), &cv).unwrap();
+        let right = ops::concat(&av, &ops::concat(&bv, &cv).unwrap()).unwrap();
+        prop_assert_eq!(left, right);
+        let ab = ops::concat(&av, &bv).unwrap();
+        prop_assert_eq!(ops::take(a.len(), &ab).unwrap(), av);
+        prop_assert_eq!(ops::drop(a.len(), &ab).unwrap(), bv);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// addNumber invariants (the Section 3 kernel).
+// ---------------------------------------------------------------------------
+
+fn arb_cell() -> impl Strategy<Value = (usize, usize, i64)> {
+    (0usize..9, 0usize..9, 1i64..=9)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// After addNumber(i, j, k): the position has no options; k is
+    /// impossible anywhere in row i, column j and the sub-board;
+    /// everything else is untouched.
+    #[test]
+    fn add_number_eliminates_exactly_the_three_rules((i, j, k) in arb_cell()) {
+        let board = Board::empty(3);
+        let opts = Opts::all_true(3);
+        let (b2, o2) = add_number(i, j, k, &board, &opts);
+        prop_assert_eq!(b2.get(i, j), k);
+        for r in 0..9usize {
+            for c in 0..9usize {
+                for v in 1..=9i64 {
+                    let expect_gone = (r == i && c == j)
+                        || (v == k
+                            && (r == i
+                                || c == j
+                                || (r / 3 == i / 3 && c / 3 == j / 3)));
+                    prop_assert_eq!(
+                        o2.allows(r, c, v),
+                        !expect_gone,
+                        "option ({},{},{}) wrong after addNumber({},{},{})",
+                        r, c, v, i, j, k
+                    );
+                }
+            }
+        }
+    }
+
+    /// addNumber commutes for non-conflicting placements.
+    #[test]
+    fn add_number_commutes((i1, j1, k1) in arb_cell(), (i2, j2, k2) in arb_cell()) {
+        // Skip conflicting pairs (same cell, or same number in a shared
+        // group — ordering would matter for the board content then).
+        prop_assume!(!(i1 == i2 && j1 == j2));
+        let board = Board::empty(3);
+        let opts = Opts::all_true(3);
+        let (ba, oa) = add_number(i1, j1, k1, &board, &opts);
+        let (ba, oa) = add_number(i2, j2, k2, &ba, &oa);
+        let (bb, ob) = add_number(i2, j2, k2, &board, &opts);
+        let (bb, ob) = add_number(i1, j1, k1, &bb, &ob);
+        prop_assert_eq!(ba, bb);
+        prop_assert_eq!(oa.array(), ob.array());
+    }
+}
+
+#[test]
+fn compute_opts_agrees_with_incremental_solving() {
+    // Solving step by step must keep opts consistent with recomputing
+    // from scratch.
+    let puzzle = sudoku::puzzles::classic9();
+    let (board, opts) = compute_opts(&puzzle);
+    // Recompute from the board we just built: identical.
+    let (board2, opts2) = compute_opts(&board);
+    assert_eq!(board, board2);
+    assert_eq!(opts.array(), opts2.array());
+}
+
+#[test]
+fn withloop_scales_on_multiple_threads() {
+    // Not a benchmark — just a sanity check that the pool actually
+    // engages and produces the right answer on a large array.
+    let pool = Pool::new(4);
+    let n = 2_000_000usize;
+    let a = WithLoop::new()
+        .gen(Generator::range(vec![0], vec![n]).unwrap(), |iv| iv[0] as i64)
+        .genarray_on(&pool, Eval::Auto, [n], 0i64)
+        .unwrap();
+    let total = WithLoop::new()
+        .gen(Generator::full(a.shape()), |iv| *a.at(iv))
+        .fold_on(&pool, Eval::Auto, 0, |x, y| x + y);
+    assert_eq!(total, (n as i64 - 1) * n as i64 / 2);
+}
+
+#[test]
+fn paper_section2_examples_all_hold() {
+    // The complete set of Section 2 worked examples, end to end.
+    let e1 = WithLoop::new()
+        .gen_const(Generator::range(vec![0, 0], vec![3, 5]).unwrap(), 42)
+        .genarray([3, 5], 0)
+        .unwrap();
+    assert!(e1.data().iter().all(|&x| x == 42));
+
+    let e2 = WithLoop::new()
+        .gen(Generator::range(vec![0], vec![5]).unwrap(), |iv| iv[0] as i32)
+        .genarray([5], 0)
+        .unwrap();
+    assert_eq!(e2.data(), &[0, 1, 2, 3, 4]);
+
+    let e3 = WithLoop::new()
+        .gen_const(Generator::range(vec![1], vec![4]).unwrap(), 42)
+        .genarray([5], 0)
+        .unwrap();
+    assert_eq!(e3.data(), &[0, 42, 42, 42, 0]);
+
+    let e4 = WithLoop::new()
+        .gen_const(Generator::range(vec![1], vec![4]).unwrap(), 1)
+        .gen_const(Generator::range(vec![3], vec![5]).unwrap(), 2)
+        .genarray([6], 0)
+        .unwrap();
+    assert_eq!(e4.data(), &[0, 1, 1, 2, 2, 0]);
+
+    let e5 = WithLoop::new()
+        .gen_const(Generator::range(vec![0], vec![3]).unwrap(), 3)
+        .modarray(&e4)
+        .unwrap();
+    assert_eq!(e5.data(), &[3, 3, 3, 2, 2, 0]);
+
+    // The (++) example.
+    let a = Array::from_vec(vec![1, 2, 3]);
+    let b = Array::from_vec(vec![4, 5]);
+    assert_eq!(ops::concat(&a, &b).unwrap().data(), &[1, 2, 3, 4, 5]);
+}

@@ -1,0 +1,225 @@
+//! Property tests for the S-Net type system: structural subtyping,
+//! best-match scoring, flow inheritance, and signature inference on
+//! the paper's own networks.
+
+use proptest::prelude::*;
+use snet_lang::parse_program;
+use snet_types::{Label, MultiType, Record, RecordType, Value};
+
+fn arb_labels() -> impl Strategy<Value = RecordType> {
+    // Small universe so subset relations actually occur.
+    proptest::collection::vec(0usize..8, 0..6).prop_map(|ids| {
+        RecordType::new(
+            ids.iter()
+                .map(|i| {
+                    if i % 2 == 0 {
+                        Label::field(&format!("f{i}"))
+                    } else {
+                        Label::tag(&format!("t{i}"))
+                    }
+                })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    /// t1 <: t2  ⟺  t2 ⊆ t1 (the paper's definition, Section 4).
+    #[test]
+    fn subtype_iff_superset(a in arb_labels(), b in arb_labels()) {
+        prop_assert_eq!(a.is_subtype_of(&b), b.is_subset(&a));
+    }
+
+    /// Subtyping is reflexive and transitive.
+    #[test]
+    fn subtype_preorder(a in arb_labels(), b in arb_labels(), c in arb_labels()) {
+        prop_assert!(a.is_subtype_of(&a));
+        if a.is_subtype_of(&b) && b.is_subtype_of(&c) {
+            prop_assert!(a.is_subtype_of(&c));
+        }
+    }
+
+    /// The union is the meet: a ∪ b is a subtype of both a and b.
+    #[test]
+    fn union_is_subtype_of_both(a in arb_labels(), b in arb_labels()) {
+        let u = a.union(&b);
+        prop_assert!(u.is_subtype_of(&a));
+        prop_assert!(u.is_subtype_of(&b));
+    }
+
+    /// Match score: defined exactly when the record type is a subtype
+    /// of the input type, and equal to the input type's size.
+    #[test]
+    fn match_score_consistent(rec in arb_labels(), input in arb_labels()) {
+        match rec.match_score(&input) {
+            Some(score) => {
+                prop_assert!(rec.is_subtype_of(&input));
+                prop_assert_eq!(score, input.len());
+            }
+            None => prop_assert!(!rec.is_subtype_of(&input)),
+        }
+    }
+
+    /// Multivariant subtyping quantifier structure (every variant of x
+    /// has a supervariant in y).
+    #[test]
+    fn multitype_subtyping(
+        xs in proptest::collection::vec(arb_labels(), 1..4),
+        ys in proptest::collection::vec(arb_labels(), 1..4),
+    ) {
+        let x = MultiType::new(xs.clone());
+        let y = MultiType::new(ys.clone());
+        let expected = xs.iter().all(|v| ys.iter().any(|w| v.is_subtype_of(w)));
+        prop_assert_eq!(x.is_subtype_of(&y), expected);
+    }
+}
+
+/// Builds a record carrying exactly the given labels (field values are
+/// dummies, tag values are deterministic).
+fn record_of(ty: &RecordType) -> Record {
+    let mut rec = Record::new();
+    for l in ty.labels() {
+        if l.is_field() {
+            rec.set_field_label(*l, Value::Int(1));
+        } else {
+            rec.set_tag_label(*l, 7);
+        }
+    }
+    rec
+}
+
+proptest! {
+    /// Flow inheritance is type-safe: the result of inheriting excess
+    /// into an output record is a subtype of the output's own type
+    /// ("flow inheritance ... produces subtypes of the output type,
+    /// which cannot violate type constraints", Section 4).
+    #[test]
+    fn flow_inheritance_produces_subtypes(out_ty in arb_labels(), excess_ty in arb_labels()) {
+        let out = record_of(&out_ty);
+        let excess = record_of(&excess_ty);
+        let inherited = out.inherit(&excess);
+        prop_assert!(inherited.record_type().is_subtype_of(&out_ty));
+        // And it is exactly the union of the label sets.
+        prop_assert_eq!(inherited.record_type(), out_ty.union(&excess_ty));
+    }
+
+    /// split_for partitions: matched ∪ excess = record, matched has
+    /// exactly the input type's labels, excess is disjoint from it.
+    #[test]
+    fn split_for_partitions(rec_ty in arb_labels(), input in arb_labels()) {
+        let rec = record_of(&rec_ty);
+        match rec.split_for(&input) {
+            Some((matched, excess)) => {
+                prop_assert!(input.is_subset(&rec_ty));
+                prop_assert_eq!(matched.record_type(), input.clone());
+                prop_assert_eq!(
+                    excess.record_type(),
+                    rec_ty.difference(&input)
+                );
+            }
+            None => prop_assert!(!input.is_subset(&rec_ty)),
+        }
+    }
+
+    /// Present labels win over inherited ones: inheriting never
+    /// changes an existing value.
+    #[test]
+    fn inheritance_never_overwrites(ty in arb_labels()) {
+        let rec = record_of(&ty);
+        let mut conflicting = Record::new();
+        for l in ty.labels() {
+            if l.is_field() {
+                conflicting.set_field_label(*l, Value::Int(999));
+            } else {
+                conflicting.set_tag_label(*l, 999);
+            }
+        }
+        let out = rec.clone().inherit(&conflicting);
+        prop_assert_eq!(out, rec);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Inference on the paper's declarations.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn paper_box_signature_types_as_expected() {
+    let p = parse_program("box foo (a, <b>) -> (c) | (c, d, <e>);").unwrap();
+    let env = p.env().unwrap();
+    let sig = env.lookup_sig("foo").unwrap();
+    assert_eq!(sig.input_type().to_string(), "{a,<b>}");
+    assert_eq!(sig.output_type().to_string(), "{c} | {c,d,<e>}");
+}
+
+#[test]
+fn figure_networks_infer_types() {
+    let src = format!(
+        "{}\nnet fig1 = {};\nnet fig2 = {};\nnet fig3 = {};",
+        sudoku::networks::BOX_DECLS,
+        sudoku::networks::FIG1,
+        sudoku::networks::FIG2,
+        sudoku::networks::fig3_text(4, 40),
+    );
+    let p = parse_program(&src).unwrap();
+    let env = p.env().unwrap();
+
+    let fig1 = env.lookup_sig("fig1").unwrap();
+    // Fig. 1 consumes {board} and produces the done variant.
+    assert!(fig1
+        .input_type()
+        .variants()
+        .iter()
+        .any(|v| v.to_string() == "{board}"));
+    assert!(fig1
+        .output_type()
+        .variants()
+        .iter()
+        .any(|v| v.contains(Label::tag("done"))));
+
+    let fig2 = env.lookup_sig("fig2").unwrap();
+    assert!(fig2
+        .output_type()
+        .variants()
+        .iter()
+        .any(|v| v.contains(Label::tag("done"))));
+
+    let fig3 = env.lookup_sig("fig3").unwrap();
+    // Fig. 3's output keeps board and opts (the tail solve box).
+    assert!(fig3
+        .output_type()
+        .variants()
+        .iter()
+        .any(|v| v.contains(Label::field("board")) && v.contains(Label::field("opts"))));
+}
+
+#[test]
+fn ill_typed_network_is_rejected() {
+    // solveOneLevel needs opts, but computeOpts is missing from the
+    // chain and `solve` consumed them... simplest: a consumer of a
+    // label the producer consumed.
+    let src = "
+        box p (a) -> (b);
+        box q (a) -> (c);
+        net bad = p .. q;
+    ";
+    let p = parse_program(src).unwrap();
+    assert!(p.env().is_err(), "q's need for `a` cannot be satisfied");
+}
+
+#[test]
+fn requirement_propagation_enriches_net_input() {
+    // The downstream box needs {a, extra}; upstream passes a through.
+    // Inference must surface `extra` as a requirement on the whole
+    // net's input rather than rejecting the composition.
+    let src = "
+        box pass (a) -> (a);
+        box needy (a, extra) -> (z);
+        net n = pass .. needy;
+    ";
+    let env = parse_program(src).unwrap().env().unwrap();
+    let sig = env.lookup_sig("n").unwrap();
+    let input = &sig.maps[0].input;
+    assert!(input.contains(Label::field("a")));
+    assert!(input.contains(Label::field("extra")));
+}
