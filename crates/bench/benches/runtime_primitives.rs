@@ -7,8 +7,8 @@
 //! "each box creates a separate process/thread" execution model.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use snet_runtime::NetBuilder;
-use snet_types::Record;
+use snet_runtime::{Metrics, NetBuilder, RouteCache};
+use snet_types::{NetSig, Record, RecordType};
 
 const N_RECORDS: u64 = 5_000;
 
@@ -131,7 +131,8 @@ fn bench_star_traversal(c: &mut Criterion) {
                     .build("main")
                     .unwrap();
                 for _ in 0..50 {
-                    net.send(Record::build().field("n", depth).finish()).unwrap();
+                    net.send(Record::build().field("n", depth).finish())
+                        .unwrap();
                 }
                 let out = net.finish();
                 assert_eq!(out.len(), 50);
@@ -139,6 +140,124 @@ fn bench_star_traversal(c: &mut Criterion) {
         });
     }
     g.finish();
+}
+
+/// RT_metrics — the cost of one per-record metrics update, seed shape
+/// vs handle shape (the PR 1 tentpole). The seed paid a `format!` heap
+/// allocation plus a `Mutex<BTreeMap>` round-trip per record; the
+/// handle is one relaxed atomic add resolved at spawn time. The
+/// acceptance bar is handle ≥ 10× faster than the string-keyed path.
+fn bench_metrics_inc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("RT_metrics_inc");
+    g.measurement_time(std::time::Duration::from_secs(1));
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(1));
+
+    let path = "net/star/stage3/split/branch2/box:solveOneLevel";
+
+    g.bench_function("string_seed", |b| {
+        // The seed's exact per-record pattern: format a fresh key,
+        // then take the registry lock.
+        let m = Metrics::new();
+        b.iter(|| m.inc(format!("{path}/records_in"), 1));
+    });
+
+    g.bench_function("handle", |b| {
+        // The new pattern: key resolved once at spawn time.
+        let m = Metrics::new();
+        let h = m.handle(format!("{path}/records_in"));
+        b.iter(|| h.inc(1));
+    });
+
+    g.finish();
+}
+
+/// RT_dispatch_route — the routing decision of the parallel
+/// combinator: fresh `record_type()` + two `match_score` subset tests
+/// per record (seed) vs one hash + cache hit (memoized).
+fn bench_dispatch_route(c: &mut Criterion) {
+    let mut g = c.benchmark_group("RT_dispatch_route");
+    g.measurement_time(std::time::Duration::from_secs(1));
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(1));
+
+    // Branch signatures shaped like a realistic composition: left
+    // takes {board,opts}, right takes {board,<done>}.
+    let lsig = NetSig::simple(
+        RecordType::of(&["board", "opts"], &[]),
+        vec![RecordType::of(&["board", "opts"], &[])],
+    );
+    let rsig = NetSig::simple(
+        RecordType::of(&["board"], &["done"]),
+        vec![RecordType::of(&["board"], &["done"])],
+    );
+    // A few distinct record types, as a steady-state stream would mix.
+    let records = [
+        Record::build()
+            .field("board", 1i64)
+            .field("opts", 2i64)
+            .finish(),
+        Record::build().field("board", 1i64).tag("done", 1).finish(),
+        Record::build()
+            .field("board", 1i64)
+            .field("opts", 2i64)
+            .tag("k", 3)
+            .finish(),
+    ];
+
+    g.bench_function("match_score_seed", |b| {
+        // The seed's per-record work.
+        let mut i = 0usize;
+        b.iter(|| {
+            let rec = &records[i % records.len()];
+            i += 1;
+            let rt = rec.record_type();
+            let sl = lsig.match_score(&rt);
+            let sr = rsig.match_score(&rt);
+            match (sl, sr) {
+                (Some(a), Some(b)) if a == b => i.is_multiple_of(2),
+                (Some(a), Some(b)) => a > b,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => unreachable!(),
+            }
+        });
+    });
+
+    g.bench_function("memoized", |b| {
+        let mut cache = RouteCache::new(lsig.clone(), rsig.clone());
+        let mut i = 0usize;
+        b.iter(|| {
+            let rec = &records[i % records.len()];
+            i += 1;
+            cache.decide(rec).unwrap()
+        });
+    });
+
+    g.finish();
+}
+
+/// RT_record_hop — one record through one box component on a live
+/// network: channel send, box wrapper (subtype split, flow
+/// inheritance, metrics), channel recv. The floor for every
+/// per-record cost in the runtime.
+fn bench_record_hop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("RT_record_hop");
+    g.measurement_time(std::time::Duration::from_secs(1));
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(1));
+    let net = id_net("id");
+    g.bench_function("single_box", |b| {
+        b.iter(|| {
+            net.send(Record::build().field("x", 1i64).finish()).unwrap();
+            net.recv().expect("box echoes the record")
+        });
+    });
+    g.finish();
+    let _ = net.finish();
 }
 
 fn bench_net_construction(c: &mut Criterion) {
@@ -159,6 +278,9 @@ fn bench_net_construction(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_metrics_inc,
+    bench_dispatch_route,
+    bench_record_hop,
     bench_box_chain,
     bench_filter,
     bench_parallel_dispatch,

@@ -62,5 +62,10 @@ fn bench_bigger_boards(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_policies, bench_compute_opts, bench_bigger_boards);
+criterion_group!(
+    benches,
+    bench_policies,
+    bench_compute_opts,
+    bench_bigger_boards
+);
 criterion_main!(benches);

@@ -22,7 +22,9 @@ fn bench_genarray(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("seq", size), &size, |b, &n| {
             b.iter(|| {
                 WithLoop::new()
-                    .gen(Generator::range(vec![0], vec![n]).unwrap(), |iv| iv[0] as i64)
+                    .gen(Generator::range(vec![0], vec![n]).unwrap(), |iv| {
+                        iv[0] as i64
+                    })
                     .genarray_seq([n], 0i64)
                     .unwrap()
             })
@@ -57,7 +59,9 @@ fn bench_fold(c: &mut Criterion) {
     g.bench_function("seq", |b| {
         b.iter(|| {
             WithLoop::new()
-                .gen(Generator::range(vec![0], vec![n]).unwrap(), |iv| iv[0] as i64)
+                .gen(Generator::range(vec![0], vec![n]).unwrap(), |iv| {
+                    iv[0] as i64
+                })
                 .fold_seq(0, |a, x| a + x)
         })
     });
@@ -66,7 +70,9 @@ fn bench_fold(c: &mut Criterion) {
         g.bench_function(format!("par{threads}"), |b| {
             b.iter(|| {
                 WithLoop::new()
-                    .gen(Generator::range(vec![0], vec![n]).unwrap(), |iv| iv[0] as i64)
+                    .gen(Generator::range(vec![0], vec![n]).unwrap(), |iv| {
+                        iv[0] as i64
+                    })
                     .fold_on(&pool, Eval::Auto, 0, |a, x| a + x)
             })
         });
@@ -108,10 +114,9 @@ fn bench_modarray_density(c: &mut Criterion) {
             |b, &rows| {
                 b.iter(|| {
                     WithLoop::new()
-                        .gen(
-                            Generator::range(vec![0, 0], vec![rows, n]).unwrap(),
-                            |iv| (iv[0] + iv[1]) as i64,
-                        )
+                        .gen(Generator::range(vec![0, 0], vec![rows, n]).unwrap(), |iv| {
+                            (iv[0] + iv[1]) as i64
+                        })
                         .modarray(&base)
                         .unwrap()
                 })

@@ -73,9 +73,10 @@ fn experiment_s2(rows: &mut Vec<ExperimentRow>) {
     let pool = Pool::new(4);
     let make = |eval| {
         WithLoop::new()
-            .gen(Generator::range(vec![0, 0], vec![512, 512]).unwrap(), |iv| {
-                (iv[0] * 31 + iv[1]) as i64
-            })
+            .gen(
+                Generator::range(vec![0, 0], vec![512, 512]).unwrap(),
+                |iv| (iv[0] * 31 + iv[1]) as i64,
+            )
             .genarray_on(&pool, eval, [512, 512], 0i64)
             .unwrap()
     };
@@ -227,8 +228,9 @@ fn experiment_s5(rows: &mut Vec<ExperimentRow>) {
         let f1 = solve_fig1(puzzle).solutions;
         let f2 = solve_fig2(puzzle).solutions;
         let f3 = solve_fig3(puzzle, 4, 40).solutions;
-        let agree =
-            f1 == vec![reference.clone()] && f2 == vec![reference.clone()] && f3.contains(&reference);
+        let agree = f1 == vec![reference.clone()]
+            && f2 == vec![reference.clone()]
+            && f3.contains(&reference);
         rows.push(ExperimentRow::new(
             "S5",
             name,

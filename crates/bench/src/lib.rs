@@ -16,11 +16,10 @@
 //!   table recorded in EXPERIMENTS.md and asserting the paper's
 //!   bounds; machine-readable rows go to `experiments.json`.
 
-use serde::Serialize;
 use std::time::{Duration, Instant};
 
 /// One behavioural measurement row (EXPERIMENTS.md table).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ExperimentRow {
     /// Experiment id from DESIGN.md (F1, F2, F3, S2, S3, S5, RT).
     pub experiment: String,
@@ -85,10 +84,51 @@ fn truncate(s: &str, n: usize) -> String {
     }
 }
 
+/// Escapes a string for a JSON literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders rows as pretty-printed JSON (hand-rolled — the offline
+/// build vendors no serde).
+pub fn rows_to_json(rows: &[ExperimentRow]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\n    \"experiment\": \"{}\",\n    \"workload\": \"{}\",\n    \
+             \"metric\": \"{}\",\n    \"paper\": \"{}\",\n    \"measured\": {},\n    \
+             \"holds\": {}\n  }}{}\n",
+            json_escape(&r.experiment),
+            json_escape(&r.workload),
+            json_escape(&r.metric),
+            json_escape(&r.paper),
+            if r.measured.is_finite() {
+                format!("{}", r.measured)
+            } else {
+                "null".to_string()
+            },
+            r.holds,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push(']');
+    out
+}
+
 /// Writes rows as JSON (one file per harness run).
 pub fn write_json(path: &str, rows: &[ExperimentRow]) -> std::io::Result<()> {
-    let json = serde_json::to_string_pretty(rows).expect("rows serialise");
-    std::fs::write(path, json)
+    std::fs::write(path, rows_to_json(rows))
 }
 
 /// Times a closure once.
@@ -157,9 +197,15 @@ mod tests {
             52.0,
             true,
         )];
-        let json = serde_json::to_string(&rows).unwrap();
-        assert!(json.contains("\"experiment\":\"F1\""));
-        assert!(json.contains("\"holds\":true"));
+        let json = rows_to_json(&rows);
+        assert!(json.contains("\"experiment\": \"F1\""));
+        assert!(json.contains("\"holds\": true"));
+        assert!(json.contains("\"measured\": 52"));
+    }
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
     }
 
     #[test]

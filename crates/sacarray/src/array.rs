@@ -247,7 +247,8 @@ impl<T: Clone> Array<T> {
 
 impl<T: Clone + PartialEq> PartialEq for Array<T> {
     fn eq(&self, other: &Self) -> bool {
-        self.shape == other.shape && (Arc::ptr_eq(&self.data, &other.data) || self.data == other.data)
+        self.shape == other.shape
+            && (Arc::ptr_eq(&self.data, &other.data) || self.data == other.data)
     }
 }
 

@@ -68,7 +68,11 @@ impl Generator {
         if step.contains(&0) {
             return Err(ArrayError::BadGenerator("step must be positive".into()));
         }
-        if width.iter().zip(step.iter()).any(|(&w, &s)| w == 0 || w > s) {
+        if width
+            .iter()
+            .zip(step.iter())
+            .any(|(&w, &s)| w == 0 || w > s)
+        {
             return Err(ArrayError::BadGenerator(
                 "width must satisfy 0 < width <= step".into(),
             ));

@@ -29,14 +29,20 @@ pub fn concat<T: Clone + Send + Sync + Default>(a: &Array<T>, b: &Array<T>) -> R
     if a.dim() != 1 || b.dim() != 1 {
         return Err(ArrayError::ShapeMismatch {
             expected: Shape::vector(0),
-            actual: if a.dim() != 1 { a.shape().clone() } else { b.shape().clone() },
+            actual: if a.dim() != 1 {
+                a.shape().clone()
+            } else {
+                b.shape().clone()
+            },
         });
     }
     let na = a.shape().extent(0);
     let nb = b.shape().extent(0);
     let rshp = na + nb;
     WithLoop::new()
-        .gen(Generator::range(vec![0], vec![na])?, move |iv| a.at(iv).clone())
+        .gen(Generator::range(vec![0], vec![na])?, move |iv| {
+            a.at(iv).clone()
+        })
         .gen(Generator::range(vec![na], vec![rshp])?, move |iv| {
             b.at(&[iv[0] - na]).clone()
         })
@@ -52,7 +58,9 @@ pub fn take<T: Clone + Send + Sync + Default>(n: usize, a: &Array<T>) -> Result<
         });
     }
     WithLoop::new()
-        .gen(Generator::range(vec![0], vec![n])?, move |iv| a.at(iv).clone())
+        .gen(Generator::range(vec![0], vec![n])?, move |iv| {
+            a.at(iv).clone()
+        })
         .genarray([n], T::default())
 }
 
@@ -416,10 +424,7 @@ mod tests {
         // Global minimum.
         assert_eq!(argmin_by(&a, |_, &v| v, |_, _| true), Some(vec![1, 2]));
         // Tie between the two 3s -> earlier position wins.
-        assert_eq!(
-            argmin_by(&a, |_, &v| v, |_, &v| v == 3),
-            Some(vec![0, 1])
-        );
+        assert_eq!(argmin_by(&a, |_, &v| v, |_, &v| v == 3), Some(vec![0, 1]));
         // Nothing eligible.
         assert_eq!(argmin_by(&a, |_, &v| v, |_, _| false), None);
     }

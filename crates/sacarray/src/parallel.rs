@@ -194,9 +194,8 @@ impl Pool {
                 shared_ref.run(body_ref);
                 shared_ref.finish();
             });
-            let job: Job = unsafe {
-                std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job)
-            };
+            let job: Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
             self.submit(job);
         }
 

@@ -62,7 +62,11 @@ impl<'a, T: Clone + Send + Sync> WithLoop<'a, T> {
     }
 
     /// Adds a generator with a computed body.
-    pub fn gen(mut self, generator: Generator, body: impl Fn(&[usize]) -> T + Send + Sync + 'a) -> Self {
+    pub fn gen(
+        mut self,
+        generator: Generator,
+        body: impl Fn(&[usize]) -> T + Send + Sync + 'a,
+    ) -> Self {
         self.parts.push(Part {
             generator,
             body: Box::new(body),
@@ -147,7 +151,9 @@ impl<'a, T: Clone + Send + Sync> WithLoop<'a, T> {
             let par = matches!(eval, Eval::Auto) && count >= PAR_THRESHOLD && pool.threads() > 1;
             if !par {
                 part.generator.for_each_in(0..count, |idx| {
-                    let lin = shape.linearize(idx).expect("generator checked within shape");
+                    let lin = shape
+                        .linearize(idx)
+                        .expect("generator checked within shape");
                     data[lin] = (part.body)(idx);
                 });
             } else {
@@ -157,7 +163,9 @@ impl<'a, T: Clone + Send + Sync> WithLoop<'a, T> {
                 pool.parallel_for(count, DEFAULT_GRAIN, |range| {
                     let ptr = &ptr;
                     gen.for_each_in(range, |idx| {
-                        let lin = shape.linearize(idx).expect("generator checked within shape");
+                        let lin = shape
+                            .linearize(idx)
+                            .expect("generator checked within shape");
                         // SAFETY: ordinal positions are unique per part
                         // and chunks are disjoint, so no two iterations
                         // of this parallel loop write the same element.
@@ -206,8 +214,9 @@ impl<'a, T: Clone + Send + Sync> WithLoop<'a, T> {
             } else {
                 let grain = DEFAULT_GRAIN.max(count / (pool.threads() * 8).max(1));
                 let nchunks = count.div_ceil(grain);
-                let partials: Vec<parking_lot::Mutex<Option<T>>> =
-                    (0..nchunks).map(|_| parking_lot::Mutex::new(None)).collect();
+                let partials: Vec<parking_lot::Mutex<Option<T>>> = (0..nchunks)
+                    .map(|_| parking_lot::Mutex::new(None))
+                    .collect();
                 let gen = &part.generator;
                 let body = &part.body;
                 let opr = &op;
@@ -358,7 +367,6 @@ mod tests {
         let c = WithLoop::new()
             .gen_const(g(vec![0], vec![1]), 7)
             .modarray_seq(&b)
-            .map(|r| r)
             .unwrap();
         let _ = c;
     }
@@ -369,7 +377,9 @@ mod tests {
         let shape = [64, 256];
         let make = |eval| {
             WithLoop::new()
-                .gen(g(vec![0, 0], vec![64, 256]), |iv| (iv[0] * 1000 + iv[1]) as i64)
+                .gen(g(vec![0, 0], vec![64, 256]), |iv| {
+                    (iv[0] * 1000 + iv[1]) as i64
+                })
                 .gen_const(g(vec![10, 10], vec![20, 200]), -1)
                 .genarray_on(&pool, eval, shape, 0i64)
                 .unwrap()

@@ -395,7 +395,10 @@ mod tests {
         )
         .unwrap();
         let ast = NetAst::parallel(NetAst::boxref("pipe"), NetAst::boxref("f"));
-        assert_eq!(env.box_closure(&ast), vec!["f".to_string(), "g".to_string()]);
+        assert_eq!(
+            env.box_closure(&ast),
+            vec!["f".to_string(), "g".to_string()]
+        );
     }
 
     #[test]

@@ -25,9 +25,7 @@ use std::io::Read;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage: snetc FILE.snet | snetc - | snetc [--decls FILE.snet] --expr 'NETEXPR'"
-    );
+    eprintln!("usage: snetc FILE.snet | snetc - | snetc [--decls FILE.snet] --expr 'NETEXPR'");
     ExitCode::from(2)
 }
 
@@ -114,7 +112,9 @@ fn analyse_program(path: &str) -> ExitCode {
     println!();
     println!("== inferred net signatures ==");
     for n in &program.nets {
-        let sig = env.lookup_sig(&n.name).expect("declared net has a signature");
+        let sig = env
+            .lookup_sig(&n.name)
+            .expect("declared net has a signature");
         println!(
             "net {:<20} : {} -> {}",
             n.name,
@@ -122,7 +122,14 @@ fn analyse_program(path: &str) -> ExitCode {
             sig.output_type()
         );
         let boxes = env.box_closure(&n.body);
-        println!("    uses boxes: {}", if boxes.is_empty() { "(none)".to_string() } else { boxes.join(", ") });
+        println!(
+            "    uses boxes: {}",
+            if boxes.is_empty() {
+                "(none)".to_string()
+            } else {
+                boxes.join(", ")
+            }
+        );
     }
     println!();
     println!("== canonical form ==");

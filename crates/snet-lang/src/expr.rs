@@ -332,7 +332,11 @@ mod tests {
     #[test]
     fn comparison_operators() {
         let r = rec(&[("x", 5)]);
-        let cmp = |op| Guard::Cmp(op, TagExpr::tag("x"), TagExpr::lit(5)).eval(&r).unwrap();
+        let cmp = |op| {
+            Guard::Cmp(op, TagExpr::tag("x"), TagExpr::lit(5))
+                .eval(&r)
+                .unwrap()
+        };
         assert!(cmp(CmpOp::Eq));
         assert!(!cmp(CmpOp::Ne));
         assert!(!cmp(CmpOp::Lt));
@@ -343,8 +347,7 @@ mod tests {
 
     #[test]
     fn referenced_tags_collects_unique_names() {
-        let e = TagExpr::tag("a")
-            .add(TagExpr::tag("b").modulo(TagExpr::tag("a")));
+        let e = TagExpr::tag("a").add(TagExpr::tag("b").modulo(TagExpr::tag("a")));
         let mut tags = Vec::new();
         e.referenced_tags(&mut tags);
         assert_eq!(tags, vec!["a".to_string(), "b".to_string()]);

@@ -358,7 +358,10 @@ mod tests {
             }],
         )
         .unwrap();
-        let input = Record::build().field("p", Value::Int(9)).tag("k", 7).finish();
+        let input = Record::build()
+            .field("p", Value::Int(9))
+            .tag("k", 7)
+            .finish();
         let out = f.apply(&input).unwrap();
         assert_eq!(out[0].tag("k"), Some(3));
         assert!(out[0].field("p").is_some());
@@ -453,7 +456,11 @@ mod tests {
     fn identity_filter_keeps_record() {
         let ty = RecordType::of(&["x"], &["t"]);
         let f = FilterDef::identity(ty);
-        let input = Record::build().field("x", 5i64).tag("t", 3).field("extra", 9i64).finish();
+        let input = Record::build()
+            .field("x", 5i64)
+            .tag("t", 3)
+            .field("extra", 9i64)
+            .finish();
         let out = f.apply(&input).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0], input);

@@ -568,10 +568,9 @@ mod tests {
 
     #[test]
     fn parse_brace_style_box_decl() {
-        let p = parse_program(
-            "box solveOneLevel {board, opts} -> {board, opts} | {board, <done>};",
-        )
-        .unwrap();
+        let p =
+            parse_program("box solveOneLevel {board, opts} -> {board, opts} | {board, <done>};")
+                .unwrap();
         assert_eq!(p.boxes[0].sig.params.len(), 2);
     }
 
@@ -627,10 +626,9 @@ mod tests {
 
     #[test]
     fn parse_fig2_network() {
-        let e = parse_net_expr(
-            "computeOpts .. [{} -> {<k>=1}] .. (solveOneLevel !! <k>) ** {<done>}",
-        )
-        .unwrap();
+        let e =
+            parse_net_expr("computeOpts .. [{} -> {<k>=1}] .. (solveOneLevel !! <k>) ** {<done>}")
+                .unwrap();
         // Shape: serial(serial(computeOpts, filter), star(split(...)))
         match e {
             NetAst::Serial(lhs, star) => {

@@ -254,9 +254,7 @@ net fig1 = computeOpts .. solveOneLevel ** {<done>};
     // --- Property test: random ASTs round-trip. ---
 
     fn arb_name() -> impl Strategy<Value = String> {
-        "[a-z][a-z0-9_]{0,6}".prop_filter("keyword", |s| {
-            s != "box" && s != "net" && s != "if"
-        })
+        "[a-z][a-z0-9_]{0,6}".prop_filter("keyword", |s| s != "box" && s != "net" && s != "if")
     }
 
     fn arb_tag_expr() -> impl Strategy<Value = TagExpr> {
@@ -277,7 +275,11 @@ net fig1 = computeOpts .. solveOneLevel ** {<done>};
                     inner.clone(),
                     inner.clone()
                 )
-                    .prop_map(|(op, l, r)| TagExpr::Bin(op, Box::new(l), Box::new(r))),
+                    .prop_map(|(op, l, r)| TagExpr::Bin(
+                        op,
+                        Box::new(l),
+                        Box::new(r)
+                    )),
                 inner.prop_map(|e| TagExpr::Neg(Box::new(e))),
             ]
         })
@@ -360,8 +362,7 @@ net fig1 = computeOpts .. solveOneLevel ** {<done>};
         ];
         leaf.prop_recursive(4, 24, 2, |inner| {
             prop_oneof![
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| NetAst::serial(a, b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| NetAst::serial(a, b)),
                 (inner.clone(), inner.clone(), any::<bool>()).prop_map(|(a, b, det)| {
                     if det {
                         NetAst::parallel_det(a, b)

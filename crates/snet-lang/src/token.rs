@@ -31,15 +31,15 @@ pub enum Tok {
     RBracket,
     Comma,
     Semi,
-    Arrow,     // ->
-    DotDot,    // ..
-    ParBar,    // ||
-    Bar,       // |
-    StarStar,  // **
-    Star,      // *
-    BangBang,  // !!
-    Bang,      // !
-    Assign,    // =
+    Arrow,    // ->
+    DotDot,   // ..
+    ParBar,   // ||
+    Bar,      // |
+    StarStar, // **
+    Star,     // *
+    BangBang, // !!
+    Bang,     // !
+    Assign,   // =
     // Arithmetic.
     Plus,
     Minus,
@@ -441,15 +441,14 @@ mod tests {
         );
         assert_eq!(
             toks("<a> < <b>"),
-            vec![
-                Tok::TagRef("a".into()),
-                Tok::Lt,
-                Tok::TagRef("b".into()),
-            ]
+            vec![Tok::TagRef("a".into()), Tok::Lt, Tok::TagRef("b".into()),]
         );
         assert_eq!(toks("1 <= 2"), vec![Tok::Int(1), Tok::Le, Tok::Int(2)]);
         // '<' followed by a digit is a comparison, not a tag.
-        assert_eq!(toks("x <3"), vec![Tok::Ident("x".into()), Tok::Lt, Tok::Int(3)]);
+        assert_eq!(
+            toks("x <3"),
+            vec![Tok::Ident("x".into()), Tok::Lt, Tok::Int(3)]
+        );
     }
 
     #[test]

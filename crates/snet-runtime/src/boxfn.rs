@@ -19,6 +19,7 @@
 
 use crate::ctx::Ctx;
 use crate::metrics::keys;
+use crate::path::CompPath;
 use crate::stream::{stream, Dir, Msg, Receiver, Sender};
 use snet_types::{BoxSig, Record};
 use std::sync::Arc;
@@ -36,7 +37,7 @@ pub struct Emitter<'a> {
     out: &'a Sender,
     excess: &'a Record,
     sig: &'a BoxSig,
-    path: &'a str,
+    path: CompPath,
     ctx: &'a Ctx,
     emitted: u64,
 }
@@ -96,29 +97,33 @@ impl<'a> Emitter<'a> {
 
 /// Spawns a box component: a thread applying `imp` to every incoming
 /// record. Returns the box's output stream.
+///
+/// All per-record bookkeeping is resolved here, at spawn time: the
+/// component path is interned once and the metrics counters are
+/// registered once — the record loop only touches atomic handles.
 pub fn spawn_box(
     ctx: &Arc<Ctx>,
-    path: &str,
+    path: impl Into<CompPath>,
     name: &str,
     sig: BoxSig,
     imp: BoxImpl,
     input: Receiver,
 ) -> Receiver {
     let (tx, rx) = stream();
-    let path = format!("{path}/box:{name}");
-    ctx.metrics.inc(format!("{path}/{}", keys::SPAWNED), 1);
+    let path = path.into().child(&format!("box:{name}"));
+    ctx.metrics.handle_at(path, keys::SPAWNED).inc(1);
+    let records_in = ctx.metrics.handle_at(path, keys::RECORDS_IN);
+    let records_out = ctx.metrics.handle_at(path, keys::RECORDS_OUT);
     let ctx2 = Arc::clone(ctx);
-    let thread_path = path.clone();
-    ctx.spawn(path.clone(), move || {
-        let path = thread_path;
+    ctx.spawn(path.as_str(), move || {
         let input_type = sig.input_type();
         while let Ok(msg) = input.recv() {
             match msg {
                 Msg::Rec(rec) => {
                     if ctx2.has_observers() {
-                        ctx2.observe(&path, Dir::In, &rec);
+                        ctx2.observe(path, Dir::In, &rec);
                     }
-                    ctx2.metrics.inc(format!("{path}/{}", keys::RECORDS_IN), 1);
+                    records_in.inc(1);
                     let (matched, excess) = rec.split_for(&input_type).unwrap_or_else(|| {
                         panic!(
                             "record {rec:?} does not match input type {input_type} of box \
@@ -129,13 +134,12 @@ pub fn spawn_box(
                         out: &tx,
                         excess: &excess,
                         sig: &sig,
-                        path: &path,
+                        path,
                         ctx: &ctx2,
                         emitted: 0,
                     };
                     imp(&matched, &mut em);
-                    let n = em.emitted;
-                    ctx2.metrics.inc(format!("{path}/{}", keys::RECORDS_OUT), n);
+                    records_out.inc(em.emitted);
                 }
                 // Sort records pass through unchanged, behind any data
                 // already emitted for earlier records (guaranteed by
@@ -183,14 +187,15 @@ mod tests {
             // snet_out(1, x)
             em.emit_variant(1, vec![Value::Int(a * 10)]);
             // snet_out(2, x, y, 42)
-            em.emit_variant(
-                2,
-                vec![Value::Int(a * 10), Value::Int(-1), Value::Int(42)],
-            );
+            em.emit_variant(2, vec![Value::Int(a * 10), Value::Int(-1), Value::Int(42)]);
         });
         let out = spawn_box(&ctx, "net", "foo", foo_sig(), imp, input);
         tx.send(Msg::Rec(
-            Record::build().field("a", 5i64).tag("b", 0).field("d", 7i64).finish(),
+            Record::build()
+                .field("a", 5i64)
+                .tag("b", 0)
+                .field("d", 7i64)
+                .finish(),
         ))
         .unwrap();
         drop(tx);
@@ -239,12 +244,22 @@ mod tests {
         let out = spawn_box(&ctx, "net", "id", sig, imp, input);
         tx.send(Msg::Rec(Record::build().field("a", 1i64).finish()))
             .unwrap();
-        tx.send(Msg::Sort { level: 0, counter: 0 }).unwrap();
+        tx.send(Msg::Sort {
+            level: 0,
+            counter: 0,
+        })
+        .unwrap();
         tx.send(Msg::Rec(Record::build().field("a", 2i64).finish()))
             .unwrap();
         drop(tx);
         assert!(matches!(out.recv().unwrap(), Msg::Rec(_)));
-        assert_eq!(out.recv().unwrap(), Msg::Sort { level: 0, counter: 0 });
+        assert_eq!(
+            out.recv().unwrap(),
+            Msg::Sort {
+                level: 0,
+                counter: 0
+            }
+        );
         assert!(matches!(out.recv().unwrap(), Msg::Rec(_)));
         ctx.join_all();
     }

@@ -1,6 +1,18 @@
 //! Shared execution context for a running network.
+//!
+//! # Interned-path invariant
+//!
+//! Component identity flows through [`CompPath`] handles. The
+//! invariant the hot paths rely on: **every component's path is
+//! interned exactly once, at `instantiate` time** — spawn functions
+//! derive their path with [`CompPath::child`] before entering the
+//! record loop, and per-record code (metrics, observers, panic
+//! messages) only copies the handle or borrows its pre-rendered
+//! `&'static str`. No component thread ever formats a path string per
+//! record.
 
 use crate::metrics::Metrics;
+use crate::path::CompPath;
 use crate::stream::{Dir, Observer};
 use parking_lot::Mutex;
 use snet_types::Record;
@@ -27,18 +39,20 @@ impl Ctx {
     }
 
     /// Spawns a named component thread and registers its handle.
-    pub fn spawn(self: &Arc<Self>, name: String, f: impl FnOnce() + Send + 'static) {
+    pub fn spawn(self: &Arc<Self>, name: impl Into<String>, f: impl FnOnce() + Send + 'static) {
         let h = std::thread::Builder::new()
-            .name(name)
+            .name(name.into())
             .spawn(f)
             .expect("failed to spawn component thread");
         self.handles.lock().push(h);
     }
 
     /// Notifies observers of a record passing a component boundary.
-    pub fn observe(&self, path: &str, dir: Dir, rec: &Record) {
+    /// Observers receive the pre-rendered path string by reference —
+    /// no allocation happens on this edge.
+    pub fn observe(&self, path: CompPath, dir: Dir, rec: &Record) {
         for obs in &self.observers {
-            obs(path, dir, rec);
+            obs(path.as_str(), dir, rec);
         }
     }
 
@@ -85,7 +99,7 @@ mod tests {
         let n = Arc::new(AtomicUsize::new(0));
         for _ in 0..4 {
             let n = Arc::clone(&n);
-            ctx.spawn("t".into(), move || {
+            ctx.spawn("t", move || {
                 n.fetch_add(1, Ordering::Relaxed);
             });
         }
@@ -100,9 +114,9 @@ mod tests {
         {
             let ctx2 = Arc::clone(&ctx);
             let n = Arc::clone(&n);
-            ctx.spawn("outer".into(), move || {
+            ctx.spawn("outer", move || {
                 let n2 = Arc::clone(&n);
-                ctx2.spawn("inner".into(), move || {
+                ctx2.spawn("inner", move || {
                     n2.fetch_add(10, Ordering::Relaxed);
                 });
                 n.fetch_add(1, Ordering::Relaxed);
@@ -115,7 +129,7 @@ mod tests {
     #[test]
     fn join_all_propagates_panics() {
         let ctx = Ctx::new(Metrics::new(), Vec::new());
-        ctx.spawn("boom".into(), || panic!("component failure"));
+        ctx.spawn("boom", || panic!("component failure"));
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ctx.join_all()));
         assert!(r.is_err());
     }
@@ -129,8 +143,9 @@ mod tests {
         });
         let ctx = Ctx::new(Metrics::new(), vec![obs]);
         assert!(ctx.has_observers());
-        ctx.observe("p", Dir::In, &Record::new());
-        ctx.observe("p", Dir::Out, &Record::new());
+        let p = CompPath::root("p");
+        ctx.observe(p, Dir::In, &Record::new());
+        ctx.observe(p, Dir::Out, &Record::new());
         assert_eq!(seen.load(Ordering::Relaxed), 2);
     }
 }

@@ -6,26 +6,34 @@
 
 use crate::ctx::Ctx;
 use crate::metrics::keys;
+use crate::path::CompPath;
 use crate::stream::{stream, Dir, Msg, Receiver};
 use snet_lang::FilterDef;
 use std::sync::Arc;
 
 /// Spawns a filter component applying `def` to every incoming record.
-pub fn spawn_filter(ctx: &Arc<Ctx>, path: &str, def: FilterDef, input: Receiver) -> Receiver {
+/// Path interning and counter registration happen here, once; the
+/// record loop is allocation-free on the bookkeeping side.
+pub fn spawn_filter(
+    ctx: &Arc<Ctx>,
+    path: impl Into<CompPath>,
+    def: FilterDef,
+    input: Receiver,
+) -> Receiver {
     let (tx, rx) = stream();
-    let path = format!("{path}/filter");
-    ctx.metrics.inc(format!("{path}/{}", keys::SPAWNED), 1);
+    let path = path.into().child("filter");
+    ctx.metrics.handle_at(path, keys::SPAWNED).inc(1);
+    let records_in = ctx.metrics.handle_at(path, keys::RECORDS_IN);
+    let records_out = ctx.metrics.handle_at(path, keys::RECORDS_OUT);
     let ctx2 = Arc::clone(ctx);
-    let thread_path = path.clone();
-    ctx.spawn(path, move || {
-        let path = thread_path;
+    ctx.spawn(path.as_str(), move || {
         while let Ok(msg) = input.recv() {
             match msg {
                 Msg::Rec(rec) => {
                     if ctx2.has_observers() {
-                        ctx2.observe(&path, Dir::In, &rec);
+                        ctx2.observe(path, Dir::In, &rec);
                     }
-                    ctx2.metrics.inc(format!("{path}/{}", keys::RECORDS_IN), 1);
+                    records_in.inc(1);
                     if !rec.matches(&def.pattern) {
                         panic!(
                             "record {rec:?} does not match filter pattern {} at '{path}' — \
@@ -36,11 +44,10 @@ pub fn spawn_filter(ctx: &Arc<Ctx>, path: &str, def: FilterDef, input: Receiver)
                     let outs = def.apply(&rec).unwrap_or_else(|e| {
                         panic!("tag expression failed in filter at '{path}': {e}")
                     });
-                    ctx2.metrics
-                        .inc(format!("{path}/{}", keys::RECORDS_OUT), outs.len() as u64);
+                    records_out.inc(outs.len() as u64);
                     for out in outs {
                         if ctx2.has_observers() {
-                            ctx2.observe(&path, Dir::Out, &out);
+                            ctx2.observe(path, Dir::Out, &out);
                         }
                         let _ = tx.send(Msg::Rec(out));
                     }
@@ -118,9 +125,19 @@ mod tests {
         let def = parse_filter("[{} -> {<x>=1}]").unwrap();
         let (tx, input) = stream();
         let out = spawn_filter(&ctx, "net", def, input);
-        tx.send(Msg::Sort { level: 1, counter: 3 }).unwrap();
+        tx.send(Msg::Sort {
+            level: 1,
+            counter: 3,
+        })
+        .unwrap();
         drop(tx);
-        assert_eq!(out.recv().unwrap(), Msg::Sort { level: 1, counter: 3 });
+        assert_eq!(
+            out.recv().unwrap(),
+            Msg::Sort {
+                level: 1,
+                counter: 3
+            }
+        );
         ctx.join_all();
     }
 

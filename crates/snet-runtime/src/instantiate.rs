@@ -4,11 +4,17 @@
 //! Instantiation is re-entrant at runtime: the replicators call back
 //! into [`instantiate`] to unfold replicas on demand, cloning subtree
 //! handles from the plan.
+//!
+//! Instantiation is also where component paths come into existence:
+//! every spawn site derives its [`CompPath`] here, once, so nothing
+//! downstream ever formats a path per record (see [`crate::ctx`] for
+//! the invariant).
 
 use crate::boxfn::spawn_box;
 use crate::ctx::Ctx;
 use crate::filter_exec::spawn_filter;
 use crate::parallel::spawn_parallel;
+use crate::path::CompPath;
 use crate::plan::PNode;
 use crate::split::spawn_split;
 use crate::star::spawn_star;
@@ -18,15 +24,21 @@ use std::sync::Arc;
 /// Instantiates a plan node with the given input stream; returns the
 /// node's output stream. `path` names the instance for metrics and
 /// observers.
-pub fn instantiate(ctx: &Arc<Ctx>, node: &Arc<PNode>, path: &str, input: Receiver) -> Receiver {
+pub fn instantiate(
+    ctx: &Arc<Ctx>,
+    node: &Arc<PNode>,
+    path: impl Into<CompPath>,
+    input: Receiver,
+) -> Receiver {
+    let path = path.into();
     match &**node {
         PNode::Box { name, sig, imp } => {
             spawn_box(ctx, path, name, sig.clone(), Arc::clone(imp), input)
         }
         PNode::Filter { def } => spawn_filter(ctx, path, def.clone(), input),
         PNode::Serial { a, b } => {
-            let mid = instantiate(ctx, a, &format!("{path}/s0"), input);
-            instantiate(ctx, b, &format!("{path}/s1"), mid)
+            let mid = instantiate(ctx, a, path.child("s0"), input);
+            instantiate(ctx, b, path.child("s1"), mid)
         }
         PNode::Parallel {
             left,
@@ -99,5 +111,27 @@ mod tests {
             .collect();
         // (x + 1) * 2 + 1
         assert_eq!(got, vec![3, 5, 7, 9, 11]);
+    }
+
+    #[test]
+    fn paths_are_interned_per_component() {
+        // Two instantiations of the same plan shape intern identical
+        // path strings — metric keys line up across runs.
+        let env = parse_program("box f (x) -> (x);").unwrap().env().unwrap();
+        let b = Bindings::new().bind("f", |r, e| e.emit(r.clone()));
+        let ast = parse_net_expr("f .. f").unwrap();
+        let plan = compile(&ast, &env, &b).unwrap();
+        for _ in 0..2 {
+            let ctx = Ctx::new(Metrics::new(), Vec::new());
+            let (tx, in_rx) = stream();
+            let out = instantiate(&ctx, &plan.root, "net", in_rx);
+            tx.send(Msg::Rec(Record::build().field("x", 1i64).finish()))
+                .unwrap();
+            drop(tx);
+            let _ = collect_records(out);
+            ctx.join_all();
+            assert_eq!(ctx.metrics.get("net/s0/box:f/records_in"), 1);
+            assert_eq!(ctx.metrics.get("net/s1/box:f/records_in"), 1);
+        }
     }
 }

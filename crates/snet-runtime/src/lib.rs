@@ -31,6 +31,7 @@ pub mod merge;
 pub mod metrics;
 pub mod net;
 pub mod parallel;
+pub mod path;
 pub mod plan;
 pub mod split;
 pub mod star;
@@ -39,8 +40,10 @@ pub mod trace;
 
 pub use boxfn::{BoxImpl, Emitter};
 pub use ctx::Ctx;
-pub use metrics::Metrics;
+pub use metrics::{Counter, Metrics};
 pub use net::{collect_records, BuildError, Net, NetBuilder, SendRejected};
+pub use parallel::{RouteCache, RouteClass};
+pub use path::CompPath;
 pub use plan::{compile, Bindings, CompileError, Plan};
 pub use stream::{Dir, Msg, Observer};
 pub use trace::{TraceEntry, TraceLog};

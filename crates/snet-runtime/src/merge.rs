@@ -31,6 +31,7 @@
 //! the branch will never deliver and does not wait for them.
 
 use crate::ctx::Ctx;
+use crate::path::CompPath;
 use crate::stream::{Msg, Receiver, Sender};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -87,14 +88,14 @@ impl Branch {
 /// disconnected and the control channel is closed.
 pub fn spawn_merge(
     ctx: &Arc<Ctx>,
-    path: &str,
+    path: impl Into<CompPath>,
     mode: MergeMode,
     initial: Vec<BranchSpec>,
     control: crossbeam::channel::Receiver<BranchSpec>,
     out: Sender,
 ) {
-    let path = format!("{path}/merge");
-    ctx.spawn(path, move || match mode {
+    let path = path.into().child("merge");
+    ctx.spawn(path.as_str(), move || match mode {
         MergeMode::NonDet => run_nondet(initial, control, out),
         MergeMode::Det { level } => run_det(level, initial, control, out),
     });
@@ -216,11 +217,7 @@ fn run_nondet(
 /// Forwards every sort on which all branches agree (each branch is
 /// done, parked on it, or exempt), unparking the parked branches.
 /// Loops until no further sort resolves.
-fn resolve_barriers(
-    branches: &mut [Branch],
-    forwarded: &mut HashMap<u32, u64>,
-    out: &Sender,
-) {
+fn resolve_barriers(branches: &mut [Branch], forwarded: &mut HashMap<u32, u64>, out: &Sender) {
     loop {
         // Candidate sorts: the distinct values branches are parked on.
         let mut candidates: Vec<(u32, u64)> = Vec::new();
@@ -233,9 +230,9 @@ fn resolve_barriers(
         }
         let mut resolved_any = false;
         for (level, counter) in candidates {
-            let ok = branches.iter().all(|b| {
-                b.done || b.blocked == Some((level, counter)) || b.exempt(level, counter)
-            });
+            let ok = branches
+                .iter()
+                .all(|b| b.done || b.blocked == Some((level, counter)) || b.exempt(level, counter));
             if ok {
                 let hwm = forwarded.entry(level).or_insert(0);
                 if counter >= *hwm {
@@ -495,16 +492,40 @@ mod tests {
         );
         // Round 0: data in A.
         ta.send(rec(0)).unwrap();
-        ta.send(Msg::Sort { level: 0, counter: 0 }).unwrap();
-        tb.send(Msg::Sort { level: 0, counter: 0 }).unwrap();
+        ta.send(Msg::Sort {
+            level: 0,
+            counter: 0,
+        })
+        .unwrap();
+        tb.send(Msg::Sort {
+            level: 0,
+            counter: 0,
+        })
+        .unwrap();
         // Round 1: data in B — send B's data *after* A's round-2 data
         // to prove ordering is by round, not arrival.
-        ta.send(Msg::Sort { level: 0, counter: 1 }).unwrap();
+        ta.send(Msg::Sort {
+            level: 0,
+            counter: 1,
+        })
+        .unwrap();
         ta.send(rec(2)).unwrap();
-        ta.send(Msg::Sort { level: 0, counter: 2 }).unwrap();
+        ta.send(Msg::Sort {
+            level: 0,
+            counter: 2,
+        })
+        .unwrap();
         tb.send(rec(1)).unwrap();
-        tb.send(Msg::Sort { level: 0, counter: 1 }).unwrap();
-        tb.send(Msg::Sort { level: 0, counter: 2 }).unwrap();
+        tb.send(Msg::Sort {
+            level: 0,
+            counter: 1,
+        })
+        .unwrap();
+        tb.send(Msg::Sort {
+            level: 0,
+            counter: 2,
+        })
+        .unwrap();
         drop(ta);
         drop(tb);
         let mut got = Vec::new();
@@ -529,7 +550,11 @@ mod tests {
             out_tx,
         );
         ta.send(rec(7)).unwrap();
-        ta.send(Msg::Sort { level: 3, counter: 0 }).unwrap();
+        ta.send(Msg::Sort {
+            level: 3,
+            counter: 0,
+        })
+        .unwrap();
         drop(ta);
         let msgs: Vec<Msg> = out_rx.iter().collect();
         ctx.join_all();
@@ -554,19 +579,41 @@ mod tests {
         // An outer sort (level 0) arrives at the start of round 0 in
         // both branches; it must be forwarded exactly once.
         for t in [&ta, &tb] {
-            t.send(Msg::Sort { level: 0, counter: 0 }).unwrap();
-            t.send(Msg::Sort { level: 1, counter: 0 }).unwrap();
+            t.send(Msg::Sort {
+                level: 0,
+                counter: 0,
+            })
+            .unwrap();
+            t.send(Msg::Sort {
+                level: 1,
+                counter: 0,
+            })
+            .unwrap();
         }
         ta.send(rec(1)).unwrap();
-        ta.send(Msg::Sort { level: 1, counter: 1 }).unwrap();
-        tb.send(Msg::Sort { level: 1, counter: 1 }).unwrap();
+        ta.send(Msg::Sort {
+            level: 1,
+            counter: 1,
+        })
+        .unwrap();
+        tb.send(Msg::Sort {
+            level: 1,
+            counter: 1,
+        })
+        .unwrap();
         drop(ta);
         drop(tb);
         let msgs: Vec<Msg> = out_rx.iter().collect();
         ctx.join_all();
         assert_eq!(
             msgs,
-            vec![Msg::Sort { level: 0, counter: 0 }, rec(1)]
+            vec![
+                Msg::Sort {
+                    level: 0,
+                    counter: 0
+                },
+                rec(1)
+            ]
         );
     }
 
@@ -588,19 +635,33 @@ mod tests {
         // lags: its pre-sort data must still precede A's post-sort data
         // in the merged stream.
         ta.send(rec(1)).unwrap();
-        ta.send(Msg::Sort { level: 0, counter: 0 }).unwrap();
+        ta.send(Msg::Sort {
+            level: 0,
+            counter: 0,
+        })
+        .unwrap();
         ta.send(rec(2)).unwrap();
         std::thread::sleep(std::time::Duration::from_millis(30));
         tb.send(rec(10)).unwrap();
-        tb.send(Msg::Sort { level: 0, counter: 0 }).unwrap();
+        tb.send(Msg::Sort {
+            level: 0,
+            counter: 0,
+        })
+        .unwrap();
         drop(ta);
         drop(tb);
         let msgs: Vec<Msg> = out_rx.iter().collect();
         ctx.join_all();
         let pos = |needle: &Msg| msgs.iter().position(|m| m == needle).unwrap();
-        let sort_pos = pos(&Msg::Sort { level: 0, counter: 0 });
+        let sort_pos = pos(&Msg::Sort {
+            level: 0,
+            counter: 0,
+        });
         assert!(pos(&rec(1)) < sort_pos);
-        assert!(pos(&rec(10)) < sort_pos, "pre-barrier data leaked: {msgs:?}");
+        assert!(
+            pos(&rec(10)) < sort_pos,
+            "pre-barrier data leaked: {msgs:?}"
+        );
         assert!(pos(&rec(2)) > sort_pos);
     }
 
@@ -648,16 +709,33 @@ mod tests {
         );
         // Round 0 happens with only branch A.
         ta.send(rec(0)).unwrap();
-        ta.send(Msg::Sort { level: 0, counter: 0 }).unwrap();
+        ta.send(Msg::Sort {
+            level: 0,
+            counter: 0,
+        })
+        .unwrap();
         // Branch B joins before round 1's sort is broadcast; it will
         // deliver sorts from counter 1 onward (watermark level 0 -> 1).
         let (tb, rb) = stream();
         let mut wm = Watermark::new();
         wm.insert(0, 1);
-        ctl_tx.send(BranchSpec { rx: rb, watermark: wm }).unwrap();
+        ctl_tx
+            .send(BranchSpec {
+                rx: rb,
+                watermark: wm,
+            })
+            .unwrap();
         tb.send(rec(1)).unwrap();
-        tb.send(Msg::Sort { level: 0, counter: 1 }).unwrap();
-        ta.send(Msg::Sort { level: 0, counter: 1 }).unwrap();
+        tb.send(Msg::Sort {
+            level: 0,
+            counter: 1,
+        })
+        .unwrap();
+        ta.send(Msg::Sort {
+            level: 0,
+            counter: 1,
+        })
+        .unwrap();
         drop(ta);
         drop(tb);
         drop(ctl_tx);

@@ -1,28 +1,87 @@
-//! Runtime metrics.
+//! Runtime metrics: handle-based counters behind a string-queryable
+//! registry.
 //!
 //! The paper argues about its networks through *structural bounds*:
 //! Figure 1's pipeline "cannot lead to pipelines longer than 81
 //! replicas", Figure 2 guarantees "a maximum of 9 × 81 = 729
 //! solveOneLevel boxes", Figure 3's modulo filter "implicitly limits
 //! the parallel unfolding to a maximum of 4 instances". The metrics
-//! registry makes those bounds *measurable*: every component increments
-//! named counters, and the experiment harness asserts the paper's
-//! numbers instead of eyeballing them.
+//! registry makes those bounds *measurable*: every component counts
+//! records and replicas, and the experiment harness asserts the
+//! paper's numbers instead of eyeballing them.
 //!
-//! Counters are keyed by component path (e.g.
-//! `net/star/stage3/split/branch2/box:solveOneLevel`) plus a metric
-//! name. A mutex-protected map is plenty: counter updates are per
-//! record, and records are coarse-grained messages.
+//! # Design: register at spawn, count through handles
+//!
+//! Counting must not be what the coordination layer spends its time
+//! on. The registry therefore splits the two rates apart:
+//!
+//! * **Registration** happens once per component at spawn time:
+//!   [`Metrics::handle`] interns the full key (component path +
+//!   metric name) into a `BTreeMap` under a mutex and returns a
+//!   [`Counter`] — a cloned `Arc<AtomicU64>` pointing at the
+//!   registered cell. Registering the same key twice returns handles
+//!   to the *same* cell, so dynamically re-spawned components
+//!   accumulate rather than reset.
+//! * **Counting** happens per record through the handle: a single
+//!   relaxed `fetch_add`/`fetch_max`, no lock, no allocation, no
+//!   string formatting. Relaxed ordering is sufficient — counters are
+//!   independent monotone quantities, and every reader takes the
+//!   registry lock, which synchronizes with the component threads'
+//!   channel operations at termination.
+//! * **Queries** ([`Metrics::get`], [`Metrics::sum_matching`], ...)
+//!   take the registry lock and read the atomics. They observe
+//!   counters registered *after* the network started (replicators
+//!   spawn components dynamically), because registration inserts into
+//!   the same map queries iterate.
+//!
+//! The string-keyed [`Metrics::inc`]/[`Metrics::max`] API is kept for
+//! call sites outside the record loop (and as the comparison baseline
+//! in the `runtime_primitives` bench); it pays the registry lock per
+//! call and allocates on first use of a key.
 
+use crate::path::CompPath;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// A registered counter: one atomic cell shared with the registry.
+/// Cloning is cheap (an `Arc` bump) and clones address the same cell.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `delta`. Lock-free, allocation-free.
+    #[inline]
+    pub fn inc(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Raises the counter to at least `v` (high-water marks such as
+    /// pipeline depth). Lock-free, allocation-free.
+    #[inline]
+    pub fn max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}
 
 /// Shared metrics registry for one running network.
 #[derive(Default)]
 pub struct Metrics {
-    counters: Mutex<BTreeMap<String, u64>>,
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
 }
 
 impl Metrics {
@@ -30,23 +89,47 @@ impl Metrics {
         Arc::new(Metrics::default())
     }
 
-    /// Adds `delta` to a counter.
-    pub fn inc(&self, key: impl AsRef<str>, delta: u64) {
+    /// Registers (or re-attaches to) the counter under `key` and
+    /// returns its handle. Spawn-time API: this takes the registry
+    /// lock and may allocate; per-record code must go through the
+    /// returned [`Counter`] instead.
+    pub fn handle(&self, key: impl AsRef<str>) -> Counter {
         let mut m = self.counters.lock();
-        *m.entry(key.as_ref().to_string()).or_insert(0) += delta;
+        let cell = match m.get(key.as_ref()) {
+            Some(cell) => Arc::clone(cell),
+            None => {
+                let cell = Arc::new(AtomicU64::new(0));
+                m.insert(key.as_ref().to_string(), Arc::clone(&cell));
+                cell
+            }
+        };
+        Counter(cell)
     }
 
-    /// Sets a counter to the maximum of its current value and `v`
-    /// (used for high-water marks such as pipeline depth).
+    /// [`Metrics::handle`] under the conventional `{path}/{name}` key.
+    pub fn handle_at(&self, path: CompPath, name: &str) -> Counter {
+        self.handle(format!("{path}/{name}"))
+    }
+
+    /// Adds `delta` to a counter by key (legacy string-keyed path:
+    /// takes the registry lock per call).
+    pub fn inc(&self, key: impl AsRef<str>, delta: u64) {
+        self.handle(key).inc(delta);
+    }
+
+    /// Raises a counter to at least `v` by key (legacy string-keyed
+    /// path).
     pub fn max(&self, key: impl AsRef<str>, v: u64) {
-        let mut m = self.counters.lock();
-        let e = m.entry(key.as_ref().to_string()).or_insert(0);
-        *e = (*e).max(v);
+        self.handle(key).max(v);
     }
 
     /// Reads one counter (0 when absent).
     pub fn get(&self, key: impl AsRef<str>) -> u64 {
-        self.counters.lock().get(key.as_ref()).copied().unwrap_or(0)
+        self.counters
+            .lock()
+            .get(key.as_ref())
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
     }
 
     /// Sum of all counters whose key contains `needle`.
@@ -55,7 +138,7 @@ impl Metrics {
             .lock()
             .iter()
             .filter(|(k, _)| k.contains(needle))
-            .map(|(_, v)| *v)
+            .map(|(_, v)| v.load(Ordering::Relaxed))
             .sum()
     }
 
@@ -65,7 +148,7 @@ impl Metrics {
             .lock()
             .iter()
             .filter(|(k, _)| k.contains(needle))
-            .map(|(_, v)| *v)
+            .map(|(_, v)| v.load(Ordering::Relaxed))
             .max()
             .unwrap_or(0)
     }
@@ -81,7 +164,11 @@ impl Metrics {
 
     /// A stable snapshot of all counters.
     pub fn snapshot(&self) -> BTreeMap<String, u64> {
-        self.counters.lock().clone()
+        self.counters
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect()
     }
 }
 
@@ -90,7 +177,7 @@ impl fmt::Debug for Metrics {
         let m = self.counters.lock();
         writeln!(f, "Metrics ({} counters):", m.len())?;
         for (k, v) in m.iter() {
-            writeln!(f, "  {k} = {v}")?;
+            writeln!(f, "  {k} = {}", v.load(Ordering::Relaxed))?;
         }
         Ok(())
     }
@@ -172,5 +259,69 @@ mod tests {
         m.inc("x", 1);
         assert_eq!(snap.get("x"), Some(&1));
         assert_eq!(m.get("x"), 2);
+    }
+
+    #[test]
+    fn handle_and_string_key_share_one_cell() {
+        let m = Metrics::new();
+        let h = m.handle("net/box:f/records_in");
+        h.inc(3);
+        m.inc("net/box:f/records_in", 2);
+        assert_eq!(m.get("net/box:f/records_in"), 5);
+        assert_eq!(h.get(), 5);
+        // A second handle for the same key attaches to the same cell.
+        let h2 = m.handle("net/box:f/records_in");
+        h2.inc(1);
+        assert_eq!(h.get(), 6);
+    }
+
+    #[test]
+    fn handle_at_uses_path_name_convention() {
+        let m = Metrics::new();
+        let p = CompPath::root("net").child("box:g");
+        let h = m.handle_at(p, keys::RECORDS_OUT);
+        h.inc(7);
+        assert_eq!(m.get("net/box:g/records_out"), 7);
+        assert_eq!(m.sum_matching("box:g/"), 7);
+    }
+
+    #[test]
+    fn concurrent_handle_increments_are_consistent() {
+        let m = Metrics::new();
+        let h = m.handle("hot");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        h.inc(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.get("hot"), 8000);
+        assert_eq!(h.get(), 8000);
+    }
+
+    #[test]
+    fn queries_see_counters_registered_later() {
+        let m = Metrics::new();
+        m.handle("a/records_in").inc(1);
+        assert_eq!(m.count_matching("records_in"), 1);
+        // A component spawned after the first query (dynamic replica).
+        m.handle("b/records_in").inc(4);
+        assert_eq!(m.count_matching("records_in"), 2);
+        assert_eq!(m.sum_matching("records_in"), 5);
+    }
+
+    #[test]
+    fn handle_max_is_high_water_mark() {
+        let m = Metrics::new();
+        let h = m.handle("stages");
+        h.max(4);
+        h.max(2);
+        assert_eq!(h.get(), 4);
+        h.max(9);
+        assert_eq!(m.get("stages"), 9);
     }
 }

@@ -24,6 +24,7 @@
 use crate::ctx::Ctx;
 use crate::instantiate::instantiate;
 use crate::metrics::Metrics;
+use crate::path::CompPath;
 use crate::plan::{compile, Bindings, CompileError, Plan};
 use crate::stream::{stream, Msg, Observer, Receiver, Sender};
 use snet_lang::{parse_net_expr, parse_program, Env, NetAst, ParseError, Program};
@@ -156,7 +157,7 @@ impl Net {
         let metrics = Metrics::new();
         let ctx = Ctx::new(metrics, observers);
         let (tx, rx) = stream();
-        let output = instantiate(&ctx, &plan.root, "net", rx);
+        let output = instantiate(&ctx, &plan.root, CompPath::root("net"), rx);
         Net {
             input: Some(tx),
             output,
@@ -193,9 +194,7 @@ impl Net {
             });
         }
         match &self.input {
-            Some(tx) => tx
-                .send(Msg::Rec(rec))
-                .map_err(|_| SendRejected::Closed),
+            Some(tx) => tx.send(Msg::Rec(rec)).map_err(|_| SendRejected::Closed),
             None => Err(SendRejected::Closed),
         }
     }
@@ -246,7 +245,11 @@ impl fmt::Debug for Net {
         write!(
             f,
             "Net {{ input: {}, sig: {} -> {} }}",
-            if self.input.is_some() { "open" } else { "closed" },
+            if self.input.is_some() {
+                "open"
+            } else {
+                "closed"
+            },
             self.sig.input_type(),
             self.sig.output_type()
         )
@@ -368,8 +371,12 @@ mod tests {
         net.send(Record::build().field("x", 1i64).finish()).unwrap();
         let _ = net.finish();
         let log = log.lock();
-        assert!(log.iter().any(|(p, d)| p.contains("box:inc") && *d == Dir::In));
-        assert!(log.iter().any(|(p, d)| p.contains("box:inc") && *d == Dir::Out));
+        assert!(log
+            .iter()
+            .any(|(p, d)| p.contains("box:inc") && *d == Dir::In));
+        assert!(log
+            .iter()
+            .any(|(p, d)| p.contains("box:inc") && *d == Dir::Out));
     }
 
     #[test]

@@ -7,21 +7,153 @@
 //! better matches the type of the record itself. If both branches
 //! match equally well, one is selected non-deterministically" (paper,
 //! Section 4).
+//!
+//! # Memoized routing
+//!
+//! The routing decision depends only on the *type* of a record — the
+//! set of labels it carries — and the label universe of a coordination
+//! program is fixed (see `snet_types::label`). The dispatcher
+//! therefore resolves `match_score` subset tests once per distinct
+//! record type and caches the outcome in a [`RouteCache`]: subsequent
+//! records of a seen type cost one label-sequence hash and a map hit,
+//! with no allocation. Equal-match types are cached as [`RouteClass::Tie`]
+//! — the cache stores the *class*, never a fixed branch, so the
+//! non-deterministic choice the paper requires stays an explicit
+//! round-robin over time (see [`RouteCache::decide`]).
 
 use crate::ctx::Ctx;
 use crate::instantiate::instantiate;
 use crate::merge::{spawn_merge, BranchSpec, MergeMode};
 use crate::metrics::keys;
+use crate::path::CompPath;
 use crate::plan::PNode;
 use crate::stream::{stream, Dir, Msg, Receiver};
-use snet_types::NetSig;
+use snet_types::{NetSig, Record, RecordType};
+use std::collections::HashMap;
 use std::sync::Arc;
+
+/// How records of one type route through a two-branch dispatcher.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteClass {
+    /// Only, or better, matched by the left branch.
+    Left,
+    /// Only, or better, matched by the right branch.
+    Right,
+    /// Both branches match equally well: the paper's non-deterministic
+    /// case. Never pinned — resolved per record by round-robin.
+    Tie,
+    /// Matched by neither branch (a routing error the dispatcher
+    /// reports; cached so repeated offenders stay cheap to reject).
+    Unroutable,
+}
+
+/// Memoized best-match routing for a parallel composition.
+///
+/// Keys are label-sequence hashes of record types, verified
+/// element-wise against the cached [`RecordType`] (so a hash collision
+/// degrades to a comparison, never a misroute). The first record of
+/// each type pays one `record_type()` allocation and two
+/// `match_score` subset tests; every later record of that type is a
+/// hash + lookup with zero allocation.
+pub struct RouteCache {
+    lsig: NetSig,
+    rsig: NetSig,
+    buckets: HashMap<u64, Vec<(RecordType, RouteClass)>>,
+    /// Round-robin state for [`RouteClass::Tie`]: flipped on every tie
+    /// decision, so equal-match records alternate branches
+    /// deterministically over time — the documented rendering of the
+    /// paper's "selected non-deterministically". Alternation (rather
+    /// than e.g. random choice) also guarantees both branches make
+    /// progress under a pure tie workload.
+    flip: bool,
+}
+
+/// Order-dependent hash of a record's label sequence (fields then
+/// tags, sorted — the order `Record::labels` guarantees). Includes the
+/// label kind: a field and a tag of the same name share an interner id
+/// but are different labels.
+fn label_seq_hash(rec: &Record) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for l in rec.labels() {
+        let v = (u64::from(l.id()) << 1) | u64::from(l.is_tag());
+        h = (h ^ v).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl RouteCache {
+    pub fn new(lsig: NetSig, rsig: NetSig) -> RouteCache {
+        RouteCache {
+            lsig,
+            rsig,
+            buckets: HashMap::new(),
+            flip: false,
+        }
+    }
+
+    /// The route class for a record's type, from cache or computed.
+    pub fn classify(&mut self, rec: &Record) -> RouteClass {
+        let h = label_seq_hash(rec);
+        if let Some(bucket) = self.buckets.get(&h) {
+            for (rt, class) in bucket {
+                if rt.len() == rec.len() && rt.labels().iter().copied().eq(rec.labels()) {
+                    return *class;
+                }
+            }
+        }
+        // First record of this type: run the real subset tests.
+        let rt = rec.record_type();
+        let class = match (self.lsig.match_score(&rt), self.rsig.match_score(&rt)) {
+            (Some(a), Some(b)) if a == b => RouteClass::Tie,
+            (Some(a), Some(b)) => {
+                if a > b {
+                    RouteClass::Left
+                } else {
+                    RouteClass::Right
+                }
+            }
+            (Some(_), None) => RouteClass::Left,
+            (None, Some(_)) => RouteClass::Right,
+            (None, None) => RouteClass::Unroutable,
+        };
+        self.buckets.entry(h).or_default().push((rt, class));
+        class
+    }
+
+    /// Routes one record: `Some(true)` = left, `Some(false)` = right,
+    /// `None` = unroutable. Ties alternate round-robin.
+    pub fn decide(&mut self, rec: &Record) -> Option<bool> {
+        match self.classify(rec) {
+            RouteClass::Left => Some(true),
+            RouteClass::Right => Some(false),
+            RouteClass::Tie => {
+                self.flip = !self.flip;
+                Some(self.flip)
+            }
+            RouteClass::Unroutable => None,
+        }
+    }
+
+    /// The branch signatures (used in the dispatcher's panic message).
+    pub fn sigs(&self) -> (&NetSig, &NetSig) {
+        (&self.lsig, &self.rsig)
+    }
+
+    /// Number of distinct record types cached.
+    pub fn len(&self) -> usize {
+        self.buckets.values().map(|b| b.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+}
 
 /// Spawns a parallel composition; returns its output stream.
 #[allow(clippy::too_many_arguments)]
 pub fn spawn_parallel(
     ctx: &Arc<Ctx>,
-    path: &str,
+    path: impl Into<CompPath>,
     left: &Arc<PNode>,
     right: &Arc<PNode>,
     left_sig: &NetSig,
@@ -30,11 +162,11 @@ pub fn spawn_parallel(
     level: u32,
     input: Receiver,
 ) -> Receiver {
-    let comb = format!("{path}/{}", if det { "par" } else { "parnd" });
+    let comb = path.into().child(if det { "par" } else { "parnd" });
     let (ltx, lrx) = stream();
     let (rtx, rrx) = stream();
-    let left_out = instantiate(ctx, left, &format!("{comb}/L"), lrx);
-    let right_out = instantiate(ctx, right, &format!("{comb}/R"), rrx);
+    let left_out = instantiate(ctx, left, comb.child("L"), lrx);
+    let right_out = instantiate(ctx, right, comb.child("R"), rrx);
 
     // Static two-branch merge: the control channel is closed
     // immediately.
@@ -48,52 +180,46 @@ pub fn spawn_parallel(
     };
     spawn_merge(
         ctx,
-        &comb,
+        comb,
         mode,
         vec![BranchSpec::new(left_out), BranchSpec::new(right_out)],
         ctl_rx,
         out_tx,
     );
 
-    // Dispatcher.
+    // Dispatcher. Counters and the route cache are resolved at spawn
+    // time; the record loop performs no allocation for bookkeeping and
+    // no repeated subset tests for previously-seen record types.
     let ctx2 = Arc::clone(ctx);
-    let lsig = left_sig.clone();
-    let rsig = right_sig.clone();
-    let dpath = comb.clone();
-    ctx.spawn(format!("{comb}/dispatch"), move || {
+    let mut routes = RouteCache::new(left_sig.clone(), right_sig.clone());
+    let dpath = comb;
+    let records_in = ctx.metrics.handle_at(dpath, keys::RECORDS_IN);
+    let routed_left = ctx.metrics.handle_at(dpath, "routed_left");
+    let routed_right = ctx.metrics.handle_at(dpath, "routed_right");
+    ctx.spawn(format!("{dpath}/dispatch"), move || {
         let mut counter: u64 = 0;
-        let mut flip = false;
         while let Ok(msg) = input.recv() {
             match msg {
                 Msg::Rec(rec) => {
                     if ctx2.has_observers() {
-                        ctx2.observe(&dpath, Dir::In, &rec);
+                        ctx2.observe(dpath, Dir::In, &rec);
                     }
-                    ctx2.metrics.inc(format!("{dpath}/{}", keys::RECORDS_IN), 1);
-                    let rt = rec.record_type();
-                    let sl = lsig.match_score(&rt);
-                    let sr = rsig.match_score(&rt);
-                    let go_left = match (sl, sr) {
-                        (Some(a), Some(b)) if a == b => {
-                            // Equal match: non-deterministic choice.
-                            flip = !flip;
-                            flip
-                        }
-                        (Some(a), Some(b)) => a > b,
-                        (Some(_), None) => true,
-                        (None, Some(_)) => false,
-                        (None, None) => panic!(
+                    records_in.inc(1);
+                    let go_left = routes.decide(&rec).unwrap_or_else(|| {
+                        let (lsig, rsig) = routes.sigs();
+                        panic!(
                             "record {rec:?} matches neither branch of parallel composition \
                              at '{dpath}' (left {}, right {})",
                             lsig.input_type(),
                             rsig.input_type()
-                        ),
-                    };
+                        )
+                    });
                     let target = if go_left { &ltx } else { &rtx };
-                    ctx2.metrics.inc(
-                        format!("{dpath}/{}", if go_left { "routed_left" } else { "routed_right" }),
-                        1,
-                    );
+                    if go_left {
+                        routed_left.inc(1);
+                    } else {
+                        routed_right.inc(1);
+                    }
                     let _ = target.send(Msg::Rec(rec));
                     if det {
                         let sort = Msg::Sort { level, counter };
@@ -147,7 +273,11 @@ mod tests {
                 let v = r.field("b").unwrap().as_int().unwrap();
                 e.emit(Record::build().field("rb", v).finish());
             });
-        let src = if det { "pick_a | pick_b" } else { "pick_a || pick_b" };
+        let src = if det {
+            "pick_a | pick_b"
+        } else {
+            "pick_a || pick_b"
+        };
         let ast = parse_net_expr(src).unwrap();
         (ctx(), compile(&ast, &env, &b).unwrap())
     }
@@ -283,6 +413,85 @@ mod tests {
             })
             .collect();
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn route_cache_memoizes_and_never_pins_ties() {
+        let lsig = NetSig::simple(
+            snet_types::RecordType::of(&["a"], &[]),
+            vec![snet_types::RecordType::of(&["ra"], &[])],
+        );
+        let rsig = NetSig::simple(
+            snet_types::RecordType::of(&["a"], &[]),
+            vec![snet_types::RecordType::of(&["rb"], &[])],
+        );
+        let mut cache = RouteCache::new(lsig, rsig);
+        let rec = Record::build().field("a", 1i64).finish();
+        assert_eq!(cache.classify(&rec), RouteClass::Tie);
+        assert_eq!(cache.len(), 1);
+        // Ties alternate strictly — the cached class never pins a
+        // branch.
+        let mut lefts = 0;
+        let mut rights = 0;
+        for _ in 0..10 {
+            match cache.decide(&rec) {
+                Some(true) => lefts += 1,
+                Some(false) => rights += 1,
+                None => panic!("tie record became unroutable"),
+            }
+        }
+        assert_eq!((lefts, rights), (5, 5));
+        // Still a single cached type after repeated decisions.
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn route_cache_distinguishes_types_and_kinds() {
+        // Field `k` and tag `<k>` share an interner id; the cache must
+        // not conflate them.
+        let lsig = NetSig::simple(
+            snet_types::RecordType::of(&["k"], &[]),
+            vec![snet_types::RecordType::of(&["x"], &[])],
+        );
+        let rsig = NetSig::simple(
+            snet_types::RecordType::of(&[], &["k"]),
+            vec![snet_types::RecordType::of(&["y"], &[])],
+        );
+        let mut cache = RouteCache::new(lsig, rsig);
+        let field_rec = Record::build().field("k", 1i64).finish();
+        let tag_rec = Record::build().tag("k", 1).finish();
+        assert_eq!(cache.decide(&field_rec), Some(true));
+        assert_eq!(cache.decide(&tag_rec), Some(false));
+        assert_eq!(cache.len(), 2);
+        // Unroutable types are classified (and cached) as such.
+        let bad = Record::build().field("zzz", 1i64).finish();
+        assert_eq!(cache.decide(&bad), None);
+        assert_eq!(cache.classify(&bad), RouteClass::Unroutable);
+    }
+
+    #[test]
+    fn route_cache_agrees_with_direct_match_score() {
+        // Best-match preference: {x} vs {x,y} for a record {x,y,z}.
+        let loose = NetSig::simple(
+            snet_types::RecordType::of(&["x"], &[]),
+            vec![snet_types::RecordType::of(&["o"], &[])],
+        );
+        let tight = NetSig::simple(
+            snet_types::RecordType::of(&["x", "y"], &[]),
+            vec![snet_types::RecordType::of(&["o"], &[])],
+        );
+        let mut cache = RouteCache::new(loose, tight);
+        let rich = Record::build()
+            .field("x", 1i64)
+            .field("y", 2i64)
+            .field("z", 3i64)
+            .finish();
+        let plain = Record::build().field("x", 1i64).finish();
+        assert_eq!(cache.decide(&rich), Some(false)); // tighter wins
+        assert_eq!(cache.decide(&plain), Some(true)); // only loose matches
+                                                      // Repeat from cache: same answers.
+        assert_eq!(cache.decide(&rich), Some(false));
+        assert_eq!(cache.decide(&plain), Some(true));
     }
 
     #[test]

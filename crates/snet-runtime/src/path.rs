@@ -1,0 +1,134 @@
+//! Interned component paths.
+//!
+//! Every running component is named by a slash-separated path such as
+//! `net/star/stage3/split/branch2/box:solveOneLevel`. Before this
+//! module existed, components carried their path as an owned `String`
+//! and *rebuilt derived strings per record* (`format!("{path}/...")`
+//! for every metrics key) — a heap allocation on the hottest path of
+//! the runtime. A [`CompPath`] is instead interned process-wide,
+//! exactly like [`snet_types::Label`]: construction renders the path
+//! string once, leaks it to `&'static str`, and hands out a copyable
+//! `(id, &'static str)` pair. Component spawn sites build their path
+//! once at instantiation time; per-record code only ever copies the
+//! handle or borrows the pre-rendered string.
+//!
+//! Leaking is bounded for the same reason label leaking is: the path
+//! universe of a coordination program is fixed by its structure (the
+//! paper's bounds — at most 81 pipeline replicas, at most 9 × 81
+//! boxes — are bounds on the path universe too), and repeated network
+//! instantiations reuse identical path strings, which the interner
+//! dedups to the same entry.
+//!
+//! One caveat: indexed-replicator branch paths embed the routing tag
+//! *value* (`.../branch{v}`), so their count is bounded by the tag
+//! domain, not the program text. Every workload in this repo throttles
+//! that domain (the Figure 3 modulo filter exists precisely to bound
+//! unfolding), but a long-running service splitting on an unbounded
+//! tag (e.g. a session id) would grow the interner without reclaim —
+//! see ROADMAP "Open items" for the reclaimable-interner follow-on.
+
+use snet_types::StringInterner;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// An interned component path: cheap to copy, compare and hash; the
+/// rendered string is available for free via [`CompPath::as_str`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CompPath {
+    id: u32,
+    text: &'static str,
+}
+
+fn intern(text: &str) -> CompPath {
+    static INTERNER: OnceLock<StringInterner> = OnceLock::new();
+    let (id, text) = INTERNER.get_or_init(StringInterner::new).intern(text);
+    CompPath { id, text }
+}
+
+impl CompPath {
+    /// Interns a root path, e.g. `net`.
+    pub fn root(name: &str) -> CompPath {
+        intern(name)
+    }
+
+    /// Interns the child path `self/segment`. Called at component
+    /// spawn time only — never per record.
+    pub fn child(&self, segment: &str) -> CompPath {
+        intern(&format!("{}/{segment}", self.text))
+    }
+
+    /// The rendered path, without allocating.
+    pub fn as_str(&self) -> &'static str {
+        self.text
+    }
+
+    /// The interner id (stable for the process lifetime).
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+}
+
+impl From<&str> for CompPath {
+    fn from(s: &str) -> CompPath {
+        CompPath::root(s)
+    }
+}
+
+impl fmt::Display for CompPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.text)
+    }
+}
+
+impl fmt::Debug for CompPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_text_same_id() {
+        let a = CompPath::root("net").child("s0").child("box:solve");
+        let b = CompPath::root("net/s0").child("box:solve");
+        assert_eq!(a, b);
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a.as_str(), "net/s0/box:solve");
+        // Pointer-identical static strings, not just equal contents.
+        assert!(std::ptr::eq(a.as_str(), b.as_str()));
+    }
+
+    #[test]
+    fn distinct_paths_distinct_ids() {
+        let a = CompPath::root("net").child("L");
+        let b = CompPath::root("net").child("R");
+        assert_ne!(a, b);
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn from_str_is_root_intern() {
+        let p: CompPath = "net".into();
+        assert_eq!(p, CompPath::root("net"));
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for i in 0..200 {
+                        let p = CompPath::root("cc").child(&format!("stage{}", i % 40));
+                        assert!(p.as_str().starts_with("cc/stage"));
+                    }
+                });
+            }
+        });
+        let a = CompPath::root("cc").child("stage7");
+        let b = CompPath::root("cc/stage7");
+        assert_eq!(a.id(), b.id());
+    }
+}

@@ -324,7 +324,9 @@ mod tests {
             } => {
                 assert_eq!(*level, 0);
                 match &**left {
-                    PNode::Split { det: true, level, .. } => assert_eq!(*level, 1),
+                    PNode::Split {
+                        det: true, level, ..
+                    } => assert_eq!(*level, 1),
                     other => panic!("unexpected {other:?}"),
                 }
             }
@@ -334,8 +336,12 @@ mod tests {
         let ast = snet_lang::parse_net_expr("(f ! <t>) || g").unwrap();
         let plan = compile(&ast, &env, &b).unwrap();
         match &*plan.root {
-            PNode::Parallel { det: false, left, .. } => match &**left {
-                PNode::Split { det: true, level, .. } => assert_eq!(*level, 0),
+            PNode::Parallel {
+                det: false, left, ..
+            } => match &**left {
+                PNode::Split {
+                    det: true, level, ..
+                } => assert_eq!(*level, 0),
                 other => panic!("unexpected {other:?}"),
             },
             other => panic!("unexpected {other:?}"),

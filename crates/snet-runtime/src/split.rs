@@ -18,6 +18,7 @@ use crate::ctx::Ctx;
 use crate::instantiate::instantiate;
 use crate::merge::{spawn_merge, BranchSpec, MergeMode, Watermark};
 use crate::metrics::keys;
+use crate::path::CompPath;
 use crate::plan::PNode;
 use crate::stream::{stream, Dir, Msg, Receiver, Sender};
 use snet_types::Label;
@@ -27,14 +28,14 @@ use std::sync::Arc;
 /// Spawns an indexed parallel replicator; returns its output stream.
 pub fn spawn_split(
     ctx: &Arc<Ctx>,
-    path: &str,
+    path: impl Into<CompPath>,
     inner: &Arc<PNode>,
     tag: Label,
     det: bool,
     level: u32,
     input: Receiver,
 ) -> Receiver {
-    let comb = format!("{path}/{}", if det { "split" } else { "splitnd" });
+    let comb = path.into().child(if det { "split" } else { "splitnd" });
     let (ctl_tx, ctl_rx) = crossbeam::channel::unbounded::<BranchSpec>();
     let (out_tx, out_rx) = stream();
     let mode = if det {
@@ -49,17 +50,23 @@ pub fn spawn_split(
     let (spine_tx, spine_rx) = stream();
     spawn_merge(
         ctx,
-        &comb,
+        comb,
         mode,
         vec![BranchSpec::new(spine_rx)],
         ctl_rx,
         out_tx,
     );
 
+    // Dispatcher: counters are registered once at spawn; the record
+    // loop's only per-record work is a tag lookup and a branch-map hit.
+    // Path/metric strings are only built on the demand-driven replica
+    // unfolding path (once per distinct tag value).
     let ctx2 = Arc::clone(ctx);
     let inner = Arc::clone(inner);
-    let dpath = comb.clone();
-    ctx.spawn(format!("{comb}/dispatch"), move || {
+    let dpath = comb;
+    let records_in = ctx.metrics.handle_at(dpath, keys::RECORDS_IN);
+    let branches_created = ctx.metrics.handle_at(dpath, keys::BRANCHES);
+    ctx.spawn(format!("{dpath}/dispatch"), move || {
         let mut branches: HashMap<i64, Sender> = HashMap::new();
         // Sorts broadcast so far, per level: the watermark handed to
         // replicas created later (they will never see earlier sorts).
@@ -69,9 +76,9 @@ pub fn spawn_split(
             match msg {
                 Msg::Rec(rec) => {
                     if ctx2.has_observers() {
-                        ctx2.observe(&dpath, Dir::In, &rec);
+                        ctx2.observe(dpath, Dir::In, &rec);
                     }
-                    ctx2.metrics.inc(format!("{dpath}/{}", keys::RECORDS_IN), 1);
+                    records_in.inc(1);
                     let v = rec.tag_label(tag).unwrap_or_else(|| {
                         panic!(
                             "record {rec:?} reached parallel replicator at '{dpath}' without \
@@ -82,8 +89,8 @@ pub fn spawn_split(
                         // Demand-driven unfolding of a fresh replica.
                         let (btx, brx) = stream();
                         let replica_out =
-                            instantiate(&ctx2, &inner, &format!("{dpath}/branch{v}"), brx);
-                        ctx2.metrics.inc(format!("{dpath}/{}", keys::BRANCHES), 1);
+                            instantiate(&ctx2, &inner, dpath.child(&format!("branch{v}")), brx);
+                        branches_created.inc(1);
                         // Register the tap before any subsequent sort
                         // broadcast so the merger can account for it.
                         let _ = ctl_tx.send(BranchSpec {
@@ -103,14 +110,23 @@ pub fn spawn_split(
                         counter += 1;
                     }
                 }
-                Msg::Sort { level: l, counter: c } => {
+                Msg::Sort {
+                    level: l,
+                    counter: c,
+                } => {
                     // Outer sorts: broadcast to every live replica (and
                     // the spine) and remember for future replicas'
                     // watermarks.
                     for tx in branches.values() {
-                        let _ = tx.send(Msg::Sort { level: l, counter: c });
+                        let _ = tx.send(Msg::Sort {
+                            level: l,
+                            counter: c,
+                        });
                     }
-                    let _ = spine_tx.send(Msg::Sort { level: l, counter: c });
+                    let _ = spine_tx.send(Msg::Sort {
+                        level: l,
+                        counter: c,
+                    });
                     watermark.insert(l, c + 1);
                 }
             }
@@ -137,7 +153,10 @@ mod tests {
     /// `mark (x) -> (x, y)` records which replica (by first tag value
     /// seen) processed each record, by echoing a thread-local id.
     fn mark_plan(det: bool) -> (Arc<Ctx>, crate::plan::Plan) {
-        let env = parse_program("box mark (x) -> (x, y);").unwrap().env().unwrap();
+        let env = parse_program("box mark (x) -> (x, y);")
+            .unwrap()
+            .env()
+            .unwrap();
         let b = Bindings::new().bind("mark", |r, e| {
             // Replica identity: boxes are stateless in S-Net, but the
             // *thread* is a fine identity proxy for tests.
@@ -263,7 +282,10 @@ mod tests {
         let out = instantiate(&ctx, &plan.root, "net", in_rx);
         for i in 0..12i64 {
             tx.send(Msg::Rec(
-                Record::build().field("x", i).tag("k", -(i % 3) - 1).finish(),
+                Record::build()
+                    .field("x", i)
+                    .tag("k", -(i % 3) - 1)
+                    .finish(),
             ))
             .unwrap();
         }
@@ -294,10 +316,8 @@ mod tests {
         let (tx, in_rx) = stream();
         let out = instantiate(&ctx, &plan.root, "net", in_rx);
         for i in 0..100i64 {
-            tx.send(Msg::Rec(
-                Record::build().field("x", i).tag("k", 0).finish(),
-            ))
-            .unwrap();
+            tx.send(Msg::Rec(Record::build().field("x", i).tag("k", 0).finish()))
+                .unwrap();
         }
         drop(tx);
         let recs = collect_records(out);

@@ -25,7 +25,8 @@
 use crate::ctx::Ctx;
 use crate::instantiate::instantiate;
 use crate::merge::{spawn_merge, BranchSpec, MergeMode, Watermark};
-use crate::metrics::keys;
+use crate::metrics::{keys, Counter};
+use crate::path::CompPath;
 use crate::plan::PNode;
 use crate::stream::{stream, Dir, Msg, Receiver, Sender};
 use snet_lang::ExitPattern;
@@ -34,20 +35,25 @@ use std::sync::Arc;
 struct StarShared {
     inner: Arc<PNode>,
     exit: ExitPattern,
-    comb: String,
+    comb: CompPath,
+    /// Registered once for the whole chain; every guard's exit tap
+    /// increments through this handle.
+    exits: Counter,
+    /// High-water mark of the unfolded chain depth.
+    stages: Counter,
 }
 
 /// Spawns a serial replicator; returns its output stream.
 pub fn spawn_star(
     ctx: &Arc<Ctx>,
-    path: &str,
+    path: impl Into<CompPath>,
     inner: &Arc<PNode>,
     exit: &ExitPattern,
     det: bool,
     level: u32,
     input: Receiver,
 ) -> Receiver {
-    let comb = format!("{path}/{}", if det { "star" } else { "starnd" });
+    let comb = path.into().child(if det { "star" } else { "starnd" });
     let (ctl_tx, ctl_rx) = crossbeam::channel::unbounded::<BranchSpec>();
     let (out_tx, out_rx) = stream();
     let mode = if det {
@@ -55,16 +61,18 @@ pub fn spawn_star(
     } else {
         MergeMode::NonDet
     };
-    spawn_merge(ctx, &comb, mode, Vec::new(), ctl_rx, out_tx);
+    spawn_merge(ctx, comb, mode, Vec::new(), ctl_rx, out_tx);
 
     let shared = Arc::new(StarShared {
         inner: Arc::clone(inner),
         exit: exit.clone(),
         comb,
+        exits: ctx.metrics.handle_at(comb, keys::EXITS),
+        stages: ctx.metrics.handle_at(comb, keys::STAGES),
     });
 
     let guard0_input = if det {
-        spawn_stamper(ctx, &shared.comb, level, input)
+        spawn_stamper(ctx, comb, level, input)
     } else {
         input
     };
@@ -74,7 +82,7 @@ pub fn spawn_star(
 
 /// The deterministic entry stamper: broadcasts `Sort{level, n}` after
 /// the n-th input record, partitioning the chain into rounds.
-fn spawn_stamper(ctx: &Arc<Ctx>, comb: &str, level: u32, input: Receiver) -> Receiver {
+fn spawn_stamper(ctx: &Arc<Ctx>, comb: CompPath, level: u32, input: Receiver) -> Receiver {
     let (tx, rx) = stream();
     ctx.spawn(format!("{comb}/stamper"), move || {
         let mut counter: u64 = 0;
@@ -97,6 +105,10 @@ fn spawn_stamper(ctx: &Arc<Ctx>, comb: &str, level: u32, input: Receiver) -> Rec
 /// Spawns guard `stage`, registering its exit tap with the merger
 /// before any message can flow (the registration must happen-before
 /// subsequent sort broadcasts for the merger's bookkeeping).
+///
+/// All bookkeeping state — the interned guard path, the shared
+/// `exits`/`stages` counters — is resolved here, once per guard; the
+/// record loop allocates only when it unfolds the next replica.
 fn spawn_guard(
     ctx: &Arc<Ctx>,
     shared: Arc<StarShared>,
@@ -110,20 +122,18 @@ fn spawn_guard(
         rx: tap_rx,
         watermark: watermark.clone(),
     });
-    ctx.metrics
-        .max(format!("{}/{}", shared.comb, keys::STAGES), stage as u64 + 1);
+    shared.stages.max(stage as u64 + 1);
     let ctx2 = Arc::clone(ctx);
-    let gpath = format!("{}/stage{stage}/guard", shared.comb);
-    let thread_path = gpath.clone();
-    ctx.spawn(gpath, move || {
-        let gpath = thread_path;
+    let stage_path = shared.comb.child(&format!("stage{stage}"));
+    let gpath = stage_path.child("guard");
+    ctx.spawn(gpath.as_str(), move || {
         let mut wm = watermark;
         let mut next: Option<Sender> = None;
         while let Ok(msg) = input.recv() {
             match msg {
                 Msg::Rec(rec) => {
                     if ctx2.has_observers() {
-                        ctx2.observe(&gpath, Dir::In, &rec);
+                        ctx2.observe(gpath, Dir::In, &rec);
                     }
                     let exits = rec.matches(&shared.exit.pattern)
                         && shared
@@ -135,8 +145,7 @@ fn spawn_guard(
                             .map(|g| g.eval(&rec).unwrap_or(false))
                             .unwrap_or(true);
                     if exits {
-                        ctx2.metrics
-                            .inc(format!("{}/{}", shared.comb, keys::EXITS), 1);
+                        shared.exits.inc(1);
                         let _ = tap_tx.send(Msg::Rec(rec));
                     } else {
                         if next.is_none() {
@@ -144,12 +153,7 @@ fn spawn_guard(
                             // the next guard exist only because this
                             // record needs them.
                             let (rtx, rrx) = stream();
-                            let replica_out = instantiate(
-                                &ctx2,
-                                &shared.inner,
-                                &format!("{}/stage{stage}", shared.comb),
-                                rrx,
-                            );
+                            let replica_out = instantiate(&ctx2, &shared.inner, stage_path, rrx);
                             spawn_guard(
                                 &ctx2,
                                 Arc::clone(&shared),
@@ -163,13 +167,22 @@ fn spawn_guard(
                         let _ = next.as_ref().unwrap().send(Msg::Rec(rec));
                     }
                 }
-                Msg::Sort { level: l, counter: c } => {
+                Msg::Sort {
+                    level: l,
+                    counter: c,
+                } => {
                     // Duplicate every sort to the tap (the merger needs
                     // it for round/barrier bookkeeping) and down the
                     // chain if it exists.
-                    let _ = tap_tx.send(Msg::Sort { level: l, counter: c });
+                    let _ = tap_tx.send(Msg::Sort {
+                        level: l,
+                        counter: c,
+                    });
                     if let Some(tx) = &next {
-                        let _ = tx.send(Msg::Sort { level: l, counter: c });
+                        let _ = tx.send(Msg::Sort {
+                            level: l,
+                            counter: c,
+                        });
                     }
                     wm.insert(l, c + 1);
                 }
@@ -328,12 +341,7 @@ mod tests {
         let b = Bindings::new().bind("bump", |r, e| {
             let x = r.field("x").unwrap().as_int().unwrap();
             let lvl = r.tag("level").unwrap();
-            e.emit(
-                Record::build()
-                    .field("x", x)
-                    .tag("level", lvl + 1)
-                    .finish(),
-            );
+            e.emit(Record::build().field("x", x).tag("level", lvl + 1).finish());
         });
         let ast = parse_net_expr("bump ** {<level>} if <level> > 3").unwrap();
         let plan = compile(&ast, &env, &b).unwrap();

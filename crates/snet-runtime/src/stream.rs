@@ -50,7 +50,9 @@ pub enum Dir {
 /// rather straightforward as all streams can be observed individually"
 /// (paper, Section 1). Observers are called synchronously from the
 /// component thread with the component's path, the direction, and the
-/// record.
+/// record. The path `&str` borrows the component's interned
+/// [`crate::path::CompPath`] rendering — handing it to an observer
+/// allocates nothing.
 pub type Observer = Arc<dyn Fn(&str, Dir, &Record) + Send + Sync>;
 
 #[cfg(test)]
@@ -61,11 +63,22 @@ mod tests {
     #[test]
     fn stream_carries_records_and_sorts() {
         let (tx, rx) = stream();
-        tx.send(Msg::Rec(Record::build().tag("k", 1).finish())).unwrap();
-        tx.send(Msg::Sort { level: 0, counter: 7 }).unwrap();
+        tx.send(Msg::Rec(Record::build().tag("k", 1).finish()))
+            .unwrap();
+        tx.send(Msg::Sort {
+            level: 0,
+            counter: 7,
+        })
+        .unwrap();
         drop(tx);
         assert!(matches!(rx.recv().unwrap(), Msg::Rec(_)));
-        assert_eq!(rx.recv().unwrap(), Msg::Sort { level: 0, counter: 7 });
+        assert_eq!(
+            rx.recv().unwrap(),
+            Msg::Sort {
+                level: 0,
+                counter: 7
+            }
+        );
         // Disconnection is end-of-stream.
         assert!(rx.recv().is_err());
     }

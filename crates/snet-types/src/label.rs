@@ -14,8 +14,7 @@
 //! of a coordination program is small and fixed, and leaking makes
 //! `name()` allocation-free.
 
-use parking_lot::RwLock;
-use std::collections::HashMap;
+use crate::intern::StringInterner;
 use std::fmt;
 use std::sync::OnceLock;
 
@@ -37,37 +36,9 @@ pub struct Label {
     name: &'static str,
 }
 
-struct Interner {
-    by_name: HashMap<&'static str, u32>,
-    names: Vec<&'static str>,
-}
-
-fn interner() -> &'static RwLock<Interner> {
-    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
-    INTERNER.get_or_init(|| {
-        RwLock::new(Interner {
-            by_name: HashMap::new(),
-            names: Vec::new(),
-        })
-    })
-}
-
 fn intern(name: &str) -> (u32, &'static str) {
-    {
-        let r = interner().read();
-        if let Some(&id) = r.by_name.get(name) {
-            return (id, r.names[id as usize]);
-        }
-    }
-    let mut w = interner().write();
-    if let Some(&id) = w.by_name.get(name) {
-        return (id, w.names[id as usize]);
-    }
-    let stat: &'static str = Box::leak(name.to_string().into_boxed_str());
-    let id = w.names.len() as u32;
-    w.names.push(stat);
-    w.by_name.insert(stat, id);
-    (id, stat)
+    static INTERNER: OnceLock<StringInterner> = OnceLock::new();
+    INTERNER.get_or_init(StringInterner::new).intern(name)
 }
 
 impl Label {
@@ -106,6 +77,15 @@ impl Label {
     /// The label's name without tag brackets.
     pub fn name(&self) -> &'static str {
         self.name
+    }
+
+    /// The label's interner id. Stable for the process lifetime and
+    /// shared between the field and tag of the same name — combine
+    /// with [`Label::kind`] when a unique key is needed. Exposed so
+    /// hot paths (e.g. the parallel dispatcher's route cache) can hash
+    /// label sequences without touching string data.
+    pub fn id(&self) -> u32 {
+        self.id
     }
 }
 

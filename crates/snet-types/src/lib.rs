@@ -20,12 +20,14 @@
 //! `snet-lang`. This crate is pure data — no threads, no channels —
 //! which is what makes the type-level properties property-testable.
 
+pub mod intern;
 pub mod label;
 pub mod record;
 pub mod rtype;
 pub mod sig;
 pub mod value;
 
+pub use intern::StringInterner;
 pub use label::{Label, LabelKind};
 pub use record::{Record, RecordBuilder};
 pub use rtype::{MultiType, RecordType};

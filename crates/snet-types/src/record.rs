@@ -154,6 +154,19 @@ impl Record {
             .collect()
     }
 
+    /// Iterates every label of the record (fields then tags) in the
+    /// same sorted order [`Record::record_type`] would produce, without
+    /// allocating. Fields sort before tags under [`Label`]'s kind-major
+    /// order and each half is kept sorted internally, so the chained
+    /// sequence is globally sorted — hot paths rely on this to compare
+    /// a record's type against a cached [`RecordType`] element-wise.
+    pub fn labels(&self) -> impl Iterator<Item = Label> + '_ {
+        self.fields
+            .iter()
+            .map(|(l, _)| *l)
+            .chain(self.tags.iter().map(|(l, _)| *l))
+    }
+
     /// True when the record can enter an input of type `ty`
     /// (record subtyping: `ty ⊆ labels(self)`).
     pub fn matches(&self, ty: &RecordType) -> bool {

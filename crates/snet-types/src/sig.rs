@@ -169,7 +169,10 @@ impl NetSig {
     /// (paper: records go "towards the subnetwork whose input type
     /// better matches the type of the record itself").
     pub fn match_score(&self, rt: &RecordType) -> Option<usize> {
-        self.maps.iter().filter_map(|m| rt.match_score(&m.input)).max()
+        self.maps
+            .iter()
+            .filter_map(|m| rt.match_score(&m.input))
+            .max()
     }
 
     fn push_mapping(&mut self, m: Mapping) {
@@ -481,10 +484,7 @@ mod tests {
         assert_eq!(s1.maps[0].outputs[0].labels, rt(&["board", "opts"], &["k"]));
         let s2 = serial(&s1, &solver).unwrap();
         assert_eq!(s2.maps[0].input, rt(&["board"], &[]));
-        assert_eq!(
-            s2.maps[0].outputs[0].labels,
-            rt(&["board", "opts"], &["k"])
-        );
+        assert_eq!(s2.maps[0].outputs[0].labels, rt(&["board", "opts"], &["k"]));
     }
 
     #[test]

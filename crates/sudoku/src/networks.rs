@@ -96,7 +96,8 @@ pub fn fig2_det_net(n: usize) -> Result<Net, BuildError> {
 pub fn run_net_ordered(net: Net, puzzles: &[Board]) -> Vec<Board> {
     let n = puzzles.first().map(|p| p.n()).unwrap_or(3);
     for p in puzzles {
-        net.send(puzzle_record(p)).expect("puzzle record matches net input");
+        net.send(puzzle_record(p))
+            .expect("puzzle record matches net input");
     }
     net.finish().iter().map(|r| board_of(r, n)).collect()
 }
@@ -138,7 +139,8 @@ pub struct NetRun {
 pub fn run_net(net: Net, puzzle: &Board) -> NetRun {
     let n = puzzle.n();
     let metrics = Arc::clone(net.metrics());
-    net.send(puzzle_record(puzzle)).expect("puzzle record matches net input");
+    net.send(puzzle_record(puzzle))
+        .expect("puzzle record matches net input");
     let records = net.finish();
     let outputs = records.len();
     let mut solutions: Vec<Board> = Vec::new();
@@ -223,7 +225,10 @@ mod tests {
         // The pipeline depth bound of the paper: at most 81 replicas
         // (here: stages = replicas + the final tapping guard).
         let stages = run.metrics.max_matching("/stages");
-        assert!(stages <= 82, "stages {stages} exceeded the 81-replica bound");
+        assert!(
+            stages <= 82,
+            "stages {stages} exceeded the 81-replica bound"
+        );
     }
 
     #[test]

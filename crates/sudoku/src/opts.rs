@@ -117,8 +117,7 @@ pub fn add_number(i: usize, j: usize, k: i64, board: &Board, opts: &Opts) -> (Bo
         )
         // Option k within the n×n sub-board.
         .gen_const(
-            Generator::range_inclusive(vec![is, js, k0], vec![is + n - 1, js + n - 1, k0])
-                .unwrap(),
+            Generator::range_inclusive(vec![is, js, k0], vec![is + n - 1, js + n - 1, k0]).unwrap(),
             false,
         )
         .modarray(opts.array())

@@ -31,7 +31,12 @@ fn main() {
     println!("== inferred signatures ==");
     for n in &program.nets {
         let sig = env.lookup_sig(&n.name).unwrap();
-        println!("net {:<10} : {}  ->  {}", n.name, sig.input_type(), sig.output_type());
+        println!(
+            "net {:<10} : {}  ->  {}",
+            n.name,
+            sig.input_type(),
+            sig.output_type()
+        );
     }
 
     // ------------------------------------------------------------------

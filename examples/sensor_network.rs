@@ -75,10 +75,7 @@ fn main() {
             if var < 1.0 {
                 em.emit(
                     Record::build()
-                        .field(
-                            "stats",
-                            Value::DoubleArray(Array::from_vec(vec![mu, var])),
-                        )
+                        .field("stats", Value::DoubleArray(Array::from_vec(vec![mu, var])))
                         .finish(),
                 );
             } else {
@@ -119,7 +116,11 @@ fn main() {
                 .map(|i| {
                     let x = i as f64 * 0.01 + batch as f64;
                     let signal = (x).sin() * 0.3;
-                    let noise = if noisy { ((i * 2654435761_usize) % 1000) as f64 / 100.0 } else { 0.0 };
+                    let noise = if noisy {
+                        ((i * 2654435761_usize) % 1000) as f64 / 100.0
+                    } else {
+                        0.0
+                    };
                     signal + noise
                 })
                 .collect();

@@ -5,10 +5,10 @@
 //!
 //! Run with: `cargo run --release --example sudoku_pipeline`
 
+use std::time::Instant;
 use sudoku::networks::{solve_fig1, solve_fig2, solve_fig3};
 use sudoku::puzzles;
 use sudoku::sac_solver::{solve_puzzle, Policy};
-use std::time::Instant;
 
 fn main() {
     let puzzle = puzzles::classic9();
@@ -55,7 +55,9 @@ fn main() {
     assert_eq!(run.solutions[0], reference);
     let stages = run.metrics.max_matching("/stages");
     let max_width = run.metrics.max_matching("/branches");
-    println!("Fig. 3  throttled: [{{<k>}}->{{<k>=<k>%4}}], exit {{<level>}} if <level> > 40 .. solve");
+    println!(
+        "Fig. 3  throttled: [{{<k>}}->{{<k>=<k>%4}}], exit {{<level>}} if <level> > 40 .. solve"
+    );
     println!(
         "        time {t3:?}, depth {stages} (bound: 40+1), max {max_width} replicas/stage \
          (bound: 4), {} exits completed by the tail solver\n",

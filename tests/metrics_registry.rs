@@ -1,0 +1,139 @@
+//! Integration coverage for the handle-based metrics registry
+//! (PR 1 tentpole): handle reads and legacy string-keyed queries must
+//! agree on a nested network — a pipeline inside a serial replicator
+//! inside an indexed parallel replicator — and the matching queries
+//! must observe counters that components register *after* the network
+//! has started (replicators spawn components dynamically).
+
+use snet_runtime::NetBuilder;
+use snet_types::Record;
+
+/// `((id .. dec) ** {<done>}) !! <k>`: pipeline inside star inside
+/// split. A record `{n, <k>}` traverses `n` replicas of the pipeline
+/// in lane `k`, then exits tagged `<done>`.
+fn nested_net() -> snet_runtime::Net {
+    NetBuilder::from_source(
+        "box id (n) -> (n);\n\
+         box dec (n) -> (n) | (n, <done>);\n\
+         net main = ((id .. dec) ** {<done>}) !! <k>;",
+    )
+    .unwrap()
+    .bind("id", |r, e| e.emit(r.clone()))
+    .bind("dec", |r, e| {
+        let n = r.field("n").unwrap().as_int().unwrap() - 1;
+        if n <= 0 {
+            e.emit(Record::build().field("n", 0i64).tag("done", 1).finish());
+        } else {
+            e.emit(Record::build().field("n", n).finish());
+        }
+    })
+    .build("main")
+    .unwrap()
+}
+
+fn rec(n: i64, k: i64) -> Record {
+    Record::build().field("n", n).tag("k", k).finish()
+}
+
+#[test]
+fn handle_and_string_views_agree_on_nested_network() {
+    let net = nested_net();
+    for i in 0..30i64 {
+        net.send(rec(1 + i % 5, i % 3)).unwrap();
+    }
+    let metrics = std::sync::Arc::clone(net.metrics());
+    let out = net.finish();
+    assert_eq!(out.len(), 30);
+
+    // Every record passes the dispatcher exactly once.
+    assert_eq!(metrics.sum_matching("splitnd/records_in"), 30);
+    // Three lanes unfolded (k in 0..3).
+    assert_eq!(metrics.sum_matching("/branches"), 3);
+    // Every record leaves through some guard's exit tap exactly once.
+    assert_eq!(metrics.sum_matching("/exits"), 30);
+    // The pipeline is 1:1, so both boxes see identical record totals.
+    assert_eq!(
+        metrics.sum_matching("box:id/records_in"),
+        metrics.sum_matching("box:dec/records_in"),
+    );
+    // id emits everything it receives.
+    assert_eq!(
+        metrics.sum_matching("box:id/records_in"),
+        metrics.sum_matching("box:id/records_out"),
+    );
+
+    // The snapshot, per-key gets, and fresh handles are three views of
+    // the same cells: they must agree key for key — this is the
+    // "handle totals equal legacy string totals" contract.
+    let snap = metrics.snapshot();
+    assert!(!snap.is_empty());
+    for (key, value) in &snap {
+        assert_eq!(metrics.get(key), *value, "get() disagrees for {key}");
+        assert_eq!(
+            metrics.handle(key).get(),
+            *value,
+            "handle() disagrees for {key}"
+        );
+    }
+    // sum_matching over everything equals summing the snapshot.
+    let total: u64 = snap.values().sum();
+    assert_eq!(metrics.sum_matching(""), total);
+}
+
+#[test]
+fn matching_queries_see_counters_registered_after_start() {
+    let net = nested_net();
+    let metrics = std::sync::Arc::clone(net.metrics());
+
+    // Shallow record in lane 0: unfolds one replica of one lane.
+    net.send(rec(1, 0)).unwrap();
+    assert!(net.recv().is_some());
+    let lanes_before = metrics.count_matching("branch");
+    let dec_counters_before = metrics.count_matching("box:dec/records_in");
+    assert!(dec_counters_before >= 1);
+
+    // Deep record in a NEW lane: the replicator spawns a fresh branch
+    // and the star unfolds more stages — all registering counters well
+    // after the network started. The string queries must see them.
+    net.send(rec(6, 1)).unwrap();
+    assert!(net.recv().is_some());
+    let lanes_after = metrics.count_matching("branch");
+    let dec_counters_after = metrics.count_matching("box:dec/records_in");
+    assert!(
+        lanes_after > lanes_before,
+        "new lane's counters invisible to count_matching ({lanes_before} -> {lanes_after})"
+    );
+    assert!(
+        dec_counters_after > dec_counters_before,
+        "dynamically spawned stage counters invisible \
+         ({dec_counters_before} -> {dec_counters_after})"
+    );
+    // And the totals keep adding up across the dynamic registrations.
+    assert_eq!(metrics.sum_matching("splitnd/records_in"), 2);
+    assert_eq!(metrics.sum_matching("/exits"), 2);
+
+    let out = net.finish();
+    assert!(out.is_empty());
+}
+
+#[test]
+fn repeated_instantiation_accumulates_under_identical_keys() {
+    // Spawning the same program twice yields metric registries with
+    // identical key sets (paths are interned deterministically), so
+    // dashboards/baselines can diff runs key-by-key.
+    let run = |records: i64| {
+        let net = nested_net();
+        for i in 0..records {
+            net.send(rec(2, i % 2)).unwrap();
+        }
+        let metrics = std::sync::Arc::clone(net.metrics());
+        let _ = net.finish();
+        metrics.snapshot()
+    };
+    let a = run(4);
+    let b = run(4);
+    let keys_a: Vec<&String> = a.keys().collect();
+    let keys_b: Vec<&String> = b.keys().collect();
+    assert_eq!(keys_a, keys_b);
+    assert_eq!(a, b);
+}

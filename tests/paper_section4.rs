@@ -99,7 +99,12 @@ fn best_match_routing_three_way() {
     .unwrap();
 
     // {a} -> one; {a,b} -> two; {a,b,c} -> three; {a,b,c,x} -> three.
-    for fields in [vec!["a"], vec!["a", "b"], vec!["a", "b", "c"], vec!["a", "b", "c", "x"]] {
+    for fields in [
+        vec!["a"],
+        vec!["a", "b"],
+        vec!["a", "b", "c"],
+        vec!["a", "b", "c", "x"],
+    ] {
         let mut r = Record::new();
         for f in &fields {
             r.set_field(f, Value::Int(0));
@@ -185,7 +190,10 @@ fn tags_cross_the_layer_boundary_both_ways() {
         .unwrap();
     net.send(
         Record::build()
-            .field("v", Value::IntArray(sacarray::Array::from_vec(vec![1i64, 2, 3])))
+            .field(
+                "v",
+                Value::IntArray(sacarray::Array::from_vec(vec![1i64, 2, 3])),
+            )
             .tag("factor", 10)
             .finish(),
     )

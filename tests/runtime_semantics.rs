@@ -69,7 +69,11 @@ fn det_merge_restores_input_order_despite_skew() {
         .iter()
         .map(|r| r.field("x").unwrap().as_int().unwrap())
         .collect();
-    assert_eq!(xs, (0..8).collect::<Vec<_>>(), "det merge must restore order");
+    assert_eq!(
+        xs,
+        (0..8).collect::<Vec<_>>(),
+        "det merge must restore order"
+    );
 }
 
 #[test]
@@ -137,13 +141,8 @@ fn nondet_star_inside_det_parallel_keeps_outer_order() {
     let mut expected_kind = Vec::new();
     for i in 0..10i64 {
         if i % 2 == 0 {
-            net.send(
-                Record::build()
-                    .field("n", 30 + i)
-                    .tag("id", i)
-                    .finish(),
-            )
-            .unwrap();
+            net.send(Record::build().field("n", 30 + i).tag("id", i).finish())
+                .unwrap();
             expected_kind.push("n");
         } else {
             net.send(Record::build().field("m", i).tag("id", i).finish())
@@ -243,20 +242,13 @@ fn stateless_boxes_share_nothing() {
         .unwrap()
         .bind("square", |rec, em| {
             let x = rec.field("x").unwrap().as_int().unwrap();
-            em.emit(
-                Record::build()
-                    .field("x", x)
-                    .field("sq", x * x)
-                    .finish(),
-            );
+            em.emit(Record::build().field("x", x).field("sq", x * x).finish());
         })
         .build("main")
         .unwrap();
     for i in 0..200i64 {
-        net.send(
-            Record::build().field("x", i).tag("lane", i % 8).finish(),
-        )
-        .unwrap();
+        net.send(Record::build().field("x", i).tag("lane", i % 8).finish())
+            .unwrap();
     }
     let out = net.finish();
     assert_eq!(out.len(), 200);
@@ -298,12 +290,8 @@ fn trace_log_reconstructs_fig1_flow() {
     // End-to-end use of the tracing facility on a real network: the
     // solveOneLevel stream of stage 0 is observable in isolation.
     let log = snet_runtime::TraceLog::new();
-    let net = sudoku::networks::net_with_observers(
-        2,
-        sudoku::networks::FIG1,
-        vec![log.observer()],
-    )
-    .unwrap();
+    let net = sudoku::networks::net_with_observers(2, sudoku::networks::FIG1, vec![log.observer()])
+        .unwrap();
     net.send(sudoku::boxes::puzzle_record(&sudoku::puzzles::mini4()))
         .unwrap();
     let _ = net.finish();

@@ -169,7 +169,9 @@ fn withloop_scales_on_multiple_threads() {
     let pool = Pool::new(4);
     let n = 2_000_000usize;
     let a = WithLoop::new()
-        .gen(Generator::range(vec![0], vec![n]).unwrap(), |iv| iv[0] as i64)
+        .gen(Generator::range(vec![0], vec![n]).unwrap(), |iv| {
+            iv[0] as i64
+        })
         .genarray_on(&pool, Eval::Auto, [n], 0i64)
         .unwrap();
     let total = WithLoop::new()
@@ -188,7 +190,9 @@ fn paper_section2_examples_all_hold() {
     assert!(e1.data().iter().all(|&x| x == 42));
 
     let e2 = WithLoop::new()
-        .gen(Generator::range(vec![0], vec![5]).unwrap(), |iv| iv[0] as i32)
+        .gen(Generator::range(vec![0], vec![5]).unwrap(), |iv| {
+            iv[0] as i32
+        })
         .genarray([5], 0)
         .unwrap();
     assert_eq!(e2.data(), &[0, 1, 2, 3, 4]);

@@ -1,0 +1,482 @@
+//! Minimal in-repo stand-in for `crossbeam` (channel subset).
+//!
+//! Implements exactly what the S-Net runtime consumes: unbounded
+//! channels with disconnect-on-drop semantics, `try_recv`, blocking
+//! `recv`, an iterator, and a blocking [`channel::Select`] over
+//! multiple receivers. The select implementation registers a per-call
+//! waker with every watched channel; senders signal registered wakers
+//! on delivery and on disconnect.
+//!
+//! The runtime consumes every receiver from a single thread (streams
+//! are point-to-point), which keeps the select fast path simple: once
+//! a channel reports ready, its message cannot be stolen by another
+//! consumer before `SelectedOperation::recv` completes.
+
+pub mod channel {
+    use parking_lot::{Condvar, Mutex};
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Weak};
+
+    /// Wakes a parked `Select::select` call.
+    struct Waker {
+        fired: Mutex<bool>,
+        cv: Condvar,
+    }
+
+    impl Waker {
+        fn new() -> Arc<Waker> {
+            Arc::new(Waker {
+                fired: Mutex::new(false),
+                cv: Condvar::new(),
+            })
+        }
+
+        fn fire(&self) {
+            let mut f = self.fired.lock();
+            *f = true;
+            self.cv.notify_all();
+        }
+
+        fn wait_and_reset(&self) {
+            let mut f = self.fired.lock();
+            while !*f {
+                self.cv.wait(&mut f);
+            }
+            *f = false;
+        }
+    }
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+        wakers: Vec<Weak<Waker>>,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        cv: Condvar,
+    }
+
+    impl<T> Chan<T> {
+        /// Signals blocked receivers and any select calls watching this
+        /// channel. Called with the state lock held just released —
+        /// takes the lock itself to drain the waker list.
+        fn signal(&self) {
+            self.cv.notify_all();
+            let mut st = self.state.lock();
+            st.wakers.retain(|w| {
+                if let Some(w) = w.upgrade() {
+                    w.fire();
+                    true
+                } else {
+                    false
+                }
+            });
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+                wakers: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        });
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
+    }
+
+    /// Sending half; cloneable.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Receiving half; cloneable (the runtime uses each from a single
+    /// thread, but cloning is safe).
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// The message could not be delivered: all receivers are gone.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// The channel is empty and all senders are gone.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty, disconnected channel")
+        }
+    }
+
+    /// Why `try_recv` returned nothing.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            {
+                let mut st = self.chan.state.lock();
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                st.queue.push_back(value);
+            }
+            self.chan.signal();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.chan.state.lock().senders += 1;
+            Sender {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let last = {
+                let mut st = self.chan.state.lock();
+                st.senders -= 1;
+                st.senders == 0
+            };
+            if last {
+                // Disconnection is an event select must observe.
+                self.chan.signal();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.chan.state.lock();
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                self.chan.cv.wait(&mut st);
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.chan.state.lock();
+            if let Some(v) = st.queue.pop_front() {
+                Ok(v)
+            } else if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Blocking iterator until disconnect.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+
+        /// Ready = a message is queued or the channel is disconnected
+        /// (either way, `recv`/`try_recv` returns without blocking).
+        fn ready(&self) -> bool {
+            let st = self.chan.state.lock();
+            !st.queue.is_empty() || st.senders == 0
+        }
+
+        fn register(&self, waker: &Arc<Waker>) {
+            let mut st = self.chan.state.lock();
+            // Prune wakers from past select() calls (each park uses a
+            // fresh waker, so stale entries are dead Weaks). Without
+            // this, a rarely-signalled channel watched by a frequently
+            // parking select — e.g. a merge's control channel — would
+            // accumulate one dead entry per park, unboundedly.
+            st.wakers.retain(|w| w.strong_count() > 0);
+            st.wakers.push(Arc::downgrade(waker));
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            self.chan.state.lock().receivers += 1;
+            Receiver {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let last = {
+                let mut st = self.chan.state.lock();
+                st.receivers -= 1;
+                st.receivers == 0
+            };
+            if last {
+                self.chan.cv.notify_all();
+            }
+        }
+    }
+
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+
+    /// Readiness view of one registered receiver, type-erased so a
+    /// single `Select` can watch channels of different message types.
+    trait Watch {
+        fn ready(&self) -> bool;
+        fn register(&self, waker: &Arc<Waker>);
+    }
+
+    impl<T> Watch for Receiver<T> {
+        fn ready(&self) -> bool {
+            Receiver::ready(self)
+        }
+        fn register(&self, waker: &Arc<Waker>) {
+            Receiver::register(self, waker)
+        }
+    }
+
+    /// Blocking select over receive operations (subset of
+    /// crossbeam-channel's `Select`).
+    pub struct Select<'a> {
+        watched: Vec<&'a dyn Watch>,
+        /// Rotates the readiness scan start so no branch starves.
+        next_start: usize,
+    }
+
+    impl Default for Select<'_> {
+        fn default() -> Self {
+            Select::new()
+        }
+    }
+
+    impl<'a> Select<'a> {
+        pub fn new() -> Select<'a> {
+            Select {
+                watched: Vec::new(),
+                next_start: 0,
+            }
+        }
+
+        /// Adds a receive operation; returns its index.
+        pub fn recv<T>(&mut self, rx: &'a Receiver<T>) -> usize {
+            self.watched.push(rx);
+            self.watched.len() - 1
+        }
+
+        /// Blocks until some watched operation is ready.
+        pub fn select(&mut self) -> SelectedOperation {
+            assert!(
+                !self.watched.is_empty(),
+                "select() with no registered operations would block forever"
+            );
+            let n = self.watched.len();
+            // Fast path: something is already ready.
+            loop {
+                let start = self.next_start % n;
+                for off in 0..n {
+                    let i = (start + off) % n;
+                    if self.watched[i].ready() {
+                        self.next_start = i + 1;
+                        return SelectedOperation { index: i };
+                    }
+                }
+                // Park: register a fresh waker everywhere, then
+                // re-check before sleeping (a signal between the scan
+                // above and registration would otherwise be lost).
+                let waker = Waker::new();
+                for w in &self.watched {
+                    w.register(&waker);
+                }
+                if self.watched.iter().any(|w| w.ready()) {
+                    continue;
+                }
+                waker.wait_and_reset();
+            }
+        }
+    }
+
+    /// A ready operation returned by [`Select::select`].
+    pub struct SelectedOperation {
+        index: usize,
+    }
+
+    impl SelectedOperation {
+        pub fn index(&self) -> usize {
+            self.index
+        }
+
+        /// Completes the operation. The caller passes the receiver it
+        /// registered under this index (crossbeam's API shape).
+        pub fn recv<T>(self, rx: &Receiver<T>) -> Result<T, RecvError> {
+            match rx.try_recv() {
+                Ok(v) => Ok(v),
+                Err(TryRecvError::Disconnected) => Err(RecvError),
+                // Ready-then-empty can only mean another consumer took
+                // the message. The runtime never shares receivers, but
+                // fall back to a blocking recv for API fidelity.
+                Err(TryRecvError::Empty) => rx.recv(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+    }
+
+    #[test]
+    fn disconnect_semantics() {
+        let (tx, rx) = unbounded::<i32>();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert!(rx.recv().is_err());
+        let (tx2, rx2) = unbounded::<i32>();
+        drop(rx2);
+        assert!(tx2.send(5).is_err());
+    }
+
+    #[test]
+    fn try_recv_distinguishes_empty_and_disconnected() {
+        let (tx, rx) = unbounded::<i32>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_send() {
+        let (tx, rx) = unbounded::<i32>();
+        let h = std::thread::spawn(move || rx.recv());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        tx.send(7).unwrap();
+        assert_eq!(h.join().unwrap(), Ok(7));
+    }
+
+    #[test]
+    fn select_picks_ready_branch() {
+        let (t1, r1) = unbounded::<i32>();
+        let (_t2, r2) = unbounded::<i32>();
+        t1.send(42).unwrap();
+        let mut sel = Select::new();
+        let i1 = sel.recv(&r1);
+        let _i2 = sel.recv(&r2);
+        let op = sel.select();
+        assert_eq!(op.index(), i1);
+        assert_eq!(op.recv(&r1), Ok(42));
+    }
+
+    #[test]
+    fn select_blocks_until_signal() {
+        let (t1, r1) = unbounded::<i32>();
+        let (t2, r2) = unbounded::<i32>();
+        let h = std::thread::spawn(move || {
+            let mut sel = Select::new();
+            sel.recv(&r1);
+            sel.recv(&r2);
+            let op = sel.select();
+            match op.index() {
+                0 => op.recv(&r1),
+                _ => op.recv(&r2),
+            }
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        t2.send(9).unwrap();
+        assert_eq!(h.join().unwrap(), Ok(9));
+        drop(t1);
+    }
+
+    #[test]
+    fn select_sees_disconnect_as_ready() {
+        let (t1, r1) = unbounded::<i32>();
+        let h = std::thread::spawn(move || {
+            let mut sel = Select::new();
+            sel.recv(&r1);
+            let op = sel.select();
+            op.recv(&r1)
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(t1);
+        assert!(h.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn heavy_cross_thread_traffic() {
+        let (tx, rx) = unbounded::<u64>();
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let tx = tx.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    tx.send(t * 10_000 + i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let mut got: Vec<u64> = rx.iter().collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        got.sort_unstable();
+        assert_eq!(got.len(), 40_000);
+        assert_eq!(got, (0..40_000).collect::<Vec<_>>());
+    }
+}

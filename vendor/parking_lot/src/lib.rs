@@ -1,0 +1,127 @@
+//! Minimal in-repo stand-in for the `parking_lot` crate.
+//!
+//! The build environment has no access to a crates registry, so this
+//! workspace vendors the handful of external APIs it consumes. This
+//! shim wraps `std::sync` primitives behind parking_lot's non-poisoning
+//! interface: `lock()`/`read()`/`write()` return guards directly, and a
+//! poisoned std lock (a panicking component thread) is transparently
+//! recovered — parking_lot has no poisoning either, so the observable
+//! semantics match.
+
+use std::sync::{self, LockResult, PoisonError};
+
+fn unpoison<G>(r: LockResult<G>) -> G {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Mutex with parking_lot's `lock() -> Guard` signature.
+#[derive(Default, Debug)]
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        unpoison(self.0.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        unpoison(self.0.lock())
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        unpoison(self.0.get_mut())
+    }
+}
+
+/// RwLock with parking_lot's `read()`/`write()` signatures.
+#[derive(Default, Debug)]
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock(sync::RwLock::new(value))
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        unpoison(self.0.read())
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        unpoison(self.0.write())
+    }
+}
+
+/// Condvar with parking_lot's in-place `wait(&mut guard)` signature.
+#[derive(Default, Debug)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    pub const fn new() -> Condvar {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Atomically releases the guard's lock, waits, and reacquires.
+    /// parking_lot mutates the guard in place; emulated here by a
+    /// take/replace over the std wait API.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        take_mut(guard, |g| unpoison(self.0.wait(g)));
+    }
+
+    pub fn notify_one(&self) -> bool {
+        self.0.notify_one();
+        true
+    }
+
+    pub fn notify_all(&self) -> usize {
+        self.0.notify_all();
+        0
+    }
+}
+
+/// Runs a consuming `guard -> guard` function against a `&mut` slot
+/// (std's `wait` consumes the guard; parking_lot's mutates in place).
+fn take_mut<'a, T>(
+    slot: &mut MutexGuard<'a, T>,
+    f: impl FnOnce(MutexGuard<'a, T>) -> MutexGuard<'a, T>,
+) {
+    struct AbortOnPanic;
+    impl Drop for AbortOnPanic {
+        fn drop(&mut self) {
+            // `f` panicked between the read and the write-back; the
+            // slot would double-drop on unwind, so abort instead.
+            // (std's Condvar::wait only panics on deadly runtime
+            // errors, where aborting is the right outcome anyway.)
+            std::process::abort();
+        }
+    }
+    // SAFETY: `owned` is moved out of `slot` by a bitwise read; either
+    // `f` returns and a valid guard is written back before anyone can
+    // observe `slot`, or the bomb aborts the process.
+    unsafe {
+        let bomb = AbortOnPanic;
+        let owned = std::ptr::read(slot);
+        let new = f(owned);
+        std::ptr::write(slot, new);
+        std::mem::forget(bomb);
+    }
+}

@@ -1,0 +1,578 @@
+//! Minimal in-repo stand-in for the `proptest` crate.
+//!
+//! Supports the strategy combinators this workspace's property tests
+//! use: ranges, `any`, `Just`, tuples, `prop_map` / `prop_filter` /
+//! `prop_flat_map` / `prop_recursive`, `prop_oneof!`,
+//! `proptest::collection::vec`, `proptest::option::of`, regex-literal
+//! string strategies (character classes + bounded repetition), and the
+//! `proptest!` test macro with `prop_assert*` / `prop_assume!`.
+//!
+//! No shrinking: a failing case panics with the generated inputs'
+//! `Debug` rendering and the case's seed. Runs are seeded
+//! deterministically per test (override with `PROPTEST_SEED`), so a
+//! reported seed reproduces by itself.
+
+use rand::prelude::*;
+use std::ops::{Range, RangeInclusive};
+
+pub mod strategy;
+pub use strategy::{BoxedStrategy, Just, Strategy};
+
+/// Random source handed to strategies.
+pub struct TestRng(pub StdRng);
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    pub fn usize_below(&mut self, n: usize) -> usize {
+        assert!(n > 0);
+        self.0.gen_range(0..n)
+    }
+
+    pub fn gen_bool_half(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// Why a test case did not complete normally.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: the case is skipped, not failed.
+    Reject(String),
+    /// `prop_assert*` failed.
+    Fail(String),
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration (subset: case count).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Per-test driver used by the `proptest!` expansion.
+pub struct TestRunner {
+    config: ProptestConfig,
+    base_seed: u64,
+}
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig, test_name: &str) -> TestRunner {
+        let base_seed = match std::env::var("PROPTEST_SEED") {
+            Ok(s) => s.parse().unwrap_or(0xC0FFEE),
+            // Deterministic per test name so failures reproduce without
+            // any environment setup.
+            Err(_) => test_name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+            }),
+        };
+        TestRunner { config, base_seed }
+    }
+
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    pub fn rng_for(&self, case: u32) -> TestRng {
+        TestRng::from_seed(self.base_seed ^ ((case as u64) << 32 | 0x5DEECE66D))
+    }
+
+    /// Report a failed case: panics with enough context to reproduce.
+    pub fn fail(&self, test_name: &str, case: u32, inputs: &str, msg: &str) -> ! {
+        panic!(
+            "proptest case failed: {test_name} (case {case}, base seed {:#x})\n\
+             inputs: {inputs}\n{msg}",
+            self.base_seed
+        );
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.end - self.size.start;
+            let len = self.size.start + rng.usize_below(span);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Strategy for `Option<T>`: `None` one time in four (mirroring
+    /// proptest's default weighting toward `Some`).
+    pub struct OptionStrategy<S>(S);
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.usize_below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+/// `any::<T>()` support.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen_bool_half()
+    }
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arb_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Range strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let x = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + x) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty inclusive range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let x = (rng.next_u64() as u128 % span) as i128;
+                (lo as i128 + x) as $t
+            }
+        }
+    )*};
+}
+
+range_strategy!(usize, u64, u32, i64, i32, u8);
+
+// ---------------------------------------------------------------------------
+// Regex-literal string strategies (subset)
+// ---------------------------------------------------------------------------
+
+/// Pattern subset: literals, `[..]` classes with ranges, and the
+/// quantifiers `{m,n}` / `{n}` / `?` / `*` / `+` (star/plus capped at
+/// 8 repetitions). Enough for name-shaped patterns like
+/// `[a-z][a-z0-9_]{0,6}`.
+#[derive(Clone, Debug)]
+enum RegexPiece {
+    Class(Vec<char>),
+    Lit(char),
+}
+
+#[derive(Clone, Debug)]
+struct RegexPattern {
+    pieces: Vec<(RegexPiece, usize, usize)>, // (piece, min, max)
+}
+
+fn parse_regex(pattern: &str) -> RegexPattern {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let piece = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed class in regex strategy: {pattern}"));
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                RegexPiece::Class(set)
+            }
+            '\\' => {
+                i += 2;
+                RegexPiece::Lit(chars[i - 1])
+            }
+            c => {
+                i += 1;
+                RegexPiece::Lit(c)
+            }
+        };
+        // Quantifier?
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unclosed quantifier in {pattern}"));
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    if let Some((lo, hi)) = body.split_once(',') {
+                        (
+                            lo.trim().parse().expect("bad quantifier"),
+                            hi.trim().parse().expect("bad quantifier"),
+                        )
+                    } else {
+                        let n: usize = body.trim().parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push((piece, min, max));
+    }
+    RegexPattern { pieces }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pat = parse_regex(self);
+        let mut out = String::new();
+        for (piece, min, max) in &pat.pieces {
+            let n = min + rng.usize_below(max - min + 1);
+            for _ in 0..n {
+                match piece {
+                    RegexPiece::Lit(c) => out.push(*c),
+                    RegexPiece::Class(set) => {
+                        assert!(!set.is_empty(), "empty class");
+                        out.push(set[rng.usize_below(set.len())]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+pub mod prelude {
+    pub use super::strategy::{BoxedStrategy, Just, Strategy};
+    pub use super::{
+        any, Arbitrary, ProptestConfig, TestCaseError, TestCaseResult, TestRng, TestRunner,
+    };
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// One alternative of `prop_oneof!`.
+pub struct OneOf<T> {
+    pub alts: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.usize_below(self.alts.len());
+        self.alts[i].generate(rng)
+    }
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($alt:expr),+ $(,)?) => {
+        $crate::OneOf { alts: vec![$($crate::Strategy::boxed($alt)),+] }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), l, r
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject(stringify!($cond).to_string()));
+        }
+    };
+}
+
+/// The `proptest!` test-block macro. Each generated `#[test]` runs
+/// `cases` generated inputs; `prop_assume!` rejections retry with the
+/// next case (up to a bounded number of extra attempts).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr); ) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let runner = $crate::TestRunner::new($cfg, stringify!($name));
+            let mut executed: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = runner.cases().saturating_mul(10).max(100);
+            while executed < runner.cases() && attempts < max_attempts {
+                let case = attempts;
+                attempts += 1;
+                let mut rng = runner.rng_for(case);
+                let mut rendered = String::new();
+                $(
+                    let value = $crate::Strategy::generate(&($strat), &mut rng);
+                    {
+                        use std::fmt::Write as _;
+                        let _ = write!(
+                            rendered, "{} = {:?}; ", stringify!($pat), &value
+                        );
+                    }
+                    let $pat = value;
+                )+
+                let outcome: $crate::TestCaseResult = (|| { $body Ok(()) })();
+                match outcome {
+                    Ok(()) => executed += 1,
+                    Err($crate::TestCaseError::Reject(_)) => {}
+                    Err($crate::TestCaseError::Fail(msg)) => {
+                        runner.fail(stringify!($name), case, &rendered, &msg);
+                    }
+                }
+            }
+            assert!(
+                executed > 0,
+                "proptest {}: every case was rejected by prop_assume!",
+                stringify!($name)
+            );
+        }
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_any_generate_in_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(3usize..9), &mut rng);
+            assert!((3..9).contains(&v));
+            let w = Strategy::generate(&(1i64..=4), &mut rng);
+            assert!((1..=4).contains(&w));
+        }
+    }
+
+    #[test]
+    fn regex_strategy_shapes_names() {
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..500 {
+            let s = Strategy::generate(&"[a-z][a-z0-9_]{0,6}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 7, "bad len: {s}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let strat = (0i64..10)
+            .prop_map(|x| x * 2)
+            .prop_filter("even", |x| x % 2 == 0)
+            .prop_flat_map(|x| (Just(x), 0i64..5));
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..200 {
+            let (a, b) = Strategy::generate(&strat, &mut rng);
+            assert!(a % 2 == 0 && (0..5).contains(&b));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf(i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(v) => {
+                    assert!((0..100).contains(v));
+                    1
+                }
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = (0i64..100)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(4, 16, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
+        let mut rng = TestRng::from_seed(4);
+        for _ in 0..100 {
+            let t = Strategy::generate(&strat, &mut rng);
+            assert!(depth(&t) <= 5);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_end_to_end(x in 0i64..100, v in crate::collection::vec(0u32..9, 0..5)) {
+            prop_assume!(x != 50);
+            prop_assert!(x < 100);
+            prop_assert_eq!(v.len(), v.len());
+        }
+    }
+}
