@@ -7,12 +7,33 @@
 //! "each box creates a separate process/thread" execution model.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use snet_runtime::{Metrics, NetBuilder, RouteCache};
+use snet_runtime::{
+    Executor, Metrics, NetBuilder, RouteCache, ThreadPerComponent, WorkStealingPool,
+};
 use snet_types::{NetSig, Record, RecordType};
+use std::sync::Arc;
 
 const N_RECORDS: u64 = 5_000;
 
+/// The executor backends the per-executor benches compare. The pool is
+/// created once and reused across iterations — the production shape: a
+/// long-lived pool serving many short-lived networks.
+fn exec_variants() -> Vec<(&'static str, Arc<dyn Executor>)> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(2);
+    vec![
+        ("threads", Arc::new(ThreadPerComponent) as Arc<dyn Executor>),
+        ("pool", Arc::new(WorkStealingPool::new(workers)) as _),
+    ]
+}
+
 fn id_net(expr: &str) -> snet_runtime::Net {
+    id_net_on(expr, snet_runtime::sched::default_executor())
+}
+
+fn id_net_on(expr: &str, exec: Arc<dyn Executor>) -> snet_runtime::Net {
     let src = format!(
         "box id (x) -> (x);
          box idy (y) -> (y);
@@ -22,6 +43,7 @@ fn id_net(expr: &str) -> snet_runtime::Net {
         .unwrap()
         .bind("id", |r, e| e.emit(r.clone()))
         .bind("idy", |r, e| e.emit(r.clone()))
+        .executor(exec)
         .build("main")
         .unwrap()
 }
@@ -242,7 +264,8 @@ fn bench_dispatch_route(c: &mut Criterion) {
 /// RT_record_hop — one record through one box component on a live
 /// network: channel send, box wrapper (subtype split, flow
 /// inheritance, metrics), channel recv. The floor for every
-/// per-record cost in the runtime.
+/// per-record cost in the runtime — measured under both executors
+/// (`single_box` keeps the PR 1 name and runs on the process default).
 fn bench_record_hop(c: &mut Criterion) {
     let mut g = c.benchmark_group("RT_record_hop");
     g.measurement_time(std::time::Duration::from_secs(1));
@@ -256,13 +279,27 @@ fn bench_record_hop(c: &mut Criterion) {
             net.recv().expect("box echoes the record")
         });
     });
-    g.finish();
     let _ = net.finish();
+    for (name, exec) in exec_variants() {
+        let net = id_net_on("id", exec);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
+            b.iter(|| {
+                net.send(Record::build().field("x", 1i64).finish()).unwrap();
+                net.recv().expect("box echoes the record")
+            });
+        });
+        let _ = net.finish();
+    }
+    g.finish();
 }
 
 fn bench_net_construction(c: &mut Criterion) {
-    // Parse + infer + compile + spawn (no records) — the fixed cost of
-    // bringing a network up.
+    // Parse + infer + compile + spawn + teardown (no records) — the
+    // fixed cost of bringing a network up. This is where the executor
+    // choice bites hardest: thread-per-component pays an OS
+    // spawn/join per component, the pool pays an allocation and a
+    // queue push. `fig2_build_teardown` keeps the PR 1 name and runs
+    // on the process default executor.
     let mut g = c.benchmark_group("RT_construction");
     g.measurement_time(std::time::Duration::from_secs(2));
     g.warm_up_time(std::time::Duration::from_millis(400));
@@ -273,6 +310,14 @@ fn bench_net_construction(c: &mut Criterion) {
             let _ = net.finish();
         })
     });
+    for (name, exec) in exec_variants() {
+        g.bench_with_input(BenchmarkId::new("fig2", name), &(), |b, _| {
+            b.iter(|| {
+                let net = sudoku::networks::fig2_net_on(3, Arc::clone(&exec)).unwrap();
+                let _ = net.finish();
+            })
+        });
+    }
     g.finish();
 }
 

@@ -95,7 +95,7 @@ impl<'a> Emitter<'a> {
     }
 }
 
-/// Spawns a box component: a thread applying `imp` to every incoming
+/// Spawns a box component: a task applying `imp` to every incoming
 /// record. Returns the box's output stream.
 ///
 /// All per-record bookkeeping is resolved here, at spawn time: the
@@ -115,9 +115,9 @@ pub fn spawn_box(
     let records_in = ctx.metrics.handle_at(path, keys::RECORDS_IN);
     let records_out = ctx.metrics.handle_at(path, keys::RECORDS_OUT);
     let ctx2 = Arc::clone(ctx);
-    ctx.spawn(path.as_str(), move || {
+    ctx.spawn(path.as_str(), async move {
         let input_type = sig.input_type();
-        while let Ok(msg) = input.recv() {
+        while let Ok(msg) = input.recv_async().await {
             match msg {
                 Msg::Rec(rec) => {
                     if ctx2.has_observers() {
@@ -143,7 +143,7 @@ pub fn spawn_box(
                 }
                 // Sort records pass through unchanged, behind any data
                 // already emitted for earlier records (guaranteed by
-                // the sequential recv loop).
+                // the sequential receive loop).
                 sort @ Msg::Sort { .. } => {
                     let _ = tx.send(sort);
                 }

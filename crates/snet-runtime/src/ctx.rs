@@ -10,41 +10,71 @@
 //! messages) only copies the handle or borrows its pre-rendered
 //! `&'static str`. No component thread ever formats a path string per
 //! record.
+//!
+//! # Executor indirection
+//!
+//! Components are spawned as futures through the context's
+//! [`Executor`] (see [`crate::sched`]): one OS thread each under
+//! [`crate::sched::ThreadPerComponent`] (the default), cooperative
+//! tasks over a bounded worker set under
+//! [`crate::sched::WorkStealingPool`]. Completion and panic
+//! accounting goes through a [`Tracker`] instead of `JoinHandle`s, so
+//! [`Ctx::join_all`] works identically under both backends — including
+//! for components spawned transitively at runtime by the replicators.
 
 use crate::metrics::Metrics;
 use crate::path::CompPath;
+use crate::sched::{default_executor, Executor, Tracker};
 use crate::stream::{Dir, Observer};
-use parking_lot::Mutex;
 use snet_types::Record;
+use std::future::Future;
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
-/// Context threaded through instantiation and shared by all component
-/// threads of one network: metrics, observers, and the join-handle
-/// collector (components are created dynamically by the replicators,
-/// so handles accumulate at runtime).
+/// Context threaded through instantiation and shared by all components
+/// of one network: metrics, observers, the executor, and the task
+/// tracker (components are created dynamically by the replicators, so
+/// accounting accumulates at runtime).
 pub struct Ctx {
     pub metrics: Arc<Metrics>,
     observers: Vec<Observer>,
-    handles: Mutex<Vec<JoinHandle<()>>>,
+    executor: Arc<dyn Executor>,
+    tracker: Arc<Tracker>,
 }
 
 impl Ctx {
+    /// Context on the process-default executor (`SNET_EXECUTOR`).
     pub fn new(metrics: Arc<Metrics>, observers: Vec<Observer>) -> Arc<Ctx> {
+        Ctx::with_executor(metrics, observers, default_executor())
+    }
+
+    /// Context on an explicit executor.
+    pub fn with_executor(
+        metrics: Arc<Metrics>,
+        observers: Vec<Observer>,
+        executor: Arc<dyn Executor>,
+    ) -> Arc<Ctx> {
         Arc::new(Ctx {
             metrics,
             observers,
-            handles: Mutex::new(Vec::new()),
+            executor,
+            tracker: Tracker::new(),
         })
     }
 
-    /// Spawns a named component thread and registers its handle.
-    pub fn spawn(self: &Arc<Self>, name: impl Into<String>, f: impl FnOnce() + Send + 'static) {
-        let h = std::thread::Builder::new()
-            .name(name.into())
-            .spawn(f)
-            .expect("failed to spawn component thread");
-        self.handles.lock().push(h);
+    /// Spawns a named component on the context's executor and
+    /// registers it with the tracker.
+    pub fn spawn(
+        self: &Arc<Self>,
+        name: impl Into<String>,
+        fut: impl Future<Output = ()> + Send + 'static,
+    ) {
+        let done = self.tracker.register();
+        self.executor.spawn(name.into(), Box::pin(fut), done);
+    }
+
+    /// The executor components of this network run on.
+    pub fn executor(&self) -> &Arc<dyn Executor> {
+        &self.executor
     }
 
     /// Notifies observers of a record passing a component boundary.
@@ -62,35 +92,25 @@ impl Ctx {
         !self.observers.is_empty()
     }
 
-    /// Joins all component threads spawned so far, repeatedly, until no
-    /// new ones appear (replicators spawn transitively). Panics if any
-    /// component thread panicked, propagating the first panic payload.
+    /// Waits until every component spawned so far — including ones
+    /// spawned transitively at runtime — has completed. Panics if any
+    /// component panicked, propagating the first panic payload.
     pub fn join_all(&self) {
-        loop {
-            let batch: Vec<JoinHandle<()>> = {
-                let mut h = self.handles.lock();
-                std::mem::take(&mut *h)
-            };
-            if batch.is_empty() {
-                return;
-            }
-            for h in batch {
-                if let Err(payload) = h.join() {
-                    std::panic::resume_unwind(payload);
-                }
-            }
-        }
+        self.tracker.wait_quiescent();
     }
 
-    /// Number of component threads spawned so far.
+    /// Number of components spawned so far (tasks, not OS threads —
+    /// under a pool executor many components share few threads; see
+    /// [`crate::sched::Executor::os_thread_bound`]).
     pub fn threads_spawned(&self) -> usize {
-        self.handles.lock().len()
+        self.tracker.tasks_spawned()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sched::WorkStealingPool;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
@@ -99,7 +119,7 @@ mod tests {
         let n = Arc::new(AtomicUsize::new(0));
         for _ in 0..4 {
             let n = Arc::clone(&n);
-            ctx.spawn("t", move || {
+            ctx.spawn("t", async move {
                 n.fetch_add(1, Ordering::Relaxed);
             });
         }
@@ -108,30 +128,42 @@ mod tests {
     }
 
     #[test]
-    fn join_all_catches_transitively_spawned_threads() {
-        let ctx = Ctx::new(Metrics::new(), Vec::new());
-        let n = Arc::new(AtomicUsize::new(0));
-        {
-            let ctx2 = Arc::clone(&ctx);
-            let n = Arc::clone(&n);
-            ctx.spawn("outer", move || {
-                let n2 = Arc::clone(&n);
-                ctx2.spawn("inner", move || {
-                    n2.fetch_add(10, Ordering::Relaxed);
+    fn join_all_catches_transitively_spawned_components() {
+        // Under both executors: a component spawned *by* a component
+        // is covered by the same join.
+        for exec in [
+            Arc::new(crate::sched::ThreadPerComponent) as Arc<dyn Executor>,
+            Arc::new(WorkStealingPool::new(2)) as Arc<dyn Executor>,
+        ] {
+            let ctx = Ctx::with_executor(Metrics::new(), Vec::new(), exec);
+            let n = Arc::new(AtomicUsize::new(0));
+            {
+                let ctx2 = Arc::clone(&ctx);
+                let n = Arc::clone(&n);
+                ctx.spawn("outer", async move {
+                    let n2 = Arc::clone(&n);
+                    ctx2.spawn("inner", async move {
+                        n2.fetch_add(10, Ordering::Relaxed);
+                    });
+                    n.fetch_add(1, Ordering::Relaxed);
                 });
-                n.fetch_add(1, Ordering::Relaxed);
-            });
+            }
+            ctx.join_all();
+            assert_eq!(n.load(Ordering::Relaxed), 11);
         }
-        ctx.join_all();
-        assert_eq!(n.load(Ordering::Relaxed), 11);
     }
 
     #[test]
     fn join_all_propagates_panics() {
-        let ctx = Ctx::new(Metrics::new(), Vec::new());
-        ctx.spawn("boom", || panic!("component failure"));
-        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ctx.join_all()));
-        assert!(r.is_err());
+        for exec in [
+            Arc::new(crate::sched::ThreadPerComponent) as Arc<dyn Executor>,
+            Arc::new(WorkStealingPool::new(1)) as Arc<dyn Executor>,
+        ] {
+            let ctx = Ctx::with_executor(Metrics::new(), Vec::new(), exec);
+            ctx.spawn("boom", async { panic!("component failure") });
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ctx.join_all()));
+            assert!(r.is_err());
+        }
     }
 
     #[test]

@@ -26,8 +26,8 @@ pub fn spawn_filter(
     let records_in = ctx.metrics.handle_at(path, keys::RECORDS_IN);
     let records_out = ctx.metrics.handle_at(path, keys::RECORDS_OUT);
     let ctx2 = Arc::clone(ctx);
-    ctx.spawn(path.as_str(), move || {
-        while let Ok(msg) = input.recv() {
+    ctx.spawn(path.as_str(), async move {
+        while let Ok(msg) = input.recv_async().await {
             match msg {
                 Msg::Rec(rec) => {
                     if ctx2.has_observers() {

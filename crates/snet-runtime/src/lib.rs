@@ -3,7 +3,10 @@
 //! The execution engine of the reproduction of Grelck, Scholz &
 //! Shafarenko, *Coordinating Data Parallel SAC Programs with S-Net*
 //! (IPPS 2007). Networks compiled from `snet-lang` ASTs run as graphs
-//! of OS threads connected by channels:
+//! of asynchronous components connected by channels — one OS thread
+//! per component under the default [`sched::ThreadPerComponent`]
+//! executor (the paper's model), or cooperatively scheduled tasks
+//! over a bounded worker set under [`sched::WorkStealingPool`]:
 //!
 //! * every **box** is "an asynchronously executed, stateless
 //!   stream-processing component" — one thread applying the bound
@@ -19,7 +22,10 @@
 //!   ([`merge`]);
 //! * structural claims ("at most 729 boxes") are measurable through
 //!   [`metrics`], and every stream can be observed individually
-//!   ([`stream::Observer`]).
+//!   ([`stream::Observer`]);
+//! * the component-to-thread mapping is pluggable ([`sched`]): the
+//!   deterministic combinators produce identical output under either
+//!   executor because ordering lives in sort records, not scheduling.
 //!
 //! Entry point: [`NetBuilder`].
 
@@ -27,12 +33,14 @@ pub mod boxfn;
 pub mod ctx;
 pub mod filter_exec;
 pub mod instantiate;
+pub mod memo;
 pub mod merge;
 pub mod metrics;
 pub mod net;
 pub mod parallel;
 pub mod path;
 pub mod plan;
+pub mod sched;
 pub mod split;
 pub mod star;
 pub mod stream;
@@ -40,10 +48,12 @@ pub mod trace;
 
 pub use boxfn::{BoxImpl, Emitter};
 pub use ctx::Ctx;
+pub use memo::TypeMemo;
 pub use metrics::{Counter, Metrics};
 pub use net::{collect_records, BuildError, Net, NetBuilder, SendRejected};
 pub use parallel::{RouteCache, RouteClass};
 pub use path::CompPath;
 pub use plan::{compile, Bindings, CompileError, Plan};
+pub use sched::{Executor, ThreadPerComponent, WorkStealingPool};
 pub use stream::{Dir, Msg, Observer};
 pub use trace::{TraceEntry, TraceLog};

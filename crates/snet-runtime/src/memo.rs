@@ -1,0 +1,133 @@
+//! Label-sequence memoization over record *types*.
+//!
+//! Several per-record decisions in the runtime depend only on the
+//! record's **type** — the ordered set of labels it carries — while
+//! the label universe of a coordination program is fixed. Such
+//! decisions are worth memoizing: resolve the (allocating, subset-
+//! testing) computation once per distinct record type, and serve every
+//! later record of that type from a hash lookup with zero allocation.
+//!
+//! [`TypeMemo`] is that memo, extracted from the parallel dispatcher's
+//! route cache (PR 1) and generalised: the dispatcher memoizes
+//! [`crate::parallel::RouteClass`] decisions, and [`crate::net::Net`]
+//! memoizes its `send` boundary type check, which previously ran
+//! `record_type()` + `match_score` subset tests for every injected
+//! record.
+//!
+//! Keys are order-dependent hashes of the record's label sequence
+//! (fields then tags, sorted — the order `Record::labels` guarantees),
+//! verified element-wise against the stored [`RecordType`], so a hash
+//! collision degrades to a comparison, never a wrong answer.
+
+use snet_types::{Record, RecordType};
+use std::collections::HashMap;
+
+/// Order-dependent FNV hash of a record's label sequence. Includes
+/// the label kind: a field and a tag of the same name share an
+/// interner id but are different labels.
+pub fn label_seq_hash(rec: &Record) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for l in rec.labels() {
+        let v = (u64::from(l.id()) << 1) | u64::from(l.is_tag());
+        h = (h ^ v).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A memo from record type to a copyable decision `V`. The first
+/// record of each type pays one `record_type()` allocation plus the
+/// provided computation; every later record of that type costs one
+/// hash and a bucket scan.
+pub struct TypeMemo<V> {
+    buckets: HashMap<u64, Vec<(RecordType, V)>>,
+}
+
+impl<V: Copy> TypeMemo<V> {
+    pub fn new() -> TypeMemo<V> {
+        TypeMemo {
+            buckets: HashMap::new(),
+        }
+    }
+
+    /// The memoized value for the record's type, if already computed.
+    /// Read-only: lets concurrent callers share the memo behind a
+    /// read lock once it is warm (see `Net::send`).
+    pub fn get(&self, rec: &Record) -> Option<V> {
+        let h = label_seq_hash(rec);
+        let bucket = self.buckets.get(&h)?;
+        for (rt, v) in bucket {
+            if rt.len() == rec.len() && rt.labels().iter().copied().eq(rec.labels()) {
+                return Some(*v);
+            }
+        }
+        None
+    }
+
+    /// The memoized value for the record's type, computing (and
+    /// caching) it on first sight of the type.
+    pub fn get_or_insert_with(
+        &mut self,
+        rec: &Record,
+        compute: impl FnOnce(&RecordType) -> V,
+    ) -> V {
+        if let Some(v) = self.get(rec) {
+            return v;
+        }
+        let h = label_seq_hash(rec);
+        let rt = rec.record_type();
+        let v = compute(&rt);
+        self.buckets.entry(h).or_default().push((rt, v));
+        v
+    }
+
+    /// Number of distinct record types memoized.
+    pub fn len(&self) -> usize {
+        self.buckets.values().map(|b| b.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+}
+
+impl<V: Copy> Default for TypeMemo<V> {
+    fn default() -> Self {
+        TypeMemo::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn computes_once_per_type() {
+        let mut memo: TypeMemo<u32> = TypeMemo::new();
+        let calls = Cell::new(0u32);
+        let a = Record::build().field("a", 1i64).finish();
+        let a2 = Record::build().field("a", 99i64).finish(); // same type
+        let b = Record::build().field("b", 1i64).finish();
+        for rec in [&a, &a2, &a, &b, &b] {
+            memo.get_or_insert_with(rec, |_| {
+                calls.set(calls.get() + 1);
+                calls.get()
+            });
+        }
+        assert_eq!(calls.get(), 2, "one computation per distinct type");
+        assert_eq!(memo.len(), 2);
+        assert_eq!(memo.get_or_insert_with(&a, |_| unreachable!()), 1);
+        assert_eq!(memo.get_or_insert_with(&b, |_| unreachable!()), 2);
+    }
+
+    #[test]
+    fn distinguishes_field_from_tag_of_same_name() {
+        let mut memo: TypeMemo<bool> = TypeMemo::new();
+        let field_rec = Record::build().field("k", 1i64).finish();
+        let tag_rec = Record::build().tag("k", 1).finish();
+        assert!(memo.get_or_insert_with(&field_rec, |_| true));
+        assert!(!memo.get_or_insert_with(&tag_rec, |_| false));
+        assert_eq!(memo.len(), 2);
+        assert!(!memo.is_empty());
+    }
+}

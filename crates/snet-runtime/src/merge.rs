@@ -32,7 +32,7 @@
 
 use crate::ctx::Ctx;
 use crate::path::CompPath;
-use crate::stream::{Msg, Receiver, Sender};
+use crate::stream::{Msg, ReadySource, Receiver, SelectReady, Sender};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -95,9 +95,11 @@ pub fn spawn_merge(
     out: Sender,
 ) {
     let path = path.into().child("merge");
-    ctx.spawn(path.as_str(), move || match mode {
-        MergeMode::NonDet => run_nondet(initial, control, out),
-        MergeMode::Det { level } => run_det(level, initial, control, out),
+    ctx.spawn(path.as_str(), async move {
+        match mode {
+            MergeMode::NonDet => run_nondet(initial, control, out).await,
+            MergeMode::Det { level } => run_det(level, initial, control, out).await,
+        }
     });
 }
 
@@ -105,7 +107,7 @@ pub fn spawn_merge(
 // Non-deterministic merge
 // ---------------------------------------------------------------------------
 
-fn run_nondet(
+async fn run_nondet(
     initial: Vec<BranchSpec>,
     control: crossbeam::channel::Receiver<BranchSpec>,
     out: Sender,
@@ -124,6 +126,8 @@ fn run_nondet(
     // increasing at any point of the network, so a high-water mark is
     // an exact dedup).
     let mut forwarded: HashMap<u32, u64> = HashMap::new();
+    // Rotating scan start so no source starves across awaits.
+    let mut rotate: usize = 0;
 
     loop {
         // Fold in any late joiners *before* resolving barriers: a
@@ -152,17 +156,12 @@ fn run_nondet(
             return; // dropping `out` = EOS
         }
 
-        // Select over the control channel and all readable branches.
-        // A branch whose watermark says sorts up to w[L] were broadcast
-        // before it joined carries data from *after* those sorts; it
-        // must stay parked until the merge has forwarded them all, or
-        // its data would leak ahead of the barrier.
-        let mut sel = crossbeam::channel::Select::new();
-        let control_idx = if control_open {
-            Some(sel.recv(&control))
-        } else {
-            None
-        };
+        // Await readiness of the control channel and all readable
+        // branches. A branch whose watermark says sorts up to w[L]
+        // were broadcast before it joined carries data from *after*
+        // those sorts; it must stay parked until the merge has
+        // forwarded them all, or its data would leak ahead of the
+        // barrier.
         let mut sel_branches: Vec<usize> = Vec::new();
         for (i, b) in branches.iter().enumerate() {
             let parked_behind_watermark = b
@@ -170,36 +169,46 @@ fn run_nondet(
                 .iter()
                 .any(|(l, w)| forwarded.get(l).copied().unwrap_or(0) < *w);
             if !b.done && b.blocked.is_none() && !parked_behind_watermark {
-                let idx = sel.recv(&b.rx);
-                debug_assert_eq!(idx, sel_branches.len() + usize::from(control_open));
                 sel_branches.push(i);
             }
         }
-        if control_idx.is_none() && sel_branches.is_empty() {
+        if !control_open && sel_branches.is_empty() {
             // All remaining branches are blocked on a sort that cannot
             // resolve — impossible by construction (the dispatcher
             // broadcasts sorts to every branch); treat as a bug.
             unreachable!("non-det merge deadlocked on unresolvable sort barrier");
         }
 
-        let op = sel.select();
-        let chosen = op.index();
-        if Some(chosen) == control_idx {
-            match op.recv(&control) {
+        let chosen = {
+            let mut sources: Vec<&dyn ReadySource> = Vec::new();
+            if control_open {
+                sources.push(&control);
+            }
+            for &i in &sel_branches {
+                sources.push(&branches[i].rx);
+            }
+            let start = rotate % sources.len();
+            SelectReady { sources, start }.await
+        };
+        rotate = chosen + 1;
+        if control_open && chosen == 0 {
+            match control.try_recv() {
                 Ok(spec) => branches.push(Branch {
                     rx: spec.rx,
                     watermark: spec.watermark,
                     blocked: None,
                     done: false,
                 }),
-                Err(_) => control_open = false,
+                Err(crossbeam::channel::TryRecvError::Disconnected) => control_open = false,
+                // Readiness raced with the top-of-loop joiner fold;
+                // nothing to consume this round.
+                Err(crossbeam::channel::TryRecvError::Empty) => {}
             }
             continue;
         }
         // Map the select index back to the branch.
         let bi = sel_branches[chosen - usize::from(control_open)];
-        let msg = op.recv(&branches[bi].rx);
-        match msg {
+        match branches[bi].rx.try_recv() {
             Ok(Msg::Rec(rec)) => {
                 let _ = out.send(Msg::Rec(rec));
             }
@@ -207,9 +216,12 @@ fn run_nondet(
                 // Park the branch until the barrier resolves.
                 branches[bi].blocked = Some((level, counter));
             }
-            Err(_) => {
+            Err(crossbeam::channel::TryRecvError::Disconnected) => {
                 branches[bi].done = true;
             }
+            // Streams are single-consumer, so ready-then-empty cannot
+            // happen; tolerate it as a spurious wake anyway.
+            Err(crossbeam::channel::TryRecvError::Empty) => {}
         }
     }
 }
@@ -257,7 +269,7 @@ fn resolve_barriers(branches: &mut [Branch], forwarded: &mut HashMap<u32, u64>, 
 // Deterministic merge
 // ---------------------------------------------------------------------------
 
-fn run_det(
+async fn run_det(
     level: u32,
     initial: Vec<BranchSpec>,
     control: crossbeam::channel::Receiver<BranchSpec>,
@@ -284,7 +296,7 @@ fn run_det(
             if !control_open {
                 return;
             }
-            match control.recv() {
+            match control.recv_async().await {
                 Ok(spec) => branches.push(Branch {
                     rx: spec.rx,
                     watermark: spec.watermark,
@@ -300,7 +312,7 @@ fn run_det(
         // own-level sort for this round.
         let mut i = 0;
         while i < branches.len() {
-            drain_branch_round(level, round, &mut branches[i], &mut forwarded_outer, &out);
+            drain_branch_round(level, round, &mut branches[i], &mut forwarded_outer, &out).await;
             i += 1;
             // Late joiners must be folded into the current round: a
             // branch registered before the round's sort was broadcast
@@ -333,7 +345,7 @@ fn run_det(
 /// `round`. Data records are forwarded; outer sorts are forwarded once
 /// (first encounter wins — every branch carries them in identical
 /// positions).
-fn drain_branch_round(
+async fn drain_branch_round(
     level: u32,
     round: u64,
     b: &mut Branch,
@@ -344,7 +356,7 @@ fn drain_branch_round(
         return;
     }
     loop {
-        match b.rx.recv() {
+        match b.rx.recv_async().await {
             Ok(Msg::Rec(rec)) => {
                 let _ = out.send(Msg::Rec(rec));
             }

@@ -38,6 +38,19 @@
 //! call sites outside the record loop (and as the comparison baseline
 //! in the `runtime_primitives` bench); it pays the registry lock per
 //! call and allocates on first use of a key.
+//!
+//! # Sharding
+//!
+//! Registration used to serialise on a single registry mutex — fine
+//! for static networks, but mass dynamic unfolding (a thousand split
+//! replicas appearing at once, each registering several counters at
+//! spawn) turns one mutex into a thundering herd. The registry is
+//! therefore split into [`SHARD_COUNT`] shards selected by a hash of
+//! the key's component-path prefix (everything before the final `/`):
+//! concurrent registrations of *different* components take *different*
+//! locks, while all counters of one component stay in one shard.
+//! Queries aggregate across shards; key order is preserved because
+//! each shard is itself a `BTreeMap` and aggregate views re-merge.
 
 use crate::path::CompPath;
 use parking_lot::Mutex;
@@ -45,6 +58,22 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Number of registry shards (a power of two; 16 is plenty beyond the
+/// worker counts this runtime targets).
+const SHARD_COUNT: usize = 16;
+
+/// FNV-1a over the component-path prefix of a key (up to the last
+/// `/`, so `net/box:f/records_in` and `net/box:f/records_out` land in
+/// the same shard while different components spread).
+fn shard_of(key: &str) -> usize {
+    let prefix = key.rsplit_once('/').map(|(p, _)| p).unwrap_or(key);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in prefix.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h as usize) % SHARD_COUNT
+}
 
 /// A registered counter: one atomic cell shared with the registry.
 /// Cloning is cheap (an `Arc` bump) and clones address the same cell.
@@ -78,10 +107,11 @@ impl fmt::Debug for Counter {
     }
 }
 
-/// Shared metrics registry for one running network.
+/// Shared metrics registry for one running network (sharded; see
+/// module docs).
 #[derive(Default)]
 pub struct Metrics {
-    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    shards: [Mutex<BTreeMap<String, Arc<AtomicU64>>>; SHARD_COUNT],
 }
 
 impl Metrics {
@@ -90,11 +120,11 @@ impl Metrics {
     }
 
     /// Registers (or re-attaches to) the counter under `key` and
-    /// returns its handle. Spawn-time API: this takes the registry
+    /// returns its handle. Spawn-time API: this takes the key's shard
     /// lock and may allocate; per-record code must go through the
     /// returned [`Counter`] instead.
     pub fn handle(&self, key: impl AsRef<str>) -> Counter {
-        let mut m = self.counters.lock();
+        let mut m = self.shards[shard_of(key.as_ref())].lock();
         let cell = match m.get(key.as_ref()) {
             Some(cell) => Arc::clone(cell),
             None => {
@@ -125,59 +155,67 @@ impl Metrics {
 
     /// Reads one counter (0 when absent).
     pub fn get(&self, key: impl AsRef<str>) -> u64 {
-        self.counters
+        self.shards[shard_of(key.as_ref())]
             .lock()
             .get(key.as_ref())
             .map(|c| c.load(Ordering::Relaxed))
             .unwrap_or(0)
     }
 
+    /// Folds over every `(key, value)` pair, shard by shard. Queries
+    /// observe counters registered after the network started
+    /// (replicators spawn components dynamically).
+    fn fold<A>(&self, init: A, mut f: impl FnMut(A, &str, u64) -> A) -> A {
+        let mut acc = init;
+        for shard in &self.shards {
+            let m = shard.lock();
+            for (k, v) in m.iter() {
+                acc = f(acc, k, v.load(Ordering::Relaxed));
+            }
+        }
+        acc
+    }
+
     /// Sum of all counters whose key contains `needle`.
     pub fn sum_matching(&self, needle: &str) -> u64 {
-        self.counters
-            .lock()
-            .iter()
-            .filter(|(k, _)| k.contains(needle))
-            .map(|(_, v)| v.load(Ordering::Relaxed))
-            .sum()
+        self.fold(
+            0u64,
+            |acc, k, v| if k.contains(needle) { acc + v } else { acc },
+        )
     }
 
     /// Maximum over all counters whose key contains `needle`.
     pub fn max_matching(&self, needle: &str) -> u64 {
-        self.counters
-            .lock()
-            .iter()
-            .filter(|(k, _)| k.contains(needle))
-            .map(|(_, v)| v.load(Ordering::Relaxed))
-            .max()
-            .unwrap_or(0)
+        self.fold(
+            0u64,
+            |acc, k, v| if k.contains(needle) { acc.max(v) } else { acc },
+        )
     }
 
     /// Number of distinct counters whose key contains `needle`.
     pub fn count_matching(&self, needle: &str) -> usize {
-        self.counters
-            .lock()
-            .iter()
-            .filter(|(k, _)| k.contains(needle))
-            .count()
+        self.fold(
+            0usize,
+            |acc, k, _| if k.contains(needle) { acc + 1 } else { acc },
+        )
     }
 
-    /// A stable snapshot of all counters.
+    /// A stable snapshot of all counters (key-sorted: shards re-merge
+    /// into one `BTreeMap`).
     pub fn snapshot(&self) -> BTreeMap<String, u64> {
-        self.counters
-            .lock()
-            .iter()
-            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
-            .collect()
+        self.fold(BTreeMap::new(), |mut acc, k, v| {
+            acc.insert(k.to_string(), v);
+            acc
+        })
     }
 }
 
 impl fmt::Debug for Metrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let m = self.counters.lock();
-        writeln!(f, "Metrics ({} counters):", m.len())?;
-        for (k, v) in m.iter() {
-            writeln!(f, "  {k} = {}", v.load(Ordering::Relaxed))?;
+        let snap = self.snapshot();
+        writeln!(f, "Metrics ({} counters):", snap.len())?;
+        for (k, v) in snap.iter() {
+            writeln!(f, "  {k} = {v}")?;
         }
         Ok(())
     }
@@ -312,6 +350,46 @@ mod tests {
         m.handle("b/records_in").inc(4);
         assert_eq!(m.count_matching("records_in"), 2);
         assert_eq!(m.sum_matching("records_in"), 5);
+    }
+
+    #[test]
+    fn sharded_registration_is_consistent_across_shards() {
+        // Mass registration from many threads with distinct component
+        // paths (the dynamic-unfolding shape sharding exists for):
+        // every counter must be registered exactly once and visible to
+        // aggregate queries.
+        let m = Metrics::new();
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for i in 0..200 {
+                        let path = format!("net/split/branch{}/box:f", t * 200 + i);
+                        m.handle(format!("{path}/records_in")).inc(1);
+                        m.handle(format!("{path}/spawned")).inc(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.count_matching("records_in"), 1600);
+        assert_eq!(m.sum_matching("records_in"), 1600);
+        assert_eq!(m.sum_matching("spawned"), 1600);
+        assert_eq!(m.snapshot().len(), 3200);
+        // Same-component counters share a shard; cross-shard reads
+        // still resolve individual keys.
+        assert_eq!(m.get("net/split/branch0/box:f/records_in"), 1);
+    }
+
+    #[test]
+    fn snapshot_is_key_sorted_across_shards() {
+        let m = Metrics::new();
+        for k in ["z/one", "a/two", "m/three", "a/zzz"] {
+            m.inc(k, 1);
+        }
+        let keys: Vec<String> = m.snapshot().into_keys().collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
     }
 
     #[test]

@@ -23,10 +23,13 @@
 
 use crate::ctx::Ctx;
 use crate::instantiate::instantiate;
+use crate::memo::TypeMemo;
 use crate::metrics::Metrics;
 use crate::path::CompPath;
 use crate::plan::{compile, Bindings, CompileError, Plan};
+use crate::sched::Executor;
 use crate::stream::{stream, Msg, Observer, Receiver, Sender};
+use parking_lot::RwLock;
 use snet_lang::{parse_net_expr, parse_program, Env, NetAst, ParseError, Program};
 use snet_types::{MultiType, NetSig, Record};
 use std::fmt;
@@ -77,6 +80,7 @@ pub struct NetBuilder {
     program: Program,
     bindings: Bindings,
     observers: Vec<Observer>,
+    executor: Option<Arc<dyn Executor>>,
 }
 
 impl NetBuilder {
@@ -87,6 +91,7 @@ impl NetBuilder {
             program,
             bindings: Bindings::new(),
             observers: Vec::new(),
+            executor: None,
         })
     }
 
@@ -96,6 +101,7 @@ impl NetBuilder {
             program,
             bindings: Bindings::new(),
             observers: Vec::new(),
+            executor: None,
         }
     }
 
@@ -113,6 +119,14 @@ impl NetBuilder {
     /// direction, record).
     pub fn observe(mut self, obs: Observer) -> Self {
         self.observers.push(obs);
+        self
+    }
+
+    /// Selects the executor the network's components run on. Default:
+    /// the process-default executor (`SNET_EXECUTOR`; see
+    /// [`crate::sched`]).
+    pub fn executor(mut self, executor: Arc<dyn Executor>) -> Self {
+        self.executor = Some(executor);
         self
     }
 
@@ -138,9 +152,16 @@ impl NetBuilder {
 
     fn build_ast(self, env: &Env, ast: &NetAst) -> Result<Net, BuildError> {
         let plan = compile(ast, env, &self.bindings)?;
-        Ok(Net::spawn(plan, self.observers))
+        let executor = self.executor.unwrap_or_else(crate::sched::default_executor);
+        Ok(Net::spawn_on(plan, self.observers, executor))
     }
 }
+
+/// Boundary-memo size cap (distinct record types). Generously above
+/// any legitimate program's type universe — label sets come from
+/// declarations — while bounding memory against label-diverse
+/// adversarial senders.
+const BOUNDARY_MEMO_CAP: usize = 4096;
 
 /// A running network: one global input stream, one global output
 /// stream (networks are SISO, like every component).
@@ -149,13 +170,29 @@ pub struct Net {
     output: Receiver,
     ctx: Arc<Ctx>,
     sig: NetSig,
+    /// Memoized boundary type checks: one `match_score` per distinct
+    /// record type ever injected, instead of per record (the
+    /// [`TypeMemo`] generalisation of the dispatcher's route cache).
+    /// Behind an `RwLock`: warm sends from concurrent driver threads
+    /// share the read path; the write lock is taken once per distinct
+    /// record type. Capped at [`BOUNDARY_MEMO_CAP`] entries — `send`
+    /// accepts caller-controlled label sets (including rejected ones),
+    /// so unlike the dispatcher's post-boundary cache this memo would
+    /// otherwise grow with adversarial label diversity; past the cap,
+    /// novel types fall back to the uncached check.
+    boundary: RwLock<TypeMemo<bool>>,
 }
 
 impl Net {
-    /// Spawns a compiled plan.
+    /// Spawns a compiled plan on the process-default executor.
     pub fn spawn(plan: Plan, observers: Vec<Observer>) -> Net {
+        Net::spawn_on(plan, observers, crate::sched::default_executor())
+    }
+
+    /// Spawns a compiled plan on an explicit executor.
+    pub fn spawn_on(plan: Plan, observers: Vec<Observer>, executor: Arc<dyn Executor>) -> Net {
         let metrics = Metrics::new();
-        let ctx = Ctx::new(metrics, observers);
+        let ctx = Ctx::with_executor(metrics, observers, executor);
         let (tx, rx) = stream();
         let output = instantiate(&ctx, &plan.root, CompPath::root("net"), rx);
         Net {
@@ -163,6 +200,7 @@ impl Net {
             output,
             ctx,
             sig: plan.sig,
+            boundary: RwLock::new(TypeMemo::new()),
         }
     }
 
@@ -186,10 +224,25 @@ impl Net {
     /// surfaced synchronously at the boundary) or when the input was
     /// already closed.
     pub fn send(&self, rec: Record) -> Result<(), SendRejected> {
-        let rt = rec.record_type();
-        if self.sig.match_score(&rt).is_none() {
+        // Two statements on purpose: the read guard must drop before
+        // the miss path takes the write lock (a `match` on the locked
+        // expression would hold the read guard across both arms).
+        let cached = self.boundary.read().get(&rec);
+        let accepted = cached.unwrap_or_else(|| {
+            let mut memo = self.boundary.write();
+            if memo.len() < BOUNDARY_MEMO_CAP {
+                memo.get_or_insert_with(&rec, |rt| self.sig.match_score(rt).is_some())
+            } else {
+                // Memo saturated (adversarially diverse label sets):
+                // compute without caching.
+                drop(memo);
+                self.sig.match_score(&rec.record_type()).is_some()
+            }
+        });
+        if !accepted {
+            // Error path only: rebuild the type for the message.
             return Err(SendRejected::TypeMismatch {
-                record_type: rt.to_string(),
+                record_type: rec.record_type().to_string(),
                 input_type: self.input_type().to_string(),
             });
         }
@@ -234,9 +287,15 @@ impl Net {
         &self.ctx.metrics
     }
 
-    /// Number of component threads spawned so far.
+    /// Number of components spawned so far (tasks, not OS threads —
+    /// under a pool executor many components share few threads).
     pub fn threads_spawned(&self) -> usize {
         self.ctx.threads_spawned()
+    }
+
+    /// The executor the network's components run on.
+    pub fn executor(&self) -> &Arc<dyn Executor> {
+        self.ctx.executor()
     }
 }
 

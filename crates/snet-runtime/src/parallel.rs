@@ -23,13 +23,13 @@
 
 use crate::ctx::Ctx;
 use crate::instantiate::instantiate;
+use crate::memo::TypeMemo;
 use crate::merge::{spawn_merge, BranchSpec, MergeMode};
 use crate::metrics::keys;
 use crate::path::CompPath;
 use crate::plan::PNode;
 use crate::stream::{stream, Dir, Msg, Receiver};
-use snet_types::{NetSig, Record, RecordType};
-use std::collections::HashMap;
+use snet_types::{NetSig, Record};
 use std::sync::Arc;
 
 /// How records of one type route through a two-branch dispatcher.
@@ -47,18 +47,15 @@ pub enum RouteClass {
     Unroutable,
 }
 
-/// Memoized best-match routing for a parallel composition.
-///
-/// Keys are label-sequence hashes of record types, verified
-/// element-wise against the cached [`RecordType`] (so a hash collision
-/// degrades to a comparison, never a misroute). The first record of
+/// Memoized best-match routing for a parallel composition, built on
+/// the generic [`TypeMemo`] (see [`crate::memo`]): the first record of
 /// each type pays one `record_type()` allocation and two
 /// `match_score` subset tests; every later record of that type is a
 /// hash + lookup with zero allocation.
 pub struct RouteCache {
     lsig: NetSig,
     rsig: NetSig,
-    buckets: HashMap<u64, Vec<(RecordType, RouteClass)>>,
+    memo: TypeMemo<RouteClass>,
     /// Round-robin state for [`RouteClass::Tie`]: flipped on every tie
     /// decision, so equal-match records alternate branches
     /// deterministically over time — the documented rendering of the
@@ -68,56 +65,37 @@ pub struct RouteCache {
     flip: bool,
 }
 
-/// Order-dependent hash of a record's label sequence (fields then
-/// tags, sorted — the order `Record::labels` guarantees). Includes the
-/// label kind: a field and a tag of the same name share an interner id
-/// but are different labels.
-fn label_seq_hash(rec: &Record) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for l in rec.labels() {
-        let v = (u64::from(l.id()) << 1) | u64::from(l.is_tag());
-        h = (h ^ v).wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
 impl RouteCache {
     pub fn new(lsig: NetSig, rsig: NetSig) -> RouteCache {
         RouteCache {
             lsig,
             rsig,
-            buckets: HashMap::new(),
+            memo: TypeMemo::new(),
             flip: false,
         }
     }
 
     /// The route class for a record's type, from cache or computed.
     pub fn classify(&mut self, rec: &Record) -> RouteClass {
-        let h = label_seq_hash(rec);
-        if let Some(bucket) = self.buckets.get(&h) {
-            for (rt, class) in bucket {
-                if rt.len() == rec.len() && rt.labels().iter().copied().eq(rec.labels()) {
-                    return *class;
+        let RouteCache {
+            lsig, rsig, memo, ..
+        } = self;
+        memo.get_or_insert_with(rec, |rt| {
+            // First record of this type: run the real subset tests.
+            match (lsig.match_score(rt), rsig.match_score(rt)) {
+                (Some(a), Some(b)) if a == b => RouteClass::Tie,
+                (Some(a), Some(b)) => {
+                    if a > b {
+                        RouteClass::Left
+                    } else {
+                        RouteClass::Right
+                    }
                 }
+                (Some(_), None) => RouteClass::Left,
+                (None, Some(_)) => RouteClass::Right,
+                (None, None) => RouteClass::Unroutable,
             }
-        }
-        // First record of this type: run the real subset tests.
-        let rt = rec.record_type();
-        let class = match (self.lsig.match_score(&rt), self.rsig.match_score(&rt)) {
-            (Some(a), Some(b)) if a == b => RouteClass::Tie,
-            (Some(a), Some(b)) => {
-                if a > b {
-                    RouteClass::Left
-                } else {
-                    RouteClass::Right
-                }
-            }
-            (Some(_), None) => RouteClass::Left,
-            (None, Some(_)) => RouteClass::Right,
-            (None, None) => RouteClass::Unroutable,
-        };
-        self.buckets.entry(h).or_default().push((rt, class));
-        class
+        })
     }
 
     /// Routes one record: `Some(true)` = left, `Some(false)` = right,
@@ -141,11 +119,11 @@ impl RouteCache {
 
     /// Number of distinct record types cached.
     pub fn len(&self) -> usize {
-        self.buckets.values().map(|b| b.len()).sum()
+        self.memo.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.buckets.is_empty()
+        self.memo.is_empty()
     }
 }
 
@@ -196,9 +174,9 @@ pub fn spawn_parallel(
     let records_in = ctx.metrics.handle_at(dpath, keys::RECORDS_IN);
     let routed_left = ctx.metrics.handle_at(dpath, "routed_left");
     let routed_right = ctx.metrics.handle_at(dpath, "routed_right");
-    ctx.spawn(format!("{dpath}/dispatch"), move || {
+    ctx.spawn(format!("{dpath}/dispatch"), async move {
         let mut counter: u64 = 0;
-        while let Ok(msg) = input.recv() {
+        while let Ok(msg) = input.recv_async().await {
             match msg {
                 Msg::Rec(rec) => {
                     if ctx2.has_observers() {

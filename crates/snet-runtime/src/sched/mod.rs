@@ -1,0 +1,371 @@
+//! The executor subsystem: *where* components run.
+//!
+//! The paper's operational model gives every box, guard, dispatcher
+//! and merger its own thread of control. The seed runtime mirrored
+//! that literally — one OS thread per component — which is faithful
+//! but does not scale: Fig. 2-style unfolding already instantiates
+//! ~729 boxes plus guards and mergers, and star/split unfolding under
+//! real load means thousands of replicas, which one-OS-thread-each
+//! cannot sustain.
+//!
+//! This module makes the mapping *pluggable*. Components are written
+//! as `async` state machines over pollable streams (see
+//! [`crate::stream`]); an [`Executor`] decides how those state
+//! machines map onto OS threads:
+//!
+//! * [`ThreadPerComponent`] — the paper's model and the default: each
+//!   component future runs to completion on its own named OS thread
+//!   via a park/unpark `block_on`. A component awaiting an empty
+//!   stream parks its thread, exactly like the seed's blocking
+//!   `recv()`.
+//! * [`WorkStealingPool`] — N worker threads with one run-queue
+//!   (deque) each plus a shared injector; idle workers steal from the
+//!   back of their siblings' deques. A component awaiting an empty
+//!   stream returns `Pending` and *yields its worker* to the next
+//!   runnable component; the stream's send path wakes it back onto a
+//!   run queue. Thousands of components share `N ≈ num_cpus` threads.
+//!
+//! # Why cooperative parking cannot deadlock the runtime
+//!
+//! The classic hazard of running blocking-style components on a
+//! bounded pool is a wait cycle: every worker stuck in a component
+//! that waits for a message only another, *unscheduled* component
+//! could produce. Two properties rule this out here:
+//!
+//! 1. **Waiting components hold no worker.** A component waits only by
+//!    awaiting a stream (`poll_recv`/`poll_ready`); `Pending` returns
+//!    the worker to the pool. There is no in-component blocking
+//!    primitive, so "all workers stuck waiting" cannot occur — a
+//!    waiting component *is not on a worker*.
+//! 2. **Streams are unbounded, so senders never wait.** The
+//!    deterministic merger drains branches in a fixed round order; a
+//!    branch that is not currently being drained can keep producing
+//!    into its channel without anyone consuming. With bounded channels
+//!    that producer could fill the channel and wait on the *consumer*,
+//!    closing a cycle; unbounded channels make every runnable producer
+//!    complete its send and eventually deliver the sort record the
+//!    merger's round is waiting on.
+//!
+//! Together: every wait edge points from a parked task to a *runnable*
+//! producer chain, and runnable tasks always find a worker (workers
+//! only sleep when every run queue is empty). Progress is guaranteed
+//! for any worker count ≥ 1 — `WorkStealingPool::new(1)` is a valid,
+//! fully sequential scheduler, which the determinism tests exploit to
+//! force adversarial interleavings.
+//!
+//! Fairness is budget-based, as in production async runtimes: a
+//! worker grants each task a fixed message budget per poll
+//! ([`crossbeam::channel::set_poll_budget`]); a component with an
+//! always-full input is forced to yield after spending it, so its
+//! siblings on the same worker always run.
+//!
+//! # Determinism
+//!
+//! The sort-record protocol ([`crate::merge`]) encodes ordering in the
+//! *data* (`Sort { level, counter }` rounds), not in scheduling.
+//! Executors affect only *when* components run, never *what* they
+//! forward, so the deterministic combinators produce byte-for-byte
+//! identical output under either backend — verified by the
+//! `executor_matrix` test suite, which runs the det-ordering oracles
+//! under both.
+//!
+//! # Selection
+//!
+//! [`default_executor`] reads `SNET_EXECUTOR`: unset or `threads` →
+//! [`ThreadPerComponent`]; `pool` → a process-wide shared
+//! [`WorkStealingPool`] with `SNET_WORKERS` (default
+//! `max(2, num_cpus)`) workers. `Ctx::with_executor` /
+//! `NetBuilder::executor` select per network.
+
+mod pool;
+mod thread_per;
+
+pub use pool::WorkStealingPool;
+pub use thread_per::{block_on, ThreadPerComponent};
+
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// A component body: a boxed, type-erased state machine. `async`
+/// blocks in the spawn functions compile down to exactly the
+/// resumable state machines the work-stealing backend needs.
+pub type TaskFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
+/// A pluggable component scheduler.
+pub trait Executor: Send + Sync {
+    /// Schedules a component to run to completion. The executor must
+    /// fire `done` exactly once — with the panic payload if the
+    /// component panicked — even if it shuts down before the
+    /// component finishes (dropping `done` un-fired counts as
+    /// completion, so [`Tracker::wait_quiescent`] can never hang on an
+    /// abandoned task).
+    fn spawn(&self, name: String, fut: TaskFuture, done: Completion);
+
+    /// Executor kind label for diagnostics ("threads" / "pool").
+    fn kind(&self) -> &'static str;
+
+    /// Upper bound on OS threads this executor uses for components;
+    /// `None` means one thread per component (unbounded).
+    fn os_thread_bound(&self) -> Option<usize>;
+}
+
+struct TrackerState {
+    live: usize,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+/// Counts live component tasks of one network and collects the first
+/// panic. This replaces the seed's `Vec<JoinHandle>`: join handles are
+/// an OS-thread concept, but components on a pool have no handle —
+/// completion accounting must live above the executor.
+pub struct Tracker {
+    state: Mutex<TrackerState>,
+    cv: Condvar,
+    total: AtomicUsize,
+}
+
+impl Tracker {
+    pub fn new() -> Arc<Tracker> {
+        Arc::new(Tracker {
+            state: Mutex::new(TrackerState {
+                live: 0,
+                panic: None,
+            }),
+            cv: Condvar::new(),
+            total: AtomicUsize::new(0),
+        })
+    }
+
+    /// Registers one task; the returned [`Completion`] must accompany
+    /// it to the executor. Registration happens-before the spawning
+    /// call returns, so a task that spawns children keeps `live`
+    /// above zero until every transitively spawned child completed.
+    pub fn register(self: &Arc<Self>) -> Completion {
+        self.state.lock().live += 1;
+        self.total.fetch_add(1, Ordering::Relaxed);
+        Completion {
+            tracker: Arc::clone(self),
+            fired: false,
+        }
+    }
+
+    /// Total tasks ever registered (the component count of the
+    /// network, executor-independent).
+    pub fn tasks_spawned(&self) -> usize {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until every registered task completed; propagates the
+    /// first recorded panic. Transitively spawned tasks are covered
+    /// (see [`Tracker::register`]).
+    pub fn wait_quiescent(&self) {
+        let payload = {
+            let mut st = self.state.lock();
+            while st.live > 0 {
+                self.cv.wait(&mut st);
+            }
+            st.panic.take()
+        };
+        if let Some(p) = payload {
+            std::panic::resume_unwind(p);
+        }
+    }
+}
+
+/// One task's completion token (see [`Tracker::register`]).
+pub struct Completion {
+    tracker: Arc<Tracker>,
+    fired: bool,
+}
+
+impl Completion {
+    /// Marks the task complete, recording a panic payload if any.
+    pub fn complete(mut self, result: Result<(), Box<dyn Any + Send>>) {
+        self.fired = true;
+        let mut st = self.tracker.state.lock();
+        if let Err(p) = result {
+            if st.panic.is_none() {
+                st.panic = Some(p);
+            }
+        }
+        st.live -= 1;
+        if st.live == 0 {
+            self.tracker.cv.notify_all();
+        }
+    }
+}
+
+impl Drop for Completion {
+    fn drop(&mut self) {
+        if !self.fired {
+            // The executor dropped the task without running it to
+            // completion (shutdown with work queued). Still counts as
+            // done — the component's channels drop with its future,
+            // cascading end-of-stream.
+            let mut st = self.tracker.state.lock();
+            st.live -= 1;
+            if st.live == 0 {
+                self.tracker.cv.notify_all();
+            }
+        }
+    }
+}
+
+/// The process-default executor, selected by `SNET_EXECUTOR` (see
+/// module docs).
+pub fn default_executor() -> Arc<dyn Executor> {
+    match std::env::var("SNET_EXECUTOR") {
+        Ok(v) if v == "pool" => shared_pool(),
+        _ => Arc::new(ThreadPerComponent),
+    }
+}
+
+/// The process-wide shared [`WorkStealingPool`] (created on first
+/// use). All networks selecting the pool backend share its workers —
+/// that is the point: component count no longer dictates thread
+/// count.
+pub fn shared_pool() -> Arc<dyn Executor> {
+    static POOL: OnceLock<Arc<WorkStealingPool>> = OnceLock::new();
+    let pool = POOL.get_or_init(|| Arc::new(WorkStealingPool::new(default_workers())));
+    Arc::clone(pool) as Arc<dyn Executor>
+}
+
+fn default_workers() -> usize {
+    std::env::var("SNET_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .max(2)
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn executors() -> Vec<(&'static str, Arc<dyn Executor>)> {
+        vec![
+            ("threads", Arc::new(ThreadPerComponent) as Arc<dyn Executor>),
+            ("pool1", Arc::new(WorkStealingPool::new(1)) as _),
+            ("pool4", Arc::new(WorkStealingPool::new(4)) as _),
+        ]
+    }
+
+    #[test]
+    fn runs_tasks_to_completion() {
+        for (name, exec) in executors() {
+            let tracker = Tracker::new();
+            let n = Arc::new(AtomicUsize::new(0));
+            for _ in 0..16 {
+                let n = Arc::clone(&n);
+                exec.spawn(
+                    "t".into(),
+                    Box::pin(async move {
+                        n.fetch_add(1, Ordering::Relaxed);
+                    }),
+                    tracker.register(),
+                );
+            }
+            tracker.wait_quiescent();
+            assert_eq!(n.load(Ordering::Relaxed), 16, "executor {name}");
+            assert_eq!(tracker.tasks_spawned(), 16);
+        }
+    }
+
+    #[test]
+    fn propagates_first_panic() {
+        for (name, exec) in executors() {
+            let tracker = Tracker::new();
+            exec.spawn("ok".into(), Box::pin(async {}), tracker.register());
+            exec.spawn(
+                "boom".into(),
+                Box::pin(async { panic!("component failure") }),
+                tracker.register(),
+            );
+            let r =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| tracker.wait_quiescent()));
+            assert!(r.is_err(), "executor {name} swallowed the panic");
+        }
+    }
+
+    #[test]
+    fn tasks_communicate_through_async_channels() {
+        // A 3-stage pipeline of tasks over pollable channels: the
+        // middle stage must park and resume without holding a thread
+        // (on pool1 all three share the single worker).
+        for (name, exec) in executors() {
+            let tracker = Tracker::new();
+            let (tx0, rx0) = crossbeam::channel::unbounded::<u64>();
+            let (tx1, rx1) = crossbeam::channel::unbounded::<u64>();
+            let (tx2, rx2) = crossbeam::channel::unbounded::<u64>();
+            exec.spawn(
+                "stage0".into(),
+                Box::pin(async move {
+                    while let Ok(v) = rx0.recv_async().await {
+                        tx1.send(v + 1).unwrap();
+                    }
+                }),
+                tracker.register(),
+            );
+            exec.spawn(
+                "stage1".into(),
+                Box::pin(async move {
+                    while let Ok(v) = rx1.recv_async().await {
+                        tx2.send(v * 2).unwrap();
+                    }
+                }),
+                tracker.register(),
+            );
+            for i in 0..100 {
+                tx0.send(i).unwrap();
+            }
+            drop(tx0);
+            let got: Vec<u64> = rx2.iter().collect();
+            tracker.wait_quiescent();
+            assert_eq!(
+                got,
+                (0..100).map(|i| (i + 1) * 2).collect::<Vec<_>>(),
+                "executor {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_respects_thread_bound() {
+        let pool = WorkStealingPool::new(3);
+        assert_eq!(pool.workers(), 3);
+        assert_eq!(pool.os_thread_bound(), Some(3));
+        assert_eq!(ThreadPerComponent.os_thread_bound(), None);
+    }
+
+    #[test]
+    fn parked_task_resumes_on_eos_and_pool_drops_cleanly() {
+        // A task parked on an empty stream must complete when the
+        // sender disconnects, before the pool shuts down.
+        let tracker = Tracker::new();
+        {
+            let pool = WorkStealingPool::new(1);
+            let (tx, rx) = crossbeam::channel::unbounded::<u64>();
+            pool.spawn(
+                "parked".into(),
+                Box::pin(async move {
+                    assert!(rx.recv_async().await.is_err());
+                }),
+                tracker.register(),
+            );
+            // Let the worker park the task, then end the stream.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            drop(tx);
+            tracker.wait_quiescent();
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! Work-stealing component scheduler.
+//!
+//! N worker threads, one run-queue (deque) each, plus a shared
+//! injector for spawns arriving from outside the pool (the driver
+//! thread instantiating the initial network). Components spawned *by*
+//! pool tasks — the replicators' demand-driven unfolding — land on the
+//! spawning worker's own deque (locality: a freshly unfolded replica
+//! usually receives the record that caused it next). Idle workers
+//! steal from the back of their siblings' deques, then fall back to
+//! the injector, then sleep; every push wakes one sleeper.
+//!
+//! A task is a component future plus a wake state machine
+//! (`IDLE → SCHEDULED → RUNNING → {IDLE | NOTIFIED}`) that guarantees
+//! a task is queued at most once and a wake during its own poll
+//! reschedules it instead of getting lost. Stream sends wake the
+//! consuming task through its [`std::task::Waker`] (see the vendored
+//! channel's `poll_recv`), which pushes it back onto a run queue.
+//!
+//! Panic isolation: a panicking component unwinds out of its poll; the
+//! worker catches the payload, drops the future (its channel endpoints
+//! drop with it, cascading end-of-stream exactly as a dying thread
+//! would) and records the payload in the network's
+//! [`super::Tracker`]. The worker thread itself survives.
+
+use super::{Completion, Executor, TaskFuture};
+use parking_lot::{Condvar, Mutex};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+use std::task::{Context, Poll, Wake, Waker};
+
+/// Messages a task may consume per poll before it is forced to yield
+/// its worker (see `crossbeam::channel::set_poll_budget`).
+const TASK_POLL_BUDGET: u32 = 128;
+
+// Task wake states.
+const IDLE: u8 = 0; // parked, not queued; a wake must schedule it
+const SCHEDULED: u8 = 1; // sitting in some run queue
+const RUNNING: u8 = 2; // being polled right now
+const NOTIFIED: u8 = 3; // woken during its own poll; reschedule after
+const DONE: u8 = 4; // completed (or panicked); wakes are no-ops
+
+struct TaskSlot {
+    fut: Option<TaskFuture>,
+    done: Option<Completion>,
+}
+
+struct Task {
+    state: AtomicU8,
+    slot: Mutex<TaskSlot>,
+    shared: Arc<Shared>,
+    name: String,
+}
+
+impl Wake for Task {
+    fn wake(self: Arc<Self>) {
+        Task::wake_by_ref(&self);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        loop {
+            let cur = self.state.load(Ordering::Acquire);
+            match cur {
+                IDLE => {
+                    if self
+                        .state
+                        .compare_exchange(IDLE, SCHEDULED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        self.shared.push(Arc::clone(self));
+                        return;
+                    }
+                }
+                RUNNING => {
+                    if self
+                        .state
+                        .compare_exchange(RUNNING, NOTIFIED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        return;
+                    }
+                }
+                // Already queued, already notified, or finished:
+                // nothing to do.
+                _ => return,
+            }
+        }
+    }
+}
+
+struct SleepState {
+    shutdown: bool,
+}
+
+struct Shared {
+    injector: Mutex<VecDeque<Arc<Task>>>,
+    locals: Vec<Mutex<VecDeque<Arc<Task>>>>,
+    sleep: Mutex<SleepState>,
+    cv: Condvar,
+    /// Mirror of `sleep.sleepers`, readable without the sleep lock:
+    /// the wake hot path (every record delivery ends here) must not
+    /// serialise on a mutex when all workers are busy. Incremented
+    /// *before* a parking worker's final work re-check (see
+    /// [`worker_loop`]) so a pusher that reads 0 is guaranteed the
+    /// parker will see its push.
+    sleepers: AtomicUsize,
+}
+
+thread_local! {
+    /// `(pool, worker index)` when the current thread is a pool
+    /// worker — routes same-pool spawns and self-reschedules to the
+    /// worker's own deque.
+    static CURRENT_WORKER: RefCell<Option<(Weak<Shared>, usize)>> = const { RefCell::new(None) };
+}
+
+impl Shared {
+    /// Queues a runnable task: on the current worker's deque when the
+    /// caller is a worker of this pool, on the injector otherwise.
+    /// Wakes one sleeping worker either way (local pushes must wake
+    /// siblings too — that is what makes them stealable).
+    fn push(self: &Arc<Self>, task: Arc<Task>) {
+        let mut task = Some(task);
+        CURRENT_WORKER.with(|c| {
+            if let Some((pool, idx)) = c.borrow().as_ref() {
+                if let Some(pool) = pool.upgrade() {
+                    if Arc::ptr_eq(&pool, self) {
+                        self.locals[*idx].lock().push_back(task.take().unwrap());
+                    }
+                }
+            }
+        });
+        if let Some(t) = task {
+            self.injector.lock().push_back(t);
+        }
+        // Order the push before the sleeper read (the queue mutex
+        // release alone does not forbid the load moving up), then
+        // notify only when someone is actually asleep. The race is
+        // closed by the parker's protocol: it advertises itself in
+        // `sleepers` (SeqCst RMW) *before* re-checking the queues, so
+        // either this load sees the parker (notify path) or the
+        // parker's re-check sees the push (no sleep).
+        std::sync::atomic::fence(Ordering::SeqCst);
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _st = self.sleep.lock();
+            self.cv.notify_one();
+        }
+    }
+
+    /// Pops the next runnable task for worker `idx`: own deque front,
+    /// then the injector, then steal from the back of siblings.
+    fn find_task(&self, idx: usize) -> Option<Arc<Task>> {
+        if let Some(t) = self.locals[idx].lock().pop_front() {
+            return Some(t);
+        }
+        if let Some(t) = self.injector.lock().pop_front() {
+            return Some(t);
+        }
+        let n = self.locals.len();
+        for off in 1..n {
+            let j = (idx + off) % n;
+            if let Some(t) = self.locals[j].lock().pop_back() {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    fn has_work(&self, idx: usize) -> bool {
+        if !self.injector.lock().is_empty() {
+            return true;
+        }
+        let n = self.locals.len();
+        for off in 0..n {
+            if !self.locals[(idx + off) % n].lock().is_empty() {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, idx: usize) {
+    CURRENT_WORKER.with(|c| *c.borrow_mut() = Some((Arc::downgrade(&shared), idx)));
+    loop {
+        if let Some(task) = shared.find_task(idx) {
+            run_task(task);
+            continue;
+        }
+        let mut st = shared.sleep.lock();
+        if st.shutdown {
+            return;
+        }
+        // Advertise the intent to sleep *before* the final work
+        // re-check: a pusher that misses this increment pushed before
+        // it (SeqCst total order), so the re-check below sees that
+        // push; a pusher that sees it takes the sleep lock to notify,
+        // which cannot complete until `cv.wait` has released the lock.
+        shared.sleepers.fetch_add(1, Ordering::SeqCst);
+        if shared.has_work(idx) {
+            shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+            continue;
+        }
+        shared.cv.wait(&mut st);
+        shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+        if st.shutdown {
+            return;
+        }
+    }
+}
+
+fn run_task(task: Arc<Task>) {
+    task.state.store(RUNNING, Ordering::Release);
+    let waker = Waker::from(Arc::clone(&task));
+    let mut cx = Context::from_waker(&waker);
+    crossbeam::channel::set_poll_budget(TASK_POLL_BUDGET);
+    let poll = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut slot = task.slot.lock();
+        match slot.fut.as_mut() {
+            Some(f) => f.as_mut().poll(&mut cx),
+            None => Poll::Ready(()),
+        }
+    }));
+    crossbeam::channel::set_poll_budget(u32::MAX);
+    match poll {
+        Ok(Poll::Pending) => {
+            // Park, unless a wake arrived during the poll.
+            if task
+                .state
+                .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                // NOTIFIED: reschedule immediately (at the back of the
+                // queue — this is also the forced-yield path).
+                task.state.store(SCHEDULED, Ordering::Release);
+                let shared = Arc::clone(&task.shared);
+                shared.push(task);
+            }
+        }
+        Ok(Poll::Ready(())) => finish(&task, Ok(())),
+        Err(payload) => {
+            eprintln!("component task '{}' panicked; worker continues", task.name);
+            finish(&task, Err(payload));
+        }
+    }
+}
+
+fn finish(task: &Arc<Task>, result: Result<(), Box<dyn std::any::Any + Send>>) {
+    task.state.store(DONE, Ordering::Release);
+    let (fut, done) = {
+        let mut slot = task.slot.lock();
+        (slot.fut.take(), slot.done.take())
+    };
+    // Drop the future before reporting completion: its channel
+    // endpoints drop with it, cascading end-of-stream downstream —
+    // the same order a dying component thread produced.
+    drop(fut);
+    if let Some(done) = done {
+        done.complete(result);
+    }
+}
+
+/// Cooperative work-stealing executor: components as tasks over N
+/// worker threads (see module docs).
+pub struct WorkStealingPool {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl WorkStealingPool {
+    /// Creates a pool with `workers` OS threads. Any count ≥ 1 is
+    /// sound (see the deadlock-freedom argument in [`super`]); the
+    /// determinism tests use small counts to force interleaving.
+    pub fn new(workers: usize) -> WorkStealingPool {
+        assert!(workers >= 1, "a pool needs at least one worker");
+        let shared = Arc::new(Shared {
+            injector: Mutex::new(VecDeque::new()),
+            locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            sleep: Mutex::new(SleepState { shutdown: false }),
+            cv: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("snet-pool-{i}"))
+                    .spawn(move || worker_loop(shared, i))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        WorkStealingPool {
+            shared,
+            workers: Mutex::new(handles),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.shared.locals.len()
+    }
+}
+
+impl Executor for WorkStealingPool {
+    fn spawn(&self, name: String, fut: TaskFuture, done: Completion) {
+        let task = Arc::new(Task {
+            state: AtomicU8::new(SCHEDULED),
+            slot: Mutex::new(TaskSlot {
+                fut: Some(fut),
+                done: Some(done),
+            }),
+            shared: Arc::clone(&self.shared),
+            name,
+        });
+        self.shared.push(task);
+    }
+
+    fn kind(&self) -> &'static str {
+        "pool"
+    }
+
+    fn os_thread_bound(&self) -> Option<usize> {
+        Some(self.workers())
+    }
+}
+
+impl Drop for WorkStealingPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.sleep.lock();
+            st.shutdown = true;
+        }
+        self.shared.cv.notify_all();
+        for h in self.workers.lock().drain(..) {
+            let _ = h.join();
+        }
+        // Tasks still queued are dropped with the queues; their
+        // `Completion`s fire through the drop path so no
+        // `wait_quiescent` hangs. (Networks should be `finish`ed
+        // before their pool is dropped — a component parked on a
+        // still-open stream at this point is abandoned.)
+        self.shared.injector.lock().clear();
+        for q in &self.shared.locals {
+            q.lock().clear();
+        }
+    }
+}

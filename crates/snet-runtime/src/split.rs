@@ -66,13 +66,13 @@ pub fn spawn_split(
     let dpath = comb;
     let records_in = ctx.metrics.handle_at(dpath, keys::RECORDS_IN);
     let branches_created = ctx.metrics.handle_at(dpath, keys::BRANCHES);
-    ctx.spawn(format!("{dpath}/dispatch"), move || {
+    ctx.spawn(format!("{dpath}/dispatch"), async move {
         let mut branches: HashMap<i64, Sender> = HashMap::new();
         // Sorts broadcast so far, per level: the watermark handed to
         // replicas created later (they will never see earlier sorts).
         let mut watermark = Watermark::new();
         let mut counter: u64 = 0;
-        while let Ok(msg) = input.recv() {
+        while let Ok(msg) = input.recv_async().await {
             match msg {
                 Msg::Rec(rec) => {
                     if ctx2.has_observers() {
@@ -176,7 +176,29 @@ mod tests {
 
     #[test]
     fn same_tag_value_same_replica() {
-        let (ctx, plan) = mark_plan(false);
+        // Replica identity is the interned branch *path* (observed at
+        // the box boundary) — not the OS thread, which is an executor
+        // detail: under a work-stealing pool one replica's task
+        // migrates between workers.
+        let seen: Arc<parking_lot::Mutex<Vec<(i64, String)>>> =
+            Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        let obs: crate::stream::Observer = Arc::new(move |path, dir, rec| {
+            if dir == crate::stream::Dir::In && path.contains("box:mark") {
+                seen2.lock().push((rec.tag("k").unwrap(), path.to_string()));
+            }
+        });
+        let env = parse_program("box mark (x) -> (x, y);")
+            .unwrap()
+            .env()
+            .unwrap();
+        let b = Bindings::new().bind("mark", |r, e| {
+            let x = r.field("x").unwrap().as_int().unwrap();
+            e.emit(Record::build().field("x", x).field("y", x).finish());
+        });
+        let ast = parse_net_expr("mark !! <k>").unwrap();
+        let plan = compile(&ast, &env, &b).unwrap();
+        let ctx = Ctx::new(Metrics::new(), vec![obs]);
         let (tx, in_rx) = stream();
         let out = instantiate(&ctx, &plan.root, "net", in_rx);
         for i in 0..30i64 {
@@ -191,16 +213,19 @@ mod tests {
         assert_eq!(recs.len(), 30);
         // Exactly three replicas were created.
         assert_eq!(ctx.metrics.sum_matching(keys::BRANCHES), 3);
-        // All records with the same k share a processing thread.
+        // All records with the same k entered the same replica path,
+        // and distinct ks used distinct replicas.
         let mut by_k: HashMap<i64, std::collections::BTreeSet<String>> = HashMap::new();
-        for r in &recs {
-            let k = r.tag("k").unwrap();
-            let y = r.field("y").unwrap().as_str().unwrap().to_string();
-            by_k.entry(k).or_default().insert(y);
+        for (k, path) in seen.lock().iter() {
+            by_k.entry(*k).or_default().insert(path.clone());
         }
-        for (k, threads) in by_k {
-            assert_eq!(threads.len(), 1, "tag value {k} used multiple replicas");
+        assert_eq!(by_k.len(), 3);
+        let mut all_paths = std::collections::BTreeSet::new();
+        for (k, paths) in by_k {
+            assert_eq!(paths.len(), 1, "tag value {k} used multiple replicas");
+            all_paths.extend(paths);
         }
+        assert_eq!(all_paths.len(), 3, "replicas were shared across tags");
     }
 
     #[test]

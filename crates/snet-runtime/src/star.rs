@@ -84,9 +84,9 @@ pub fn spawn_star(
 /// the n-th input record, partitioning the chain into rounds.
 fn spawn_stamper(ctx: &Arc<Ctx>, comb: CompPath, level: u32, input: Receiver) -> Receiver {
     let (tx, rx) = stream();
-    ctx.spawn(format!("{comb}/stamper"), move || {
+    ctx.spawn(format!("{comb}/stamper"), async move {
         let mut counter: u64 = 0;
-        while let Ok(msg) = input.recv() {
+        while let Ok(msg) = input.recv_async().await {
             match msg {
                 rec @ Msg::Rec(_) => {
                     let _ = tx.send(rec);
@@ -126,10 +126,10 @@ fn spawn_guard(
     let ctx2 = Arc::clone(ctx);
     let stage_path = shared.comb.child(&format!("stage{stage}"));
     let gpath = stage_path.child("guard");
-    ctx.spawn(gpath.as_str(), move || {
+    ctx.spawn(gpath.as_str(), async move {
         let mut wm = watermark;
         let mut next: Option<Sender> = None;
-        while let Ok(msg) = input.recv() {
+        while let Ok(msg) = input.recv_async().await {
             match msg {
                 Msg::Rec(rec) => {
                     if ctx2.has_observers() {

@@ -16,9 +16,29 @@
 //! Every component forwards sort records transparently (behind any data
 //! they follow), so ordering survives arbitrary nesting of combinators.
 //! End-of-stream is represented by channel disconnection.
+//!
+//! # Yield-on-empty-input
+//!
+//! Component bodies never call the blocking `recv()`; they await
+//! `recv_async()` (or, for multi-input components, [`SelectReady`]).
+//! Under the default [`crate::sched::ThreadPerComponent`] executor the
+//! await parks the component's dedicated OS thread — the seed's
+//! behaviour, bit for bit. Under a
+//! [`crate::sched::WorkStealingPool`] the await *yields the worker*:
+//! the component's state machine suspends, the stream registers the
+//! task's waker, and the send path reschedules the component when data
+//! (or end-of-stream) arrives. This is what lets thousands of
+//! dynamically unfolded components share a handful of OS threads.
+//! Combined with unbounded channels — senders never wait — cooperative
+//! parking cannot deadlock even the deterministic merger's fixed
+//! drain order; the full argument lives in the [`crate::sched`]
+//! module docs.
 
 use snet_types::Record;
+use std::future::Future;
+use std::pin::Pin;
 use std::sync::Arc;
+use std::task::{Context, Poll};
 
 /// A message travelling on a stream.
 #[derive(Clone, Debug, PartialEq)]
@@ -44,6 +64,49 @@ pub fn stream() -> (Sender, Receiver) {
 pub enum Dir {
     In,
     Out,
+}
+
+/// A source a component can await readiness of without consuming it —
+/// the readiness-notification hook multi-input components (mergers)
+/// build their select loops on. `Ready` means the next `try_recv`
+/// returns without blocking: a message is queued or the stream has
+/// disconnected.
+pub trait ReadySource: Sync {
+    fn poll_source(&self, cx: &mut Context<'_>) -> Poll<()>;
+}
+
+impl<T: Send> ReadySource for crossbeam::channel::Receiver<T> {
+    fn poll_source(&self, cx: &mut Context<'_>) -> Poll<()> {
+        self.poll_ready(cx)
+    }
+}
+
+/// Future resolving to the index of the first ready source, scanning
+/// in rotation from `start` (callers advance `start` across awaits so
+/// no source starves — the cooperative rendering of a blocking
+/// multi-channel select).
+///
+/// Sources that report `Pending` register the awaiting task's waker;
+/// a wake from a source other than the one eventually consumed is
+/// spurious and simply causes a re-poll.
+pub struct SelectReady<'a> {
+    pub sources: Vec<&'a dyn ReadySource>,
+    pub start: usize,
+}
+
+impl Future for SelectReady<'_> {
+    type Output = usize;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<usize> {
+        let n = self.sources.len();
+        debug_assert!(n > 0, "SelectReady over zero sources never resolves");
+        for off in 0..n {
+            let i = (self.start + off) % n;
+            if self.sources[i].poll_source(cx).is_ready() {
+                return Poll::Ready(i);
+            }
+        }
+        Poll::Pending
+    }
 }
 
 /// A stream observer: "debugging the concurrent behaviour becomes

@@ -1,0 +1,253 @@
+//! The executor matrix: every determinism guarantee of the runtime,
+//! verified under both component schedulers.
+//!
+//! The sort-record protocol encodes ordering in the *data*, so the
+//! deterministic combinators must produce **byte-for-byte identical**
+//! output whether components run one-per-OS-thread
+//! ([`ThreadPerComponent`]) or as cooperative tasks on a
+//! [`WorkStealingPool`]. The pool runs with **two workers** here — the
+//! most adversarial interleaving short of fully sequential: every
+//! component contends for a worker, parked components must resume
+//! correctly, and the deterministic mergers' fixed drain order has to
+//! hold while hundreds of tasks time-slice two threads.
+//!
+//! Also here: the scaling stress the executor subsystem exists for —
+//! a ~1000-replica indexed split completing on a bounded worker set,
+//! which thread-per-component could only serve with ~1000 OS threads.
+
+use snet_runtime::{Executor, Net, NetBuilder, ThreadPerComponent, WorkStealingPool};
+use snet_types::Record;
+use std::sync::Arc;
+
+/// The two backends under test. The pool is deliberately small.
+fn executors() -> Vec<(&'static str, Arc<dyn Executor>)> {
+    vec![
+        ("threads", Arc::new(ThreadPerComponent) as Arc<dyn Executor>),
+        ("pool(2)", Arc::new(WorkStealingPool::new(2)) as _),
+    ]
+}
+
+/// `rep (x, <c>) -> (y)`: emits `x*10 + i` for `i in 0..c` — the
+/// det-ordering oracle box.
+fn build(expr: &str, exec: Arc<dyn Executor>) -> Net {
+    let src = format!(
+        "box rep (x, <c>) -> (y);
+         net main = {expr};"
+    );
+    NetBuilder::from_source(&src)
+        .unwrap()
+        .bind("rep", |rec, em| {
+            let x = rec.field("x").unwrap().as_int().unwrap();
+            let c = rec.tag("c").unwrap();
+            for i in 0..c {
+                em.emit(Record::build().field("y", x * 10 + i).finish());
+            }
+        })
+        .executor(exec)
+        .build("main")
+        .unwrap()
+}
+
+/// A fixed adversarial input stream: mixed lanes, mixed fan-outs
+/// (including 0-output records), long enough to outlive any lucky
+/// scheduling.
+fn inputs() -> Vec<(i64, i64, i64)> {
+    (0..120i64)
+        .map(|i| (i, (i * 7 + 3) % 4, (i * 5 + 1) % 4))
+        .collect()
+}
+
+fn drive(net: Net) -> Vec<i64> {
+    for (x, c, k) in inputs() {
+        net.send(
+            Record::build()
+                .field("x", x)
+                .tag("c", c)
+                .tag("k", k)
+                .finish(),
+        )
+        .unwrap();
+    }
+    net.finish()
+        .iter()
+        .map(|r| r.field("y").unwrap().as_int().unwrap())
+        .collect()
+}
+
+/// Record-major, emission-order oracle.
+fn oracle() -> Vec<i64> {
+    inputs()
+        .iter()
+        .flat_map(|(x, c, _)| (0..*c).map(move |i| x * 10 + i))
+        .collect()
+}
+
+#[test]
+fn det_combinators_match_oracle_under_both_executors() {
+    for expr in ["rep | rep", "rep ! <k>", "(rep ! <k>) | (rep ! <k>)"] {
+        for (name, exec) in executors() {
+            let got = drive(build(expr, exec));
+            assert_eq!(got, oracle(), "{expr} diverged under {name}");
+        }
+    }
+}
+
+#[test]
+fn pool_output_is_byte_identical_to_thread_output() {
+    // Not just oracle-correct: the two backends must agree with each
+    // other on the full output sequence of every det topology.
+    for expr in ["rep | rep", "rep ! <k>", "(rep | rep) ! <k>"] {
+        let mut per_exec = Vec::new();
+        for (name, exec) in executors() {
+            per_exec.push((name, drive(build(expr, exec))));
+        }
+        let (ref_name, reference) = &per_exec[0];
+        for (name, out) in &per_exec[1..] {
+            assert_eq!(
+                out, reference,
+                "{expr}: {name} output diverged from {ref_name}"
+            );
+        }
+    }
+}
+
+#[test]
+fn nondet_topologies_conserve_records_under_pool() {
+    // Random-networks-style conservation on the pool: every record
+    // comes out exactly once, payloads intact, per-lane order kept.
+    for expr in ["rep || rep", "rep !! <k>", "(rep !! <k>) || rep"] {
+        for (name, exec) in executors() {
+            let out = {
+                let net = build(expr, exec);
+                for (x, c, k) in inputs() {
+                    net.send(
+                        Record::build()
+                            .field("x", x)
+                            .tag("c", c)
+                            .tag("k", k)
+                            .finish(),
+                    )
+                    .unwrap();
+                }
+                net.finish()
+            };
+            let mut got: Vec<i64> = out
+                .iter()
+                .map(|r| r.field("y").unwrap().as_int().unwrap())
+                .collect();
+            let mut want = oracle();
+            got.sort();
+            want.sort();
+            assert_eq!(got, want, "{expr} lost/duplicated records under {name}");
+        }
+    }
+}
+
+#[test]
+fn det_star_matches_input_order_under_both_executors() {
+    let src = "
+        box dec (n) -> (n) | (n, <z>);
+        net main = dec * {<z>};
+    ";
+    let depths: Vec<i64> = (0..24).map(|i| (i * 11 + 5) % 24 + 1).collect();
+    for (name, exec) in executors() {
+        let net = NetBuilder::from_source(src)
+            .unwrap()
+            .bind("dec", |rec, em| {
+                let n = rec.field("n").unwrap().as_int().unwrap();
+                if n <= 1 {
+                    em.emit(Record::build().field("n", 0i64).tag("z", 1).finish());
+                } else {
+                    em.emit(Record::build().field("n", n - 1).finish());
+                }
+            })
+            .executor(exec)
+            .build("main")
+            .unwrap();
+        for (id, d) in depths.iter().enumerate() {
+            net.send(Record::build().field("n", *d).tag("id", id as i64).finish())
+                .unwrap();
+        }
+        let out = net.finish();
+        let ids: Vec<i64> = out.iter().map(|r| r.tag("id").unwrap()).collect();
+        let want: Vec<i64> = (0..depths.len() as i64).collect();
+        assert_eq!(ids, want, "det star order diverged under {name}");
+    }
+}
+
+#[test]
+fn thousand_replica_split_completes_on_two_workers() {
+    // The scaling claim: ≥1000 dynamically unfolded replicas (plus
+    // dispatcher and merger) run to completion on a pool whose OS
+    // thread count stays at the worker count — where
+    // thread-per-component would burn one OS thread per replica.
+    let pool = Arc::new(WorkStealingPool::new(2));
+    let net = NetBuilder::from_source(
+        "box id (x, <k>) -> (x, <k>);
+         net main = id !! <k>;",
+    )
+    .unwrap()
+    .bind("id", |rec, em| em.emit(rec.clone()))
+    .executor(Arc::clone(&pool) as Arc<dyn Executor>)
+    .build("main")
+    .unwrap();
+
+    const LANES: i64 = 1000;
+    for round in 0..3i64 {
+        for k in 0..LANES {
+            net.send(
+                Record::build()
+                    .field("x", round * LANES + k)
+                    .tag("k", k)
+                    .finish(),
+            )
+            .unwrap();
+        }
+    }
+    let metrics = Arc::clone(net.metrics());
+    assert_eq!(net.executor().os_thread_bound(), Some(2));
+    let out = net.finish();
+    assert_eq!(out.len(), 3 * LANES as usize);
+    // Per-lane FIFO survives the unfolding.
+    for k in [0i64, 499, 999] {
+        let xs: Vec<i64> = out
+            .iter()
+            .filter(|r| r.tag("k") == Some(k))
+            .map(|r| r.field("x").unwrap().as_int().unwrap())
+            .collect();
+        assert_eq!(xs, vec![k, LANES + k, 2 * LANES + k], "lane {k} order");
+    }
+    // ≥1000 replicas unfolded (components, not threads)...
+    assert_eq!(metrics.sum_matching("branches"), LANES as u64);
+    assert_eq!(metrics.sum_matching("box:id/spawned"), LANES as u64);
+    // ...on exactly two OS worker threads.
+    assert_eq!(pool.workers(), 2);
+}
+
+#[test]
+fn deterministic_split_stress_under_pool() {
+    // Det variant at a smaller width: every record triggers a sort
+    // broadcast to all live replicas, so this floods the pool with
+    // wakeups while the det merger enforces global input order.
+    let pool = Arc::new(WorkStealingPool::new(2));
+    let net = NetBuilder::from_source(
+        "box id (x, <k>) -> (x, <k>);
+         net main = id ! <k>;",
+    )
+    .unwrap()
+    .bind("id", |rec, em| em.emit(rec.clone()))
+    .executor(pool as Arc<dyn Executor>)
+    .build("main")
+    .unwrap();
+    const N: i64 = 600;
+    for i in 0..N {
+        net.send(Record::build().field("x", i).tag("k", i % 150).finish())
+            .unwrap();
+    }
+    let out = net.finish();
+    let xs: Vec<i64> = out
+        .iter()
+        .map(|r| r.field("x").unwrap().as_int().unwrap())
+        .collect();
+    assert_eq!(xs, (0..N).collect::<Vec<_>>());
+}

@@ -2,56 +2,80 @@
 //!
 //! Implements exactly what the S-Net runtime consumes: unbounded
 //! channels with disconnect-on-drop semantics, `try_recv`, blocking
-//! `recv`, an iterator, and a blocking [`channel::Select`] over
-//! multiple receivers. The select implementation registers a per-call
-//! waker with every watched channel; senders signal registered wakers
-//! on delivery and on disconnect.
+//! `recv`, and an iterator. (A blocking `Select` used to live here
+//! too; the merge layer — its only consumer — moved to the pollable
+//! interface below, and the shim's policy is to mirror only the API
+//! subset in use.)
+//!
+//! On top of the blocking interface the channel is also *pollable*:
+//! [`channel::Receiver::poll_recv`] / [`channel::Receiver::poll_ready`]
+//! register a [`std::task::Waker`] when the queue is empty, and senders
+//! wake registered tasks on delivery and on disconnect. This is the
+//! readiness hook the S-Net `sched` subsystem builds its cooperative
+//! (work-stealing) component executor on: a component parked on an
+//! empty stream yields its worker thread instead of blocking it.
+//! A per-thread cooperative budget ([`channel::set_poll_budget`])
+//! bounds how many messages one task may consume before it is forced
+//! to yield, so a component with an always-full input cannot starve
+//! its worker's run queue.
 //!
 //! The runtime consumes every receiver from a single thread (streams
-//! are point-to-point), which keeps the select fast path simple: once
-//! a channel reports ready, its message cannot be stolen by another
-//! consumer before `SelectedOperation::recv` completes.
+//! are point-to-point), which keeps the readiness fast path simple:
+//! once a channel reports ready, its message cannot be stolen by
+//! another consumer before the follow-up `try_recv` completes.
 
 pub mod channel {
     use parking_lot::{Condvar, Mutex};
+    use std::cell::Cell;
     use std::collections::VecDeque;
     use std::fmt;
-    use std::sync::{Arc, Weak};
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::sync::Arc;
+    use std::task::{Context, Poll};
 
-    /// Wakes a parked `Select::select` call.
-    struct Waker {
-        fired: Mutex<bool>,
-        cv: Condvar,
+    thread_local! {
+        /// Cooperative poll budget for the current thread. `u32::MAX`
+        /// means unlimited (blocking consumers, `block_on` executors).
+        /// A work-stealing worker sets a finite budget before polling a
+        /// task; every message the task consumes through `poll_recv` /
+        /// `poll_ready` spends one unit, and at zero the channel
+        /// reports `Pending` with an immediate self-wake — the task is
+        /// rescheduled at the back of its worker's queue instead of
+        /// monopolising it.
+        static POLL_BUDGET: Cell<u32> = const { Cell::new(u32::MAX) };
     }
 
-    impl Waker {
-        fn new() -> Arc<Waker> {
-            Arc::new(Waker {
-                fired: Mutex::new(false),
-                cv: Condvar::new(),
-            })
-        }
+    /// Sets the current thread's cooperative poll budget (see the
+    /// thread-local docs). Executors call this around each task poll;
+    /// ordinary blocking threads never need to.
+    pub fn set_poll_budget(n: u32) {
+        POLL_BUDGET.with(|b| b.set(n));
+    }
 
-        fn fire(&self) {
-            let mut f = self.fired.lock();
-            *f = true;
-            self.cv.notify_all();
-        }
-
-        fn wait_and_reset(&self) {
-            let mut f = self.fired.lock();
-            while !*f {
-                self.cv.wait(&mut f);
+    /// Spends one unit of budget. Returns `false` when exhausted (the
+    /// caller must yield).
+    fn charge_budget() -> bool {
+        POLL_BUDGET.with(|b| {
+            let v = b.get();
+            if v == 0 {
+                false
+            } else {
+                if v != u32::MAX {
+                    b.set(v - 1);
+                }
+                true
             }
-            *f = false;
-        }
+        })
     }
 
     struct State<T> {
         queue: VecDeque<T>,
         senders: usize,
         receivers: usize,
-        wakers: Vec<Weak<Waker>>,
+        /// Task wakers registered by `poll_recv` / `poll_ready`;
+        /// drained (and woken) on every delivery and on disconnect.
+        task_wakers: Vec<std::task::Waker>,
     }
 
     struct Chan<T> {
@@ -60,20 +84,20 @@ pub mod channel {
     }
 
     impl<T> Chan<T> {
-        /// Signals blocked receivers and any select calls watching this
-        /// channel. Called with the state lock held just released —
-        /// takes the lock itself to drain the waker list.
+        /// Signals blocked receivers and any tasks watching this
+        /// channel. Called with the state lock just released — takes
+        /// the lock itself to drain the waker list.
         fn signal(&self) {
             self.cv.notify_all();
-            let mut st = self.state.lock();
-            st.wakers.retain(|w| {
-                if let Some(w) = w.upgrade() {
-                    w.fire();
-                    true
-                } else {
-                    false
-                }
-            });
+            let task_wakers = {
+                let mut st = self.state.lock();
+                std::mem::take(&mut st.task_wakers)
+            };
+            // Wake outside the state lock: waking reschedules a task,
+            // which takes executor queue locks of its own.
+            for w in task_wakers {
+                w.wake();
+            }
         }
     }
 
@@ -84,7 +108,7 @@ pub mod channel {
                 queue: VecDeque::new(),
                 senders: 1,
                 receivers: 1,
-                wakers: Vec::new(),
+                task_wakers: Vec::new(),
             }),
             cv: Condvar::new(),
         });
@@ -170,7 +194,8 @@ pub mod channel {
                 st.senders == 0
             };
             if last {
-                // Disconnection is an event select must observe.
+                // Disconnection is an event watching tasks must
+                // observe (end-of-stream).
                 self.chan.signal();
             }
         }
@@ -206,22 +231,55 @@ pub mod channel {
             Iter { rx: self }
         }
 
-        /// Ready = a message is queued or the channel is disconnected
-        /// (either way, `recv`/`try_recv` returns without blocking).
-        fn ready(&self) -> bool {
-            let st = self.chan.state.lock();
-            !st.queue.is_empty() || st.senders == 0
+        /// Polls for a message without blocking the thread: `Ready`
+        /// with the message (or `Err(RecvError)` at end-of-stream),
+        /// `Pending` after registering the task's waker. The check and
+        /// the registration happen under one lock, so a send between
+        /// them cannot be lost. Respects the thread's cooperative
+        /// budget: at zero it self-wakes and reports `Pending` even if
+        /// a message is queued, forcing a fair yield.
+        pub fn poll_recv(&self, cx: &mut Context<'_>) -> Poll<Result<T, RecvError>> {
+            let mut st = self.chan.state.lock();
+            if !st.queue.is_empty() || st.senders == 0 {
+                if !charge_budget() {
+                    drop(st);
+                    cx.waker().wake_by_ref();
+                    return Poll::Pending;
+                }
+                return Poll::Ready(match st.queue.pop_front() {
+                    Some(v) => Ok(v),
+                    None => Err(RecvError),
+                });
+            }
+            st.task_wakers.retain(|w| !w.will_wake(cx.waker()));
+            st.task_wakers.push(cx.waker().clone());
+            Poll::Pending
         }
 
-        fn register(&self, waker: &Arc<Waker>) {
+        /// Like [`Receiver::poll_recv`] but does not consume: `Ready`
+        /// means the next `try_recv` returns without blocking (a
+        /// message, or disconnection). Used by readiness-select loops
+        /// that must decide *which* stream to consume from.
+        pub fn poll_ready(&self, cx: &mut Context<'_>) -> Poll<()> {
             let mut st = self.chan.state.lock();
-            // Prune wakers from past select() calls (each park uses a
-            // fresh waker, so stale entries are dead Weaks). Without
-            // this, a rarely-signalled channel watched by a frequently
-            // parking select — e.g. a merge's control channel — would
-            // accumulate one dead entry per park, unboundedly.
-            st.wakers.retain(|w| w.strong_count() > 0);
-            st.wakers.push(Arc::downgrade(waker));
+            if !st.queue.is_empty() || st.senders == 0 {
+                if !charge_budget() {
+                    drop(st);
+                    cx.waker().wake_by_ref();
+                    return Poll::Pending;
+                }
+                return Poll::Ready(());
+            }
+            st.task_wakers.retain(|w| !w.will_wake(cx.waker()));
+            st.task_wakers.push(cx.waker().clone());
+            Poll::Pending
+        }
+
+        /// Future form of [`Receiver::recv`]: resolves with the next
+        /// message, or `Err(RecvError)` at end-of-stream. Awaiting on
+        /// an empty channel parks the *task*, not the thread.
+        pub fn recv_async(&self) -> RecvAsync<'_, T> {
+            RecvAsync { rx: self }
         }
     }
 
@@ -247,6 +305,18 @@ pub mod channel {
         }
     }
 
+    /// Future returned by [`Receiver::recv_async`].
+    pub struct RecvAsync<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Future for RecvAsync<'_, T> {
+        type Output = Result<T, RecvError>;
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            self.rx.poll_recv(cx)
+        }
+    }
+
     pub struct Iter<'a, T> {
         rx: &'a Receiver<T>,
     }
@@ -263,106 +333,6 @@ pub mod channel {
         type IntoIter = Iter<'a, T>;
         fn into_iter(self) -> Iter<'a, T> {
             self.iter()
-        }
-    }
-
-    /// Readiness view of one registered receiver, type-erased so a
-    /// single `Select` can watch channels of different message types.
-    trait Watch {
-        fn ready(&self) -> bool;
-        fn register(&self, waker: &Arc<Waker>);
-    }
-
-    impl<T> Watch for Receiver<T> {
-        fn ready(&self) -> bool {
-            Receiver::ready(self)
-        }
-        fn register(&self, waker: &Arc<Waker>) {
-            Receiver::register(self, waker)
-        }
-    }
-
-    /// Blocking select over receive operations (subset of
-    /// crossbeam-channel's `Select`).
-    pub struct Select<'a> {
-        watched: Vec<&'a dyn Watch>,
-        /// Rotates the readiness scan start so no branch starves.
-        next_start: usize,
-    }
-
-    impl Default for Select<'_> {
-        fn default() -> Self {
-            Select::new()
-        }
-    }
-
-    impl<'a> Select<'a> {
-        pub fn new() -> Select<'a> {
-            Select {
-                watched: Vec::new(),
-                next_start: 0,
-            }
-        }
-
-        /// Adds a receive operation; returns its index.
-        pub fn recv<T>(&mut self, rx: &'a Receiver<T>) -> usize {
-            self.watched.push(rx);
-            self.watched.len() - 1
-        }
-
-        /// Blocks until some watched operation is ready.
-        pub fn select(&mut self) -> SelectedOperation {
-            assert!(
-                !self.watched.is_empty(),
-                "select() with no registered operations would block forever"
-            );
-            let n = self.watched.len();
-            // Fast path: something is already ready.
-            loop {
-                let start = self.next_start % n;
-                for off in 0..n {
-                    let i = (start + off) % n;
-                    if self.watched[i].ready() {
-                        self.next_start = i + 1;
-                        return SelectedOperation { index: i };
-                    }
-                }
-                // Park: register a fresh waker everywhere, then
-                // re-check before sleeping (a signal between the scan
-                // above and registration would otherwise be lost).
-                let waker = Waker::new();
-                for w in &self.watched {
-                    w.register(&waker);
-                }
-                if self.watched.iter().any(|w| w.ready()) {
-                    continue;
-                }
-                waker.wait_and_reset();
-            }
-        }
-    }
-
-    /// A ready operation returned by [`Select::select`].
-    pub struct SelectedOperation {
-        index: usize,
-    }
-
-    impl SelectedOperation {
-        pub fn index(&self) -> usize {
-            self.index
-        }
-
-        /// Completes the operation. The caller passes the receiver it
-        /// registered under this index (crossbeam's API shape).
-        pub fn recv<T>(self, rx: &Receiver<T>) -> Result<T, RecvError> {
-            match rx.try_recv() {
-                Ok(v) => Ok(v),
-                Err(TryRecvError::Disconnected) => Err(RecvError),
-                // Ready-then-empty can only mean another consumer took
-                // the message. The runtime never shares receivers, but
-                // fall back to a blocking recv for API fidelity.
-                Err(TryRecvError::Empty) => rx.recv(),
-            }
         }
     }
 }
@@ -411,51 +381,82 @@ mod tests {
         assert_eq!(h.join().unwrap(), Ok(7));
     }
 
-    #[test]
-    fn select_picks_ready_branch() {
-        let (t1, r1) = unbounded::<i32>();
-        let (_t2, r2) = unbounded::<i32>();
-        t1.send(42).unwrap();
-        let mut sel = Select::new();
-        let i1 = sel.recv(&r1);
-        let _i2 = sel.recv(&r2);
-        let op = sel.select();
-        assert_eq!(op.index(), i1);
-        assert_eq!(op.recv(&r1), Ok(42));
+    /// A counting waker for poll tests.
+    struct CountWake(std::sync::atomic::AtomicUsize);
+
+    impl std::task::Wake for CountWake {
+        fn wake(self: std::sync::Arc<Self>) {
+            self.0.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        }
+    }
+
+    fn count_waker() -> (std::sync::Arc<CountWake>, std::task::Waker) {
+        let inner = std::sync::Arc::new(CountWake(std::sync::atomic::AtomicUsize::new(0)));
+        let waker = std::task::Waker::from(std::sync::Arc::clone(&inner));
+        (inner, waker)
     }
 
     #[test]
-    fn select_blocks_until_signal() {
-        let (t1, r1) = unbounded::<i32>();
-        let (t2, r2) = unbounded::<i32>();
-        let h = std::thread::spawn(move || {
-            let mut sel = Select::new();
-            sel.recv(&r1);
-            sel.recv(&r2);
-            let op = sel.select();
-            match op.index() {
-                0 => op.recv(&r1),
-                _ => op.recv(&r2),
-            }
-        });
-        std::thread::sleep(std::time::Duration::from_millis(30));
-        t2.send(9).unwrap();
-        assert_eq!(h.join().unwrap(), Ok(9));
-        drop(t1);
+    fn poll_recv_ready_and_pending() {
+        use std::task::{Context, Poll};
+        let (tx, rx) = unbounded::<i32>();
+        tx.send(42).unwrap();
+        let (_w, waker) = count_waker();
+        let mut cx = Context::from_waker(&waker);
+        assert_eq!(rx.poll_recv(&mut cx), Poll::Ready(Ok(42)));
+        assert_eq!(rx.poll_recv(&mut cx), Poll::Pending);
     }
 
     #[test]
-    fn select_sees_disconnect_as_ready() {
-        let (t1, r1) = unbounded::<i32>();
-        let h = std::thread::spawn(move || {
-            let mut sel = Select::new();
-            sel.recv(&r1);
-            let op = sel.select();
-            op.recv(&r1)
-        });
-        std::thread::sleep(std::time::Duration::from_millis(20));
-        drop(t1);
-        assert!(h.join().unwrap().is_err());
+    fn registered_waker_fires_on_send_and_disconnect() {
+        use std::task::{Context, Poll};
+        let (tx, rx) = unbounded::<i32>();
+        let (counts, waker) = count_waker();
+        let mut cx = Context::from_waker(&waker);
+        assert_eq!(rx.poll_recv(&mut cx), Poll::Pending);
+        tx.send(9).unwrap();
+        assert_eq!(counts.0.load(std::sync::atomic::Ordering::SeqCst), 1);
+        assert_eq!(rx.poll_recv(&mut cx), Poll::Ready(Ok(9)));
+        // Park again; disconnection must also wake.
+        assert_eq!(rx.poll_recv(&mut cx), Poll::Pending);
+        drop(tx);
+        assert_eq!(counts.0.load(std::sync::atomic::Ordering::SeqCst), 2);
+        assert_eq!(rx.poll_recv(&mut cx), Poll::Ready(Err(RecvError)));
+    }
+
+    #[test]
+    fn reregistration_does_not_accumulate_wakers() {
+        use std::task::{Context, Poll};
+        let (tx, rx) = unbounded::<i32>();
+        let (counts, waker) = count_waker();
+        let mut cx = Context::from_waker(&waker);
+        // Many Pending polls from the same task (will_wake dedup)...
+        for _ in 0..100 {
+            assert_eq!(rx.poll_ready(&mut cx), Poll::Pending);
+        }
+        // ...must produce exactly one wake on delivery.
+        tx.send(1).unwrap();
+        assert_eq!(counts.0.load(std::sync::atomic::Ordering::SeqCst), 1);
+        assert_eq!(rx.poll_ready(&mut cx), Poll::Ready(()));
+        assert_eq!(rx.try_recv(), Ok(1));
+    }
+
+    #[test]
+    fn exhausted_budget_forces_yield_with_self_wake() {
+        use std::task::{Context, Poll};
+        let (tx, rx) = unbounded::<i32>();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let (counts, waker) = count_waker();
+        let mut cx = Context::from_waker(&waker);
+        set_poll_budget(1);
+        assert_eq!(rx.poll_recv(&mut cx), Poll::Ready(Ok(1)));
+        // Budget spent: a queued message still reports Pending, with
+        // an immediate self-wake so the task is rescheduled.
+        assert_eq!(rx.poll_recv(&mut cx), Poll::Pending);
+        assert_eq!(counts.0.load(std::sync::atomic::Ordering::SeqCst), 1);
+        set_poll_budget(u32::MAX);
+        assert_eq!(rx.poll_recv(&mut cx), Poll::Ready(Ok(2)));
     }
 
     #[test]
