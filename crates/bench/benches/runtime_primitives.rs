@@ -293,6 +293,82 @@ fn bench_record_hop(c: &mut Criterion) {
     g.finish();
 }
 
+/// RT_throughput — records/sec with the network kept alive across
+/// iterations (construction excluded): the PR 3 headline. `chain4`
+/// pipelines N records through a 4-box chain; `det_fan` pushes them
+/// through a deterministic 4-lane split (sort broadcast per record,
+/// round-ordered merge). Per executor, since this is the number that
+/// decides when the pool becomes the default.
+fn bench_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("RT_throughput");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.throughput(Throughput::Elements(N_RECORDS));
+    g.sample_size(10);
+    for (name, exec) in exec_variants() {
+        let net = id_net_on("id .. id .. id .. id", Arc::clone(&exec));
+        g.bench_with_input(BenchmarkId::new("chain4", name), &(), |b, _| {
+            b.iter(|| {
+                for i in 0..N_RECORDS as i64 {
+                    net.send(Record::build().field("x", i).finish()).unwrap();
+                }
+                for _ in 0..N_RECORDS {
+                    net.recv().expect("chain echoes every record");
+                }
+            })
+        });
+        let _ = net.finish();
+
+        let net = id_net_on("id ! <k>", Arc::clone(&exec));
+        g.bench_with_input(BenchmarkId::new("det_fan", name), &(), |b, _| {
+            b.iter(|| {
+                for i in 0..N_RECORDS as i64 {
+                    let mut r = Record::build().field("x", i).finish();
+                    r.set_tag("k", i % 4);
+                    net.send(r).unwrap();
+                }
+                for _ in 0..N_RECORDS {
+                    net.recv().expect("det split echoes every record");
+                }
+            })
+        });
+        let _ = net.finish();
+    }
+    g.finish();
+}
+
+/// RT_stream_send — the raw cost of one stream message, native
+/// lock-free queue vs the vendored mutex+condvar channel it replaced
+/// (send + try_recv pairs, consumer never parks — the steady-state
+/// shape wakeup coalescing produces).
+fn bench_stream_send(c: &mut Criterion) {
+    let mut g = c.benchmark_group("RT_stream_send");
+    g.measurement_time(std::time::Duration::from_secs(1));
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("native", |b| {
+        let (tx, rx) = snet_runtime::stream::stream();
+        let msg = snet_runtime::stream::Msg::Rec(Record::build().field("x", 1i64).finish());
+        b.iter(|| {
+            tx.send(msg.clone()).unwrap();
+            rx.try_recv().unwrap()
+        });
+    });
+
+    g.bench_function("vendored_mutex", |b| {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let msg = snet_runtime::stream::Msg::Rec(Record::build().field("x", 1i64).finish());
+        b.iter(|| {
+            tx.send(msg.clone()).unwrap();
+            rx.try_recv().unwrap()
+        });
+    });
+
+    g.finish();
+}
+
 fn bench_net_construction(c: &mut Criterion) {
     // Parse + infer + compile + spawn + teardown (no records) — the
     // fixed cost of bringing a network up. This is where the executor
@@ -325,7 +401,9 @@ criterion_group!(
     benches,
     bench_metrics_inc,
     bench_dispatch_route,
+    bench_stream_send,
     bench_record_hop,
+    bench_throughput,
     bench_box_chain,
     bench_filter,
     bench_parallel_dispatch,

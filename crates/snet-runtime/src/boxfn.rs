@@ -20,7 +20,7 @@
 use crate::ctx::Ctx;
 use crate::metrics::keys;
 use crate::path::CompPath;
-use crate::stream::{stream, Dir, Msg, Receiver, Sender};
+use crate::stream::{for_each_msg, stream, Dir, Msg, Receiver, Sender};
 use snet_types::{BoxSig, Record};
 use std::sync::Arc;
 
@@ -117,38 +117,40 @@ pub fn spawn_box(
     let ctx2 = Arc::clone(ctx);
     ctx.spawn(path.as_str(), async move {
         let input_type = sig.input_type();
-        while let Ok(msg) = input.recv_async().await {
-            match msg {
-                Msg::Rec(rec) => {
-                    if ctx2.has_observers() {
-                        ctx2.observe(path, Dir::In, &rec);
-                    }
-                    records_in.inc(1);
-                    let (matched, excess) = rec.split_for(&input_type).unwrap_or_else(|| {
-                        panic!(
-                            "record {rec:?} does not match input type {input_type} of box \
-                             '{path}' — routing invariant violated"
-                        )
-                    });
-                    let mut em = Emitter {
-                        out: &tx,
-                        excess: &excess,
-                        sig: &sig,
-                        path,
-                        ctx: &ctx2,
-                        emitted: 0,
-                    };
-                    imp(&matched, &mut em);
-                    records_out.inc(em.emitted);
+        // Batched delivery via for_each_msg (see crate::stream): one
+        // wake drains a whole batch instead of paying a waker
+        // round-trip per record; messages arrive in stream order.
+        for_each_msg(input, |msg| match msg {
+            Msg::Rec(rec) => {
+                if ctx2.has_observers() {
+                    ctx2.observe(path, Dir::In, &rec);
                 }
-                // Sort records pass through unchanged, behind any data
-                // already emitted for earlier records (guaranteed by
-                // the sequential receive loop).
-                sort @ Msg::Sort { .. } => {
-                    let _ = tx.send(sort);
-                }
+                records_in.inc(1);
+                let (matched, excess) = rec.split_for(&input_type).unwrap_or_else(|| {
+                    panic!(
+                        "record {rec:?} does not match input type {input_type} of box \
+                         '{path}' — routing invariant violated"
+                    )
+                });
+                let mut em = Emitter {
+                    out: &tx,
+                    excess: &excess,
+                    sig: &sig,
+                    path,
+                    ctx: &ctx2,
+                    emitted: 0,
+                };
+                imp(&matched, &mut em);
+                records_out.inc(em.emitted);
             }
-        }
+            // Sort records pass through unchanged, behind any data
+            // already emitted for earlier records (guaranteed by the
+            // in-order delivery).
+            sort @ Msg::Sort { .. } => {
+                let _ = tx.send(sort);
+            }
+        })
+        .await;
         // Input disconnected: dropping `tx` propagates end-of-stream.
     });
     rx

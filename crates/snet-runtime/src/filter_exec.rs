@@ -3,17 +3,28 @@
 //! boxes of the coordination layer — renaming, duplication, elimination
 //! and tag arithmetic — and run exactly like boxes, minus a
 //! computational payload.
+//!
+//! The pattern check (`rec.matches(&def.pattern)`) depends only on the
+//! record's *type* — the label set it carries — so it is memoized per
+//! type through [`TypeMemo`] (the ROADMAP follow-on to the route-cache
+//! generalisation): the first record of each type pays the subset
+//! test, every later one a hash and a bucket scan. The memo's
+//! element-wise key verification means a hash collision degrades to a
+//! comparison, never a wrong admission, and a field and a tag of the
+//! same name (which share an interner id) stay distinct types.
 
 use crate::ctx::Ctx;
+use crate::memo::TypeMemo;
 use crate::metrics::keys;
 use crate::path::CompPath;
-use crate::stream::{stream, Dir, Msg, Receiver};
+use crate::stream::{for_each_msg, stream, Dir, Msg, Receiver};
 use snet_lang::FilterDef;
 use std::sync::Arc;
 
 /// Spawns a filter component applying `def` to every incoming record.
 /// Path interning and counter registration happen here, once; the
-/// record loop is allocation-free on the bookkeeping side.
+/// record loop is allocation-free on the bookkeeping side and
+/// memoizes the pattern check per record type.
 pub fn spawn_filter(
     ctx: &Arc<Ctx>,
     path: impl Into<CompPath>,
@@ -27,36 +38,38 @@ pub fn spawn_filter(
     let records_out = ctx.metrics.handle_at(path, keys::RECORDS_OUT);
     let ctx2 = Arc::clone(ctx);
     ctx.spawn(path.as_str(), async move {
-        while let Ok(msg) = input.recv_async().await {
-            match msg {
-                Msg::Rec(rec) => {
-                    if ctx2.has_observers() {
-                        ctx2.observe(path, Dir::In, &rec);
-                    }
-                    records_in.inc(1);
-                    if !rec.matches(&def.pattern) {
-                        panic!(
-                            "record {rec:?} does not match filter pattern {} at '{path}' — \
-                             routing invariant violated",
-                            def.pattern
-                        );
-                    }
-                    let outs = def.apply(&rec).unwrap_or_else(|e| {
-                        panic!("tag expression failed in filter at '{path}': {e}")
-                    });
-                    records_out.inc(outs.len() as u64);
-                    for out in outs {
-                        if ctx2.has_observers() {
-                            ctx2.observe(path, Dir::Out, &out);
-                        }
-                        let _ = tx.send(Msg::Rec(out));
-                    }
+        let mut pattern_memo: TypeMemo<bool> = TypeMemo::new();
+        for_each_msg(input, |msg| match msg {
+            Msg::Rec(rec) => {
+                if ctx2.has_observers() {
+                    ctx2.observe(path, Dir::In, &rec);
                 }
-                sort @ Msg::Sort { .. } => {
-                    let _ = tx.send(sort);
+                records_in.inc(1);
+                let matched =
+                    pattern_memo.get_or_insert_with(&rec, |rt| rt.is_subtype_of(&def.pattern));
+                if !matched {
+                    panic!(
+                        "record {rec:?} does not match filter pattern {} at '{path}' — \
+                         routing invariant violated",
+                        def.pattern
+                    );
+                }
+                let outs = def
+                    .apply(&rec)
+                    .unwrap_or_else(|e| panic!("tag expression failed in filter at '{path}': {e}"));
+                records_out.inc(outs.len() as u64);
+                for out in outs {
+                    if ctx2.has_observers() {
+                        ctx2.observe(path, Dir::Out, &out);
+                    }
+                    let _ = tx.send(Msg::Rec(out));
                 }
             }
-        }
+            sort @ Msg::Sort { .. } => {
+                let _ = tx.send(sort);
+            }
+        })
+        .await;
     });
     rx
 }
@@ -152,5 +165,61 @@ mod tests {
         drop(tx);
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ctx.join_all()));
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn memoized_pattern_check_stays_correct_across_repeats() {
+        // The memo-hit path: many records of the same two types — only
+        // the first of each pays the subset test; all must be admitted
+        // (and transformed) identically.
+        let ctx = test_ctx();
+        let def = parse_filter("[{a} -> {a, <seen>=1}]").unwrap();
+        let (tx, input) = stream();
+        let out = spawn_filter(&ctx, "net", def, input);
+        for i in 0..50i64 {
+            // Alternate two distinct admitted types: {a} and {a,b}.
+            let mut b = Record::build().field("a", i);
+            if i % 2 == 1 {
+                b = b.field("b", i);
+            }
+            tx.send(Msg::Rec(b.finish())).unwrap();
+        }
+        drop(tx);
+        let mut got = Vec::new();
+        while let Ok(Msg::Rec(r)) = out.recv() {
+            got.push(r);
+        }
+        ctx.join_all();
+        assert_eq!(got.len(), 50);
+        for (i, r) in got.iter().enumerate() {
+            assert_eq!(r.field("a").unwrap().as_int(), Some(i as i64));
+            assert_eq!(r.tag("seen"), Some(1));
+            // Flow inheritance must survive the memoized check.
+            assert_eq!(r.field("b").is_some(), i % 2 == 1);
+        }
+        assert_eq!(ctx.metrics.get("net/filter/records_in"), 50);
+    }
+
+    #[test]
+    fn memo_guard_distinguishes_field_from_tag_of_same_name() {
+        // Field `k` and tag `<k>` share an interner id — the memo key
+        // collision case its element-wise guard exists for. Admitting
+        // field-`k` records first must not leak an acceptance onto the
+        // tag-`k` type: the tag record still panics the component.
+        let ctx = test_ctx();
+        let def = parse_filter("[{k} -> {k}]").unwrap();
+        let (tx, input) = stream();
+        let _out = spawn_filter(&ctx, "net", def, input);
+        // Warm the memo with the admitted field type...
+        for i in 0..10i64 {
+            tx.send(Msg::Rec(Record::build().field("k", i).finish()))
+                .unwrap();
+        }
+        // ...then hit it with the colliding tag type.
+        tx.send(Msg::Rec(Record::build().tag("k", 1).finish()))
+            .unwrap();
+        drop(tx);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ctx.join_all()));
+        assert!(r.is_err(), "tag-k record must not ride the field-k memo");
     }
 }

@@ -32,7 +32,8 @@
 
 use crate::ctx::Ctx;
 use crate::path::CompPath;
-use crate::stream::{Msg, ReadySource, Receiver, SelectReady, Sender};
+use crate::stream::chan::{self, TryRecvError};
+use crate::stream::{yield_now, Msg, ReadySource, Receiver, SelectReady, Sender, RECV_BATCH};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -91,7 +92,7 @@ pub fn spawn_merge(
     path: impl Into<CompPath>,
     mode: MergeMode,
     initial: Vec<BranchSpec>,
-    control: crossbeam::channel::Receiver<BranchSpec>,
+    control: chan::Receiver<BranchSpec>,
     out: Sender,
 ) {
     let path = path.into().child("merge");
@@ -107,11 +108,7 @@ pub fn spawn_merge(
 // Non-deterministic merge
 // ---------------------------------------------------------------------------
 
-async fn run_nondet(
-    initial: Vec<BranchSpec>,
-    control: crossbeam::channel::Receiver<BranchSpec>,
-    out: Sender,
-) {
+async fn run_nondet(initial: Vec<BranchSpec>, control: chan::Receiver<BranchSpec>, out: Sender) {
     let mut branches: Vec<Branch> = initial
         .into_iter()
         .map(|s| Branch {
@@ -143,8 +140,8 @@ async fn run_nondet(
                     blocked: None,
                     done: false,
                 }),
-                Err(crossbeam::channel::TryRecvError::Empty) => break,
-                Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
                     control_open = false;
                 }
             }
@@ -199,29 +196,46 @@ async fn run_nondet(
                     blocked: None,
                     done: false,
                 }),
-                Err(crossbeam::channel::TryRecvError::Disconnected) => control_open = false,
+                Err(TryRecvError::Disconnected) => control_open = false,
                 // Readiness raced with the top-of-loop joiner fold;
                 // nothing to consume this round.
-                Err(crossbeam::channel::TryRecvError::Empty) => {}
+                Err(TryRecvError::Empty) => {}
             }
             continue;
         }
-        // Map the select index back to the branch.
+        // Map the select index back to the branch, then drain a
+        // bounded burst from it: one select round-trip amortises over
+        // up to RECV_BATCH queued messages (batched delivery) while
+        // per-branch FIFO keeps the output order the same as a
+        // one-message loop. The burst ends at a sort (the branch
+        // parks), at EOS, on empty, or at the batch bound — with a
+        // cooperative yield there so a deep backlog cannot monopolise
+        // a pool worker.
         let bi = sel_branches[chosen - usize::from(control_open)];
-        match branches[bi].rx.try_recv() {
-            Ok(Msg::Rec(rec)) => {
-                let _ = out.send(Msg::Rec(rec));
+        let mut burst = 0;
+        loop {
+            match branches[bi].rx.try_recv() {
+                Ok(Msg::Rec(rec)) => {
+                    let _ = out.send(Msg::Rec(rec));
+                    burst += 1;
+                    if burst >= RECV_BATCH {
+                        yield_now().await;
+                        break;
+                    }
+                }
+                Ok(Msg::Sort { level, counter }) => {
+                    // Park the branch until the barrier resolves.
+                    branches[bi].blocked = Some((level, counter));
+                    break;
+                }
+                Err(TryRecvError::Disconnected) => {
+                    branches[bi].done = true;
+                    break;
+                }
+                // Empty after the first message is just the burst
+                // running dry; empty on the first is a spurious wake.
+                Err(TryRecvError::Empty) => break,
             }
-            Ok(Msg::Sort { level, counter }) => {
-                // Park the branch until the barrier resolves.
-                branches[bi].blocked = Some((level, counter));
-            }
-            Err(crossbeam::channel::TryRecvError::Disconnected) => {
-                branches[bi].done = true;
-            }
-            // Streams are single-consumer, so ready-then-empty cannot
-            // happen; tolerate it as a spurious wake anyway.
-            Err(crossbeam::channel::TryRecvError::Empty) => {}
         }
     }
 }
@@ -272,7 +286,7 @@ fn resolve_barriers(branches: &mut [Branch], forwarded: &mut HashMap<u32, u64>, 
 async fn run_det(
     level: u32,
     initial: Vec<BranchSpec>,
-    control: crossbeam::channel::Receiver<BranchSpec>,
+    control: chan::Receiver<BranchSpec>,
     out: Sender,
 ) {
     let mut branches: Vec<Branch> = initial
@@ -328,8 +342,8 @@ async fn run_det(
                             blocked: None,
                             done: false,
                         }),
-                        Err(crossbeam::channel::TryRecvError::Empty) => break,
-                        Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                        Err(TryRecvError::Empty) => break,
+                        Err(TryRecvError::Disconnected) => {
                             control_open = false;
                             break;
                         }
@@ -345,6 +359,13 @@ async fn run_det(
 /// `round`. Data records are forwarded; outer sorts are forwarded once
 /// (first encounter wins — every branch carries them in identical
 /// positions).
+///
+/// Queued messages are taken greedily through `try_recv` (no future
+/// per message), falling back to an await only when the branch runs
+/// dry mid-round; a cooperative yield every [`RECV_BATCH`] messages
+/// keeps a deep round from monopolising a pool worker. The message
+/// *order* consumed is identical to a plain `recv_async` loop, so the
+/// round protocol is unchanged.
 async fn drain_branch_round(
     level: u32,
     round: u64,
@@ -355,8 +376,19 @@ async fn drain_branch_round(
     if b.done || b.exempt(level, round) {
         return;
     }
+    let mut since_yield = 0;
     loop {
-        match b.rx.recv_async().await {
+        let msg = match b.rx.try_recv() {
+            Ok(m) => Ok(m),
+            Err(TryRecvError::Empty) => b.rx.recv_async().await,
+            Err(TryRecvError::Disconnected) => Err(chan::RecvError),
+        };
+        since_yield += 1;
+        if since_yield >= RECV_BATCH {
+            yield_now().await;
+            since_yield = 0;
+        }
+        match msg {
             Ok(Msg::Rec(rec)) => {
                 let _ = out.send(Msg::Rec(rec));
             }
@@ -414,8 +446,8 @@ mod tests {
         Ctx::new(Metrics::new(), Vec::new())
     }
 
-    fn closed_control() -> crossbeam::channel::Receiver<BranchSpec> {
-        let (tx, rx) = crossbeam::channel::unbounded();
+    fn closed_control() -> chan::Receiver<BranchSpec> {
+        let (tx, rx) = chan::channel();
         drop(tx);
         rx
     }
@@ -681,7 +713,7 @@ mod tests {
     fn dynamic_branch_join_nondet() {
         let ctx = test_ctx();
         let (ta, ra) = stream();
-        let (ctl_tx, ctl_rx) = crossbeam::channel::unbounded::<BranchSpec>();
+        let (ctl_tx, ctl_rx) = chan::channel::<BranchSpec>();
         let (out_tx, out_rx) = stream();
         spawn_merge(
             &ctx,
@@ -709,7 +741,7 @@ mod tests {
     fn dynamic_branch_with_watermark_is_exempt_from_old_sorts() {
         let ctx = test_ctx();
         let (ta, ra) = stream();
-        let (ctl_tx, ctl_rx) = crossbeam::channel::unbounded::<BranchSpec>();
+        let (ctl_tx, ctl_rx) = chan::channel::<BranchSpec>();
         let (out_tx, out_rx) = stream();
         spawn_merge(
             &ctx,

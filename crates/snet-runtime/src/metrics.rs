@@ -235,6 +235,11 @@ pub mod keys {
     pub const BRANCHES: &str = "branches";
     /// Records that left through a star's exit tap.
     pub const EXITS: &str = "exits";
+    /// Gauge (full key, not a suffix): high-water mark of the
+    /// process-wide component-path interner, sampled at network spawn
+    /// and finish. Distinct paths are leaked by design (see
+    /// `crate::path`); this makes the growth observable.
+    pub const INTERNER_PATHS: &str = "runtime/interner_paths";
 }
 
 #[cfg(test)]

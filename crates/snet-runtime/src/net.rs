@@ -24,7 +24,7 @@
 use crate::ctx::Ctx;
 use crate::instantiate::instantiate;
 use crate::memo::TypeMemo;
-use crate::metrics::Metrics;
+use crate::metrics::{keys, Metrics};
 use crate::path::CompPath;
 use crate::plan::{compile, Bindings, CompileError, Plan};
 use crate::sched::Executor;
@@ -195,6 +195,14 @@ impl Net {
         let ctx = Ctx::with_executor(metrics, observers, executor);
         let (tx, rx) = stream();
         let output = instantiate(&ctx, &plan.root, CompPath::root("net"), rx);
+        // Gauge, not counter: the high-water mark of the process-wide
+        // path interner, re-sampled at finish() after dynamic
+        // unfolding. Makes the known unbounded-tag-domain interner
+        // growth observable in production (ROADMAP; reclamation is a
+        // follow-on).
+        ctx.metrics
+            .handle(keys::INTERNER_PATHS)
+            .max(crate::path::interned_paths() as u64);
         Net {
             input: Some(tx),
             output,
@@ -279,6 +287,12 @@ impl Net {
             out.push(r);
         }
         self.ctx.join_all();
+        // Re-sample the interner gauge: dynamic unfolding (replicas,
+        // star stages) interns paths while the network runs.
+        self.ctx
+            .metrics
+            .handle(keys::INTERNER_PATHS)
+            .max(crate::path::interned_paths() as u64);
         out
     }
 
@@ -446,6 +460,46 @@ mod tests {
         let _ = net.finish();
         assert_eq!(metrics.sum_matching("box:inc/records_in"), 3);
         assert_eq!(metrics.sum_matching("box:inc/spawned"), 3);
+    }
+
+    #[test]
+    fn interner_paths_gauge_tracks_dynamic_unfolding() {
+        // The gauge exists at spawn and grows (never shrinks) across
+        // finish(): a split on fresh tag values interns new branch
+        // paths while the net runs, and the finish-time re-sample
+        // must observe them.
+        let net = NetBuilder::from_source(
+            "box id (x, <gaugek>) -> (x, <gaugek>);\n\
+             net main = id !! <gaugek>;",
+        )
+        .unwrap()
+        .bind("id", |r, e| e.emit(r.clone()))
+        .build("main")
+        .unwrap();
+        let at_spawn = net.metrics().get(crate::metrics::keys::INTERNER_PATHS);
+        assert!(at_spawn > 0, "gauge must be sampled at spawn");
+        // Tag values no other test uses, so the branch paths (which
+        // embed the value) are guaranteed fresh in the process-wide
+        // interner even with tests running concurrently.
+        for k in 0..32i64 {
+            net.send(
+                Record::build()
+                    .field("x", k)
+                    .tag("gaugek", 77_000_000 + k)
+                    .finish(),
+            )
+            .unwrap();
+        }
+        let metrics = Arc::clone(net.metrics());
+        let _ = net.finish();
+        let at_finish = metrics.get(crate::metrics::keys::INTERNER_PATHS);
+        assert!(
+            at_finish >= at_spawn + 32,
+            "32 fresh branch paths must be visible in the gauge \
+             (spawn {at_spawn}, finish {at_finish})"
+        );
+        // Other tests may intern concurrently; the gauge can only lag.
+        assert!(at_finish <= crate::path::interned_paths() as u64);
     }
 
     #[test]

@@ -28,7 +28,7 @@ use crate::merge::{spawn_merge, BranchSpec, MergeMode};
 use crate::metrics::keys;
 use crate::path::CompPath;
 use crate::plan::PNode;
-use crate::stream::{stream, Dir, Msg, Receiver};
+use crate::stream::{chan, for_each_msg, stream, Dir, Msg, Receiver};
 use snet_types::{NetSig, Record};
 use std::sync::Arc;
 
@@ -148,7 +148,7 @@ pub fn spawn_parallel(
 
     // Static two-branch merge: the control channel is closed
     // immediately.
-    let (ctl_tx, ctl_rx) = crossbeam::channel::unbounded::<BranchSpec>();
+    let (ctl_tx, ctl_rx) = chan::channel::<BranchSpec>();
     drop(ctl_tx);
     let (out_tx, out_rx) = stream();
     let mode = if det {
@@ -176,43 +176,42 @@ pub fn spawn_parallel(
     let routed_right = ctx.metrics.handle_at(dpath, "routed_right");
     ctx.spawn(format!("{dpath}/dispatch"), async move {
         let mut counter: u64 = 0;
-        while let Ok(msg) = input.recv_async().await {
-            match msg {
-                Msg::Rec(rec) => {
-                    if ctx2.has_observers() {
-                        ctx2.observe(dpath, Dir::In, &rec);
-                    }
-                    records_in.inc(1);
-                    let go_left = routes.decide(&rec).unwrap_or_else(|| {
-                        let (lsig, rsig) = routes.sigs();
-                        panic!(
-                            "record {rec:?} matches neither branch of parallel composition \
-                             at '{dpath}' (left {}, right {})",
-                            lsig.input_type(),
-                            rsig.input_type()
-                        )
-                    });
-                    let target = if go_left { &ltx } else { &rtx };
-                    if go_left {
-                        routed_left.inc(1);
-                    } else {
-                        routed_right.inc(1);
-                    }
-                    let _ = target.send(Msg::Rec(rec));
-                    if det {
-                        let sort = Msg::Sort { level, counter };
-                        let _ = ltx.send(sort.clone());
-                        let _ = rtx.send(sort);
-                        counter += 1;
-                    }
+        for_each_msg(input, |msg| match msg {
+            Msg::Rec(rec) => {
+                if ctx2.has_observers() {
+                    ctx2.observe(dpath, Dir::In, &rec);
                 }
-                sort @ Msg::Sort { .. } => {
-                    // Outer sorts are broadcast to both branches.
+                records_in.inc(1);
+                let go_left = routes.decide(&rec).unwrap_or_else(|| {
+                    let (lsig, rsig) = routes.sigs();
+                    panic!(
+                        "record {rec:?} matches neither branch of parallel composition \
+                         at '{dpath}' (left {}, right {})",
+                        lsig.input_type(),
+                        rsig.input_type()
+                    )
+                });
+                let target = if go_left { &ltx } else { &rtx };
+                if go_left {
+                    routed_left.inc(1);
+                } else {
+                    routed_right.inc(1);
+                }
+                let _ = target.send(Msg::Rec(rec));
+                if det {
+                    let sort = Msg::Sort { level, counter };
                     let _ = ltx.send(sort.clone());
                     let _ = rtx.send(sort);
+                    counter += 1;
                 }
             }
-        }
+            sort @ Msg::Sort { .. } => {
+                // Outer sorts are broadcast to both branches.
+                let _ = ltx.send(sort.clone());
+                let _ = rtx.send(sort);
+            }
+        })
+        .await;
         // EOS: dropping both senders propagates.
     });
 

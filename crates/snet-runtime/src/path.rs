@@ -39,10 +39,23 @@ pub struct CompPath {
     text: &'static str,
 }
 
-fn intern(text: &str) -> CompPath {
+fn interner() -> &'static StringInterner {
     static INTERNER: OnceLock<StringInterner> = OnceLock::new();
-    let (id, text) = INTERNER.get_or_init(StringInterner::new).intern(text);
+    INTERNER.get_or_init(StringInterner::new)
+}
+
+fn intern(text: &str) -> CompPath {
+    let (id, text) = interner().intern(text);
     CompPath { id, text }
+}
+
+/// Number of distinct component paths interned so far, process-wide.
+/// This is the observable for the known unbounded-tag-domain growth
+/// mode (see module docs): every network records it as the
+/// `runtime/interner_paths` gauge, so a service splitting on an
+/// unbounded tag sees the leak in its metrics long before it matters.
+pub fn interned_paths() -> usize {
+    interner().len()
 }
 
 impl CompPath {

@@ -1,0 +1,347 @@
+//! Chase–Lev work-stealing deque.
+//!
+//! The lock-free run queue behind [`super::WorkStealingPool`]: each
+//! worker owns one deque and treats it as a LIFO stack (`push`/`pop`
+//! at the *bottom* — freshly woken tasks are cache-hot), while idle
+//! siblings `steal` from the *top*, the oldest entry. Owner operations
+//! are plain loads/stores plus one `SeqCst` fence on `pop`; stealers
+//! synchronise through a single CAS on `top`. This replaces the
+//! `Mutex<VecDeque>` locals that made every task transition serialise
+//! on a lock (the ROADMAP blocker for making the pool the default
+//! executor).
+//!
+//! The algorithm is the classic Chase & Lev (SPAA 2005) growable
+//! circular deque, with the memory orderings of Lê, Pop, Cohen &
+//! Zappa Nardelli, *Correct and Efficient Work-Stealing for Weak
+//! Memory Models* (PPoPP 2013):
+//!
+//! * `push` publishes the slot with a `Release` store of `bottom`;
+//! * `pop` reserves the bottom entry with a `SeqCst` fence between the
+//!   `bottom` store and the `top` load, and races stealers with a
+//!   `SeqCst` CAS only when taking the *last* entry;
+//! * `steal` reads `top` then (after a `SeqCst` fence) `bottom`, and
+//!   claims the entry by CAS on `top`; a failed CAS means another
+//!   thread took it — the caller may retry.
+//!
+//! Entries are `Arc<T>`s stored as raw pointer words, because stealers
+//! read a slot *speculatively* before their claiming CAS: a failed
+//! claim must leave no trace, so the read has to be a plain bit copy,
+//! and the `Arc` is only materialised after winning the CAS.
+//!
+//! Reclamation: growth copies the live window into a buffer twice the
+//! size, but the *old* buffer may still be read by in-flight stealers
+//! that loaded its pointer before the swap. Old buffers are therefore
+//! retired, not freed — kept on an owner-side list until the deque
+//! drops. Doubling bounds the retired memory by the size of the
+//! current buffer, the standard Chase–Lev trade.
+
+use parking_lot::Mutex;
+use std::marker::PhantomData;
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Result of a steal attempt.
+pub enum Steal<T> {
+    /// The deque was observed empty.
+    Empty,
+    /// Lost the claiming race; the caller may retry.
+    Retry,
+    /// Claimed the oldest entry.
+    Success(T),
+}
+
+/// Growable circular buffer of raw `Arc` words. Indices are absolute
+/// (monotonically increasing); the mask wraps them into the ring.
+struct Buffer {
+    cap: usize,
+    slots: Box<[AtomicUsize]>,
+}
+
+impl Buffer {
+    fn alloc(cap: usize) -> *mut Buffer {
+        debug_assert!(cap.is_power_of_two());
+        Box::into_raw(Box::new(Buffer {
+            cap,
+            slots: (0..cap).map(|_| AtomicUsize::new(0)).collect(),
+        }))
+    }
+
+    fn get(&self, i: isize) -> usize {
+        self.slots[i as usize & (self.cap - 1)].load(Ordering::Relaxed)
+    }
+
+    fn put(&self, i: isize, v: usize) {
+        self.slots[i as usize & (self.cap - 1)].store(v, Ordering::Relaxed);
+    }
+}
+
+/// A work-stealing deque of `Arc<T>`s. `push`/`pop` are owner-only
+/// (`unsafe` to flag the contract); `steal` and `is_empty` are free
+/// for all threads.
+pub struct Deque<T> {
+    top: AtomicIsize,
+    bottom: AtomicIsize,
+    buf: AtomicPtr<Buffer>,
+    /// Buffers outgrown but possibly still referenced by in-flight
+    /// stealers; freed on drop. Pushed only by the owner, on growth.
+    retired: Mutex<Vec<*mut Buffer>>,
+    _marker: PhantomData<Arc<T>>,
+}
+
+// SAFETY: entries are `Arc<T>` words; all cross-thread transfer is
+// mediated by the top/bottom protocol above.
+unsafe impl<T: Send + Sync> Send for Deque<T> {}
+unsafe impl<T: Send + Sync> Sync for Deque<T> {}
+
+impl<T> Deque<T> {
+    pub fn new() -> Deque<T> {
+        Deque {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            buf: AtomicPtr::new(Buffer::alloc(64)),
+            retired: Mutex::new(Vec::new()),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Pushes to the bottom.
+    ///
+    /// # Safety
+    /// Owner-only: must never run concurrently with another `push`,
+    /// `pop`, or `drain` on this deque.
+    pub unsafe fn push(&self, v: Arc<T>) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        let mut a = self.buf.load(Ordering::Relaxed);
+        if b - t >= (*a).cap as isize {
+            a = self.grow(b, t, a);
+        }
+        (*a).put(b, Arc::into_raw(v) as usize);
+        self.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Pops from the bottom (LIFO).
+    ///
+    /// # Safety
+    /// Owner-only: see [`Deque::push`].
+    pub unsafe fn pop(&self) -> Option<Arc<T>> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        let a = self.buf.load(Ordering::Relaxed);
+        self.bottom.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t <= b {
+            let raw = (*a).get(b);
+            if t == b {
+                // Last entry: race the stealers for it.
+                let won = self
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(b + 1, Ordering::Relaxed);
+                if !won {
+                    return None;
+                }
+            }
+            Some(Arc::from_raw(raw as *const T))
+        } else {
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Steals the oldest entry. Safe from any thread.
+    pub fn steal(&self) -> Steal<Arc<T>> {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t < b {
+            let a = self.buf.load(Ordering::Acquire);
+            // Speculative read; only materialised after the CAS wins.
+            let raw = unsafe { (*a).get(t) };
+            if self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_err()
+            {
+                return Steal::Retry;
+            }
+            Steal::Success(unsafe { Arc::from_raw(raw as *const T) })
+        } else {
+            Steal::Empty
+        }
+    }
+
+    /// Racy emptiness probe (exact only for quiescent deques); the
+    /// sleep protocol in [`super::pool`] brackets it with `SeqCst`
+    /// fences to make a miss impossible — see `worker_loop`.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Racy length probe (exact only for quiescent deques).
+    pub fn len(&self) -> usize {
+        let t = self.top.load(Ordering::Acquire);
+        let b = self.bottom.load(Ordering::Acquire);
+        (b - t).max(0) as usize
+    }
+
+    /// Drops every queued entry.
+    ///
+    /// # Safety
+    /// Owner-only, and no concurrent stealers — shutdown path, after
+    /// all workers have been joined.
+    pub unsafe fn drain(&self) {
+        while self.pop().is_some() {}
+    }
+
+    /// Moves to a buffer of twice the capacity. Owner-only.
+    unsafe fn grow(&self, b: isize, t: isize, old: *mut Buffer) -> *mut Buffer {
+        let new = Buffer::alloc((*old).cap * 2);
+        for i in t..b {
+            (*new).put(i, (*old).get(i));
+        }
+        self.buf.store(new, Ordering::Release);
+        // In-flight stealers may still read `old`; retire it.
+        self.retired.lock().push(old);
+        new
+    }
+}
+
+impl<T> Drop for Deque<T> {
+    fn drop(&mut self) {
+        // Exclusive access: release queued Arcs, then the buffers.
+        unsafe {
+            let t = self.top.load(Ordering::Relaxed);
+            let b = self.bottom.load(Ordering::Relaxed);
+            let a = self.buf.load(Ordering::Relaxed);
+            for i in t..b {
+                drop(Arc::from_raw((*a).get(i) as *const T));
+            }
+            drop(Box::from_raw(a));
+            for p in self.retired.get_mut().drain(..) {
+                drop(Box::from_raw(p));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn lifo_for_owner() {
+        let d: Deque<u64> = Deque::new();
+        unsafe {
+            for i in 0..10u64 {
+                d.push(Arc::new(i));
+            }
+            for i in (0..10u64).rev() {
+                assert_eq!(*d.pop().unwrap(), i);
+            }
+            assert!(d.pop().is_none());
+        }
+    }
+
+    #[test]
+    fn fifo_for_stealers_and_growth() {
+        let d: Deque<u64> = Deque::new();
+        unsafe {
+            // Push past the initial capacity to force growth.
+            for i in 0..300u64 {
+                d.push(Arc::new(i));
+            }
+        }
+        for i in 0..300u64 {
+            match d.steal() {
+                Steal::Success(v) => assert_eq!(*v, i),
+                _ => panic!("steal {i} failed"),
+            }
+        }
+        assert!(matches!(d.steal(), Steal::Empty));
+    }
+
+    #[test]
+    fn drop_releases_queued_entries() {
+        let probe = Arc::new(());
+        {
+            let d: Deque<()> = Deque::new();
+            unsafe {
+                for _ in 0..100 {
+                    d.push(Arc::clone(&probe));
+                }
+                // Grow at least once so retired buffers exist too.
+                for _ in 0..100 {
+                    d.push(Arc::clone(&probe));
+                }
+            }
+        }
+        assert_eq!(Arc::strong_count(&probe), 1);
+    }
+
+    #[test]
+    fn concurrent_stealers_claim_each_entry_once() {
+        use std::sync::atomic::AtomicBool;
+        const N: u64 = 20_000;
+        let d: Arc<Deque<u64>> = Arc::new(Deque::new());
+        let done = Arc::new(AtomicBool::new(false));
+        let mut all: Vec<u64> = Vec::new();
+        std::thread::scope(|s| {
+            let owner = {
+                let d = Arc::clone(&d);
+                let done = Arc::clone(&done);
+                s.spawn(move || {
+                    let mut kept = Vec::new();
+                    unsafe {
+                        for i in 0..N {
+                            d.push(Arc::new(i));
+                            if i % 3 == 0 {
+                                if let Some(v) = d.pop() {
+                                    kept.push(*v);
+                                }
+                            }
+                        }
+                    }
+                    done.store(true, Ordering::SeqCst);
+                    kept
+                })
+            };
+            let mut thieves = Vec::new();
+            for _ in 0..3 {
+                let d = Arc::clone(&d);
+                let done = Arc::clone(&done);
+                thieves.push(s.spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        match d.steal() {
+                            Steal::Success(v) => got.push(*v),
+                            Steal::Retry => std::hint::spin_loop(),
+                            Steal::Empty => {
+                                if done.load(Ordering::SeqCst) && d.is_empty() {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    got
+                }));
+            }
+            all.extend(owner.join().unwrap());
+            for t in thieves {
+                all.extend(t.join().unwrap());
+            }
+        });
+        // Races at shutdown may leave a tail in the deque; drain it.
+        unsafe {
+            while let Some(v) = d.pop() {
+                all.push(*v);
+            }
+        }
+        let set: HashSet<u64> = all.iter().copied().collect();
+        assert_eq!(all.len() as u64, N, "lost or duplicated entries");
+        assert_eq!(set.len() as u64, N);
+    }
+}

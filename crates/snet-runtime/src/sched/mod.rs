@@ -18,12 +18,13 @@
 //!   via a park/unpark `block_on`. A component awaiting an empty
 //!   stream parks its thread, exactly like the seed's blocking
 //!   `recv()`.
-//! * [`WorkStealingPool`] — N worker threads with one run-queue
-//!   (deque) each plus a shared injector; idle workers steal from the
-//!   back of their siblings' deques. A component awaiting an empty
-//!   stream returns `Pending` and *yields its worker* to the next
-//!   runnable component; the stream's send path wakes it back onto a
-//!   run queue. Thousands of components share `N ≈ num_cpus` threads.
+//! * [`WorkStealingPool`] — N worker threads with one lock-free
+//!   Chase–Lev deque each plus a shared injector; idle workers steal
+//!   the oldest entry from their siblings' deques. A component
+//!   awaiting an empty stream returns `Pending` and *yields its
+//!   worker* to the next runnable component; the stream's send path
+//!   wakes it back onto a run queue. Thousands of components share
+//!   `N ≈ num_cpus` threads.
 //!
 //! # Why cooperative parking cannot deadlock the runtime
 //!
@@ -33,10 +34,10 @@
 //! could produce. Two properties rule this out here:
 //!
 //! 1. **Waiting components hold no worker.** A component waits only by
-//!    awaiting a stream (`poll_recv`/`poll_ready`); `Pending` returns
-//!    the worker to the pool. There is no in-component blocking
-//!    primitive, so "all workers stuck waiting" cannot occur — a
-//!    waiting component *is not on a worker*.
+//!    awaiting a stream (`poll_recv`/`poll_ready`/`recv_batch`);
+//!    `Pending` returns the worker to the pool. There is no
+//!    in-component blocking primitive, so "all workers stuck waiting"
+//!    cannot occur — a waiting component *is not on a worker*.
 //! 2. **Streams are unbounded, so senders never wait.** The
 //!    deterministic merger drains branches in a fixed round order; a
 //!    branch that is not currently being drained can keep producing
@@ -53,11 +54,30 @@
 //! fully sequential scheduler, which the determinism tests exploit to
 //! force adversarial interleavings.
 //!
+//! ## …including under coalesced wakeups
+//!
+//! Since PR 3 the send path wakes a consumer only when it actually
+//! *parked* (see [`crate::stream::chan`]); a running consumer is never
+//! woken. The argument above leans on one invariant: **a task that
+//! returned `Pending` has a wake in flight or genuinely nothing to
+//! read**. That is exactly what the stream's post-registration
+//! re-check guarantees — a consumer re-examines the queue (and the
+//! end-of-stream condition) *after* publishing its waker, and a sender
+//! checks the park state *after* publishing its message, with the two
+//! edges ordered by SeqCst so no interleaving lets both miss each
+//! other. Coalescing therefore removes wakes only on edges where the
+//! consumer is demonstrably awake and will drain the message in its
+//! current batch; no wait edge is ever left without a pending wake,
+//! and the deadlock-freedom argument goes through unchanged.
+//!
 //! Fairness is budget-based, as in production async runtimes: a
 //! worker grants each task a fixed message budget per poll
-//! ([`crossbeam::channel::set_poll_budget`]); a component with an
-//! always-full input is forced to yield after spending it, so its
-//! siblings on the same worker always run.
+//! ([`crate::stream::set_poll_budget`]); a component with an
+//! always-full input is forced to yield after spending it — and a
+//! forced yield re-queues through the *global injector*, not the
+//! worker's own LIFO deque, so its siblings run first even with a
+//! single worker and no stealers (`SNET_WORKERS=1` starvation
+//! freedom; see [`pool`]).
 //!
 //! # Determinism
 //!
@@ -77,6 +97,7 @@
 //! `max(2, num_cpus)`) workers. `Ctx::with_executor` /
 //! `NetBuilder::executor` select per network.
 
+mod deque;
 mod pool;
 mod thread_per;
 
@@ -304,9 +325,9 @@ mod tests {
         // (on pool1 all three share the single worker).
         for (name, exec) in executors() {
             let tracker = Tracker::new();
-            let (tx0, rx0) = crossbeam::channel::unbounded::<u64>();
-            let (tx1, rx1) = crossbeam::channel::unbounded::<u64>();
-            let (tx2, rx2) = crossbeam::channel::unbounded::<u64>();
+            let (tx0, rx0) = crate::stream::chan::channel::<u64>();
+            let (tx1, rx1) = crate::stream::chan::channel::<u64>();
+            let (tx2, rx2) = crate::stream::chan::channel::<u64>();
             exec.spawn(
                 "stage0".into(),
                 Box::pin(async move {
@@ -354,7 +375,7 @@ mod tests {
         let tracker = Tracker::new();
         {
             let pool = WorkStealingPool::new(1);
-            let (tx, rx) = crossbeam::channel::unbounded::<u64>();
+            let (tx, rx) = crate::stream::chan::channel::<u64>();
             pool.spawn(
                 "parked".into(),
                 Box::pin(async move {

@@ -1,20 +1,36 @@
 //! Work-stealing component scheduler.
 //!
-//! N worker threads, one run-queue (deque) each, plus a shared
-//! injector for spawns arriving from outside the pool (the driver
-//! thread instantiating the initial network). Components spawned *by*
-//! pool tasks — the replicators' demand-driven unfolding — land on the
-//! spawning worker's own deque (locality: a freshly unfolded replica
-//! usually receives the record that caused it next). Idle workers
-//! steal from the back of their siblings' deques, then fall back to
-//! the injector, then sleep; every push wakes one sleeper.
+//! N worker threads, one lock-free [`Deque`] (Chase–Lev) each, plus a
+//! shared mutexed injector for spawns and wakes arriving from outside
+//! the pool (the driver thread instantiating the initial network, or
+//! sending records into it). Components spawned *by* pool tasks — the
+//! replicators' demand-driven unfolding — land on the spawning
+//! worker's own deque, as do wakes a worker delivers while running
+//! (locality: a freshly unfolded replica usually receives the record
+//! that caused it next). Idle workers steal from the *top* of their
+//! siblings' deques (the lock-free end), then fall back to the
+//! injector, then sleep; every push wakes one sleeper.
+//!
+//! Queue discipline: the owner end of a Chase–Lev deque is LIFO, so a
+//! worker runs its most recently woken task next (cache-hot), while
+//! stealers drain its oldest. The **forced-yield path is the
+//! exception**: a task rescheduled from within its own poll (budget
+//! exhausted, or woken while running) goes to the *injector*, not the
+//! local deque — re-pushing locally would pop the same task right
+//! back and starve its worker's siblings, which matters most for
+//! `SNET_WORKERS=1`, where there are no stealers to bail the worker
+//! out. With yields routed globally, a single worker round-robins
+//! every runnable task, which is what makes the one-worker pool a
+//! valid fully-sequential scheduler (see the starvation-freedom note
+//! in [`super`]).
 //!
 //! A task is a component future plus a wake state machine
 //! (`IDLE → SCHEDULED → RUNNING → {IDLE | NOTIFIED}`) that guarantees
 //! a task is queued at most once and a wake during its own poll
 //! reschedules it instead of getting lost. Stream sends wake the
-//! consuming task through its [`std::task::Waker`] (see the vendored
-//! channel's `poll_recv`), which pushes it back onto a run queue.
+//! consuming task through its [`std::task::Waker`] (see
+//! [`crate::stream::chan`]), which pushes it back onto a run queue —
+//! and with coalesced wakeups, only when the task actually parked.
 //!
 //! Panic isolation: a panicking component unwinds out of its poll; the
 //! worker catches the payload, drops the future (its channel endpoints
@@ -22,16 +38,17 @@
 //! would) and records the payload in the network's
 //! [`super::Tracker`]. The worker thread itself survives.
 
+use super::deque::{Deque, Steal};
 use super::{Completion, Executor, TaskFuture};
 use parking_lot::{Condvar, Mutex};
 use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 use std::task::{Context, Poll, Wake, Waker};
 
 /// Messages a task may consume per poll before it is forced to yield
-/// its worker (see `crossbeam::channel::set_poll_budget`).
+/// its worker (see [`crate::stream::set_poll_budget`]).
 const TASK_POLL_BUDGET: u32 = 128;
 
 // Task wake states.
@@ -94,13 +111,16 @@ struct SleepState {
 }
 
 struct Shared {
+    /// External spawns and wakes, plus forced-yield reschedules (see
+    /// module docs). The only mutexed queue left in the scheduler —
+    /// per ISSUE/ROADMAP the locals are lock-free Chase–Lev deques.
     injector: Mutex<VecDeque<Arc<Task>>>,
-    locals: Vec<Mutex<VecDeque<Arc<Task>>>>,
+    locals: Vec<Deque<Task>>,
     sleep: Mutex<SleepState>,
     cv: Condvar,
-    /// Mirror of `sleep.sleepers`, readable without the sleep lock:
-    /// the wake hot path (every record delivery ends here) must not
-    /// serialise on a mutex when all workers are busy. Incremented
+    /// Mirror of the sleeping-worker count, readable without the sleep
+    /// lock: the wake hot path (every record delivery ends here) must
+    /// not serialise on a mutex when all workers are busy. Incremented
     /// *before* a parking worker's final work re-check (see
     /// [`worker_loop`]) so a pusher that reads 0 is guaranteed the
     /// parker will see its push.
@@ -109,8 +129,8 @@ struct Shared {
 
 thread_local! {
     /// `(pool, worker index)` when the current thread is a pool
-    /// worker — routes same-pool spawns and self-reschedules to the
-    /// worker's own deque.
+    /// worker — routes same-pool spawns and wakes to the worker's own
+    /// deque.
     static CURRENT_WORKER: RefCell<Option<(Weak<Shared>, usize)>> = const { RefCell::new(None) };
 }
 
@@ -125,7 +145,9 @@ impl Shared {
             if let Some((pool, idx)) = c.borrow().as_ref() {
                 if let Some(pool) = pool.upgrade() {
                     if Arc::ptr_eq(&pool, self) {
-                        self.locals[*idx].lock().push_back(task.take().unwrap());
+                        // SAFETY: this thread is worker `idx` of this
+                        // pool — the deque's owner.
+                        unsafe { self.locals[*idx].push(task.take().unwrap()) };
                     }
                 }
             }
@@ -133,24 +155,38 @@ impl Shared {
         if let Some(t) = task {
             self.injector.lock().push_back(t);
         }
-        // Order the push before the sleeper read (the queue mutex
-        // release alone does not forbid the load moving up), then
-        // notify only when someone is actually asleep. The race is
-        // closed by the parker's protocol: it advertises itself in
-        // `sleepers` (SeqCst RMW) *before* re-checking the queues, so
-        // either this load sees the parker (notify path) or the
-        // parker's re-check sees the push (no sleep).
-        std::sync::atomic::fence(Ordering::SeqCst);
+        self.notify_one();
+    }
+
+    /// Queues a forced-yield reschedule on the global injector — never
+    /// the local deque, whose LIFO owner end would hand the same task
+    /// straight back (see module docs on queue discipline).
+    fn push_yield(self: &Arc<Self>, task: Arc<Task>) {
+        self.injector.lock().push_back(task);
+        self.notify_one();
+    }
+
+    /// Orders the preceding queue push before the sleeper read (the
+    /// deque's release store alone does not forbid the load moving
+    /// up), then notifies only when someone is actually asleep. The
+    /// race is closed by the parker's protocol: it advertises itself
+    /// in `sleepers` (SeqCst RMW) and fences *before* re-checking the
+    /// queues, so either this load sees the parker (notify path) or
+    /// the parker's re-check sees the push (no sleep).
+    fn notify_one(&self) {
+        fence(Ordering::SeqCst);
         if self.sleepers.load(Ordering::SeqCst) > 0 {
             let _st = self.sleep.lock();
             self.cv.notify_one();
         }
     }
 
-    /// Pops the next runnable task for worker `idx`: own deque front,
-    /// then the injector, then steal from the back of siblings.
+    /// Pops the next runnable task for worker `idx`: own deque bottom
+    /// (LIFO, cache-hot), then the injector, then steal the oldest
+    /// entry from a sibling.
     fn find_task(&self, idx: usize) -> Option<Arc<Task>> {
-        if let Some(t) = self.locals[idx].lock().pop_front() {
+        // SAFETY: this thread is worker `idx` — the deque's owner.
+        if let Some(t) = unsafe { self.locals[idx].pop() } {
             return Some(t);
         }
         if let Some(t) = self.injector.lock().pop_front() {
@@ -159,24 +195,24 @@ impl Shared {
         let n = self.locals.len();
         for off in 1..n {
             let j = (idx + off) % n;
-            if let Some(t) = self.locals[j].lock().pop_back() {
-                return Some(t);
+            loop {
+                match self.locals[j].steal() {
+                    Steal::Success(t) => return Some(t),
+                    Steal::Empty => break,
+                    // Lost a race with the owner or another thief;
+                    // someone made progress — retry this victim.
+                    Steal::Retry => std::hint::spin_loop(),
+                }
             }
         }
         None
     }
 
-    fn has_work(&self, idx: usize) -> bool {
+    fn has_work(&self) -> bool {
         if !self.injector.lock().is_empty() {
             return true;
         }
-        let n = self.locals.len();
-        for off in 0..n {
-            if !self.locals[(idx + off) % n].lock().is_empty() {
-                return true;
-            }
-        }
-        false
+        self.locals.iter().any(|d| !d.is_empty())
     }
 }
 
@@ -193,11 +229,13 @@ fn worker_loop(shared: Arc<Shared>, idx: usize) {
         }
         // Advertise the intent to sleep *before* the final work
         // re-check: a pusher that misses this increment pushed before
-        // it (SeqCst total order), so the re-check below sees that
-        // push; a pusher that sees it takes the sleep lock to notify,
-        // which cannot complete until `cv.wait` has released the lock.
+        // it (SeqCst total order), so the fenced re-check below sees
+        // that push; a pusher that sees it takes the sleep lock to
+        // notify, which cannot complete until `cv.wait` has released
+        // the lock.
         shared.sleepers.fetch_add(1, Ordering::SeqCst);
-        if shared.has_work(idx) {
+        fence(Ordering::SeqCst);
+        if shared.has_work() {
             shared.sleepers.fetch_sub(1, Ordering::SeqCst);
             continue;
         }
@@ -213,7 +251,7 @@ fn run_task(task: Arc<Task>) {
     task.state.store(RUNNING, Ordering::Release);
     let waker = Waker::from(Arc::clone(&task));
     let mut cx = Context::from_waker(&waker);
-    crossbeam::channel::set_poll_budget(TASK_POLL_BUDGET);
+    crate::stream::set_poll_budget(TASK_POLL_BUDGET);
     let poll = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let mut slot = task.slot.lock();
         match slot.fut.as_mut() {
@@ -221,7 +259,7 @@ fn run_task(task: Arc<Task>) {
             None => Poll::Ready(()),
         }
     }));
-    crossbeam::channel::set_poll_budget(u32::MAX);
+    crate::stream::set_poll_budget(u32::MAX);
     match poll {
         Ok(Poll::Pending) => {
             // Park, unless a wake arrived during the poll.
@@ -230,11 +268,12 @@ fn run_task(task: Arc<Task>) {
                 .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
                 .is_err()
             {
-                // NOTIFIED: reschedule immediately (at the back of the
-                // queue — this is also the forced-yield path).
+                // NOTIFIED: reschedule through the injector (this is
+                // also the forced-yield path — going local would run
+                // the same task again immediately).
                 task.state.store(SCHEDULED, Ordering::Release);
                 let shared = Arc::clone(&task.shared);
-                shared.push(task);
+                shared.push_yield(task);
             }
         }
         Ok(Poll::Ready(())) => finish(&task, Ok(())),
@@ -275,7 +314,7 @@ impl WorkStealingPool {
         assert!(workers >= 1, "a pool needs at least one worker");
         let shared = Arc::new(Shared {
             injector: Mutex::new(VecDeque::new()),
-            locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            locals: (0..workers).map(|_| Deque::new()).collect(),
             sleep: Mutex::new(SleepState { shutdown: false }),
             cv: Condvar::new(),
             sleepers: AtomicUsize::new(0),
@@ -298,6 +337,13 @@ impl WorkStealingPool {
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.shared.locals.len()
+    }
+
+    /// Tasks currently queued but not running (racy; test/diagnostic
+    /// aid — exact once the pool is quiescent).
+    pub fn queued_tasks(&self) -> usize {
+        let inj = self.shared.injector.lock().len();
+        inj + self.shared.locals.iter().map(|d| d.len()).sum::<usize>()
     }
 }
 
@@ -338,10 +384,12 @@ impl Drop for WorkStealingPool {
         // `Completion`s fire through the drop path so no
         // `wait_quiescent` hangs. (Networks should be `finish`ed
         // before their pool is dropped — a component parked on a
-        // still-open stream at this point is abandoned.)
+        // still-open stream at this point is abandoned.) Draining also
+        // breaks the `Task → Shared → locals → Task` refcount cycle.
         self.shared.injector.lock().clear();
-        for q in &self.shared.locals {
-            q.lock().clear();
+        for d in &self.shared.locals {
+            // SAFETY: all workers are joined; this is the only thread.
+            unsafe { d.drain() };
         }
     }
 }

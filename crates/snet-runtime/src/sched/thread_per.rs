@@ -85,7 +85,7 @@ mod tests {
     #[test]
     fn block_on_drives_channel_waits() {
         use std::sync::atomic::AtomicU32;
-        let (tx, rx) = crossbeam::channel::unbounded::<u32>();
+        let (tx, rx) = crate::stream::chan::channel::<u32>();
         let sum = Arc::new(AtomicU32::new(0));
         let sum2 = Arc::clone(&sum);
         let h = std::thread::spawn(move || {

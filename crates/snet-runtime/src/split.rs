@@ -20,7 +20,7 @@ use crate::merge::{spawn_merge, BranchSpec, MergeMode, Watermark};
 use crate::metrics::keys;
 use crate::path::CompPath;
 use crate::plan::PNode;
-use crate::stream::{stream, Dir, Msg, Receiver, Sender};
+use crate::stream::{chan, for_each_msg, stream, Dir, Msg, Receiver, Sender};
 use snet_types::Label;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -36,7 +36,7 @@ pub fn spawn_split(
     input: Receiver,
 ) -> Receiver {
     let comb = path.into().child(if det { "split" } else { "splitnd" });
-    let (ctl_tx, ctl_rx) = crossbeam::channel::unbounded::<BranchSpec>();
+    let (ctl_tx, ctl_rx) = chan::channel::<BranchSpec>();
     let (out_tx, out_rx) = stream();
     let mode = if det {
         MergeMode::Det { level }
@@ -72,65 +72,64 @@ pub fn spawn_split(
         // replicas created later (they will never see earlier sorts).
         let mut watermark = Watermark::new();
         let mut counter: u64 = 0;
-        while let Ok(msg) = input.recv_async().await {
-            match msg {
-                Msg::Rec(rec) => {
-                    if ctx2.has_observers() {
-                        ctx2.observe(dpath, Dir::In, &rec);
-                    }
-                    records_in.inc(1);
-                    let v = rec.tag_label(tag).unwrap_or_else(|| {
-                        panic!(
-                            "record {rec:?} reached parallel replicator at '{dpath}' without \
-                             routing tag {tag}"
-                        )
-                    });
-                    let branch_tx = branches.entry(v).or_insert_with(|| {
-                        // Demand-driven unfolding of a fresh replica.
-                        let (btx, brx) = stream();
-                        let replica_out =
-                            instantiate(&ctx2, &inner, dpath.child(&format!("branch{v}")), brx);
-                        branches_created.inc(1);
-                        // Register the tap before any subsequent sort
-                        // broadcast so the merger can account for it.
-                        let _ = ctl_tx.send(BranchSpec {
-                            rx: replica_out,
-                            watermark: watermark.clone(),
-                        });
-                        btx
-                    });
-                    let _ = branch_tx.send(Msg::Rec(rec));
-                    if det {
-                        let sort = Msg::Sort { level, counter };
-                        for tx in branches.values() {
-                            let _ = tx.send(sort.clone());
-                        }
-                        let _ = spine_tx.send(sort);
-                        watermark.insert(level, counter + 1);
-                        counter += 1;
-                    }
+        for_each_msg(input, |msg| match msg {
+            Msg::Rec(rec) => {
+                if ctx2.has_observers() {
+                    ctx2.observe(dpath, Dir::In, &rec);
                 }
-                Msg::Sort {
-                    level: l,
-                    counter: c,
-                } => {
-                    // Outer sorts: broadcast to every live replica (and
-                    // the spine) and remember for future replicas'
-                    // watermarks.
+                records_in.inc(1);
+                let v = rec.tag_label(tag).unwrap_or_else(|| {
+                    panic!(
+                        "record {rec:?} reached parallel replicator at '{dpath}' without \
+                         routing tag {tag}"
+                    )
+                });
+                let branch_tx = branches.entry(v).or_insert_with(|| {
+                    // Demand-driven unfolding of a fresh replica.
+                    let (btx, brx) = stream();
+                    let replica_out =
+                        instantiate(&ctx2, &inner, dpath.child(&format!("branch{v}")), brx);
+                    branches_created.inc(1);
+                    // Register the tap before any subsequent sort
+                    // broadcast so the merger can account for it.
+                    let _ = ctl_tx.send(BranchSpec {
+                        rx: replica_out,
+                        watermark: watermark.clone(),
+                    });
+                    btx
+                });
+                let _ = branch_tx.send(Msg::Rec(rec));
+                if det {
+                    let sort = Msg::Sort { level, counter };
                     for tx in branches.values() {
-                        let _ = tx.send(Msg::Sort {
-                            level: l,
-                            counter: c,
-                        });
+                        let _ = tx.send(sort.clone());
                     }
-                    let _ = spine_tx.send(Msg::Sort {
+                    let _ = spine_tx.send(sort);
+                    watermark.insert(level, counter + 1);
+                    counter += 1;
+                }
+            }
+            Msg::Sort {
+                level: l,
+                counter: c,
+            } => {
+                // Outer sorts: broadcast to every live replica (and
+                // the spine) and remember for future replicas'
+                // watermarks.
+                for tx in branches.values() {
+                    let _ = tx.send(Msg::Sort {
                         level: l,
                         counter: c,
                     });
-                    watermark.insert(l, c + 1);
                 }
+                let _ = spine_tx.send(Msg::Sort {
+                    level: l,
+                    counter: c,
+                });
+                watermark.insert(l, c + 1);
             }
-        }
+        })
+        .await;
         // EOS: branch senders and the control sender drop here.
     });
 

@@ -28,7 +28,7 @@ use crate::merge::{spawn_merge, BranchSpec, MergeMode, Watermark};
 use crate::metrics::{keys, Counter};
 use crate::path::CompPath;
 use crate::plan::PNode;
-use crate::stream::{stream, Dir, Msg, Receiver, Sender};
+use crate::stream::{chan, for_each_msg, stream, Dir, Msg, Receiver, Sender};
 use snet_lang::ExitPattern;
 use std::sync::Arc;
 
@@ -54,7 +54,7 @@ pub fn spawn_star(
     input: Receiver,
 ) -> Receiver {
     let comb = path.into().child(if det { "star" } else { "starnd" });
-    let (ctl_tx, ctl_rx) = crossbeam::channel::unbounded::<BranchSpec>();
+    let (ctl_tx, ctl_rx) = chan::channel::<BranchSpec>();
     let (out_tx, out_rx) = stream();
     let mode = if det {
         MergeMode::Det { level }
@@ -86,18 +86,17 @@ fn spawn_stamper(ctx: &Arc<Ctx>, comb: CompPath, level: u32, input: Receiver) ->
     let (tx, rx) = stream();
     ctx.spawn(format!("{comb}/stamper"), async move {
         let mut counter: u64 = 0;
-        while let Ok(msg) = input.recv_async().await {
-            match msg {
-                rec @ Msg::Rec(_) => {
-                    let _ = tx.send(rec);
-                    let _ = tx.send(Msg::Sort { level, counter });
-                    counter += 1;
-                }
-                sort @ Msg::Sort { .. } => {
-                    let _ = tx.send(sort);
-                }
+        for_each_msg(input, |msg| match msg {
+            rec @ Msg::Rec(_) => {
+                let _ = tx.send(rec);
+                let _ = tx.send(Msg::Sort { level, counter });
+                counter += 1;
             }
-        }
+            sort @ Msg::Sort { .. } => {
+                let _ = tx.send(sort);
+            }
+        })
+        .await;
     });
     rx
 }
@@ -115,7 +114,7 @@ fn spawn_guard(
     stage: usize,
     input: Receiver,
     watermark: Watermark,
-    ctl: crossbeam::channel::Sender<BranchSpec>,
+    ctl: chan::Sender<BranchSpec>,
 ) {
     let (tap_tx, tap_rx) = stream();
     let _ = ctl.send(BranchSpec {
@@ -129,65 +128,64 @@ fn spawn_guard(
     ctx.spawn(gpath.as_str(), async move {
         let mut wm = watermark;
         let mut next: Option<Sender> = None;
-        while let Ok(msg) = input.recv_async().await {
-            match msg {
-                Msg::Rec(rec) => {
-                    if ctx2.has_observers() {
-                        ctx2.observe(gpath, Dir::In, &rec);
-                    }
-                    let exits = rec.matches(&shared.exit.pattern)
-                        && shared
-                            .exit
-                            .guard
-                            .as_ref()
-                            // A guard that cannot evaluate (a referenced
-                            // tag is absent) does not release the record.
-                            .map(|g| g.eval(&rec).unwrap_or(false))
-                            .unwrap_or(true);
-                    if exits {
-                        shared.exits.inc(1);
-                        let _ = tap_tx.send(Msg::Rec(rec));
-                    } else {
-                        if next.is_none() {
-                            // Demand-driven unfolding: the replica and
-                            // the next guard exist only because this
-                            // record needs them.
-                            let (rtx, rrx) = stream();
-                            let replica_out = instantiate(&ctx2, &shared.inner, stage_path, rrx);
-                            spawn_guard(
-                                &ctx2,
-                                Arc::clone(&shared),
-                                stage + 1,
-                                replica_out,
-                                wm.clone(),
-                                ctl.clone(),
-                            );
-                            next = Some(rtx);
-                        }
-                        let _ = next.as_ref().unwrap().send(Msg::Rec(rec));
-                    }
+        for_each_msg(input, |msg| match msg {
+            Msg::Rec(rec) => {
+                if ctx2.has_observers() {
+                    ctx2.observe(gpath, Dir::In, &rec);
                 }
-                Msg::Sort {
+                let exits = rec.matches(&shared.exit.pattern)
+                    && shared
+                        .exit
+                        .guard
+                        .as_ref()
+                        // A guard that cannot evaluate (a referenced
+                        // tag is absent) does not release the record.
+                        .map(|g| g.eval(&rec).unwrap_or(false))
+                        .unwrap_or(true);
+                if exits {
+                    shared.exits.inc(1);
+                    let _ = tap_tx.send(Msg::Rec(rec));
+                } else {
+                    if next.is_none() {
+                        // Demand-driven unfolding: the replica and the
+                        // next guard exist only because this record
+                        // needs them.
+                        let (rtx, rrx) = stream();
+                        let replica_out = instantiate(&ctx2, &shared.inner, stage_path, rrx);
+                        spawn_guard(
+                            &ctx2,
+                            Arc::clone(&shared),
+                            stage + 1,
+                            replica_out,
+                            wm.clone(),
+                            ctl.clone(),
+                        );
+                        next = Some(rtx);
+                    }
+                    let _ = next.as_ref().unwrap().send(Msg::Rec(rec));
+                }
+            }
+            Msg::Sort {
+                level: l,
+                counter: c,
+            } => {
+                // Duplicate every sort to the tap (the merger needs it
+                // for round/barrier bookkeeping) and down the chain if
+                // it exists.
+                let _ = tap_tx.send(Msg::Sort {
                     level: l,
                     counter: c,
-                } => {
-                    // Duplicate every sort to the tap (the merger needs
-                    // it for round/barrier bookkeeping) and down the
-                    // chain if it exists.
-                    let _ = tap_tx.send(Msg::Sort {
+                });
+                if let Some(tx) = &next {
+                    let _ = tx.send(Msg::Sort {
                         level: l,
                         counter: c,
                     });
-                    if let Some(tx) = &next {
-                        let _ = tx.send(Msg::Sort {
-                            level: l,
-                            counter: c,
-                        });
-                    }
-                    wm.insert(l, c + 1);
                 }
+                wm.insert(l, c + 1);
             }
-        }
+        })
+        .await;
         // EOS: tap, chain sender and control clone all drop here,
         // cascading end-of-stream down the chain and eventually closing
         // the merger's control channel.

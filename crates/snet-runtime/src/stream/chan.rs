@@ -1,0 +1,1050 @@
+//! The native stream transport: an unbounded channel over lock-free
+//! segmented linked chunks, with coalesced consumer wakeups.
+//!
+//! Until PR 3 streams rode on the vendored crossbeam shim — a
+//! `Mutex<VecDeque>` plus condvar plus a waker list, which charged
+//! every record two mutex round-trips on the send side (push + waker
+//! drain) and one on the receive side. This module replaces that with
+//! the runtime's own queue, designed around how S-Net actually uses
+//! streams:
+//!
+//! * **Streams are point-to-point.** Exactly one component consumes a
+//!   stream, so the consumer side needs no multi-consumer arbitration:
+//!   the head cursor is plain data owned by the single consumer
+//!   (guarded by a debug-grade `cons_busy` flag that turns misuse into
+//!   a panic instead of UB).
+//! * **Almost every stream has a single producer.** Every data edge —
+//!   box output, dispatcher branch, guard tap, merger output — has
+//!   exactly one sending component. Producers serialise through a
+//!   micro spinlock whose acquisition is a single **uncontended** CAS
+//!   on those edges (the SPSC fast path: no spinning, no parking, no
+//!   mutex); only cloned senders (the mergers' branch-join control
+//!   channels) ever contend, and those carry one message per replica
+//!   unfolding, not per record.
+//! * **Messages live in segmented chunks.** The queue is a linked
+//!   list of fixed-size segments ([`SEG_SIZE`] slots each); a push is
+//!   a slot write plus one `Release` store of the slot's ready flag, a
+//!   pop is one `Acquire` load plus a move-out. Segments are recycled
+//!   by the consumer as it crosses them; reclamation is trivially safe
+//!   because a producer only ever holds a pointer to the tail segment,
+//!   and the consumer can only exhaust a segment whose successor has
+//!   already been installed (see [`Chan::pop`]).
+//!
+//! # Wakeup coalescing
+//!
+//! The send path does **not** wake the consumer per message. A single
+//! atomic [`Chan::wake_state`] word tracks whether the consumer is
+//! parked: senders read it after publishing (one load on the hot
+//! path) and only go through the waker when it says `REGISTERED` —
+//! i.e. the consumer saw an empty queue and actually went to sleep.
+//! A consumer that is running, or that has queued messages, is never
+//! woken: it drains batches on its own (see
+//! [`Receiver::poll_recv_batch`]).
+//!
+//! ## Why a lost wake is impossible
+//!
+//! The hazard: consumer observes "empty", decides to park; a message
+//! arrives in between; the sender sees "not parked" and skips the
+//! wake; the consumer sleeps on a non-empty queue forever. The
+//! protocol closes this window with a **post-registration re-check**:
+//!
+//! 1. The consumer stores its waker, sets `wake_state = REGISTERED`
+//!    (SeqCst), **then re-checks** the queue (and the sender count,
+//!    for end-of-stream). Only if the re-check still finds nothing
+//!    does it return `Pending`.
+//! 2. A sender publishes its message (slot-ready store), then — after
+//!    a SeqCst fence — loads `wake_state`.
+//!
+//! Order the two SeqCst edges however the race falls: if the sender's
+//! `wake_state` load precedes the consumer's `REGISTERED` store in
+//! the total order, the message publish precedes the consumer's
+//! re-check, so the re-check sees the message and the consumer does
+//! not park. If it follows, the sender reads `REGISTERED` and wakes.
+//! There is no third interleaving, so a parked consumer always has a
+//! wake in flight or no pending input. Disconnection (the last
+//! [`Sender`] dropping) runs the same publish-then-check protocol, so
+//! end-of-stream cannot be slept through either.
+//!
+//! # Cooperative poll budget
+//!
+//! The per-thread poll budget that used to live in the vendored shim
+//! moved here (the executor layer is its only customer, and real
+//! crossbeam has no pollable surface — ROADMAP already called for
+//! this). A work-stealing worker grants each task [`set_poll_budget`]
+//! messages per poll; `poll_*` consumption spends it, and at zero the
+//! channel reports `Pending` with an immediate self-wake so the task
+//! is rescheduled behind its siblings instead of monopolising the
+//! worker.
+
+use std::cell::{Cell, UnsafeCell};
+use std::fmt;
+use std::future::Future;
+use std::mem::MaybeUninit;
+use std::pin::Pin;
+use std::ptr;
+use std::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+/// Slots per segment. 32 keeps a segment (with the `Msg` payload)
+/// within a few cache lines while amortising the allocation across
+/// enough records that steady-state throughput never sees it.
+const SEG_SIZE: usize = 32;
+
+/// Messages a component may drain per batch — deliberately equal to
+/// the executor's per-poll budget so one batch is exactly one fair
+/// timeslice (see [`crate::sched`]).
+pub const RECV_BATCH: usize = 128;
+
+thread_local! {
+    /// Cooperative poll budget for the current thread. `u32::MAX`
+    /// means unlimited (blocking consumers, `block_on` executors).
+    static POLL_BUDGET: Cell<u32> = const { Cell::new(u32::MAX) };
+}
+
+/// Sets the current thread's cooperative poll budget. Executors call
+/// this around each task poll; ordinary blocking threads never need
+/// to.
+pub fn set_poll_budget(n: u32) {
+    POLL_BUDGET.with(|b| b.set(n));
+}
+
+/// Spends one unit of budget. Returns `false` when exhausted (the
+/// caller must yield).
+fn charge_budget() -> bool {
+    POLL_BUDGET.with(|b| {
+        let v = b.get();
+        if v == 0 {
+            false
+        } else {
+            if v != u32::MAX {
+                b.set(v - 1);
+            }
+            true
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Segments
+// ---------------------------------------------------------------------------
+
+struct Slot<T> {
+    ready: AtomicBool,
+    val: UnsafeCell<MaybeUninit<T>>,
+}
+
+struct Seg<T> {
+    slots: [Slot<T>; SEG_SIZE],
+    next: AtomicPtr<Seg<T>>,
+}
+
+impl<T> Seg<T> {
+    fn alloc() -> *mut Seg<T> {
+        Box::into_raw(Box::new(Seg {
+            slots: std::array::from_fn(|_| Slot {
+                ready: AtomicBool::new(false),
+                val: UnsafeCell::new(MaybeUninit::uninit()),
+            }),
+            next: AtomicPtr::new(ptr::null_mut()),
+        }))
+    }
+}
+
+/// Producer cursor: the tail segment and the next free slot in it.
+/// Accessed only while holding the producer role (the unique uncloned
+/// sender, or the spinlock once cloned).
+struct ProdCursor<T> {
+    seg: *mut Seg<T>,
+    idx: usize,
+}
+
+/// Consumer cursor: the head segment and the next unread slot.
+/// Accessed only by the single consumer (enforced by `cons_busy`).
+struct ConsCursor<T> {
+    seg: *mut Seg<T>,
+    idx: usize,
+}
+
+// Waker handshake states (see module docs).
+const WAKER_IDLE: u8 = 0; // no waker registered; consumer is active
+const WAKER_REGISTERING: u8 = 1; // consumer is writing the waker cell
+const WAKER_REGISTERED: u8 = 2; // consumer parked; senders must wake
+const WAKER_WAKING: u8 = 3; // a sender is taking the waker out
+
+struct Chan<T> {
+    // Producer side.
+    prod: UnsafeCell<ProdCursor<T>>,
+    /// Micro spinlock serialising producers. On a single-producer
+    /// stream — every data edge — acquisition never contends: the SPSC
+    /// fast path is one uncontended CAS. Only cloned senders (the
+    /// mergers' branch-join control channels) ever spin.
+    prod_lock: AtomicBool,
+    // Consumer side.
+    cons: UnsafeCell<ConsCursor<T>>,
+    /// Single-consumer guard: turns concurrent consumer misuse into a
+    /// panic instead of undefined behaviour.
+    cons_busy: AtomicBool,
+    // Shared.
+    senders: AtomicUsize,
+    rx_alive: AtomicBool,
+    wake_state: AtomicU8,
+    waker: UnsafeCell<Option<Waker>>,
+}
+
+// SAFETY: the UnsafeCell cursors are confined by protocol — `prod` to
+// the producer role (unique `!Sync` sender, or spinlock holder), `cons`
+// to the single consumer (`cons_busy` guard), `waker` to whoever holds
+// the REGISTERING/WAKING state. All cross-thread hand-offs go through
+// the atomics above with Acquire/Release (or stronger) ordering.
+unsafe impl<T: Send> Send for Chan<T> {}
+unsafe impl<T: Send> Sync for Chan<T> {}
+
+impl<T> Chan<T> {
+    /// Appends a value. Caller must hold the producer role.
+    unsafe fn push(&self, value: T) {
+        let p = &mut *self.prod.get();
+        if p.idx == SEG_SIZE {
+            // Install the successor before moving off the old tail:
+            // the consumer frees a segment only after following its
+            // `next` pointer, and no producer retains a pointer to a
+            // segment it has moved past — which is what makes
+            // consumer-side reclamation safe without epochs.
+            let next = Seg::alloc();
+            (*p.seg).next.store(next, Ordering::Release);
+            p.seg = next;
+            p.idx = 0;
+        }
+        let slot = &(*p.seg).slots[p.idx];
+        (*slot.val.get()).write(value);
+        slot.ready.store(true, Ordering::Release);
+        p.idx += 1;
+    }
+
+    /// Takes the head message, if one is ready. Caller must hold the
+    /// consumer role. Producers publish strictly in slot order, so the
+    /// first non-ready slot is an exact emptiness test.
+    unsafe fn pop(&self) -> Option<T> {
+        let c = &mut *self.cons.get();
+        if c.idx == SEG_SIZE {
+            let next = (*c.seg).next.load(Ordering::Acquire);
+            if next.is_null() {
+                return None;
+            }
+            drop(Box::from_raw(c.seg));
+            c.seg = next;
+            c.idx = 0;
+        }
+        let slot = &(*c.seg).slots[c.idx];
+        if !slot.ready.load(Ordering::Acquire) {
+            return None;
+        }
+        let v = (*slot.val.get()).assume_init_read();
+        c.idx += 1;
+        Some(v)
+    }
+
+    /// True when the next `pop` would return a message. Caller must
+    /// hold the consumer role. May advance (and free) an exhausted
+    /// head segment, but never consumes a slot.
+    unsafe fn can_pop(&self) -> bool {
+        let c = &mut *self.cons.get();
+        loop {
+            if c.idx == SEG_SIZE {
+                let next = (*c.seg).next.load(Ordering::Acquire);
+                if next.is_null() {
+                    return false;
+                }
+                drop(Box::from_raw(c.seg));
+                c.seg = next;
+                c.idx = 0;
+                continue;
+            }
+            return (*c.seg).slots[c.idx].ready.load(Ordering::Acquire);
+        }
+    }
+
+    fn lock_cons(&self) -> ConsGuard<'_, T> {
+        assert!(
+            self.cons_busy
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok(),
+            "stream Receiver polled from two threads concurrently — streams are single-consumer"
+        );
+        ConsGuard { chan: self }
+    }
+
+    /// Wakes the consumer iff it is parked (see module docs: the
+    /// coalescing point — one load on the hot path, the full waker
+    /// dance only on the parked edge).
+    fn maybe_wake(&self) {
+        if self.wake_state.load(Ordering::SeqCst) != WAKER_REGISTERED {
+            return;
+        }
+        if self
+            .wake_state
+            .compare_exchange(
+                WAKER_REGISTERED,
+                WAKER_WAKING,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_ok()
+        {
+            // SAFETY: WAKING grants exclusive access to the cell.
+            let w = unsafe { (*self.waker.get()).take() };
+            self.wake_state.store(WAKER_IDLE, Ordering::SeqCst);
+            if let Some(w) = w {
+                w.wake();
+            }
+        }
+    }
+
+    /// Registers `cx`'s waker for the consumer. Returns `true` when
+    /// the post-registration re-check found a message (or EOS) — the
+    /// caller must retry popping instead of returning `Pending`.
+    fn register(&self, cx: &mut Context<'_>) -> bool {
+        // Claim the waker cell.
+        loop {
+            let s = self.wake_state.load(Ordering::SeqCst);
+            match s {
+                WAKER_IDLE | WAKER_REGISTERED => {
+                    if self
+                        .wake_state
+                        .compare_exchange(s, WAKER_REGISTERING, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                    {
+                        break;
+                    }
+                }
+                // A sender is mid-take; its critical section is a few
+                // instructions (take + store), so spin it out rather
+                // than relying on the in-flight wake targeting *this*
+                // waker (the registration may have changed tasks).
+                WAKER_WAKING => std::hint::spin_loop(),
+                _ => panic!("stream Receiver polled from two threads concurrently"),
+            }
+        }
+        // SAFETY: REGISTERING grants exclusive access to the cell.
+        unsafe { *self.waker.get() = Some(cx.waker().clone()) };
+        self.wake_state.store(WAKER_REGISTERED, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        // The load-bearing re-check (module docs: "why a lost wake is
+        // impossible").
+        let visible = {
+            let _g = self.lock_cons();
+            (unsafe { self.can_pop() }) || self.senders.load(Ordering::SeqCst) == 0
+        };
+        if visible {
+            // Deregister and consume inline, unless a sender already
+            // claimed the waker — then a wake is in flight and
+            // `Pending` is safe too.
+            if self
+                .wake_state
+                .compare_exchange(
+                    WAKER_REGISTERED,
+                    WAKER_REGISTERING,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                )
+                .is_ok()
+            {
+                unsafe { (*self.waker.get()).take() };
+                self.wake_state.store(WAKER_IDLE, Ordering::SeqCst);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl<T> Drop for Chan<T> {
+    fn drop(&mut self) {
+        // Exclusive access: both endpoints are gone. Producers publish
+        // in order, so within each segment the initialised slots are a
+        // ready-flagged prefix (from the consumer cursor onward).
+        unsafe {
+            let c = &mut *self.cons.get();
+            let mut seg = c.seg;
+            let mut idx = c.idx;
+            while !seg.is_null() {
+                let slots = std::ptr::addr_of!((*seg).slots);
+                for i in idx..SEG_SIZE {
+                    let slot = &(*slots)[i];
+                    if !slot.ready.load(Ordering::Acquire) {
+                        break;
+                    }
+                    (*slot.val.get()).assume_init_drop();
+                }
+                let next = (*seg).next.load(Ordering::Acquire);
+                drop(Box::from_raw(seg));
+                seg = next;
+                idx = 0;
+            }
+        }
+    }
+}
+
+struct ConsGuard<'a, T> {
+    chan: &'a Chan<T>,
+}
+
+impl<T> Drop for ConsGuard<'_, T> {
+    fn drop(&mut self) {
+        self.chan.cons_busy.store(false, Ordering::Release);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public endpoints
+// ---------------------------------------------------------------------------
+
+/// Creates an unbounded native channel.
+pub fn channel<T: Send>() -> (Sender<T>, Receiver<T>) {
+    let seg = Seg::alloc();
+    let chan = Arc::new(Chan {
+        prod: UnsafeCell::new(ProdCursor { seg, idx: 0 }),
+        prod_lock: AtomicBool::new(false),
+        cons: UnsafeCell::new(ConsCursor { seg, idx: 0 }),
+        cons_busy: AtomicBool::new(false),
+        senders: AtomicUsize::new(1),
+        rx_alive: AtomicBool::new(true),
+        wake_state: AtomicU8::new(WAKER_IDLE),
+        waker: UnsafeCell::new(None),
+    });
+    (
+        Sender {
+            chan: Arc::clone(&chan),
+        },
+        Receiver { chan },
+    )
+}
+
+/// Sending half; cloneable. Producers serialise through the channel's
+/// micro spinlock — uncontended (a single CAS) on every
+/// single-producer stream, which is every data edge of a network.
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// Receiving half: the single consumer of a stream. Not cloneable.
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// The message could not be delivered: the receiver is gone.
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected stream")
+    }
+}
+
+/// The stream is empty and all senders are gone.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty, disconnected stream")
+    }
+}
+
+/// Why `try_recv` returned nothing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    Empty,
+    Disconnected,
+}
+
+impl<T: Send> Sender<T> {
+    /// Delivers a message: one uncontended CAS (the producer role), a
+    /// slot write, one `Release` store, and one `SeqCst` load of the
+    /// consumer's park state — no mutex, no allocation outside segment
+    /// boundaries, and no waker traffic unless the consumer is parked.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let chan = &*self.chan;
+        if !chan.rx_alive.load(Ordering::Acquire) {
+            return Err(SendError(value));
+        }
+        while chan
+            .prod_lock
+            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            std::hint::spin_loop();
+        }
+        // SAFETY: the spinlock is the producer role.
+        unsafe { chan.push(value) };
+        chan.prod_lock.store(false, Ordering::Release);
+        fence(Ordering::SeqCst);
+        chan.maybe_wake();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Sender<T> {
+        self.chan.senders.fetch_add(1, Ordering::SeqCst);
+        Sender {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.chan.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last sender: end-of-stream is an event a parked consumer
+            // must observe — same publish-then-check protocol as a
+            // send.
+            fence(Ordering::SeqCst);
+            self.chan.maybe_wake();
+        }
+    }
+}
+
+impl<T: Send> Receiver<T> {
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let chan = &*self.chan;
+        let _g = chan.lock_cons();
+        // SAFETY: the guard is the consumer role.
+        unsafe {
+            if let Some(v) = chan.pop() {
+                return Ok(v);
+            }
+            if chan.senders.load(Ordering::SeqCst) == 0 {
+                // Messages published before the last sender dropped
+                // happen-before the count reaching zero; re-pop.
+                if let Some(v) = chan.pop() {
+                    return Ok(v);
+                }
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Polls for a message without blocking the thread: `Ready` with
+    /// the message (or `Err(RecvError)` at end-of-stream), `Pending`
+    /// after registering the task's waker. Respects the thread's
+    /// cooperative budget: at zero it self-wakes and reports `Pending`
+    /// even if a message is queued, forcing a fair yield.
+    pub fn poll_recv(&self, cx: &mut Context<'_>) -> Poll<Result<T, RecvError>> {
+        let chan = &*self.chan;
+        loop {
+            {
+                let _g = chan.lock_cons();
+                // SAFETY: the guard is the consumer role.
+                unsafe {
+                    if chan.can_pop() {
+                        if !charge_budget() {
+                            cx.waker().wake_by_ref();
+                            return Poll::Pending;
+                        }
+                        return Poll::Ready(Ok(chan.pop().expect("slot ready")));
+                    }
+                    if chan.senders.load(Ordering::SeqCst) == 0 {
+                        if chan.can_pop() {
+                            continue; // raced with a final send
+                        }
+                        if !charge_budget() {
+                            cx.waker().wake_by_ref();
+                            return Poll::Pending;
+                        }
+                        return Poll::Ready(Err(RecvError));
+                    }
+                }
+            }
+            if !chan.register(cx) {
+                return Poll::Pending;
+            }
+            // Registration re-check saw traffic: retry the pop.
+        }
+    }
+
+    /// Like [`Receiver::poll_recv`] but does not consume: `Ready`
+    /// means the next `try_recv` returns without blocking (a message,
+    /// or disconnection). Used by readiness-select loops that must
+    /// decide *which* stream to consume from.
+    pub fn poll_ready(&self, cx: &mut Context<'_>) -> Poll<()> {
+        let chan = &*self.chan;
+        loop {
+            {
+                let _g = chan.lock_cons();
+                // SAFETY: the guard is the consumer role.
+                let ready = unsafe { chan.can_pop() } || chan.senders.load(Ordering::SeqCst) == 0;
+                if ready {
+                    if !charge_budget() {
+                        cx.waker().wake_by_ref();
+                        return Poll::Pending;
+                    }
+                    return Poll::Ready(());
+                }
+            }
+            if !chan.register(cx) {
+                return Poll::Pending;
+            }
+        }
+    }
+
+    /// Drains up to `max` queued messages into `buf` (appending), the
+    /// batched-delivery primitive behind [`Receiver::recv_batch`].
+    /// Resolves `Ready(n)` with `n >= 1` messages **appended by this
+    /// call** as soon as at least one is available, `Ready(0)` at
+    /// end-of-stream, `Pending` (waker registered) on an empty
+    /// connected stream. Anything already in `buf` is left alone and
+    /// never counted, so callers may accumulate across awaits. Each
+    /// drained message spends one unit of poll budget, so one batch
+    /// can never exceed a task's fair timeslice.
+    pub fn poll_recv_batch(
+        &self,
+        cx: &mut Context<'_>,
+        buf: &mut Vec<T>,
+        max: usize,
+    ) -> Poll<usize> {
+        let chan = &*self.chan;
+        let start = buf.len();
+        loop {
+            {
+                let _g = chan.lock_cons();
+                // SAFETY: the guard is the consumer role.
+                unsafe {
+                    while buf.len() - start < max && chan.can_pop() {
+                        if !charge_budget() {
+                            if buf.len() == start {
+                                // Queued work but no budget: forced
+                                // yield, rescheduled behind siblings.
+                                cx.waker().wake_by_ref();
+                                return Poll::Pending;
+                            }
+                            break;
+                        }
+                        buf.push(chan.pop().expect("slot ready"));
+                    }
+                    if buf.len() > start {
+                        return Poll::Ready(buf.len() - start);
+                    }
+                    // Check disconnect *then* re-check emptiness: a
+                    // message published before the last sender dropped
+                    // must not be mistaken for EOS.
+                    if chan.senders.load(Ordering::SeqCst) == 0 {
+                        if chan.can_pop() {
+                            continue;
+                        }
+                        return Poll::Ready(0);
+                    }
+                }
+            }
+            if !chan.register(cx) {
+                return Poll::Pending;
+            }
+        }
+    }
+
+    /// Future form of [`Receiver::poll_recv_batch`]: awaits at least
+    /// one message (appended to `buf`, up to `max` per call),
+    /// resolving to the number appended — `0` means end-of-stream.
+    pub fn recv_batch<'a>(&'a self, buf: &'a mut Vec<T>, max: usize) -> RecvBatch<'a, T> {
+        RecvBatch { rx: self, buf, max }
+    }
+
+    /// Future form of blocking receive: resolves with the next message
+    /// or `Err(RecvError)` at end-of-stream. Awaiting on an empty
+    /// stream parks the *task*, not the thread.
+    pub fn recv_async(&self) -> RecvAsync<'_, T> {
+        RecvAsync { rx: self }
+    }
+
+    /// Blocking receive, for driver threads ([`crate::net::Net::recv`]
+    /// and tests). Parks the OS thread through the same registration
+    /// protocol the async paths use.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        loop {
+            match self.try_recv() {
+                Ok(v) => return Ok(v),
+                Err(TryRecvError::Disconnected) => return Err(RecvError),
+                Err(TryRecvError::Empty) => {}
+            }
+            PARKER.with(|p| {
+                let waker = Waker::from(Arc::clone(p));
+                let mut cx = Context::from_waker(&waker);
+                if !self.chan.register(&mut cx) {
+                    while !p.notified.swap(false, Ordering::Acquire) {
+                        std::thread::park();
+                    }
+                }
+            });
+        }
+    }
+
+    /// Blocking iterator until disconnect.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { rx: self }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        // Senders observe this and fail fast; anything already queued
+        // is released when the channel drops.
+        self.chan.rx_alive.store(false, Ordering::Release);
+    }
+}
+
+/// Thread-parking waker backing the blocking [`Receiver::recv`];
+/// cached per thread so repeated blocking receives allocate nothing.
+struct ThreadParker {
+    thread: std::thread::Thread,
+    notified: AtomicBool,
+}
+
+impl Wake for ThreadParker {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.notified.store(true, Ordering::Release);
+        self.thread.unpark();
+    }
+}
+
+thread_local! {
+    static PARKER: Arc<ThreadParker> = Arc::new(ThreadParker {
+        thread: std::thread::current(),
+        notified: AtomicBool::new(false),
+    });
+}
+
+/// Future returned by [`Receiver::recv_async`].
+pub struct RecvAsync<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T: Send> Future for RecvAsync<'_, T> {
+    type Output = Result<T, RecvError>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        self.rx.poll_recv(cx)
+    }
+}
+
+/// Future returned by [`Receiver::recv_batch`].
+pub struct RecvBatch<'a, T> {
+    rx: &'a Receiver<T>,
+    buf: &'a mut Vec<T>,
+    max: usize,
+}
+
+impl<T: Send> Future for RecvBatch<'_, T> {
+    type Output = usize;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<usize> {
+        let this = self.get_mut();
+        this.rx.poll_recv_batch(cx, this.buf, this.max)
+    }
+}
+
+pub struct Iter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T: Send> Iterator for Iter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+impl<'a, T: Send> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = channel();
+        for i in 0..200 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..200 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+    }
+
+    #[test]
+    fn crosses_many_segment_boundaries() {
+        let (tx, rx) = channel();
+        for round in 0..10 {
+            for i in 0..(SEG_SIZE * 3 + 7) {
+                tx.send((round, i)).unwrap();
+            }
+            for i in 0..(SEG_SIZE * 3 + 7) {
+                assert_eq!(rx.recv(), Ok((round, i)));
+            }
+        }
+    }
+
+    #[test]
+    fn disconnect_semantics() {
+        let (tx, rx) = channel::<i32>();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert!(rx.recv().is_err());
+        let (tx2, rx2) = channel::<i32>();
+        drop(rx2);
+        assert!(tx2.send(5).is_err());
+    }
+
+    #[test]
+    fn try_recv_distinguishes_empty_and_disconnected() {
+        let (tx, rx) = channel::<i32>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_send() {
+        let (tx, rx) = channel::<i32>();
+        let h = std::thread::spawn(move || rx.recv());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        tx.send(7).unwrap();
+        assert_eq!(h.join().unwrap(), Ok(7));
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_disconnect() {
+        let (tx, rx) = channel::<i32>();
+        let h = std::thread::spawn(move || rx.recv());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(tx);
+        assert_eq!(h.join().unwrap(), Err(RecvError));
+    }
+
+    /// A counting waker for poll tests.
+    struct CountWake(AtomicUsize);
+
+    impl Wake for CountWake {
+        fn wake(self: Arc<Self>) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn count_waker() -> (Arc<CountWake>, Waker) {
+        let inner = Arc::new(CountWake(AtomicUsize::new(0)));
+        let waker = Waker::from(Arc::clone(&inner));
+        (inner, waker)
+    }
+
+    #[test]
+    fn poll_recv_ready_and_pending() {
+        let (tx, rx) = channel::<i32>();
+        tx.send(42).unwrap();
+        let (_w, waker) = count_waker();
+        let mut cx = Context::from_waker(&waker);
+        assert_eq!(rx.poll_recv(&mut cx), Poll::Ready(Ok(42)));
+        assert_eq!(rx.poll_recv(&mut cx), Poll::Pending);
+    }
+
+    #[test]
+    fn registered_waker_fires_on_send_and_disconnect() {
+        let (tx, rx) = channel::<i32>();
+        let (counts, waker) = count_waker();
+        let mut cx = Context::from_waker(&waker);
+        assert_eq!(rx.poll_recv(&mut cx), Poll::Pending);
+        tx.send(9).unwrap();
+        assert_eq!(counts.0.load(Ordering::SeqCst), 1);
+        assert_eq!(rx.poll_recv(&mut cx), Poll::Ready(Ok(9)));
+        // Park again; disconnection must also wake.
+        assert_eq!(rx.poll_recv(&mut cx), Poll::Pending);
+        drop(tx);
+        assert_eq!(counts.0.load(Ordering::SeqCst), 2);
+        assert_eq!(rx.poll_recv(&mut cx), Poll::Ready(Err(RecvError)));
+    }
+
+    #[test]
+    fn wakeups_are_coalesced_while_consumer_is_active() {
+        let (tx, rx) = channel::<i32>();
+        let (counts, waker) = count_waker();
+        let mut cx = Context::from_waker(&waker);
+        // An unparked consumer (no waker registered) is never woken.
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(counts.0.load(Ordering::SeqCst), 0);
+        for i in 0..10 {
+            assert_eq!(rx.try_recv(), Ok(i));
+        }
+        // A parked consumer is woken exactly once for a whole burst.
+        assert_eq!(rx.poll_recv(&mut cx), Poll::Pending);
+        for i in 0..5 {
+            tx.send(100 + i).unwrap();
+        }
+        assert_eq!(
+            counts.0.load(Ordering::SeqCst),
+            1,
+            "burst into a parked consumer must coalesce to one wake"
+        );
+        for i in 0..5 {
+            assert_eq!(rx.poll_recv(&mut cx), Poll::Ready(Ok(100 + i)));
+        }
+    }
+
+    #[test]
+    fn reregistration_does_not_leak_wakes() {
+        let (tx, rx) = channel::<i32>();
+        let (counts, waker) = count_waker();
+        let mut cx = Context::from_waker(&waker);
+        for _ in 0..100 {
+            assert_eq!(rx.poll_ready(&mut cx), Poll::Pending);
+        }
+        tx.send(1).unwrap();
+        assert_eq!(counts.0.load(Ordering::SeqCst), 1);
+        assert_eq!(rx.poll_ready(&mut cx), Poll::Ready(()));
+        assert_eq!(rx.try_recv(), Ok(1));
+    }
+
+    #[test]
+    fn exhausted_budget_forces_yield_with_self_wake() {
+        let (tx, rx) = channel::<i32>();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let (counts, waker) = count_waker();
+        let mut cx = Context::from_waker(&waker);
+        set_poll_budget(1);
+        assert_eq!(rx.poll_recv(&mut cx), Poll::Ready(Ok(1)));
+        // Budget spent: a queued message still reports Pending, with
+        // an immediate self-wake so the task is rescheduled.
+        assert_eq!(rx.poll_recv(&mut cx), Poll::Pending);
+        assert_eq!(counts.0.load(Ordering::SeqCst), 1);
+        set_poll_budget(u32::MAX);
+        assert_eq!(rx.poll_recv(&mut cx), Poll::Ready(Ok(2)));
+    }
+
+    #[test]
+    fn batch_drains_up_to_max_and_respects_budget() {
+        let (tx, rx) = channel::<i32>();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        let (_c, waker) = count_waker();
+        let mut cx = Context::from_waker(&waker);
+        let mut buf = Vec::new();
+        assert_eq!(rx.poll_recv_batch(&mut cx, &mut buf, 4), Poll::Ready(4));
+        assert_eq!(buf, vec![0, 1, 2, 3]);
+        buf.clear();
+        // Budget caps the batch below `max`.
+        set_poll_budget(3);
+        assert_eq!(rx.poll_recv_batch(&mut cx, &mut buf, 100), Poll::Ready(3));
+        assert_eq!(buf, vec![4, 5, 6]);
+        buf.clear();
+        // Zero budget with queued messages: self-wake + Pending.
+        let (counts, waker) = count_waker();
+        let mut cx = Context::from_waker(&waker);
+        assert_eq!(rx.poll_recv_batch(&mut cx, &mut buf, 100), Poll::Pending);
+        assert_eq!(counts.0.load(Ordering::SeqCst), 1);
+        set_poll_budget(u32::MAX);
+        assert_eq!(rx.poll_recv_batch(&mut cx, &mut buf, 100), Poll::Ready(3));
+        assert_eq!(buf, vec![7, 8, 9]);
+        buf.clear();
+        // EOS resolves to 0.
+        drop(tx);
+        assert_eq!(rx.poll_recv_batch(&mut cx, &mut buf, 100), Poll::Ready(0));
+    }
+
+    #[test]
+    fn batch_counts_only_newly_appended_messages() {
+        // Callers may accumulate across awaits: pre-existing buffer
+        // contents are never counted, and an empty connected stream
+        // stays Pending no matter what the buffer already holds.
+        let (tx, rx) = channel::<i32>();
+        let (_c, waker) = count_waker();
+        let mut cx = Context::from_waker(&waker);
+        let mut buf = vec![999];
+        assert_eq!(rx.poll_recv_batch(&mut cx, &mut buf, 4), Poll::Pending);
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        // `max` bounds the appended count, not the total length.
+        assert_eq!(rx.poll_recv_batch(&mut cx, &mut buf, 4), Poll::Ready(4));
+        assert_eq!(buf, vec![999, 0, 1, 2, 3]);
+        assert_eq!(rx.poll_recv_batch(&mut cx, &mut buf, 100), Poll::Ready(6));
+        drop(tx);
+        // EOS is 0 even with a full buffer in hand.
+        assert_eq!(rx.poll_recv_batch(&mut cx, &mut buf, 4), Poll::Ready(0));
+        assert_eq!(buf.len(), 11);
+    }
+
+    #[test]
+    fn cloned_senders_share_the_stream() {
+        // Shared (spinlocked) mode: heavy traffic from several
+        // producers, every message delivered exactly once.
+        let (tx, rx) = channel::<u64>();
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let tx = tx.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    tx.send(t * 10_000 + i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let mut got: Vec<u64> = rx.iter().collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        got.sort_unstable();
+        assert_eq!(got.len(), 40_000);
+        assert_eq!(got, (0..40_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn spsc_cross_thread_traffic_with_parking() {
+        // Single producer, consumer alternating blocking recv — the
+        // hot shape of every data edge. Exercises park/wake races.
+        let (tx, rx) = channel::<u64>();
+        let h = std::thread::spawn(move || {
+            let mut sum = 0u64;
+            while let Ok(v) = rx.recv() {
+                sum += v;
+            }
+            sum
+        });
+        for i in 0..100_000u64 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        assert_eq!(h.join().unwrap(), (0..100_000u64).sum());
+    }
+
+    #[test]
+    fn values_dropped_cleanly_when_channel_dropped_mid_stream() {
+        // Arc payloads left in the queue must be released by Chan::drop.
+        let payload = Arc::new(());
+        let (tx, rx) = channel::<Arc<()>>();
+        for _ in 0..(SEG_SIZE * 2 + 5) {
+            tx.send(Arc::clone(&payload)).unwrap();
+        }
+        rx.recv().unwrap();
+        drop(tx);
+        drop(rx);
+        assert_eq!(Arc::strong_count(&payload), 1);
+    }
+}

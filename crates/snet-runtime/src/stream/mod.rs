@@ -1,11 +1,14 @@
 //! Streams and messages.
 //!
 //! Boxes are "connected to the rest of the network by two typed
-//! streams" (paper, Section 4). A stream here is an unbounded crossbeam
-//! channel of [`Msg`]s. Unbounded is deliberate: deterministic merging
-//! drains branches in a fixed order, and a bounded channel on a branch
-//! that is not currently being drained could deadlock the dispatcher —
-//! the original S-Net runtime made the same choice.
+//! streams" (paper, Section 4). A stream here is an unbounded native
+//! channel of [`Msg`]s — see [`chan`] for the transport: lock-free
+//! segmented chunks, an SPSC fast path on every single-producer edge
+//! (which is every data edge), and **coalesced wakeups**. Unbounded is
+//! deliberate: deterministic merging drains branches in a fixed order,
+//! and a bounded channel on a branch that is not currently being
+//! drained could deadlock the dispatcher — the original S-Net runtime
+//! made the same choice.
 //!
 //! Besides data records the streams carry **sort records** — the
 //! classic S-Net implementation device for the deterministic
@@ -17,10 +20,36 @@
 //! they follow), so ordering survives arbitrary nesting of combinators.
 //! End-of-stream is represented by channel disconnection.
 //!
+//! # Batched delivery
+//!
+//! Delivery is batched at both ends:
+//!
+//! * **Senders wake lazily.** A send is a slot publish plus one atomic
+//!   load of the consumer's park state; the waker fires only on the
+//!   transition into a *parked* consumer (the robust rendering of
+//!   "wake on empty→non-empty": with multiple producers completing
+//!   slots out of claim order, queue-emptiness edges are ill-defined,
+//!   but "the consumer observed empty and went to sleep" is exact).
+//!   A running consumer is never woken — it finds the messages itself.
+//! * **Consumers drain batches.** Component loops await
+//!   [`chan::Receiver::recv_batch`], which resolves with up to
+//!   [`RECV_BATCH`] queued messages per wake instead of paying one
+//!   waker round-trip per record. The batch size equals the
+//!   executor's per-poll budget, so a batch is exactly one fair
+//!   timeslice; a component that drains a full batch is rescheduled
+//!   behind its worker's siblings before it may drain the next.
+//!
+//! Per-stream FIFO order and the components' fixed drain order are
+//! untouched by batching — a batch is just a prefix of the stream —
+//! so sort-record determinism is preserved verbatim. The no-lost-wake
+//! argument (a parked consumer always has a wake in flight or nothing
+//! to read) lives with the protocol in [`chan`]; the system-level
+//! no-deadlock argument under coalesced wakeups is in [`crate::sched`].
+//!
 //! # Yield-on-empty-input
 //!
 //! Component bodies never call the blocking `recv()`; they await
-//! `recv_async()` (or, for multi-input components, [`SelectReady`]).
+//! batches (or, for multi-input components, [`SelectReady`]).
 //! Under the default [`crate::sched::ThreadPerComponent`] executor the
 //! await parks the component's dedicated OS thread — the seed's
 //! behaviour, bit for bit. Under a
@@ -33,6 +62,10 @@
 //! parking cannot deadlock even the deterministic merger's fixed
 //! drain order; the full argument lives in the [`crate::sched`]
 //! module docs.
+
+pub mod chan;
+
+pub use chan::{set_poll_budget, RECV_BATCH};
 
 use snet_types::Record;
 use std::future::Future;
@@ -51,12 +84,12 @@ pub enum Msg {
 }
 
 /// Stream endpoints (unbounded; see module docs for why).
-pub type Sender = crossbeam::channel::Sender<Msg>;
-pub type Receiver = crossbeam::channel::Receiver<Msg>;
+pub type Sender = chan::Sender<Msg>;
+pub type Receiver = chan::Receiver<Msg>;
 
 /// Creates a new stream.
 pub fn stream() -> (Sender, Receiver) {
-    crossbeam::channel::unbounded()
+    chan::channel()
 }
 
 /// Direction of an observed record relative to the observed component.
@@ -75,7 +108,7 @@ pub trait ReadySource: Sync {
     fn poll_source(&self, cx: &mut Context<'_>) -> Poll<()>;
 }
 
-impl<T: Send> ReadySource for crossbeam::channel::Receiver<T> {
+impl<T: Send> ReadySource for chan::Receiver<T> {
     fn poll_source(&self, cx: &mut Context<'_>) -> Poll<()> {
         self.poll_ready(cx)
     }
@@ -106,6 +139,49 @@ impl Future for SelectReady<'_> {
             }
         }
         Poll::Pending
+    }
+}
+
+/// The record loop shared by every single-input component (boxes,
+/// filters, dispatchers, guards, stampers): drains batches from
+/// `input` — up to [`RECV_BATCH`] messages per wake, one fair
+/// timeslice — and applies `f` to each message in stream order, until
+/// end-of-stream. Batched delivery lives here so its semantics
+/// (batch sizing, the `recv_batch` contract, EOS handling) have one
+/// definition instead of one per component.
+pub async fn for_each_msg(input: Receiver, mut f: impl FnMut(Msg)) {
+    let mut batch: Vec<Msg> = Vec::new();
+    while input.recv_batch(&mut batch, RECV_BATCH).await > 0 {
+        for msg in batch.drain(..) {
+            f(msg);
+        }
+    }
+}
+
+/// Cooperative yield: resolves on its second poll after an immediate
+/// self-wake. Components that consume outside the budgeted `poll_*`
+/// paths (the mergers' greedy `try_recv` bursts) await this every
+/// [`RECV_BATCH`] messages so a long drain cannot monopolise a pool
+/// worker.
+pub fn yield_now() -> YieldNow {
+    YieldNow { yielded: false }
+}
+
+/// Future returned by [`yield_now`].
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
     }
 }
 
@@ -144,5 +220,22 @@ mod tests {
         );
         // Disconnection is end-of-stream.
         assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn yield_now_self_wakes_once() {
+        struct CountWake(std::sync::atomic::AtomicUsize);
+        impl std::task::Wake for CountWake {
+            fn wake(self: Arc<Self>) {
+                self.0.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            }
+        }
+        let inner = Arc::new(CountWake(std::sync::atomic::AtomicUsize::new(0)));
+        let waker = std::task::Waker::from(Arc::clone(&inner));
+        let mut cx = Context::from_waker(&waker);
+        let mut y = yield_now();
+        assert_eq!(Pin::new(&mut y).poll(&mut cx), Poll::Pending);
+        assert_eq!(inner.0.load(std::sync::atomic::Ordering::SeqCst), 1);
+        assert_eq!(Pin::new(&mut y).poll(&mut cx), Poll::Ready(()));
     }
 }

@@ -1,28 +1,24 @@
 //! Minimal in-repo stand-in for `crossbeam` (channel subset).
 //!
-//! Implements exactly what the S-Net runtime consumes: unbounded
-//! channels with disconnect-on-drop semantics, `try_recv`, blocking
-//! `recv`, and an iterator. (A blocking `Select` used to live here
-//! too; the merge layer — its only consumer — moved to the pollable
-//! interface below, and the shim's policy is to mirror only the API
-//! subset in use.)
+//! **As of PR 3 the S-Net runtime no longer consumes this shim**: the
+//! pollable stream surface (`poll_recv`/`poll_ready`, the waker
+//! registration, the cooperative poll budget) moved into
+//! `snet-runtime`'s native lock-free stream implementation
+//! (`snet_runtime::stream::chan`), where ROADMAP said it belongs —
+//! real crossbeam has no pollable interface, so that piece was never
+//! going to swap back to the registry crate anyway. The shim is kept
+//! as a workspace member because (a) it remains the mutexed reference
+//! implementation the `RT_stream_send` bench compares the native
+//! queue against, and (b) its concurrency tests document the channel
+//! semantics the native queue preserves (FIFO, disconnect-on-drop,
+//! waker dedup, budget-forced yields).
 //!
-//! On top of the blocking interface the channel is also *pollable*:
+//! The channel is *pollable* on top of the blocking interface:
 //! [`channel::Receiver::poll_recv`] / [`channel::Receiver::poll_ready`]
 //! register a [`std::task::Waker`] when the queue is empty, and senders
-//! wake registered tasks on delivery and on disconnect. This is the
-//! readiness hook the S-Net `sched` subsystem builds its cooperative
-//! (work-stealing) component executor on: a component parked on an
-//! empty stream yields its worker thread instead of blocking it.
-//! A per-thread cooperative budget ([`channel::set_poll_budget`])
-//! bounds how many messages one task may consume before it is forced
-//! to yield, so a component with an always-full input cannot starve
-//! its worker's run queue.
-//!
-//! The runtime consumes every receiver from a single thread (streams
-//! are point-to-point), which keeps the readiness fast path simple:
-//! once a channel reports ready, its message cannot be stolen by
-//! another consumer before the follow-up `try_recv` completes.
+//! wake registered tasks on delivery and on disconnect. A per-thread
+//! cooperative budget ([`channel::set_poll_budget`]) bounds how many
+//! messages one task may consume before it is forced to yield.
 
 pub mod channel {
     use parking_lot::{Condvar, Mutex};
