@@ -10,7 +10,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use snet_runtime::{
     Executor, Metrics, NetBuilder, RouteCache, ThreadPerComponent, WorkStealingPool,
 };
-use snet_types::{NetSig, Record, RecordType};
+use snet_types::{NetSig, Record, RecordType, Shape};
 use std::sync::Arc;
 
 const N_RECORDS: u64 = 5_000;
@@ -261,6 +261,78 @@ fn bench_dispatch_route(c: &mut Criterion) {
     g.finish();
 }
 
+/// RT_record_ops — the record-level type operations the PR 4 tentpole
+/// compiled into shape plans: subtype-acceptance `split_for`, flow
+/// `inherit`, and the shape-intern lookups backing them. The paper's
+/// worked example shapes: record {a,<b>,d} split against box input
+/// (a,<b>), output {c} inheriting the excess {d}.
+fn bench_record_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("RT_record_ops");
+    g.measurement_time(std::time::Duration::from_secs(1));
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(1));
+
+    let rec = Record::build()
+        .field("a", 1i64)
+        .tag("b", 10)
+        .field("d", 4i64)
+        .finish();
+    let ty = RecordType::of(&["a"], &["b"]);
+
+    // Warm split: the plan exists, application is array copies into
+    // inline storage.
+    g.bench_function("split_for", |b| {
+        b.iter(|| rec.split_for(&ty).unwrap());
+    });
+
+    // Identity split (record shape == input type): the box-wrapper
+    // fast path — plan lookup only, nothing copied by the caller.
+    let exact = Record::build().field("a", 1i64).tag("b", 10).finish();
+    let exact_ty = RecordType::of(&["a"], &["b"]);
+    let ty_shape = Shape::of_type(&exact_ty);
+    g.bench_function("split_plan_identity_hit", |b| {
+        b.iter(|| exact.shape().split_plan(ty_shape).unwrap().is_identity());
+    });
+
+    // Warm inherit, non-identity: {c} gains the excess {d}.
+    let (_, excess) = rec.split_for(&ty).unwrap();
+    let out = Record::build().field("c", 9i64).finish();
+    let _ = out.clone().inherit(&excess);
+    g.bench_function("inherit", |b| {
+        b.iter(|| out.clone().inherit(&excess));
+    });
+
+    // Identity inherit: excess fully shadowed — returns the record
+    // untouched.
+    let shadowing = Record::build().field("c", 9i64).field("d", 5i64).finish();
+    let _ = shadowing.clone().inherit(&excess);
+    g.bench_function("inherit_identity", |b| {
+        b.iter(|| shadowing.clone().inherit(&excess));
+    });
+
+    // Shape-intern hit: resolving a known label set to its shape id
+    // (what `Record::split_for` pays to key the plan table).
+    g.bench_function("shape_intern_hit", |b| {
+        b.iter(|| Shape::of_type(&ty).id());
+    });
+
+    // Shape-intern miss: first sight of a label set (leaks one
+    // interned shape per iteration by design — the measurement is
+    // bounded by the short warm-up/measurement windows below; every
+    // later sighting of these shapes is a hit).
+    let mut fresh = 0u64;
+    g.bench_function("shape_intern_miss", |b| {
+        b.iter(|| {
+            fresh += 1;
+            let name = format!("im{fresh}");
+            Shape::of_type(&RecordType::of(&[&name], &["immt"])).id()
+        });
+    });
+
+    g.finish();
+}
+
 /// RT_record_hop — one record through one box component on a live
 /// network: channel send, box wrapper (subtype split, flow
 /// inheritance, metrics), channel recv. The floor for every
@@ -401,6 +473,7 @@ criterion_group!(
     benches,
     bench_metrics_inc,
     bench_dispatch_route,
+    bench_record_ops,
     bench_stream_send,
     bench_record_hop,
     bench_throughput,

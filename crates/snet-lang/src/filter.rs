@@ -182,19 +182,27 @@ impl FilterDef {
     /// of the input record not in the pattern flow-inherit onto every
     /// output.
     pub fn apply(&self, rec: &Record) -> Result<Vec<Record>, ExprError> {
-        debug_assert!(
-            rec.matches(&self.pattern),
-            "filter applied to non-matching record {rec:?} (pattern {})",
-            self.pattern
-        );
-        let excess = {
-            // Everything outside the pattern is excess.
-            let mut e = rec.clone();
-            for l in self.pattern.labels() {
-                e.remove(*l);
-            }
-            e
-        };
+        // Everything outside the pattern is excess — the compiled
+        // split plan's excess half (one shape-keyed lookup plus array
+        // copies; see snet_types::shape).
+        let excess = rec.excess_for(&self.pattern).unwrap_or_else(|| {
+            panic!(
+                "filter applied to non-matching record {rec:?} (pattern {})",
+                self.pattern
+            )
+        });
+        self.apply_with_excess(rec, &excess)
+    }
+
+    /// [`FilterDef::apply`] with the flow-inheritance excess already
+    /// computed — for callers (the runtime's filter component) that
+    /// resolve the split plan once per record shape instead of once
+    /// per record.
+    pub fn apply_with_excess(
+        &self,
+        rec: &Record,
+        excess: &Record,
+    ) -> Result<Vec<Record>, ExprError> {
         let mut out = Vec::with_capacity(self.outputs.len());
         for spec in &self.outputs {
             let mut r = Record::new();
@@ -223,7 +231,7 @@ impl FilterDef {
                     }
                 }
             }
-            out.push(r.inherit(&excess));
+            out.push(r.inherit(excess));
         }
         Ok(out)
     }

@@ -39,6 +39,12 @@ pub struct Ctx {
     observers: Vec<Observer>,
     executor: Arc<dyn Executor>,
     tracker: Arc<Tracker>,
+    /// Opt-in bounded lane namespace for indexed-split routing paths:
+    /// when set, parallel replicators hash tag values into this many
+    /// lanes instead of one replica per distinct value, capping the
+    /// path-interner growth on unbounded tag domains (see
+    /// [`crate::split`] and the `NetBuilder::split_lanes` knob).
+    split_lanes: Option<u32>,
 }
 
 impl Ctx {
@@ -53,12 +59,28 @@ impl Ctx {
         observers: Vec<Observer>,
         executor: Arc<dyn Executor>,
     ) -> Arc<Ctx> {
+        Ctx::with_config(metrics, observers, executor, None)
+    }
+
+    /// Context on an explicit executor with runtime options.
+    pub fn with_config(
+        metrics: Arc<Metrics>,
+        observers: Vec<Observer>,
+        executor: Arc<dyn Executor>,
+        split_lanes: Option<u32>,
+    ) -> Arc<Ctx> {
         Arc::new(Ctx {
             metrics,
             observers,
             executor,
             tracker: Tracker::new(),
+            split_lanes,
         })
+    }
+
+    /// The indexed-split lane bound, if configured.
+    pub fn split_lanes(&self) -> Option<u32> {
+        self.split_lanes
     }
 
     /// Spawns a named component on the context's executor and

@@ -4,21 +4,23 @@
 //! and tag arithmetic — and run exactly like boxes, minus a
 //! computational payload.
 //!
-//! The pattern check (`rec.matches(&def.pattern)`) depends only on the
-//! record's *type* — the label set it carries — so it is memoized per
-//! type through [`TypeMemo`] (the ROADMAP follow-on to the route-cache
-//! generalisation): the first record of each type pays the subset
-//! test, every later one a hash and a bucket scan. The memo's
-//! element-wise key verification means a hash collision degrades to a
-//! comparison, never a wrong admission, and a field and a tag of the
-//! same name (which share an interner id) stay distinct types.
+//! Like boxes, filters resolve their per-record type work through
+//! compiled shape plans (see `snet_types::shape`): the pattern's
+//! shape is interned once at spawn, the split plan for each incoming
+//! record *shape* is resolved once through a spawn-local cache, and
+//! both the pattern check (plan exists?) and the flow-inheritance
+//! excess (the plan's excess half) fall out of that single lookup —
+//! no per-record subset tests, label searches or global-table locks.
+//! A field and a tag of the same name stay distinct shapes by
+//! construction, so the check cannot conflate them.
 
 use crate::ctx::Ctx;
-use crate::memo::TypeMemo;
+use crate::memo::PlanCache;
 use crate::metrics::keys;
 use crate::path::CompPath;
 use crate::stream::{for_each_msg, stream, Dir, Msg, Receiver};
 use snet_lang::FilterDef;
+use snet_types::Shape;
 use std::sync::Arc;
 
 /// Spawns a filter component applying `def` to every incoming record.
@@ -38,24 +40,26 @@ pub fn spawn_filter(
     let records_out = ctx.metrics.handle_at(path, keys::RECORDS_OUT);
     let ctx2 = Arc::clone(ctx);
     ctx.spawn(path.as_str(), async move {
-        let mut pattern_memo: TypeMemo<bool> = TypeMemo::new();
+        let mut plans = PlanCache::new(Shape::of_type(&def.pattern));
         for_each_msg(input, |msg| match msg {
             Msg::Rec(rec) => {
                 if ctx2.has_observers() {
                     ctx2.observe(path, Dir::In, &rec);
                 }
                 records_in.inc(1);
-                let matched =
-                    pattern_memo.get_or_insert_with(&rec, |rt| rt.is_subtype_of(&def.pattern));
-                if !matched {
+                // Plan existence *is* the pattern check (subtype
+                // acceptance), and its excess half is the filter's
+                // flow-inheritance source.
+                let Some(plan) = plans.plan_for(&rec) else {
                     panic!(
                         "record {rec:?} does not match filter pattern {} at '{path}' — \
                          routing invariant violated",
                         def.pattern
-                    );
-                }
+                    )
+                };
+                let excess = rec.excess_with(plan);
                 let outs = def
-                    .apply(&rec)
+                    .apply_with_excess(&rec, &excess)
                     .unwrap_or_else(|e| panic!("tag expression failed in filter at '{path}': {e}"));
                 records_out.inc(outs.len() as u64);
                 for out in outs {

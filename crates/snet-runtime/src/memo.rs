@@ -1,51 +1,37 @@
-//! Label-sequence memoization over record *types*.
+//! Shape-keyed memoization over record *types*.
 //!
 //! Several per-record decisions in the runtime depend only on the
-//! record's **type** — the ordered set of labels it carries — while
-//! the label universe of a coordination program is fixed. Such
-//! decisions are worth memoizing: resolve the (allocating, subset-
-//! testing) computation once per distinct record type, and serve every
-//! later record of that type from a hash lookup with zero allocation.
+//! record's **type** — the set of labels it carries — while the label
+//! universe of a coordination program is fixed. Such decisions are
+//! worth memoizing: resolve the (allocating, subset-testing)
+//! computation once per distinct record type, and serve every later
+//! record of that type from a map hit with zero allocation.
 //!
 //! [`TypeMemo`] is that memo, extracted from the parallel dispatcher's
-//! route cache (PR 1) and generalised: the dispatcher memoizes
-//! [`crate::parallel::RouteClass`] decisions, and [`crate::net::Net`]
-//! memoizes its `send` boundary type check, which previously ran
-//! `record_type()` + `match_score` subset tests for every injected
-//! record.
-//!
-//! Keys are order-dependent hashes of the record's label sequence
-//! (fields then tags, sorted — the order `Record::labels` guarantees),
-//! verified element-wise against the stored [`RecordType`], so a hash
-//! collision degrades to a comparison, never a wrong answer.
+//! route cache (PR 1), generalised (PR 2/3: `Net::send` boundary
+//! checks, filter pattern checks) and now keyed on **interned shape
+//! ids** (PR 4, see `snet_types::shape`): a record names its type
+//! with `shape().id()`, so the memo key is a single `u32` and one
+//! O(1) id comparison replaces the previous scheme's label-sequence
+//! hash plus element-wise key verification. Shape interning already
+//! guarantees that equal ids mean identical label sets — including
+//! the field-vs-tag distinction for same-named labels — so a hash
+//! collision cannot produce a wrong answer by construction.
 
-use snet_types::{Record, RecordType};
-use std::collections::HashMap;
+use snet_types::{FxMap, Record, RecordType, Shape, SplitPlan};
 
-/// Order-dependent FNV hash of a record's label sequence. Includes
-/// the label kind: a field and a tag of the same name share an
-/// interner id but are different labels.
-pub fn label_seq_hash(rec: &Record) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for l in rec.labels() {
-        let v = (u64::from(l.id()) << 1) | u64::from(l.is_tag());
-        h = (h ^ v).wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-/// A memo from record type to a copyable decision `V`. The first
-/// record of each type pays one `record_type()` allocation plus the
-/// provided computation; every later record of that type costs one
-/// hash and a bucket scan.
+/// A memo from record type (interned shape id) to a copyable decision
+/// `V`. The first record of each type pays one `record_type()`
+/// allocation plus the provided computation; every later record of
+/// that type costs one id-keyed map hit.
 pub struct TypeMemo<V> {
-    buckets: HashMap<u64, Vec<(RecordType, V)>>,
+    map: FxMap<u32, V>,
 }
 
 impl<V: Copy> TypeMemo<V> {
     pub fn new() -> TypeMemo<V> {
         TypeMemo {
-            buckets: HashMap::new(),
+            map: FxMap::default(),
         }
     }
 
@@ -53,14 +39,7 @@ impl<V: Copy> TypeMemo<V> {
     /// Read-only: lets concurrent callers share the memo behind a
     /// read lock once it is warm (see `Net::send`).
     pub fn get(&self, rec: &Record) -> Option<V> {
-        let h = label_seq_hash(rec);
-        let bucket = self.buckets.get(&h)?;
-        for (rt, v) in bucket {
-            if rt.len() == rec.len() && rt.labels().iter().copied().eq(rec.labels()) {
-                return Some(*v);
-            }
-        }
-        None
+        self.map.get(&rec.shape().id()).copied()
     }
 
     /// The memoized value for the record's type, computing (and
@@ -70,29 +49,66 @@ impl<V: Copy> TypeMemo<V> {
         rec: &Record,
         compute: impl FnOnce(&RecordType) -> V,
     ) -> V {
-        if let Some(v) = self.get(rec) {
-            return v;
+        let id = rec.shape().id();
+        if let Some(v) = self.map.get(&id) {
+            return *v;
         }
-        let h = label_seq_hash(rec);
-        let rt = rec.record_type();
-        let v = compute(&rt);
-        self.buckets.entry(h).or_default().push((rt, v));
+        let v = compute(&rec.record_type());
+        self.map.insert(id, v);
         v
     }
 
     /// Number of distinct record types memoized.
     pub fn len(&self) -> usize {
-        self.buckets.values().map(|b| b.len()).sum()
+        self.map.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.buckets.is_empty()
+        self.map.is_empty()
     }
 }
 
 impl<V: Copy> Default for TypeMemo<V> {
     fn default() -> Self {
         TypeMemo::new()
+    }
+}
+
+/// A spawn-local cache from record shape to the compiled
+/// [`SplitPlan`] against one fixed input type — the front line in
+/// front of the process-wide plan table, shared by the box wrapper
+/// and the filter component. Streams carry a handful of shapes, so a
+/// linear scan over a small vec beats hashing; `None` entries cache
+/// the doesn't-match verdict so repeat offenders stay cheap to
+/// reject.
+pub struct PlanCache {
+    ty: Shape,
+    plans: Vec<(u32, Option<&'static SplitPlan>)>,
+}
+
+impl PlanCache {
+    /// A cache resolving plans against the given input-type shape.
+    pub fn new(ty: Shape) -> PlanCache {
+        PlanCache {
+            ty,
+            plans: Vec::new(),
+        }
+    }
+
+    /// The split plan for `rec`'s shape against the cached input
+    /// type; `None` when the record does not match it. First sight of
+    /// a shape consults the process-wide table; later records of that
+    /// shape are a scan over a few entries with no locks.
+    pub fn plan_for(&mut self, rec: &Record) -> Option<&'static SplitPlan> {
+        let sid = rec.shape().id();
+        match self.plans.iter().find(|(id, _)| *id == sid) {
+            Some((_, plan)) => *plan,
+            None => {
+                let plan = rec.shape().split_plan(self.ty);
+                self.plans.push((sid, plan));
+                plan
+            }
+        }
     }
 }
 

@@ -29,6 +29,12 @@
 //! joining branch carries a *watermark* — the number of sorts per level
 //! already broadcast before it joined — so the merger knows which sorts
 //! the branch will never deliver and does not wait for them.
+//!
+//! Sort records are a native [`Msg`] variant, so detecting one is an
+//! enum-discriminant test, and *record* comparisons (the det-output
+//! byte-identity checks this module's guarantees are verified by)
+//! short-circuit on the interned shape id before touching any value —
+//! no per-record label probing anywhere on the merge path.
 
 use crate::ctx::Ctx;
 use crate::path::CompPath;

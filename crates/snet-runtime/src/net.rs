@@ -81,6 +81,7 @@ pub struct NetBuilder {
     bindings: Bindings,
     observers: Vec<Observer>,
     executor: Option<Arc<dyn Executor>>,
+    split_lanes: Option<u32>,
 }
 
 impl NetBuilder {
@@ -92,6 +93,7 @@ impl NetBuilder {
             bindings: Bindings::new(),
             observers: Vec::new(),
             executor: None,
+            split_lanes: None,
         })
     }
 
@@ -102,6 +104,7 @@ impl NetBuilder {
             bindings: Bindings::new(),
             observers: Vec::new(),
             executor: None,
+            split_lanes: None,
         }
     }
 
@@ -130,6 +133,22 @@ impl NetBuilder {
         self
     }
 
+    /// Bounds every indexed parallel replicator (`!!`/`!`) of this
+    /// network to `lanes` replicas: routing-tag values are hashed into
+    /// a fixed lane namespace instead of unfolding one replica (and
+    /// interning one branch path) per distinct value. Opt-in — the
+    /// default is the paper's value-indexed unfolding. Use it when a
+    /// split tag is drawn from an unbounded domain (session ids,
+    /// request ids): the `runtime/interner_paths` gauge then plateaus
+    /// instead of growing with the domain. Equal tag values still
+    /// always reach the same replica; see [`crate::split`] for the
+    /// trade-off discussion.
+    pub fn split_lanes(mut self, lanes: u32) -> Self {
+        assert!(lanes > 0, "split_lanes requires at least one lane");
+        self.split_lanes = Some(lanes);
+        self
+    }
+
     /// Compiles and spawns the named net.
     pub fn build(self, net_name: &str) -> Result<Net, BuildError> {
         let env = self.program.env()?;
@@ -153,7 +172,12 @@ impl NetBuilder {
     fn build_ast(self, env: &Env, ast: &NetAst) -> Result<Net, BuildError> {
         let plan = compile(ast, env, &self.bindings)?;
         let executor = self.executor.unwrap_or_else(crate::sched::default_executor);
-        Ok(Net::spawn_on(plan, self.observers, executor))
+        Ok(Net::spawn_cfg(
+            plan,
+            self.observers,
+            executor,
+            self.split_lanes,
+        ))
     }
 }
 
@@ -191,8 +215,20 @@ impl Net {
 
     /// Spawns a compiled plan on an explicit executor.
     pub fn spawn_on(plan: Plan, observers: Vec<Observer>, executor: Arc<dyn Executor>) -> Net {
+        Net::spawn_cfg(plan, observers, executor, None)
+    }
+
+    /// Spawns a compiled plan on an explicit executor with runtime
+    /// options (currently the bounded split-lane namespace; see
+    /// [`NetBuilder::split_lanes`]).
+    pub fn spawn_cfg(
+        plan: Plan,
+        observers: Vec<Observer>,
+        executor: Arc<dyn Executor>,
+        split_lanes: Option<u32>,
+    ) -> Net {
         let metrics = Metrics::new();
-        let ctx = Ctx::with_executor(metrics, observers, executor);
+        let ctx = Ctx::with_config(metrics, observers, executor, split_lanes);
         let (tx, rx) = stream();
         let output = instantiate(&ctx, &plan.root, CompPath::root("net"), rx);
         // Gauge, not counter: the high-water mark of the process-wide

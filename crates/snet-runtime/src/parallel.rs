@@ -15,8 +15,10 @@
 //! program is fixed (see `snet_types::label`). The dispatcher
 //! therefore resolves `match_score` subset tests once per distinct
 //! record type and caches the outcome in a [`RouteCache`]: subsequent
-//! records of a seen type cost one label-sequence hash and a map hit,
-//! with no allocation. Equal-match types are cached as [`RouteClass::Tie`]
+//! records of a seen type cost one shape-id map hit (shapes are
+//! interned label sets, so the id *is* the type — no hashing of label
+//! sequences, no element-wise verification), with no allocation.
+//! Equal-match types are cached as [`RouteClass::Tie`]
 //! — the cache stores the *class*, never a fixed branch, so the
 //! non-deterministic choice the paper requires stays an explicit
 //! round-robin over time (see [`RouteCache::decide`]).
@@ -50,8 +52,8 @@ pub enum RouteClass {
 /// Memoized best-match routing for a parallel composition, built on
 /// the generic [`TypeMemo`] (see [`crate::memo`]): the first record of
 /// each type pays one `record_type()` allocation and two
-/// `match_score` subset tests; every later record of that type is a
-/// hash + lookup with zero allocation.
+/// `match_score` subset tests; every later record of that type is an
+/// O(1) shape-id lookup with zero allocation.
 pub struct RouteCache {
     lsig: NetSig,
     rsig: NetSig,

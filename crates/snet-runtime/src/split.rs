@@ -13,6 +13,27 @@
 //! this is what makes the Figure 3 throttle work: after
 //! `[{<k>} -> {<k>=<k>%4}]` only four distinct values reach the
 //! replicator, so at most four replicas unfold per stage.
+//!
+//! # Bounded lane namespace (opt-in)
+//!
+//! Branch paths embed the routing tag *value* (`.../branch{v}`), so a
+//! service splitting on an unbounded tag domain (e.g. a session id)
+//! grows the process-wide path interner without reclaim — the known
+//! growth mode the `runtime/interner_paths` gauge observes. The
+//! `NetBuilder::split_lanes(n)` knob caps it: tag values are hashed
+//! into `n` lanes (`.../lane{i}`), so at most `n` replicas — and at
+//! most `n` interned branch paths — exist per replicator, no matter
+//! how many distinct values flow. The paper's guarantee is preserved
+//! (equal tag values still always reach the same replica; hashing is
+//! deterministic); what is given up is isolation *between* distinct
+//! values that collide into one lane, which is exactly the trade the
+//! Figure 3 modulo filter makes explicitly. Deterministic variants
+//! are unaffected in output order: sort records re-establish input
+//! order regardless of lane assignment.
+//!
+//! The per-record tag lookup itself is shape-keyed (PR 4): the tag's
+//! value slot is resolved once per record shape and then read by
+//! index, with no per-record label search.
 
 use crate::ctx::Ctx;
 use crate::instantiate::instantiate;
@@ -24,6 +45,17 @@ use crate::stream::{chan, for_each_msg, stream, Dir, Msg, Receiver, Sender};
 use snet_types::Label;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Hashes a routing-tag value into one of `n` lanes (deterministic
+/// across runs and processes: a fixed splitmix64 finalizer, so lane
+/// assignment — and therefore replica reuse — is reproducible).
+pub fn lane_of(v: i64, n: u32) -> i64 {
+    let mut z = (v as u64).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z % u64::from(n.max(1))) as i64
+}
 
 /// Spawns an indexed parallel replicator; returns its output stream.
 pub fn spawn_split(
@@ -58,16 +90,23 @@ pub fn spawn_split(
     );
 
     // Dispatcher: counters are registered once at spawn; the record
-    // loop's only per-record work is a tag lookup and a branch-map hit.
-    // Path/metric strings are only built on the demand-driven replica
-    // unfolding path (once per distinct tag value).
+    // loop's only per-record work is a shape-keyed tag-slot read and
+    // a branch-map hit. Path/metric strings are only built on the
+    // demand-driven replica unfolding path (once per distinct tag
+    // value, or per lane when the lane namespace is bounded).
     let ctx2 = Arc::clone(ctx);
     let inner = Arc::clone(inner);
     let dpath = comb;
+    let lanes = ctx.split_lanes();
     let records_in = ctx.metrics.handle_at(dpath, keys::RECORDS_IN);
     let branches_created = ctx.metrics.handle_at(dpath, keys::BRANCHES);
     ctx.spawn(format!("{dpath}/dispatch"), async move {
         let mut branches: HashMap<i64, Sender> = HashMap::new();
+        // Routing-tag slot per record shape: resolved once per shape,
+        // then a direct value-array read (streams are overwhelmingly
+        // shape-monomorphic, so a one-entry cache suffices; a shape
+        // change just re-resolves).
+        let mut tag_slot: Option<(u32, Option<usize>)> = None;
         // Sorts broadcast so far, per level: the watermark handed to
         // replicas created later (they will never see earlier sorts).
         let mut watermark = Watermark::new();
@@ -78,17 +117,37 @@ pub fn spawn_split(
                     ctx2.observe(dpath, Dir::In, &rec);
                 }
                 records_in.inc(1);
-                let v = rec.tag_label(tag).unwrap_or_else(|| {
+                let sid = rec.shape().id();
+                let slot = match tag_slot {
+                    Some((cached, slot)) if cached == sid => slot,
+                    _ => {
+                        let slot = rec.shape().tag_index(tag);
+                        tag_slot = Some((sid, slot));
+                        slot
+                    }
+                };
+                let v = slot.map(|i| rec.tag_value_at(i)).unwrap_or_else(|| {
                     panic!(
                         "record {rec:?} reached parallel replicator at '{dpath}' without \
                          routing tag {tag}"
                     )
                 });
-                let branch_tx = branches.entry(v).or_insert_with(|| {
+                // With a bounded lane namespace, the branch key is the
+                // lane index; equal tag values still hash to the same
+                // lane, preserving the paper's same-value-same-replica
+                // guarantee.
+                let key = match lanes {
+                    Some(n) => lane_of(v, n),
+                    None => v,
+                };
+                let branch_tx = branches.entry(key).or_insert_with(|| {
                     // Demand-driven unfolding of a fresh replica.
                     let (btx, brx) = stream();
-                    let replica_out =
-                        instantiate(&ctx2, &inner, dpath.child(&format!("branch{v}")), brx);
+                    let seg = match lanes {
+                        Some(_) => format!("lane{key}"),
+                        None => format!("branch{key}"),
+                    };
+                    let replica_out = instantiate(&ctx2, &inner, dpath.child(&seg), brx);
                     branches_created.inc(1);
                     // Register the tap before any subsequent sort
                     // broadcast so the merger can account for it.

@@ -24,6 +24,7 @@
 
 use crate::ctx::Ctx;
 use crate::instantiate::instantiate;
+use crate::memo::TypeMemo;
 use crate::merge::{spawn_merge, BranchSpec, MergeMode, Watermark};
 use crate::metrics::{keys, Counter};
 use crate::path::CompPath;
@@ -128,12 +129,18 @@ fn spawn_guard(
     ctx.spawn(gpath.as_str(), async move {
         let mut wm = watermark;
         let mut next: Option<Sender> = None;
+        // The exit-pattern subset test depends only on the record's
+        // type: memoized per shape id, like every other per-record
+        // type decision (the optional tag guard stays dynamic — it
+        // reads values, not labels).
+        let mut exit_memo: TypeMemo<bool> = TypeMemo::new();
         for_each_msg(input, |msg| match msg {
             Msg::Rec(rec) => {
                 if ctx2.has_observers() {
                     ctx2.observe(gpath, Dir::In, &rec);
                 }
-                let exits = rec.matches(&shared.exit.pattern)
+                let exits = exit_memo
+                    .get_or_insert_with(&rec, |rt| rt.is_subtype_of(&shared.exit.pattern))
                     && shared
                         .exit
                         .guard

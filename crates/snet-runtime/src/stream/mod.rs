@@ -74,6 +74,11 @@ use std::sync::Arc;
 use std::task::{Context, Poll};
 
 /// A message travelling on a stream.
+// Records carry their values inline (the PR 4 allocation-free record
+// representation), so the data variant is a couple of hundred bytes
+// moved by memcpy. Boxing it to shrink the enum would reintroduce the
+// very per-record heap allocation the representation removed.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq)]
 pub enum Msg {
     /// A data record.
@@ -147,15 +152,17 @@ impl Future for SelectReady<'_> {
 /// `input` — up to [`RECV_BATCH`] messages per wake, one fair
 /// timeslice — and applies `f` to each message in stream order, until
 /// end-of-stream. Batched delivery lives here so its semantics
-/// (batch sizing, the `recv_batch` contract, EOS handling) have one
-/// definition instead of one per component.
+/// (batch sizing, the in-place `recv_each` contract, EOS handling)
+/// have one definition instead of one per component.
+///
+/// Delivery is **in place** ([`chan::Receiver::recv_each`]): each
+/// message is copied once, queue slot → `f`'s argument, with no
+/// intermediate batch buffer. Records travel by value and are a
+/// couple of cache lines wide, so the buffer round-trip the previous
+/// `recv_batch` loop paid was a second full copy of every record plus
+/// a `RECV_BATCH × size_of::<Msg>()` working set per component.
 pub async fn for_each_msg(input: Receiver, mut f: impl FnMut(Msg)) {
-    let mut batch: Vec<Msg> = Vec::new();
-    while input.recv_batch(&mut batch, RECV_BATCH).await > 0 {
-        for msg in batch.drain(..) {
-            f(msg);
-        }
-    }
+    while input.recv_each(RECV_BATCH, &mut f).await > 0 {}
 }
 
 /// Cooperative yield: resolves on its second poll after an immediate

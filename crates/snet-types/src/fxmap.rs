@@ -1,0 +1,97 @@
+//! A tiny multiply-fold hasher for the runtime's small integer keys.
+//!
+//! The shape tables and type memos key on interned ids (`u32` shape
+//! ids, `(u32, u32)` shape pairs, `(u32, Label)` transitions). The
+//! standard library's default SipHash is DoS-hardened — pointless for
+//! keys drawn from bounded interner-assigned universes — and costs
+//! tens of nanoseconds per lookup, which is material when the lookup
+//! *is* the hot-path operation the memo exists to make cheap. This is
+//! the classic FxHash fold: one wrapping multiply per word.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// One-multiply-per-word hasher for interned-id keys.
+#[derive(Default)]
+pub struct FxHasher(u64);
+
+impl FxHasher {
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.fold(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.fold(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.fold(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.fold(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.fold(v as u64);
+    }
+}
+
+/// A `HashMap` over interned-id keys with the fold hasher.
+pub type FxMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip_and_distribution() {
+        let mut m: FxMap<(u32, u32), u32> = FxMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i * 7), i);
+        }
+        for i in 0..1000u32 {
+            assert_eq!(m.get(&(i, i * 7)), Some(&i));
+        }
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn sequential_ids_spread() {
+        // The multiply must spread dense ids across the u64 space so
+        // bucket collisions stay near uniform.
+        let mut hs: Vec<u64> = (0..64u32)
+            .map(|i| {
+                let mut h = FxHasher::default();
+                h.write_u32(i);
+                h.finish()
+            })
+            .collect();
+        hs.sort_unstable();
+        hs.dedup();
+        assert_eq!(hs.len(), 64);
+    }
+}

@@ -29,11 +29,30 @@ pub enum LabelKind {
 /// An interned label. Cheap to copy and compare; the total order is
 /// kind-major then name-alphabetical, so sorted label vectors print in
 /// a stable, human-readable order.
-#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy)]
 pub struct Label {
     kind: LabelKind,
     id: u32,
     name: &'static str,
+}
+
+impl PartialEq for Label {
+    /// Interning makes `(kind, id)` a complete identity — no string
+    /// comparison (labels key hot-path hash maps: shape transition
+    /// caches, route memos).
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id && self.kind == other.kind
+    }
+}
+
+impl Eq for Label {}
+
+impl std::hash::Hash for Label {
+    /// Hashes the interned identity only, never the name bytes —
+    /// consistent with `Eq` because the id determines the name.
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u32((self.id << 1) | u32::from(self.kind == LabelKind::Tag));
+    }
 }
 
 fn intern(name: &str) -> (u32, &'static str) {

@@ -9,6 +9,9 @@
 //! * [`Value`] — opaque field payloads from the SaC domain;
 //! * [`Record`] — label/value messages, including the record-level
 //!   halves of subtype acceptance and **flow inheritance**;
+//! * [`Shape`] — interned record shapes (label sets) with compiled
+//!   split/inherit plans, making every per-record type operation an
+//!   id-keyed lookup plus straight array copies;
 //! * [`RecordType`] / [`MultiType`] — label-set types with structural
 //!   subtyping (`t1 <: t2 ⟺ t2 ⊆ t1`) and best-match scoring;
 //! * [`BoxSig`] / [`NetSig`] — box and network signatures, with static
@@ -20,16 +23,21 @@
 //! `snet-lang`. This crate is pure data — no threads, no channels —
 //! which is what makes the type-level properties property-testable.
 
+pub mod fxmap;
 pub mod intern;
 pub mod label;
 pub mod record;
 pub mod rtype;
+pub mod shape;
 pub mod sig;
+pub mod svec;
 pub mod value;
 
+pub use fxmap::{FxHasher, FxMap};
 pub use intern::StringInterner;
 pub use label::{Label, LabelKind};
-pub use record::{Record, RecordBuilder};
+pub use record::{Record, RecordBuilder, INLINE_SLOTS};
 pub use rtype::{MultiType, RecordType};
+pub use shape::{interned_shapes, InheritPlan, Shape, SplitPlan};
 pub use sig::{parallel, serial, split, star, BoxSig, Mapping, NetSig, OutVariant, TypeError};
 pub use value::Value;

@@ -4,26 +4,70 @@
 //! records, i.e. label-value pairs" (paper, Section 4). A record maps
 //! field labels to opaque [`Value`]s and tag labels to integers.
 //!
-//! The module also implements the record-level halves of the two
-//! distinctive S-Net mechanisms:
+//! # Shape-interned representation
+//!
+//! A record is an interned [`Shape`] (its sorted field+tag label set —
+//! see [`crate::shape`]) plus two value arrays aligned with the
+//! shape's label halves. The labels themselves live in the interner,
+//! `&'static` and shared by every record of the shape; the values live
+//! inline in the record for up to four fields and four tags
+//! ([`crate::svec::SVec`]), so records of that size — every workload
+//! in this tree — are **allocation-free to construct, clone, split
+//! and inherit**.
+//!
+//! The shape id makes every type-level question about a record O(1):
+//! type-keyed memos key on `shape().id()` with no element-wise
+//! verification, and equality short-circuits on the id before looking
+//! at a single value.
+//!
+//! # Compiled subtype acceptance and flow inheritance
+//!
+//! The module implements the record-level halves of the two
+//! distinctive S-Net mechanisms as **plan applications**:
 //!
 //! * **subtype acceptance** — [`Record::split_for`] checks that a
-//!   record has at least the labels of an input type and splits it into
-//!   the matched part (handed to the box function) and the *excess*;
-//! * **flow inheritance** — [`Record::inherit`] re-attaches that excess
-//!   to an output record "unless some label is already present in the
-//!   output record, in which case the field or tag is discarded".
+//!   record has at least the labels of an input type and splits it
+//!   into the matched part (handed to the box function) and the
+//!   *excess*. The partition is compiled once per (record shape,
+//!   input type) pair into a [`SplitPlan`] of value-array indices;
+//!   applying it is straight copies, no per-label binary searches.
+//! * **flow inheritance** — [`Record::inherit`] re-attaches that
+//!   excess to an output record "unless some label is already present
+//!   in the output record, in which case the field or tag is
+//!   discarded". The duplicate-discard rule resolves at plan-compile
+//!   time ([`crate::shape::InheritPlan`]); when the excess
+//!   contributes nothing the plan is the identity and `inherit`
+//!   returns its input untouched.
 
 use crate::label::{Label, LabelKind};
 use crate::rtype::RecordType;
+use crate::shape::{Shape, SplitPlan};
+use crate::svec::SVec;
 use crate::value::Value;
 use std::fmt;
 
-/// A record: sorted field and tag label/value pairs.
-#[derive(Clone, Default, PartialEq)]
+/// Inline value slots per kind half: records with at most this many
+/// fields and this many tags never touch the heap.
+pub const INLINE_SLOTS: usize = 4;
+
+/// A record: an interned shape plus shape-aligned value storage.
+#[derive(Clone, PartialEq)]
 pub struct Record {
-    fields: Vec<(Label, Value)>,
-    tags: Vec<(Label, i64)>,
+    shape: Shape,
+    /// Field values, aligned with `shape.fields()`.
+    fields: SVec<Value, INLINE_SLOTS>,
+    /// Tag values, aligned with `shape.tags()`.
+    tags: SVec<i64, INLINE_SLOTS>,
+}
+
+impl Default for Record {
+    fn default() -> Record {
+        Record {
+            shape: Shape::empty(),
+            fields: SVec::new(),
+            tags: SVec::new(),
+        }
+    }
 }
 
 impl Record {
@@ -35,6 +79,13 @@ impl Record {
     /// Fluent builder: `Record::build().field("board", v).tag("k", 1)`.
     pub fn build() -> RecordBuilder {
         RecordBuilder(Record::new())
+    }
+
+    /// The record's interned shape: its label set as a copyable
+    /// handle. Two records have the same shape id iff they carry
+    /// exactly the same labels.
+    pub fn shape(&self) -> Shape {
+        self.shape
     }
 
     /// Number of fields plus tags.
@@ -58,9 +109,13 @@ impl Record {
             label.kind() == LabelKind::Field,
             "set_field_label requires a field label, got {label}"
         );
-        match self.fields.binary_search_by_key(&label, |(l, _)| *l) {
-            Ok(i) => self.fields[i].1 = value,
-            Err(i) => self.fields.insert(i, (label, value)),
+        match self.shape.field_index(label) {
+            Some(i) => self.fields.as_mut_slice()[i] = value,
+            None => {
+                let (shape, slot) = self.shape.with(label);
+                self.shape = shape;
+                self.fields.insert(slot, value);
+            }
         }
     }
 
@@ -75,9 +130,13 @@ impl Record {
             label.kind() == LabelKind::Tag,
             "set_tag_label requires a tag label, got {label}"
         );
-        match self.tags.binary_search_by_key(&label, |(l, _)| *l) {
-            Ok(i) => self.tags[i].1 = value,
-            Err(i) => self.tags.insert(i, (label, value)),
+        match self.shape.tag_index(label) {
+            Some(i) => self.tags.as_mut_slice()[i] = value,
+            None => {
+                let (shape, slot) = self.shape.with(label);
+                self.shape = shape;
+                self.tags.insert(slot, value);
+            }
         }
     }
 
@@ -87,10 +146,9 @@ impl Record {
     }
 
     pub fn field_label(&self, label: Label) -> Option<&Value> {
-        self.fields
-            .binary_search_by_key(&label, |(l, _)| *l)
-            .ok()
-            .map(|i| &self.fields[i].1)
+        self.shape
+            .field_index(label)
+            .and_then(|i| self.fields.get(i))
     }
 
     /// Looks up a tag by name.
@@ -99,136 +157,203 @@ impl Record {
     }
 
     pub fn tag_label(&self, label: Label) -> Option<i64> {
-        self.tags
-            .binary_search_by_key(&label, |(l, _)| *l)
-            .ok()
-            .map(|i| self.tags[i].1)
+        self.shape.tag_index(label).map(|i| self.tags.as_slice()[i])
+    }
+
+    /// The tag value in slot `i` of the shape's tag half — for callers
+    /// that resolved the slot once per shape (e.g. the indexed-split
+    /// dispatcher) instead of re-searching per record.
+    pub fn tag_value_at(&self, i: usize) -> i64 {
+        self.tags.as_slice()[i]
     }
 
     /// True when the record carries the label (field or tag).
     pub fn has(&self, label: Label) -> bool {
-        match label.kind() {
-            LabelKind::Field => self.field_label(label).is_some(),
-            LabelKind::Tag => self.tag_label(label).is_some(),
-        }
+        self.shape.contains(label)
     }
 
     /// Removes a label if present; returns whether it was there.
     pub fn remove(&mut self, label: Label) -> bool {
         match label.kind() {
-            LabelKind::Field => {
-                if let Ok(i) = self.fields.binary_search_by_key(&label, |(l, _)| *l) {
+            LabelKind::Field => match self.shape.field_index(label) {
+                Some(i) => {
+                    self.shape = self.shape.without(label);
                     self.fields.remove(i);
                     true
-                } else {
-                    false
                 }
-            }
-            LabelKind::Tag => {
-                if let Ok(i) = self.tags.binary_search_by_key(&label, |(l, _)| *l) {
+                None => false,
+            },
+            LabelKind::Tag => match self.shape.tag_index(label) {
+                Some(i) => {
+                    self.shape = self.shape.without(label);
                     self.tags.remove(i);
                     true
-                } else {
-                    false
                 }
-            }
+                None => false,
+            },
         }
     }
 
     /// Iterates field entries in label order.
     pub fn fields(&self) -> impl Iterator<Item = (Label, &Value)> {
-        self.fields.iter().map(|(l, v)| (*l, v))
+        self.shape.fields().iter().copied().zip(self.fields.iter())
     }
 
     /// Iterates tag entries in label order.
     pub fn tags(&self) -> impl Iterator<Item = (Label, i64)> + '_ {
-        self.tags.iter().map(|(l, v)| (*l, *v))
+        self.shape
+            .tags()
+            .iter()
+            .copied()
+            .zip(self.tags.iter().copied())
     }
 
-    /// The record's type: its set of labels.
+    /// The record's type: its set of labels (allocates — hot paths key
+    /// on [`Record::shape`] instead).
     pub fn record_type(&self) -> RecordType {
-        self.fields
-            .iter()
-            .map(|(l, _)| *l)
-            .chain(self.tags.iter().map(|(l, _)| *l))
-            .collect()
+        self.shape.record_type()
     }
 
     /// Iterates every label of the record (fields then tags) in the
-    /// same sorted order [`Record::record_type`] would produce, without
-    /// allocating. Fields sort before tags under [`Label`]'s kind-major
-    /// order and each half is kept sorted internally, so the chained
-    /// sequence is globally sorted — hot paths rely on this to compare
-    /// a record's type against a cached [`RecordType`] element-wise.
+    /// sorted order [`Record::record_type`] would produce, without
+    /// allocating.
     pub fn labels(&self) -> impl Iterator<Item = Label> + '_ {
-        self.fields
-            .iter()
-            .map(|(l, _)| *l)
-            .chain(self.tags.iter().map(|(l, _)| *l))
+        self.shape.labels()
     }
 
     /// True when the record can enter an input of type `ty`
     /// (record subtyping: `ty ⊆ labels(self)`).
     pub fn matches(&self, ty: &RecordType) -> bool {
-        ty.labels().iter().all(|l| self.has(*l))
+        ty.labels().iter().all(|l| self.shape.contains(*l))
     }
 
     /// Splits the record against an input type: the first component
     /// carries exactly the labels of `ty` (what the box function sees),
     /// the second the *excess* kept by the runtime for flow
     /// inheritance. `None` when the record does not match `ty`.
+    ///
+    /// Resolves the compiled [`SplitPlan`] for `(shape, ty)` and
+    /// applies it; components that process many records against one
+    /// fixed type resolve the plan once per shape and call
+    /// [`Record::split_with`] directly.
     pub fn split_for(&self, ty: &RecordType) -> Option<(Record, Record)> {
-        if !self.matches(ty) {
-            return None;
+        let plan = self.shape.split_plan(Shape::of_type(ty))?;
+        Some(self.split_with(plan))
+    }
+
+    /// Applies a compiled split plan (straight value copies by index).
+    /// The plan must have been compiled for this record's shape.
+    pub fn split_with(&self, plan: &SplitPlan) -> (Record, Record) {
+        debug_assert_eq!(plan.source, self.shape, "split plan for a different shape");
+        let fields = self.fields.as_slice();
+        let tags = self.tags.as_slice();
+        let matched = Record {
+            shape: plan.matched,
+            fields: plan
+                .matched_fields
+                .iter()
+                .map(|&i| fields[i as usize].clone())
+                .collect(),
+            tags: plan
+                .matched_tags
+                .iter()
+                .map(|&i| tags[i as usize])
+                .collect(),
+        };
+        let excess = Record {
+            shape: plan.excess,
+            fields: plan
+                .excess_fields
+                .iter()
+                .map(|&i| fields[i as usize].clone())
+                .collect(),
+            tags: plan.excess_tags.iter().map(|&i| tags[i as usize]).collect(),
+        };
+        (matched, excess)
+    }
+
+    /// The excess half of [`Record::split_for`] alone — what filters
+    /// need for flow inheritance (the matched values are read from the
+    /// original record).
+    pub fn excess_for(&self, ty: &RecordType) -> Option<Record> {
+        let plan = self.shape.split_plan(Shape::of_type(ty))?;
+        Some(self.excess_with(plan))
+    }
+
+    /// Applies only the excess half of a compiled split plan —
+    /// for components that resolved the plan once per record shape
+    /// (see [`Record::split_with`]).
+    pub fn excess_with(&self, plan: &SplitPlan) -> Record {
+        debug_assert_eq!(plan.source, self.shape, "split plan for a different shape");
+        let fields = self.fields.as_slice();
+        let tags = self.tags.as_slice();
+        Record {
+            shape: plan.excess,
+            fields: plan
+                .excess_fields
+                .iter()
+                .map(|&i| fields[i as usize].clone())
+                .collect(),
+            tags: plan.excess_tags.iter().map(|&i| tags[i as usize]).collect(),
         }
-        let mut matched = Record::new();
-        let mut excess = Record::new();
-        for (l, v) in &self.fields {
-            if ty.contains(*l) {
-                matched.fields.push((*l, v.clone()));
-            } else {
-                excess.fields.push((*l, v.clone()));
-            }
-        }
-        for (l, v) in &self.tags {
-            if ty.contains(*l) {
-                matched.tags.push((*l, *v));
-            } else {
-                excess.tags.push((*l, *v));
-            }
-        }
-        Some((matched, excess))
     }
 
     /// Flow inheritance: extends `self` with every entry of `excess`
     /// whose label is not already present (paper, Section 4: present
-    /// labels win, the inherited entry "is discarded").
-    pub fn inherit(mut self, excess: &Record) -> Record {
-        for (l, v) in &excess.fields {
-            if self.field_label(*l).is_none() {
-                self.set_field_label(*l, v.clone());
-            }
+    /// labels win, the inherited entry "is discarded"). Applies the
+    /// compiled [`crate::shape::InheritPlan`] for the shape pair; the
+    /// identity case (nothing to inherit) returns `self` untouched.
+    pub fn inherit(self, excess: &Record) -> Record {
+        if excess.is_empty() {
+            return self;
         }
-        for (l, v) in &excess.tags {
-            if self.tag_label(*l).is_none() {
-                self.set_tag_label(*l, *v);
-            }
+        let plan = self.shape.inherit_plan(excess.shape);
+        if plan.identity {
+            return self;
         }
-        self
+        let own_fields = self.fields.as_slice();
+        let exc_fields = excess.fields.as_slice();
+        let own_tags = self.tags.as_slice();
+        let exc_tags = excess.tags.as_slice();
+        Record {
+            shape: plan.result,
+            fields: plan
+                .fields
+                .iter()
+                .map(|s| {
+                    if s.from_excess {
+                        exc_fields[s.idx as usize].clone()
+                    } else {
+                        own_fields[s.idx as usize].clone()
+                    }
+                })
+                .collect(),
+            tags: plan
+                .tags
+                .iter()
+                .map(|s| {
+                    if s.from_excess {
+                        exc_tags[s.idx as usize]
+                    } else {
+                        own_tags[s.idx as usize]
+                    }
+                })
+                .collect(),
+        }
     }
 
     /// Projects the record onto a set of labels (used by filters: "a
     /// field name occurring in the pattern: it is copied").
     pub fn project(&self, ty: &RecordType) -> Record {
         let mut out = Record::new();
-        for (l, v) in &self.fields {
-            if ty.contains(*l) {
-                out.fields.push((*l, v.clone()));
+        for (l, v) in self.fields() {
+            if ty.contains(l) {
+                out.set_field_label(l, v.clone());
             }
         }
-        for (l, v) in &self.tags {
-            if ty.contains(*l) {
-                out.tags.push((*l, *v));
+        for (l, v) in self.tags() {
+            if ty.contains(l) {
+                out.set_tag_label(l, v);
             }
         }
         out
@@ -239,14 +364,14 @@ impl fmt::Debug for Record {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{{")?;
         let mut first = true;
-        for (l, v) in &self.fields {
+        for (l, v) in self.fields() {
             if !first {
                 write!(f, ", ")?;
             }
             first = false;
             write!(f, "{l}={v:?}")?;
         }
-        for (l, v) in &self.tags {
+        for (l, v) in self.tags() {
             if !first {
                 write!(f, ", ")?;
             }
@@ -335,6 +460,21 @@ mod tests {
     }
 
     #[test]
+    fn shape_identity_tracks_label_set() {
+        let a = rec_abd();
+        let b = Record::build()
+            .field("d", 9i64)
+            .tag("b", 0)
+            .field("a", 9i64)
+            .finish();
+        // Same labels, any construction order: same interned shape.
+        assert_eq!(a.shape(), b.shape());
+        assert_eq!(a.shape().id(), b.shape().id());
+        let c = Record::build().field("a", 1i64).finish();
+        assert_ne!(a.shape(), c.shape());
+    }
+
+    #[test]
     fn matches_is_subtype_acceptance() {
         let r = rec_abd();
         assert!(r.matches(&RecordType::of(&["a"], &["b"])));
@@ -354,6 +494,15 @@ mod tests {
         assert_eq!(excess.field("d").unwrap().as_int(), Some(4));
         // Non-matching split yields None.
         assert!(r.split_for(&RecordType::of(&["zz"], &[])).is_none());
+    }
+
+    #[test]
+    fn excess_for_matches_split_for_excess() {
+        let r = rec_abd();
+        let ty = RecordType::of(&["a"], &["b"]);
+        let (_, excess) = r.split_for(&ty).unwrap();
+        assert_eq!(r.excess_for(&ty).unwrap(), excess);
+        assert!(r.excess_for(&RecordType::of(&["zz"], &[])).is_none());
     }
 
     #[test]
@@ -394,6 +543,42 @@ mod tests {
         assert_eq!(a, b);
         let c = Record::build().field("x", 1i64).tag("t", 3).finish();
         assert_ne!(a, c);
+        // Different shapes short-circuit on the id.
+        let d = Record::build().field("y", 1i64).tag("t", 2).finish();
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn large_records_spill_and_stay_correct() {
+        // Past the inline capacity in both halves: same observable
+        // semantics, values stay aligned with sorted labels.
+        let mut r = Record::new();
+        for i in (0..10i64).rev() {
+            r.set_field(&format!("f{i}"), Value::Int(i));
+            r.set_tag(&format!("t{i}"), i * 10);
+        }
+        assert_eq!(r.len(), 20);
+        for i in 0..10i64 {
+            assert_eq!(r.field(&format!("f{i}")).unwrap().as_int(), Some(i));
+            assert_eq!(r.tag(&format!("t{i}")), Some(i * 10));
+        }
+        let ty = RecordType::of(&["f0", "f5"], &["t3"]);
+        let (m, e) = r.split_for(&ty).unwrap();
+        assert_eq!(m.len(), 3);
+        assert_eq!(e.len(), 17);
+        assert_eq!(m.inherit(&e), r);
+        assert!(r.remove(Label::field("f7")));
+        assert_eq!(r.len(), 19);
+    }
+
+    #[test]
+    fn tag_value_at_is_slot_aligned() {
+        let r = Record::build().tag("b", 2).tag("a", 1).finish();
+        let shape = r.shape();
+        let ia = shape.tag_index(Label::tag("a")).unwrap();
+        let ib = shape.tag_index(Label::tag("b")).unwrap();
+        assert_eq!(r.tag_value_at(ia), 1);
+        assert_eq!(r.tag_value_at(ib), 2);
     }
 
     #[test]

@@ -1,0 +1,318 @@
+//! An inline small vector for record value storage.
+//!
+//! Records carry their values (field payloads, tag integers) in
+//! [`SVec`]s: up to `N` elements live inline in the record itself, so
+//! constructing, cloning, splitting and flow-inheriting a record with
+//! at most `N` fields and `N` tags performs **no heap allocation** —
+//! the allocation-free-hot-path invariant PR 4's counting-allocator
+//! test pins. Larger records spill to an ordinary `Vec` and stay
+//! spilled (records only ever hold a handful of labels in practice;
+//! the spill path exists for correctness, not speed).
+//!
+//! The surface is the tiny subset `Record` needs: sorted-position
+//! `insert`/`remove`, slice views, `push`. It is deliberately not a
+//! general-purpose container.
+
+use std::fmt;
+use std::mem::MaybeUninit;
+use std::ptr;
+
+/// A vector storing up to `N` elements inline, spilling to the heap
+/// beyond that.
+pub enum SVec<T, const N: usize> {
+    /// Inline storage: the first `len` slots of `buf` are initialized.
+    Inline { len: u8, buf: [MaybeUninit<T>; N] },
+    /// Spilled storage.
+    Heap(Vec<T>),
+}
+
+impl<T, const N: usize> SVec<T, N> {
+    pub fn new() -> SVec<T, N> {
+        SVec::Inline {
+            len: 0,
+            buf: [const { MaybeUninit::uninit() }; N],
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            SVec::Inline { len, .. } => *len as usize,
+            SVec::Heap(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True while the elements live inline (no heap allocation).
+    pub fn is_inline(&self) -> bool {
+        matches!(self, SVec::Inline { .. })
+    }
+
+    pub fn as_slice(&self) -> &[T] {
+        match self {
+            SVec::Inline { len, buf } => {
+                // SAFETY: the first `len` slots are initialized (struct
+                // invariant maintained by every mutation below).
+                unsafe { std::slice::from_raw_parts(buf.as_ptr().cast::<T>(), *len as usize) }
+            }
+            SVec::Heap(v) => v.as_slice(),
+        }
+    }
+
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        match self {
+            SVec::Inline { len, buf } => {
+                // SAFETY: as in `as_slice`.
+                unsafe {
+                    std::slice::from_raw_parts_mut(buf.as_mut_ptr().cast::<T>(), *len as usize)
+                }
+            }
+            SVec::Heap(v) => v.as_mut_slice(),
+        }
+    }
+
+    pub fn get(&self, i: usize) -> Option<&T> {
+        self.as_slice().get(i)
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.as_slice().iter()
+    }
+
+    /// Moves the inline elements to the heap. No-op when already
+    /// spilled.
+    fn spill(&mut self) {
+        if let SVec::Inline { len, buf } = self {
+            let n = *len as usize;
+            let mut v = Vec::with_capacity(n + 1);
+            // SAFETY: the first `n` slots are initialized; after the
+            // reads, `len = 0` marks them logically moved-out so the
+            // Drop impl cannot double-drop (the reads cannot panic).
+            for slot in buf.iter().take(n) {
+                v.push(unsafe { slot.assume_init_read() });
+            }
+            *len = 0;
+            *self = SVec::Heap(v);
+        }
+    }
+
+    pub fn push(&mut self, value: T) {
+        match self {
+            SVec::Inline { len, buf } if (*len as usize) < N => {
+                buf[*len as usize].write(value);
+                *len += 1;
+            }
+            SVec::Inline { .. } => {
+                self.spill();
+                self.push(value);
+            }
+            SVec::Heap(v) => v.push(value),
+        }
+    }
+
+    /// Inserts at position `i`, shifting the tail right.
+    pub fn insert(&mut self, i: usize, value: T) {
+        match self {
+            SVec::Inline { len, buf } if (*len as usize) < N => {
+                let n = *len as usize;
+                assert!(i <= n, "insert index {i} out of bounds (len {n})");
+                // SAFETY: slots i..n are initialized; shifting them one
+                // to the right leaves exactly slot i logically
+                // uninitialized, which `write` then fills. Bumping
+                // `len` afterwards restores the invariant.
+                unsafe {
+                    let p = buf.as_mut_ptr().cast::<T>();
+                    ptr::copy(p.add(i), p.add(i + 1), n - i);
+                }
+                buf[i].write(value);
+                *len += 1;
+            }
+            SVec::Inline { .. } => {
+                self.spill();
+                self.insert(i, value);
+            }
+            SVec::Heap(v) => v.insert(i, value),
+        }
+    }
+
+    /// Removes and returns the element at position `i`, shifting the
+    /// tail left.
+    pub fn remove(&mut self, i: usize) -> T {
+        match self {
+            SVec::Inline { len, buf } => {
+                let n = *len as usize;
+                assert!(i < n, "remove index {i} out of bounds (len {n})");
+                // SAFETY: slot i is initialized; after the read it is
+                // logically moved out, and the shift re-packs i+1..n
+                // over it. Decrementing `len` drops the (now
+                // duplicated) last slot from the initialized range.
+                unsafe {
+                    let p = buf.as_mut_ptr().cast::<T>();
+                    let value = p.add(i).read();
+                    ptr::copy(p.add(i + 1), p.add(i), n - i - 1);
+                    *len -= 1;
+                    value
+                }
+            }
+            SVec::Heap(v) => v.remove(i),
+        }
+    }
+}
+
+impl<T, const N: usize> Default for SVec<T, N> {
+    fn default() -> Self {
+        SVec::new()
+    }
+}
+
+impl<T, const N: usize> Drop for SVec<T, N> {
+    fn drop(&mut self) {
+        if let SVec::Inline { len, buf } = self {
+            let n = *len as usize;
+            // SAFETY: the first `n` slots are initialized and dropped
+            // exactly once here.
+            unsafe {
+                ptr::drop_in_place(ptr::slice_from_raw_parts_mut(
+                    buf.as_mut_ptr().cast::<T>(),
+                    n,
+                ));
+            }
+        }
+        // Heap: the Vec drops itself.
+    }
+}
+
+impl<T: Clone, const N: usize> Clone for SVec<T, N> {
+    fn clone(&self) -> Self {
+        let mut out = SVec::new();
+        for v in self.iter() {
+            out.push(v.clone());
+        }
+        out
+    }
+}
+
+impl<T: PartialEq, const N: usize> PartialEq for SVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: fmt::Debug, const N: usize> fmt::Debug for SVec<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl<T, const N: usize> FromIterator<T> for SVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut out = SVec::new();
+        for v in iter {
+            out.push(v);
+        }
+        out
+    }
+}
+
+// SAFETY: an SVec owns its elements exactly like a Vec does; the raw
+// buffer introduces no sharing.
+unsafe impl<T: Send, const N: usize> Send for SVec<T, N> {}
+unsafe impl<T: Sync, const N: usize> Sync for SVec<T, N> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn push_insert_remove_inline() {
+        let mut v: SVec<i64, 4> = SVec::new();
+        assert!(v.is_empty() && v.is_inline());
+        v.push(10);
+        v.push(30);
+        v.insert(1, 20);
+        assert_eq!(v.as_slice(), &[10, 20, 30]);
+        assert_eq!(v.remove(0), 10);
+        assert_eq!(v.as_slice(), &[20, 30]);
+        assert!(v.is_inline());
+        v.as_mut_slice()[0] = 99;
+        assert_eq!(v.get(0), Some(&99));
+    }
+
+    #[test]
+    fn spills_beyond_capacity_and_keeps_order() {
+        let mut v: SVec<i64, 4> = SVec::new();
+        for i in 0..10 {
+            v.insert(v.len(), i);
+        }
+        assert!(!v.is_inline());
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(v.remove(5), 5);
+        v.insert(0, -1);
+        assert_eq!(v.len(), 10);
+        assert_eq!(v.as_slice()[0], -1);
+    }
+
+    #[test]
+    fn insert_at_capacity_boundary_spills() {
+        let mut v: SVec<i64, 2> = SVec::new();
+        v.push(1);
+        v.push(3);
+        v.insert(1, 2); // full inline -> spill -> insert
+        assert_eq!(v.as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn clone_is_deep_and_inline_when_small() {
+        let mut v: SVec<String, 4> = SVec::new();
+        v.push("a".into());
+        v.push("b".into());
+        let w = v.clone();
+        assert_eq!(v, w);
+        assert!(w.is_inline());
+    }
+
+    #[test]
+    fn drops_every_element_exactly_once() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D(#[allow(dead_code)] Arc<()>);
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        DROPS.store(0, Ordering::SeqCst);
+        {
+            let mut v: SVec<D, 4> = SVec::new();
+            let token = Arc::new(());
+            for _ in 0..3 {
+                v.push(D(Arc::clone(&token)));
+            }
+            drop(v.remove(1)); // one dropped here
+            assert_eq!(DROPS.load(Ordering::SeqCst), 1);
+        } // remaining two dropped with the SVec
+        assert_eq!(DROPS.load(Ordering::SeqCst), 3);
+
+        DROPS.store(0, Ordering::SeqCst);
+        {
+            let mut v: SVec<D, 2> = SVec::new();
+            let token = Arc::new(());
+            for _ in 0..5 {
+                v.push(D(Arc::clone(&token))); // spills at 3
+            }
+            assert!(!v.is_inline());
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn remove_out_of_bounds_panics() {
+        let mut v: SVec<i64, 4> = SVec::new();
+        v.push(1);
+        v.remove(1);
+    }
+}

@@ -9,6 +9,16 @@
 //!
 //! All variants are cheap to clone (arrays are reference-counted), so
 //! records can be duplicated by filters without copying payloads.
+//!
+//! Every non-scalar payload sits behind a **thin** (single-word)
+//! pointer, so a `Value` is 16 bytes. This is deliberate: records
+//! store values inline (see `record`), records travel by value
+//! through stream channel slots and batch buffers, and every byte of
+//! `Value` is copied several times per hop — the PR 4 record-size
+//! budget keeps a whole 4-field/4-tag record near two cache lines.
+//! The price is one extra indirection when *reading* a string, byte
+//! buffer or opaque payload, none of which sit on the coordination
+//! hot path (the coordination layer never inspects payloads).
 
 use bytes::Bytes;
 use sacarray::Array;
@@ -25,18 +35,19 @@ pub enum Value {
     Double(f64),
     /// Scalar boolean.
     Bool(bool),
-    /// Immutable string.
-    Str(Arc<str>),
+    /// Immutable string (thin: the length lives with the data).
+    Str(Arc<String>),
     /// n-dimensional integer array (SaC `int[*]`) — boards, etc.
-    IntArray(Array<i64>),
+    IntArray(Arc<Array<i64>>),
     /// n-dimensional boolean array (SaC `bool[*]`) — option cubes, etc.
-    BoolArray(Array<bool>),
+    BoolArray(Arc<Array<bool>>),
     /// n-dimensional double array (SaC `double[*]`).
-    DoubleArray(Array<f64>),
+    DoubleArray(Arc<Array<f64>>),
     /// Raw bytes (e.g. serialised external payloads).
     Bytes(Bytes),
-    /// Anything else; compared by identity.
-    Opaque(Arc<dyn Any + Send + Sync>),
+    /// Anything else; compared by identity (thin: the vtable lives
+    /// behind the box).
+    Opaque(Arc<Box<dyn Any + Send + Sync>>),
 }
 
 impl Value {
@@ -63,28 +74,28 @@ impl Value {
 
     pub fn as_str(&self) -> Option<&str> {
         match self {
-            Value::Str(s) => Some(s),
+            Value::Str(s) => Some(s.as_str()),
             _ => None,
         }
     }
 
     pub fn as_int_array(&self) -> Option<&Array<i64>> {
         match self {
-            Value::IntArray(a) => Some(a),
+            Value::IntArray(a) => Some(a.as_ref()),
             _ => None,
         }
     }
 
     pub fn as_bool_array(&self) -> Option<&Array<bool>> {
         match self {
-            Value::BoolArray(a) => Some(a),
+            Value::BoolArray(a) => Some(a.as_ref()),
             _ => None,
         }
     }
 
     pub fn as_double_array(&self) -> Option<&Array<f64>> {
         match self {
-            Value::DoubleArray(a) => Some(a),
+            Value::DoubleArray(a) => Some(a.as_ref()),
             _ => None,
         }
     }
@@ -99,14 +110,14 @@ impl Value {
     /// Downcasts an opaque payload.
     pub fn downcast<T: Any + Send + Sync>(&self) -> Option<&T> {
         match self {
-            Value::Opaque(a) => a.downcast_ref::<T>(),
+            Value::Opaque(a) => (**a).downcast_ref::<T>(),
             _ => None,
         }
     }
 
     /// Wraps an arbitrary payload as an opaque value.
     pub fn opaque<T: Any + Send + Sync>(v: T) -> Value {
-        Value::Opaque(Arc::new(v))
+        Value::Opaque(Arc::new(Box::new(v)))
     }
 
     /// A short human-readable description of the value's kind (used by
@@ -189,31 +200,31 @@ impl From<bool> for Value {
 
 impl From<&str> for Value {
     fn from(v: &str) -> Value {
-        Value::Str(Arc::from(v))
+        Value::Str(Arc::new(v.to_string()))
     }
 }
 
 impl From<String> for Value {
     fn from(v: String) -> Value {
-        Value::Str(Arc::from(v.as_str()))
+        Value::Str(Arc::new(v))
     }
 }
 
 impl From<Array<i64>> for Value {
     fn from(v: Array<i64>) -> Value {
-        Value::IntArray(v)
+        Value::IntArray(Arc::new(v))
     }
 }
 
 impl From<Array<bool>> for Value {
     fn from(v: Array<bool>) -> Value {
-        Value::BoolArray(v)
+        Value::BoolArray(Arc::new(v))
     }
 }
 
 impl From<Array<f64>> for Value {
     fn from(v: Array<f64>) -> Value {
-        Value::DoubleArray(v)
+        Value::DoubleArray(Arc::new(v))
     }
 }
 

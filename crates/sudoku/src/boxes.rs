@@ -49,7 +49,7 @@ pub fn opts_of(rec: &Record, n: usize) -> Opts {
 /// Builds the initial record `{board}` for a puzzle.
 pub fn puzzle_record(puzzle: &Board) -> Record {
     Record::build()
-        .field("board", Value::IntArray(puzzle.cells().clone()))
+        .field("board", Value::from(puzzle.cells().clone()))
         .finish()
 }
 
@@ -60,8 +60,8 @@ pub fn compute_opts_box(n: usize) -> impl Fn(&Record, &mut Emitter) + Send + Syn
         let (board, opts) = compute_opts(&puzzle);
         em.emit(
             Record::build()
-                .field("board", Value::IntArray(board.cells().clone()))
-                .field("opts", Value::BoolArray(opts.array().clone()))
+                .field("board", Value::from(board.cells().clone()))
+                .field("opts", Value::from(opts.array().clone()))
                 .finish(),
         );
     }
@@ -106,14 +106,14 @@ pub fn solve_one_level_box(
                         if completed {
                             em.emit(
                                 Record::build()
-                                    .field("board", Value::IntArray(b2.cells().clone()))
+                                    .field("board", Value::from(b2.cells().clone()))
                                     .tag("done", 1)
                                     .finish(),
                             );
                         } else {
                             let mut r = Record::build()
-                                .field("board", Value::IntArray(b2.cells().clone()))
-                                .field("opts", Value::BoolArray(o2.array().clone()))
+                                .field("board", Value::from(b2.cells().clone()))
+                                .field("opts", Value::from(o2.array().clone()))
                                 .finish();
                             if style == LevelStyle::WithK {
                                 // "we simply output the SaC-variable k
@@ -131,8 +131,8 @@ pub fn solve_one_level_box(
                         // through the guard like everything else.
                         em.emit(
                             Record::build()
-                                .field("board", Value::IntArray(b2.cells().clone()))
-                                .field("opts", Value::BoolArray(o2.array().clone()))
+                                .field("board", Value::from(b2.cells().clone()))
+                                .field("opts", Value::from(o2.array().clone()))
                                 .tag("k", k)
                                 .tag("level", b2.placed() as i64)
                                 .finish(),
@@ -154,8 +154,8 @@ pub fn solve_box(n: usize) -> impl Fn(&Record, &mut Emitter) + Send + Sync {
         let (board, opts) = solve(board, opts, Policy::MinTrues, &mut stats);
         em.emit(
             Record::build()
-                .field("board", Value::IntArray(board.cells().clone()))
-                .field("opts", Value::BoolArray(opts.array().clone()))
+                .field("board", Value::from(board.cells().clone()))
+                .field("opts", Value::from(opts.array().clone()))
                 .finish(),
         );
     }
@@ -209,8 +209,8 @@ mod tests {
         let (i, j) = find_min_trues(&board, &opts).unwrap();
         let expected = opts.count_at(i, j);
         let input = Record::build()
-            .field("board", Value::IntArray(board.cells().clone()))
-            .field("opts", Value::BoolArray(opts.array().clone()))
+            .field("board", Value::from(board.cells().clone()))
+            .field("opts", Value::from(opts.array().clone()))
             .finish();
         let out = run_single_box(
             2,
@@ -232,8 +232,8 @@ mod tests {
         let puzzle = puzzles::mini4();
         let (board, opts) = compute_opts(&puzzle);
         let input = Record::build()
-            .field("board", Value::IntArray(board.cells().clone()))
-            .field("opts", Value::BoolArray(opts.array().clone()))
+            .field("board", Value::from(board.cells().clone()))
+            .field("opts", Value::from(opts.array().clone()))
             .finish();
         let out = run_single_box(
             2,
@@ -256,8 +256,8 @@ mod tests {
         let (board, opts) = compute_opts(&puzzle);
         let placed = board.placed() as i64;
         let input = Record::build()
-            .field("board", Value::IntArray(board.cells().clone()))
-            .field("opts", Value::BoolArray(opts.array().clone()))
+            .field("board", Value::from(board.cells().clone()))
+            .field("opts", Value::from(opts.array().clone()))
             .finish();
         let out = run_single_box(
             2,
@@ -279,8 +279,8 @@ mod tests {
         let puzzle = puzzles::stuck4();
         let (board, opts) = compute_opts(&puzzle);
         let input = Record::build()
-            .field("board", Value::IntArray(board.cells().clone()))
-            .field("opts", Value::BoolArray(opts.array().clone()))
+            .field("board", Value::from(board.cells().clone()))
+            .field("opts", Value::from(opts.array().clone()))
             .finish();
         let out = run_single_box(
             2,
@@ -297,8 +297,8 @@ mod tests {
         let puzzle = puzzles::mini4();
         let (board, opts) = compute_opts(&puzzle);
         let input = Record::build()
-            .field("board", Value::IntArray(board.cells().clone()))
-            .field("opts", Value::BoolArray(opts.array().clone()))
+            .field("board", Value::from(board.cells().clone()))
+            .field("opts", Value::from(opts.array().clone()))
             .finish();
         let out = run_single_box(
             2,

@@ -40,13 +40,10 @@ fn main() {
             let scaled = scale(&a, b);
             if b < 10 {
                 // snet_out(1, x): variant {c}.
-                em.emit_variant(1, vec![Value::IntArray(scaled)]);
+                em.emit_variant(1, vec![Value::from(scaled)]);
             } else {
                 // snet_out(2, x, y, 42): variant {c, d, <e>}.
-                em.emit_variant(
-                    2,
-                    vec![Value::IntArray(scaled), Value::Int(-1), Value::Int(42)],
-                );
+                em.emit_variant(2, vec![Value::from(scaled), Value::Int(-1), Value::Int(42)]);
             }
         })
         .build("main")
@@ -58,7 +55,7 @@ fn main() {
     // A record with an EXCESS field d: foo's input type is {a,<b>} and
     // the filter's pattern is {a}; d rides along by flow inheritance.
     let rec = Record::build()
-        .field("a", Value::IntArray(Array::from_vec(vec![1, 2, 3, 4])))
+        .field("a", Value::from(Array::from_vec(vec![1, 2, 3, 4])))
         .field("d", Value::Int(7))
         .finish();
     net.send(rec).expect("record matches the network input");

@@ -64,7 +64,7 @@ fn main() {
                 .unwrap();
             em.emit(
                 Record::build()
-                    .field("samples", Value::DoubleArray(corrected))
+                    .field("samples", Value::from(corrected))
                     .finish(),
             );
         })
@@ -75,13 +75,13 @@ fn main() {
             if var < 1.0 {
                 em.emit(
                     Record::build()
-                        .field("stats", Value::DoubleArray(Array::from_vec(vec![mu, var])))
+                        .field("stats", Value::from(Array::from_vec(vec![mu, var])))
                         .finish(),
                 );
             } else {
                 em.emit(
                     Record::build()
-                        .field("samples", Value::DoubleArray(samples.clone()))
+                        .field("samples", Value::from(samples.clone()))
                         .tag("anomaly", (var * 1000.0) as i64)
                         .finish(),
                 );
@@ -126,7 +126,7 @@ fn main() {
                 .collect();
             net.send(
                 Record::build()
-                    .field("samples", Value::DoubleArray(Array::from_vec(data)))
+                    .field("samples", Value::from(Array::from_vec(data)))
                     .tag("sensor", sensor)
                     .tag("bias_ppm", 1500)
                     .finish(),

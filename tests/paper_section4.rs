@@ -181,7 +181,7 @@ fn tags_cross_the_layer_boundary_both_ways() {
             let sum: i64 = scaled.data().iter().sum();
             em.emit(
                 Record::build()
-                    .field("v", Value::IntArray(scaled))
+                    .field("v", Value::from(scaled))
                     .tag("sum", sum)
                     .finish(),
             );
@@ -192,7 +192,7 @@ fn tags_cross_the_layer_boundary_both_ways() {
         Record::build()
             .field(
                 "v",
-                Value::IntArray(sacarray::Array::from_vec(vec![1i64, 2, 3])),
+                Value::from(sacarray::Array::from_vec(vec![1i64, 2, 3])),
             )
             .tag("factor", 10)
             .finish(),

@@ -1,0 +1,238 @@
+//! Shape-plan record operations vs a retained naive reference.
+//!
+//! PR 4 replaced the per-record `split_for`/`inherit` loops (per-label
+//! binary searches over `Vec`-backed records) with compiled per-shape
+//! plans applied as array copies. This property test keeps the *old*
+//! semantics alive as an executable model — sorted association lists
+//! with explicit label-by-label splitting and present-labels-win
+//! inheritance — and checks observational equivalence across
+//! randomized records and types, including the paper's
+//! duplicate-label-discard rule ("the field or tag is discarded"
+//! when the output record already carries an inherited label) and
+//! the field-vs-tag namespace split for same-named labels.
+
+use proptest::prelude::*;
+use snet_types::{Record, RecordType, Value};
+
+// ---------------------------------------------------------------------------
+// The naive reference model: sorted (kind, name) -> i64 association
+// lists, implementing the paper's record semantics label by label,
+// exactly as `record.rs` did before shape plans.
+// ---------------------------------------------------------------------------
+
+/// A model record: sorted, deduplicated `(label, value)` lists.
+/// Field payloads are restricted to integers — the coordination layer
+/// never looks at values, so integer payloads exercise every code
+/// path while keeping the model trivially comparable.
+#[derive(Clone, Debug, PartialEq)]
+struct ModelRec {
+    fields: Vec<(String, i64)>,
+    tags: Vec<(String, i64)>,
+}
+
+impl ModelRec {
+    fn new(mut fields: Vec<(String, i64)>, mut tags: Vec<(String, i64)>) -> ModelRec {
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        fields.dedup_by(|a, b| a.0 == b.0);
+        tags.sort_by(|a, b| a.0.cmp(&b.0));
+        tags.dedup_by(|a, b| a.0 == b.0);
+        ModelRec { fields, tags }
+    }
+
+    fn matches(&self, ty: &ModelType) -> bool {
+        ty.fields
+            .iter()
+            .all(|l| self.fields.iter().any(|(n, _)| n == l))
+            && ty
+                .tags
+                .iter()
+                .all(|l| self.tags.iter().any(|(n, _)| n == l))
+    }
+
+    /// The reference split: label-by-label membership tests.
+    fn split_for(&self, ty: &ModelType) -> Option<(ModelRec, ModelRec)> {
+        if !self.matches(ty) {
+            return None;
+        }
+        let (mf, ef): (Vec<_>, Vec<_>) = self
+            .fields
+            .iter()
+            .cloned()
+            .partition(|(n, _)| ty.fields.contains(n));
+        let (mt, et): (Vec<_>, Vec<_>) = self
+            .tags
+            .iter()
+            .cloned()
+            .partition(|(n, _)| ty.tags.contains(n));
+        Some((
+            ModelRec {
+                fields: mf,
+                tags: mt,
+            },
+            ModelRec {
+                fields: ef,
+                tags: et,
+            },
+        ))
+    }
+
+    /// The reference flow inheritance: present labels win, the
+    /// inherited entry is discarded (paper, Section 4).
+    fn inherit(mut self, excess: &ModelRec) -> ModelRec {
+        for (n, v) in &excess.fields {
+            if !self.fields.iter().any(|(m, _)| m == n) {
+                self.fields.push((n.clone(), *v));
+            }
+        }
+        for (n, v) in &excess.tags {
+            if !self.tags.iter().any(|(m, _)| m == n) {
+                self.tags.push((n.clone(), *v));
+            }
+        }
+        self.fields.sort_by(|a, b| a.0.cmp(&b.0));
+        self.tags.sort_by(|a, b| a.0.cmp(&b.0));
+        self
+    }
+
+    fn to_record(&self) -> Record {
+        let mut r = Record::new();
+        for (n, v) in &self.fields {
+            r.set_field(n, Value::Int(*v));
+        }
+        for (n, v) in &self.tags {
+            r.set_tag(n, *v);
+        }
+        r
+    }
+}
+
+/// A model type: sorted field and tag label-name sets.
+#[derive(Clone, Debug, PartialEq)]
+struct ModelType {
+    fields: Vec<String>,
+    tags: Vec<String>,
+}
+
+impl ModelType {
+    fn to_record_type(&self) -> RecordType {
+        let fields: Vec<&str> = self.fields.iter().map(String::as_str).collect();
+        let tags: Vec<&str> = self.tags.iter().map(String::as_str).collect();
+        RecordType::of(&fields, &tags)
+    }
+}
+
+/// Converts a real record back into the model for comparison.
+fn model_of(rec: &Record) -> ModelRec {
+    ModelRec {
+        fields: rec
+            .fields()
+            .map(|(l, v)| (l.name().to_string(), v.as_int().expect("int payloads only")))
+            .collect(),
+        tags: rec.tags().map(|(l, v)| (l.name().to_string(), v)).collect(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategies: labels from a small shared pool so records and types
+// overlap often (the interesting cases), same names appearing as both
+// field and tag to exercise the namespace split, record sizes
+// straddling the inline capacity.
+// ---------------------------------------------------------------------------
+
+/// Label-name pool. Deliberately includes so few names that duplicate
+/// labels between record, type and excess are the common case.
+const NAMES: [&str; 6] = ["a", "b", "c", "d", "e", "f"];
+
+fn arb_entries() -> impl Strategy<Value = Vec<(String, i64)>> {
+    proptest::collection::vec((0usize..NAMES.len(), -100i64..100), 0..6).prop_map(|v| {
+        v.into_iter()
+            .map(|(i, val)| (NAMES[i].to_string(), val))
+            .collect()
+    })
+}
+
+fn arb_model_rec() -> impl Strategy<Value = ModelRec> {
+    (arb_entries(), arb_entries()).prop_map(|(f, t)| ModelRec::new(f, t))
+}
+
+fn arb_model_type() -> impl Strategy<Value = ModelType> {
+    let names = || {
+        proptest::collection::vec(0usize..NAMES.len(), 0..4).prop_map(|v| {
+            let mut v: Vec<String> = v.into_iter().map(|i| NAMES[i].to_string()).collect();
+            v.sort();
+            v.dedup();
+            v
+        })
+    };
+    (names(), names()).prop_map(|(fields, tags)| ModelType { fields, tags })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `split_for` agrees with the reference on both halves (or both
+    /// reject), for every random record/type pair.
+    #[test]
+    fn split_for_matches_reference(m in arb_model_rec(), ty in arb_model_type()) {
+        let rec = m.to_record();
+        let rt = ty.to_record_type();
+        match (m.split_for(&ty), rec.split_for(&rt)) {
+            (None, None) => {}
+            (Some((mm, me)), Some((rm, re))) => {
+                prop_assert_eq!(&model_of(&rm), &mm, "matched half diverged");
+                prop_assert_eq!(&model_of(&re), &me, "excess half diverged");
+                // The matched half's type is exactly the input type.
+                prop_assert_eq!(rm.record_type(), rt);
+                // Reassembly: matched + excess == original record.
+                prop_assert_eq!(rm.inherit(&re), rec);
+            }
+            (model, real) => {
+                return Err(TestCaseError::Fail(format!(
+                    "match disagreement: model {model:?} vs real {real:?}"
+                )));
+            }
+        }
+    }
+
+    /// `inherit` agrees with the reference — including the
+    /// duplicate-label-discard rule when excess and output overlap.
+    #[test]
+    fn inherit_matches_reference(out in arb_model_rec(), excess in arb_model_rec()) {
+        let real = out.to_record().inherit(&excess.to_record());
+        let model = out.clone().inherit(&excess);
+        prop_assert_eq!(model_of(&real), model);
+    }
+
+    /// `excess_for` is exactly the excess half of `split_for`.
+    #[test]
+    fn excess_for_is_split_excess(m in arb_model_rec(), ty in arb_model_type()) {
+        let rec = m.to_record();
+        let rt = ty.to_record_type();
+        let split = rec.split_for(&rt);
+        let excess = rec.excess_for(&rt);
+        match (split, excess) {
+            (None, None) => {}
+            (Some((_, e1)), Some(e2)) => prop_assert_eq!(e1, e2),
+            (s, e) => {
+                return Err(TestCaseError::Fail(format!(
+                    "split {s:?} vs excess {e:?} disagree on matching"
+                )));
+            }
+        }
+    }
+
+    /// Shape identity: two records built from the same model (in any
+    /// construction order) share one interned shape id, and equality
+    /// agrees with the model.
+    #[test]
+    fn shape_identity_and_equality(a in arb_model_rec(), b in arb_model_rec()) {
+        let ra = a.to_record();
+        let rb = b.to_record();
+        prop_assert_eq!(a == b, ra == rb);
+        prop_assert_eq!(
+            a.fields.iter().map(|(n, _)| n).eq(b.fields.iter().map(|(n, _)| n))
+                && a.tags.iter().map(|(n, _)| n).eq(b.tags.iter().map(|(n, _)| n)),
+            ra.shape() == rb.shape()
+        );
+    }
+}

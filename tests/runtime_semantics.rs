@@ -329,7 +329,7 @@ fn values_move_by_reference_not_copy() {
         .unwrap();
     net.send(
         Record::build()
-            .field("blob", Value::IntArray(big.clone()))
+            .field("blob", Value::from(big.clone()))
             .finish(),
     )
     .unwrap();

@@ -6,17 +6,19 @@ use std::fmt;
 use std::ops::Deref;
 use std::sync::Arc;
 
-/// A cheaply cloneable immutable byte buffer.
+/// A cheaply cloneable immutable byte buffer. Thin (one word): the
+/// length lives with the data, so `Value::Bytes` does not widen the
+/// record-inline value slots (see snet-types' size budget).
 #[derive(Clone, PartialEq, Eq, Hash, Default)]
-pub struct Bytes(Arc<[u8]>);
+pub struct Bytes(Arc<Vec<u8>>);
 
 impl Bytes {
     pub fn new() -> Bytes {
-        Bytes(Arc::from(&[][..]))
+        Bytes(Arc::new(Vec::new()))
     }
 
     pub fn copy_from_slice(data: &[u8]) -> Bytes {
-        Bytes(Arc::from(data))
+        Bytes(Arc::new(data.to_vec()))
     }
 
     pub fn len(&self) -> usize {
@@ -47,7 +49,7 @@ impl AsRef<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
-        Bytes(Arc::from(v))
+        Bytes(Arc::new(v))
     }
 }
 
