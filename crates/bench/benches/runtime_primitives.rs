@@ -77,6 +77,41 @@ fn bench_box_chain(c: &mut Criterion) {
     g.finish();
 }
 
+/// RT_fused_chain — the PR 5 tentpole measured directly: the same
+/// n-stage pipeline with the fusion pass on (one component, records
+/// cascade on its stack) vs off (one component per stage, n channel
+/// hops + wakeups per record). Includes build/teardown like
+/// RT_box_chain; the live-network delta shows up in RT_throughput.
+fn bench_fused_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("RT_fused_chain");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.throughput(Throughput::Elements(N_RECORDS));
+    g.sample_size(10);
+    for depth in [4usize, 16] {
+        let expr = vec!["id"; depth].join(" .. ");
+        for (mode, fuse) in [("fused", true), ("unfused", false)] {
+            g.bench_with_input(BenchmarkId::new(mode, depth), &expr, |b, expr| {
+                b.iter(|| {
+                    let src = format!(
+                        "box id (x) -> (x);
+                         net main = {expr};"
+                    );
+                    let net = NetBuilder::from_source(&src)
+                        .unwrap()
+                        .bind("id", |r, e| e.emit(r.clone()))
+                        .fuse(fuse)
+                        .build("main")
+                        .unwrap();
+                    let n = drive(net, false);
+                    assert_eq!(n, N_RECORDS as usize);
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
 fn bench_filter(c: &mut Criterion) {
     let mut g = c.benchmark_group("RT_filter");
     g.measurement_time(std::time::Duration::from_secs(2));
@@ -478,6 +513,7 @@ criterion_group!(
     bench_record_hop,
     bench_throughput,
     bench_box_chain,
+    bench_fused_chain,
     bench_filter,
     bench_parallel_dispatch,
     bench_split,

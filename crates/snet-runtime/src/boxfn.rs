@@ -28,13 +28,20 @@
 //! monomorphic-stream case) the plan is the identity: the box is
 //! handed a view of the incoming record itself and the emit path
 //! skips inheritance entirely, so the hop copies nothing at all.
+//!
+//! The per-record half of all this — subtype split, function
+//! application, flow inheritance, metrics, observation — lives in
+//! [`BoxCore`], separate from the stream loop, so the same core runs
+//! both as a standalone component ([`spawn_box`]) and as one stage of
+//! a fused pipeline ([`crate::fused`]) where emissions cascade into
+//! the next stage instead of a channel.
 
 use crate::ctx::Ctx;
 use crate::memo::PlanCache;
-use crate::metrics::keys;
+use crate::metrics::{keys, Counter};
 use crate::path::CompPath;
-use crate::stream::{for_each_msg, stream, Dir, Msg, Receiver, Sender};
-use snet_types::{BoxSig, Record, Shape};
+use crate::stream::{for_each_msg, stream, Dir, Msg, Receiver};
+use snet_types::{BoxSig, Record, RecordType, Shape};
 use std::sync::Arc;
 
 /// A box implementation: the computational component behind a box.
@@ -43,15 +50,19 @@ use std::sync::Arc;
 pub type BoxImpl = Arc<dyn Fn(&Record, &mut Emitter) + Send + Sync>;
 
 /// The `snet_out` interface handed to a box function. Records emitted
-/// here are extended by flow inheritance and sent downstream
+/// here are extended by flow inheritance and handed downstream
 /// immediately ("output records ... are immediately sent to the output
-/// stream").
+/// stream") — to the component's output channel, or, inside a fused
+/// pipeline, straight into the next stage.
 pub struct Emitter<'a> {
-    out: &'a Sender,
+    sink: &'a mut dyn FnMut(Record),
     excess: &'a Record,
     sig: &'a BoxSig,
     path: CompPath,
     ctx: &'a Ctx,
+    /// `ctx.has_observers()`, resolved once at component spawn
+    /// (observers are fixed at context construction).
+    observing: bool,
     emitted: u64,
 }
 
@@ -60,13 +71,11 @@ impl<'a> Emitter<'a> {
     /// labels of the input record are attached unless present.
     pub fn emit(&mut self, rec: Record) {
         let rec = rec.inherit(self.excess);
-        if self.ctx.has_observers() {
+        if self.observing {
             self.ctx.observe(self.path, Dir::Out, &rec);
         }
         self.emitted += 1;
-        // A send failure means the downstream component is gone, which
-        // only happens during teardown; the record is simply dropped.
-        let _ = self.out.send(Msg::Rec(rec));
+        (self.sink)(rec);
     }
 
     /// Emits according to an output variant of the box signature —
@@ -108,12 +117,130 @@ impl<'a> Emitter<'a> {
     }
 }
 
+/// The per-record execution core of one box instance: subtype split,
+/// function application, flow inheritance, metrics, observation —
+/// everything except the stream loop. All bookkeeping is resolved at
+/// construction: the stage path is interned once, the counters are
+/// registered once, and the input type's shape is interned so split
+/// plans resolve per incoming record *shape* through a spawn-local
+/// cache and apply as array copies.
+pub(crate) struct BoxCore {
+    sig: BoxSig,
+    imp: BoxImpl,
+    path: CompPath,
+    input_type: RecordType,
+    plans: PlanCache,
+    /// Flow-inheritance source for identity splits: nothing to
+    /// re-attach.
+    no_excess: Record,
+    /// `ctx.has_observers()`, resolved once (observers are fixed at
+    /// context construction) — the record loop never chases the
+    /// context for it.
+    observing: bool,
+    records_in: Counter,
+    records_out: Counter,
+}
+
+impl BoxCore {
+    /// Registers the stage under `parent/box:{name}` and resolves its
+    /// counters — the same spawn-time bookkeeping whether the core
+    /// runs as its own component or as a fused stage.
+    pub(crate) fn new(
+        ctx: &Ctx,
+        parent: CompPath,
+        name: &str,
+        sig: BoxSig,
+        imp: BoxImpl,
+    ) -> BoxCore {
+        let path = parent.child(&format!("box:{name}"));
+        ctx.metrics.handle_at(path, keys::SPAWNED).inc(1);
+        let input_type = sig.input_type();
+        BoxCore {
+            plans: PlanCache::new(Shape::of_type(&input_type)),
+            input_type,
+            no_excess: Record::new(),
+            observing: ctx.has_observers(),
+            records_in: ctx.metrics.handle_at(path, keys::RECORDS_IN),
+            records_out: ctx.metrics.handle_at(path, keys::RECORDS_OUT),
+            sig,
+            imp,
+            path,
+        }
+    }
+
+    /// The stage's interned component path.
+    pub(crate) fn path(&self) -> CompPath {
+        self.path
+    }
+
+    /// Runs one record through the box: split, apply, inherit. Every
+    /// output record is handed to `sink` in emission order.
+    pub(crate) fn process(&mut self, ctx: &Ctx, rec: &Record, sink: &mut dyn FnMut(Record)) {
+        self.records_in.inc(1);
+        let emitted = self.process_uncounted(ctx, rec, sink);
+        self.records_out.inc(emitted);
+    }
+
+    /// Settles a run's worth of counter updates in two delta adds —
+    /// the fused driver pairs this with [`BoxCore::process_uncounted`]
+    /// so a run of records costs two atomic RMWs, not two per record.
+    pub(crate) fn add_counts(&self, records_in: u64, records_out: u64) {
+        self.records_in.inc(records_in);
+        self.records_out.inc(records_out);
+    }
+
+    /// The counter-free core of [`BoxCore::process`]; returns the
+    /// emission count for the caller's `records_out` accounting.
+    pub(crate) fn process_uncounted(
+        &mut self,
+        ctx: &Ctx,
+        rec: &Record,
+        sink: &mut dyn FnMut(Record),
+    ) -> u64 {
+        if self.observing {
+            ctx.observe(self.path, Dir::In, rec);
+        }
+        let Some(plan) = self.plans.plan_for(rec) else {
+            panic!(
+                "record {rec:?} does not match input type {} of box '{}' — routing \
+                 invariant violated",
+                self.input_type, self.path
+            )
+        };
+        if plan.is_identity() {
+            // The record carries exactly the input type's labels: hand
+            // the box a view of it directly, no split copies and
+            // nothing to inherit at emit.
+            let mut em = Emitter {
+                sink,
+                excess: &self.no_excess,
+                sig: &self.sig,
+                path: self.path,
+                ctx,
+                observing: self.observing,
+                emitted: 0,
+            };
+            (self.imp)(rec, &mut em);
+            em.emitted
+        } else {
+            let (matched, excess) = rec.split_with(plan);
+            let mut em = Emitter {
+                sink,
+                excess: &excess,
+                sig: &self.sig,
+                path: self.path,
+                ctx,
+                observing: self.observing,
+                emitted: 0,
+            };
+            (self.imp)(&matched, &mut em);
+            em.emitted
+        }
+    }
+}
+
 /// Spawns a box component: a task applying `imp` to every incoming
 /// record. Returns the box's output stream.
-///
-/// All per-record bookkeeping is resolved here, at spawn time: the
-/// component path is interned once and the metrics counters are
-/// registered once — the record loop only touches atomic handles.
 pub fn spawn_box(
     ctx: &Arc<Ctx>,
     path: impl Into<CompPath>,
@@ -123,63 +250,20 @@ pub fn spawn_box(
     input: Receiver,
 ) -> Receiver {
     let (tx, rx) = stream();
-    let path = path.into().child(&format!("box:{name}"));
-    ctx.metrics.handle_at(path, keys::SPAWNED).inc(1);
-    let records_in = ctx.metrics.handle_at(path, keys::RECORDS_IN);
-    let records_out = ctx.metrics.handle_at(path, keys::RECORDS_OUT);
+    let mut core = BoxCore::new(ctx, path.into(), name, sig, imp);
     let ctx2 = Arc::clone(ctx);
-    ctx.spawn(path.as_str(), async move {
-        let input_type = sig.input_type();
-        // The input type's shape, interned once per component; split
-        // plans are then resolved per incoming record *shape* through
-        // a spawn-local cache and applied as array copies.
-        let mut plans = PlanCache::new(Shape::of_type(&input_type));
-        // Flow-inheritance source for identity splits: nothing to
-        // re-attach.
-        let no_excess = Record::new();
+    ctx.spawn(core.path().as_str(), async move {
         // Batched delivery via for_each_msg (see crate::stream): one
         // wake drains a whole batch instead of paying a waker
         // round-trip per record; messages arrive in stream order.
         for_each_msg(input, |msg| match msg {
             Msg::Rec(rec) => {
-                if ctx2.has_observers() {
-                    ctx2.observe(path, Dir::In, &rec);
-                }
-                records_in.inc(1);
-                let Some(plan) = plans.plan_for(&rec) else {
-                    panic!(
-                        "record {rec:?} does not match input type {input_type} of box \
-                         '{path}' — routing invariant violated"
-                    )
-                };
-                let emitted = if plan.is_identity() {
-                    // The record carries exactly the input type's
-                    // labels: hand the box a view of it directly, no
-                    // split copies and nothing to inherit at emit.
-                    let mut em = Emitter {
-                        out: &tx,
-                        excess: &no_excess,
-                        sig: &sig,
-                        path,
-                        ctx: &ctx2,
-                        emitted: 0,
-                    };
-                    imp(&rec, &mut em);
-                    em.emitted
-                } else {
-                    let (matched, excess) = rec.split_with(plan);
-                    let mut em = Emitter {
-                        out: &tx,
-                        excess: &excess,
-                        sig: &sig,
-                        path,
-                        ctx: &ctx2,
-                        emitted: 0,
-                    };
-                    imp(&matched, &mut em);
-                    em.emitted
-                };
-                records_out.inc(emitted);
+                // A send failure means the downstream component is
+                // gone, which only happens during teardown; the
+                // record is simply dropped.
+                core.process(&ctx2, &rec, &mut |r| {
+                    let _ = tx.send(Msg::Rec(r));
+                });
             }
             // Sort records pass through unchanged, behind any data
             // already emitted for earlier records (guaranteed by the

@@ -16,17 +16,103 @@
 
 use crate::ctx::Ctx;
 use crate::memo::PlanCache;
-use crate::metrics::keys;
+use crate::metrics::{keys, Counter};
 use crate::path::CompPath;
 use crate::stream::{for_each_msg, stream, Dir, Msg, Receiver};
 use snet_lang::FilterDef;
-use snet_types::Shape;
+use snet_types::{Record, Shape};
 use std::sync::Arc;
 
+/// The per-record execution core of one filter instance — everything
+/// except the stream loop, so the same core runs standalone
+/// ([`spawn_filter`]) or as one stage of a fused pipeline
+/// ([`crate::fused`]). Path interning and counter registration happen
+/// at construction, once; processing is allocation-free on the
+/// bookkeeping side and memoizes the pattern check per record shape.
+pub(crate) struct FilterCore {
+    def: FilterDef,
+    path: CompPath,
+    plans: PlanCache,
+    /// `ctx.has_observers()`, resolved once (observers are fixed at
+    /// context construction).
+    observing: bool,
+    records_in: Counter,
+    records_out: Counter,
+}
+
+impl FilterCore {
+    /// Registers the stage under `parent/filter` and resolves its
+    /// counters.
+    pub(crate) fn new(ctx: &Ctx, parent: CompPath, def: FilterDef) -> FilterCore {
+        let path = parent.child("filter");
+        ctx.metrics.handle_at(path, keys::SPAWNED).inc(1);
+        FilterCore {
+            plans: PlanCache::new(Shape::of_type(&def.pattern)),
+            observing: ctx.has_observers(),
+            records_in: ctx.metrics.handle_at(path, keys::RECORDS_IN),
+            records_out: ctx.metrics.handle_at(path, keys::RECORDS_OUT),
+            def,
+            path,
+        }
+    }
+
+    /// The stage's interned component path.
+    pub(crate) fn path(&self) -> CompPath {
+        self.path
+    }
+
+    /// Runs one record through the filter; every output record is
+    /// handed to `sink` in specifier order.
+    pub(crate) fn process(&mut self, ctx: &Ctx, rec: &Record, sink: &mut dyn FnMut(Record)) {
+        self.records_in.inc(1);
+        let emitted = self.process_uncounted(ctx, rec, sink);
+        self.records_out.inc(emitted);
+    }
+
+    /// Settles a run's worth of counter updates in two delta adds
+    /// (see `BoxCore::add_counts`).
+    pub(crate) fn add_counts(&self, records_in: u64, records_out: u64) {
+        self.records_in.inc(records_in);
+        self.records_out.inc(records_out);
+    }
+
+    /// The counter-free core of [`FilterCore::process`]; returns the
+    /// output count for the caller's `records_out` accounting.
+    pub(crate) fn process_uncounted(
+        &mut self,
+        ctx: &Ctx,
+        rec: &Record,
+        sink: &mut dyn FnMut(Record),
+    ) -> u64 {
+        if self.observing {
+            ctx.observe(self.path, Dir::In, rec);
+        }
+        // Plan existence *is* the pattern check (subtype acceptance),
+        // and its excess half is the filter's flow-inheritance source.
+        let Some(plan) = self.plans.plan_for(rec) else {
+            panic!(
+                "record {rec:?} does not match filter pattern {} at '{}' — routing \
+                 invariant violated",
+                self.def.pattern, self.path
+            )
+        };
+        let excess = rec.excess_with(plan);
+        let outs = self
+            .def
+            .apply_with_excess(rec, &excess)
+            .unwrap_or_else(|e| panic!("tag expression failed in filter at '{}': {e}", self.path));
+        let n = outs.len() as u64;
+        for out in outs {
+            if self.observing {
+                ctx.observe(self.path, Dir::Out, &out);
+            }
+            sink(out);
+        }
+        n
+    }
+}
+
 /// Spawns a filter component applying `def` to every incoming record.
-/// Path interning and counter registration happen here, once; the
-/// record loop is allocation-free on the bookkeeping side and
-/// memoizes the pattern check per record type.
 pub fn spawn_filter(
     ctx: &Arc<Ctx>,
     path: impl Into<CompPath>,
@@ -34,40 +120,14 @@ pub fn spawn_filter(
     input: Receiver,
 ) -> Receiver {
     let (tx, rx) = stream();
-    let path = path.into().child("filter");
-    ctx.metrics.handle_at(path, keys::SPAWNED).inc(1);
-    let records_in = ctx.metrics.handle_at(path, keys::RECORDS_IN);
-    let records_out = ctx.metrics.handle_at(path, keys::RECORDS_OUT);
+    let mut core = FilterCore::new(ctx, path.into(), def);
     let ctx2 = Arc::clone(ctx);
-    ctx.spawn(path.as_str(), async move {
-        let mut plans = PlanCache::new(Shape::of_type(&def.pattern));
+    ctx.spawn(core.path().as_str(), async move {
         for_each_msg(input, |msg| match msg {
             Msg::Rec(rec) => {
-                if ctx2.has_observers() {
-                    ctx2.observe(path, Dir::In, &rec);
-                }
-                records_in.inc(1);
-                // Plan existence *is* the pattern check (subtype
-                // acceptance), and its excess half is the filter's
-                // flow-inheritance source.
-                let Some(plan) = plans.plan_for(&rec) else {
-                    panic!(
-                        "record {rec:?} does not match filter pattern {} at '{path}' — \
-                         routing invariant violated",
-                        def.pattern
-                    )
-                };
-                let excess = rec.excess_with(plan);
-                let outs = def
-                    .apply_with_excess(&rec, &excess)
-                    .unwrap_or_else(|e| panic!("tag expression failed in filter at '{path}': {e}"));
-                records_out.inc(outs.len() as u64);
-                for out in outs {
-                    if ctx2.has_observers() {
-                        ctx2.observe(path, Dir::Out, &out);
-                    }
-                    let _ = tx.send(Msg::Rec(out));
-                }
+                core.process(&ctx2, &rec, &mut |r| {
+                    let _ = tx.send(Msg::Rec(r));
+                });
             }
             sort @ Msg::Sort { .. } => {
                 let _ = tx.send(sort);

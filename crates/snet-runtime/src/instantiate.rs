@@ -13,6 +13,7 @@
 use crate::boxfn::spawn_box;
 use crate::ctx::Ctx;
 use crate::filter_exec::spawn_filter;
+use crate::fused::spawn_fused;
 use crate::parallel::spawn_parallel;
 use crate::path::CompPath;
 use crate::plan::PNode;
@@ -62,6 +63,17 @@ pub fn instantiate(
             det,
             level,
         } => spawn_split(ctx, path, inner, *tag, *det, *level, input),
+        PNode::Fused { stages } => spawn_fused(ctx, path, stages, input),
+        PNode::Chain { parts } => {
+            // A partially fused Serial spine: parts connect in
+            // sequence, each under its recorded suffix so component
+            // paths match the unfused binary-tree instantiation.
+            let mut cur = input;
+            for part in parts {
+                cur = instantiate(ctx, &part.node, path.descend(&part.suffix), cur);
+            }
+            cur
+        }
     }
 }
 

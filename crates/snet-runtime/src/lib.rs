@@ -32,6 +32,7 @@
 pub mod boxfn;
 pub mod ctx;
 pub mod filter_exec;
+pub mod fused;
 pub mod instantiate;
 pub mod memo;
 pub mod merge;
@@ -53,7 +54,7 @@ pub use metrics::{Counter, Metrics};
 pub use net::{collect_records, BuildError, Net, NetBuilder, SendRejected};
 pub use parallel::{RouteCache, RouteClass};
 pub use path::CompPath;
-pub use plan::{compile, Bindings, CompileError, Plan};
+pub use plan::{compile, compile_cfg, fuse, fuse_default, Bindings, CompileError, Plan};
 pub use sched::{Executor, ThreadPerComponent, WorkStealingPool};
 pub use stream::{Dir, Msg, Observer};
 pub use trace::{TraceEntry, TraceLog};

@@ -26,7 +26,7 @@ use crate::instantiate::instantiate;
 use crate::memo::TypeMemo;
 use crate::metrics::{keys, Metrics};
 use crate::path::CompPath;
-use crate::plan::{compile, Bindings, CompileError, Plan};
+use crate::plan::{Bindings, CompileError, Plan};
 use crate::sched::Executor;
 use crate::stream::{stream, Msg, Observer, Receiver, Sender};
 use parking_lot::RwLock;
@@ -82,6 +82,7 @@ pub struct NetBuilder {
     observers: Vec<Observer>,
     executor: Option<Arc<dyn Executor>>,
     split_lanes: Option<u32>,
+    fuse: Option<bool>,
 }
 
 impl NetBuilder {
@@ -94,6 +95,7 @@ impl NetBuilder {
             observers: Vec::new(),
             executor: None,
             split_lanes: None,
+            fuse: None,
         })
     }
 
@@ -105,6 +107,7 @@ impl NetBuilder {
             observers: Vec::new(),
             executor: None,
             split_lanes: None,
+            fuse: None,
         }
     }
 
@@ -149,6 +152,20 @@ impl NetBuilder {
         self
     }
 
+    /// Enables or disables the pipeline fusion pass for this network
+    /// (see [`crate::plan`]): fused, a maximal `Serial` chain of boxes
+    /// and filters runs as **one** scheduled component instead of one
+    /// per stage. Default: on, unless `SNET_FUSE=0` is set
+    /// process-wide. Output (including deterministic ordering) and
+    /// per-stage metrics paths are identical either way — the escape
+    /// hatch exists to keep the unfused topology testable and to
+    /// restore the paper's literal one-component-per-stage execution
+    /// model.
+    pub fn fuse(mut self, fuse: bool) -> Self {
+        self.fuse = Some(fuse);
+        self
+    }
+
     /// Compiles and spawns the named net.
     pub fn build(self, net_name: &str) -> Result<Net, BuildError> {
         let env = self.program.env()?;
@@ -170,7 +187,8 @@ impl NetBuilder {
     }
 
     fn build_ast(self, env: &Env, ast: &NetAst) -> Result<Net, BuildError> {
-        let plan = compile(ast, env, &self.bindings)?;
+        let fuse = self.fuse.unwrap_or_else(crate::plan::fuse_default);
+        let plan = crate::plan::compile_cfg(ast, env, &self.bindings, fuse)?;
         let executor = self.executor.unwrap_or_else(crate::sched::default_executor);
         Ok(Net::spawn_cfg(
             plan,
@@ -205,6 +223,13 @@ pub struct Net {
     /// otherwise grow with adversarial label diversity; past the cap,
     /// novel types fall back to the uncached check.
     boundary: RwLock<TypeMemo<bool>>,
+    /// Lock-free front line of the boundary memo: the most recently
+    /// accepted shape id, `+1` (0 = none yet). Monomorphic streams —
+    /// the overwhelmingly common case — check one relaxed atomic load
+    /// per record instead of taking the memo's read lock. A stale
+    /// value is harmless: acceptance is a pure function of the shape,
+    /// and a mismatch just falls through to the memo.
+    boundary_hot: std::sync::atomic::AtomicU64,
 }
 
 impl Net {
@@ -245,6 +270,7 @@ impl Net {
             ctx,
             sig: plan.sig,
             boundary: RwLock::new(TypeMemo::new()),
+            boundary_hot: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -268,21 +294,33 @@ impl Net {
     /// surfaced synchronously at the boundary) or when the input was
     /// already closed.
     pub fn send(&self, rec: Record) -> Result<(), SendRejected> {
-        // Two statements on purpose: the read guard must drop before
-        // the miss path takes the write lock (a `match` on the locked
-        // expression would hold the read guard across both arms).
-        let cached = self.boundary.read().get(&rec);
-        let accepted = cached.unwrap_or_else(|| {
-            let mut memo = self.boundary.write();
-            if memo.len() < BOUNDARY_MEMO_CAP {
-                memo.get_or_insert_with(&rec, |rt| self.sig.match_score(rt).is_some())
-            } else {
-                // Memo saturated (adversarially diverse label sets):
-                // compute without caching.
-                drop(memo);
-                self.sig.match_score(&rec.record_type()).is_some()
+        use std::sync::atomic::Ordering;
+        let hot = u64::from(rec.shape().id()) + 1;
+        let accepted = if self.boundary_hot.load(Ordering::Relaxed) == hot {
+            // The stream's steady-state type: no lock at all.
+            true
+        } else {
+            // Two statements on purpose: the read guard must drop
+            // before the miss path takes the write lock (a `match` on
+            // the locked expression would hold the read guard across
+            // both arms).
+            let cached = self.boundary.read().get(&rec);
+            let accepted = cached.unwrap_or_else(|| {
+                let mut memo = self.boundary.write();
+                if memo.len() < BOUNDARY_MEMO_CAP {
+                    memo.get_or_insert_with(&rec, |rt| self.sig.match_score(rt).is_some())
+                } else {
+                    // Memo saturated (adversarially diverse label
+                    // sets): compute without caching.
+                    drop(memo);
+                    self.sig.match_score(&rec.record_type()).is_some()
+                }
+            });
+            if accepted {
+                self.boundary_hot.store(hot, Ordering::Relaxed);
             }
-        });
+            accepted
+        };
         if !accepted {
             // Error path only: rebuild the type for the message.
             return Err(SendRejected::TypeMismatch {

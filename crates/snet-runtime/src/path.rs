@@ -70,6 +70,18 @@ impl CompPath {
         intern(&format!("{}/{segment}", self.text))
     }
 
+    /// Descends a run of child segments — the one definition of how a
+    /// recorded path suffix (fused stages, chain parts; see
+    /// [`crate::plan`]) maps back onto the `Serial` instantiation's
+    /// paths, so the fused and unfused topologies cannot diverge.
+    pub fn descend(&self, suffix: &[&'static str]) -> CompPath {
+        let mut p = *self;
+        for seg in suffix {
+            p = p.child(seg);
+        }
+        p
+    }
+
     /// The rendered path, without allocating.
     pub fn as_str(&self) -> &'static str {
         self.text

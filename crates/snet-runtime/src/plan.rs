@@ -10,6 +10,47 @@
 //! The resulting [`Plan`] is an immutable `Arc` tree: the replicators
 //! clone subtree handles to instantiate replicas on demand without
 //! re-running any analysis.
+//!
+//! # The fusion pass
+//!
+//! The paper's `..` combinator is a *coordination* construct, not an
+//! execution mandate: a pipeline of boxes is semantically a function
+//! composition, and running every stage as its own component taxes
+//! each record with a channel send, a wakeup and a scheduler
+//! round-trip per stage. The [`fuse`] rewrite removes that tax by
+//! collapsing maximal `Serial` chains into [`PNode::Fused`] nodes that
+//! [`crate::instantiate`] spawns as **one** component (see
+//! [`crate::fused`]): one `recv_each` at the head, one send at the
+//! tail, every intermediate record handed stage-to-stage on the
+//! component's own stack.
+//!
+//! **Legality rules.** Only single-input/single-output stages fuse —
+//! `Box` and `Filter` nodes, nothing else:
+//!
+//! * fusion never crosses a `Parallel`, `Split`, `Star` or merge
+//!   boundary (those nodes own dispatchers, mergers and dynamically
+//!   unfolded replicas; the pass recurses *into* their inner plans but
+//!   a chain interrupted by one continues as a separate run);
+//! * boxes and filters carry no det sort level — they forward sort
+//!   records transparently — so a `Serial` chain of them can never
+//!   straddle a sort-level change; the combinators that do stamp or
+//!   consume sort records are exactly the ones fusion refuses to
+//!   cross. Processing messages strictly in stream order (data records
+//!   cascade fully through the stages before the next message is
+//!   looked at) keeps the fused chain's output byte-identical to the
+//!   unfused chain's, sort records included.
+//!
+//! **Metrics-path preservation.** Every fused stage remembers the
+//! `s0`/`s1` path suffix the binary `Serial` instantiation would have
+//! derived ([`FusedStage::suffix`], [`ChainPart::suffix`]), and the
+//! fused driver registers each stage's [`crate::path::CompPath`]
+//! sub-path at spawn exactly as the standalone components do — so the
+//! string metrics query API, observers and per-stage counters are
+//! indistinguishable between the fused and unfused topologies.
+//!
+//! Fusion is on by default; `SNET_FUSE=0` (process-wide) or
+//! [`crate::NetBuilder::fuse`]`(false)` (per net) keep the unfused
+//! topology buildable, and [`compile_cfg`] gives explicit control.
 
 use crate::boxfn::BoxImpl;
 use snet_lang::{Env, ExitPattern, FilterDef, NetAst};
@@ -53,6 +94,47 @@ pub enum PNode {
         det: bool,
         level: u32,
     },
+    /// A maximal run of SISO stages collapsed by the [`fuse`] pass:
+    /// instantiated as **one** component running every stage in-place
+    /// (see [`crate::fused`]).
+    Fused {
+        stages: Vec<FusedStage>,
+    },
+    /// A `Serial` spine whose leaves were partially fused: parts run
+    /// in sequence, each instantiated under its recorded path suffix
+    /// so component paths match the unfused topology exactly.
+    Chain {
+        parts: Vec<ChainPart>,
+    },
+}
+
+/// One stage of a [`PNode::Fused`] pipeline.
+pub struct FusedStage {
+    /// The `s0`/`s1` child segments the binary `Serial` instantiation
+    /// would have derived for this stage, relative to the fused node's
+    /// instantiation path — so per-stage metrics and observer paths
+    /// are byte-identical to the unfused topology.
+    pub suffix: Vec<&'static str>,
+    pub kind: FusedKind,
+}
+
+/// What a fused stage executes.
+pub enum FusedKind {
+    Box {
+        name: String,
+        sig: BoxSig,
+        imp: BoxImpl,
+    },
+    Filter {
+        def: FilterDef,
+    },
+}
+
+/// One part of a [`PNode::Chain`]: a subplan plus the path suffix it
+/// instantiates under (relative to the chain's instantiation path).
+pub struct ChainPart {
+    pub suffix: Vec<&'static str>,
+    pub node: Arc<PNode>,
 }
 
 impl fmt::Debug for PNode {
@@ -70,6 +152,29 @@ impl fmt::Debug for PNode {
             PNode::Split {
                 inner, tag, det, ..
             } => write!(f, "Split(det={det}, tag={tag}, {inner:?})"),
+            PNode::Fused { stages } => {
+                write!(f, "Fused(")?;
+                for (i, s) in stages.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " .. ")?;
+                    }
+                    match &s.kind {
+                        FusedKind::Box { name, .. } => write!(f, "box:{name}")?,
+                        FusedKind::Filter { def } => write!(f, "filter:{def}")?,
+                    }
+                }
+                write!(f, ")")
+            }
+            PNode::Chain { parts } => {
+                write!(f, "Chain(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " .. ")?;
+                    }
+                    write!(f, "{:?}", p.node)?;
+                }
+                write!(f, ")")
+            }
         }
     }
 }
@@ -138,10 +243,159 @@ impl From<TypeError> for CompileError {
     }
 }
 
-/// Compiles a network expression against declarations and bindings.
+/// Whether the fusion pass runs by default: on, unless `SNET_FUSE=0`
+/// (the process-wide escape hatch keeping the unfused topology
+/// testable; [`crate::NetBuilder::fuse`] overrides per net).
+pub fn fuse_default() -> bool {
+    !matches!(std::env::var("SNET_FUSE"), Ok(v) if v == "0")
+}
+
+/// Compiles a network expression against declarations and bindings,
+/// applying the fusion pass per [`fuse_default`].
 pub fn compile(ast: &NetAst, env: &Env, bindings: &Bindings) -> Result<Plan, CompileError> {
+    compile_cfg(ast, env, bindings, fuse_default())
+}
+
+/// [`compile`] with explicit control over the fusion pass.
+pub fn compile_cfg(
+    ast: &NetAst,
+    env: &Env,
+    bindings: &Bindings,
+    fuse_pass: bool,
+) -> Result<Plan, CompileError> {
     let (root, sig) = compile_node(ast, env, bindings, 0)?;
+    let root = if fuse_pass { fuse(&root) } else { root };
     Ok(Plan { root, sig })
+}
+
+/// True for the single-input/single-output stage nodes the fusion
+/// pass may collapse.
+fn is_siso(node: &PNode) -> bool {
+    matches!(node, PNode::Box { .. } | PNode::Filter { .. })
+}
+
+/// The fusion rewrite (see the module docs for legality rules):
+/// collapses maximal `Serial` runs of SISO stages into
+/// [`PNode::Fused`] nodes and recurses into combinator inners.
+/// Idempotent; component paths are preserved exactly.
+pub fn fuse(node: &Arc<PNode>) -> Arc<PNode> {
+    match &**node {
+        PNode::Serial { .. } => fuse_serial(node),
+        PNode::Parallel {
+            left,
+            right,
+            left_sig,
+            right_sig,
+            det,
+            level,
+        } => Arc::new(PNode::Parallel {
+            left: fuse(left),
+            right: fuse(right),
+            left_sig: left_sig.clone(),
+            right_sig: right_sig.clone(),
+            det: *det,
+            level: *level,
+        }),
+        PNode::Star {
+            inner,
+            exit,
+            det,
+            level,
+        } => Arc::new(PNode::Star {
+            inner: fuse(inner),
+            exit: exit.clone(),
+            det: *det,
+            level: *level,
+        }),
+        PNode::Split {
+            inner,
+            tag,
+            det,
+            level,
+        } => Arc::new(PNode::Split {
+            inner: fuse(inner),
+            tag: *tag,
+            det: *det,
+            level: *level,
+        }),
+        // Leaves (and already-fused nodes) pass through by handle.
+        PNode::Box { .. } | PNode::Filter { .. } | PNode::Fused { .. } | PNode::Chain { .. } => {
+            Arc::clone(node)
+        }
+    }
+}
+
+/// Flattens a `Serial` spine into its leaves, recording for each the
+/// `s0`/`s1` path suffix the binary instantiation derives.
+fn flatten_serial(
+    node: &Arc<PNode>,
+    prefix: &mut Vec<&'static str>,
+    out: &mut Vec<(Vec<&'static str>, Arc<PNode>)>,
+) {
+    match &**node {
+        PNode::Serial { a, b } => {
+            prefix.push("s0");
+            flatten_serial(a, prefix, out);
+            prefix.pop();
+            prefix.push("s1");
+            flatten_serial(b, prefix, out);
+            prefix.pop();
+        }
+        _ => out.push((prefix.clone(), Arc::clone(node))),
+    }
+}
+
+fn fuse_serial(node: &Arc<PNode>) -> Arc<PNode> {
+    let mut leaves = Vec::new();
+    flatten_serial(node, &mut Vec::new(), &mut leaves);
+    let mut parts: Vec<ChainPart> = Vec::new();
+    let mut run: Vec<(Vec<&'static str>, Arc<PNode>)> = Vec::new();
+    let flush = |run: &mut Vec<(Vec<&'static str>, Arc<PNode>)>, parts: &mut Vec<ChainPart>| {
+        if run.len() >= 2 {
+            // A fusable run: one component for the whole stretch.
+            let stages = run
+                .drain(..)
+                .map(|(suffix, leaf)| FusedStage {
+                    suffix,
+                    kind: match &*leaf {
+                        PNode::Box { name, sig, imp } => FusedKind::Box {
+                            name: name.clone(),
+                            sig: sig.clone(),
+                            imp: Arc::clone(imp),
+                        },
+                        PNode::Filter { def } => FusedKind::Filter { def: def.clone() },
+                        other => unreachable!("non-SISO node {other:?} in a fusable run"),
+                    },
+                })
+                .collect();
+            parts.push(ChainPart {
+                suffix: Vec::new(),
+                node: Arc::new(PNode::Fused { stages }),
+            });
+        } else {
+            // A lone stage stays a plain component.
+            for (suffix, leaf) in run.drain(..) {
+                parts.push(ChainPart { suffix, node: leaf });
+            }
+        }
+    };
+    for (suffix, leaf) in leaves {
+        if is_siso(&leaf) {
+            run.push((suffix, leaf));
+        } else {
+            flush(&mut run, &mut parts);
+            parts.push(ChainPart {
+                suffix,
+                node: fuse(&leaf),
+            });
+        }
+    }
+    flush(&mut run, &mut parts);
+    if parts.len() == 1 && parts[0].suffix.is_empty() {
+        // The whole spine fused into one node.
+        return parts.pop().expect("one part").node;
+    }
+    Arc::new(PNode::Chain { parts })
 }
 
 fn compile_node(
@@ -259,7 +513,7 @@ mod tests {
     fn compile_box_and_serial() {
         let env = env_fg();
         let ast = snet_lang::parse_net_expr("f .. g").unwrap();
-        let plan = compile(&ast, &env, &bindings_id()).unwrap();
+        let plan = compile_cfg(&ast, &env, &bindings_id(), false).unwrap();
         assert!(matches!(&*plan.root, PNode::Serial { .. }));
         assert_eq!(plan.sig.output_type().to_string(), "{c}");
     }
@@ -268,8 +522,125 @@ mod tests {
     fn net_references_are_inlined() {
         let env = env_fg();
         let ast = snet_lang::parse_net_expr("fg").unwrap();
-        let plan = compile(&ast, &env, &bindings_id()).unwrap();
+        let plan = compile_cfg(&ast, &env, &bindings_id(), false).unwrap();
         assert!(matches!(&*plan.root, PNode::Serial { .. }));
+    }
+
+    #[test]
+    fn fusion_collapses_a_box_chain_into_one_node() {
+        let env = env_fg();
+        let ast = snet_lang::parse_net_expr("f .. g").unwrap();
+        let plan = compile_cfg(&ast, &env, &bindings_id(), true).unwrap();
+        match &*plan.root {
+            PNode::Fused { stages } => {
+                assert_eq!(stages.len(), 2);
+                assert_eq!(stages[0].suffix, vec!["s0"]);
+                assert_eq!(stages[1].suffix, vec!["s1"]);
+                assert!(matches!(&stages[0].kind, FusedKind::Box { name, .. } if name == "f"));
+                assert!(matches!(&stages[1].kind, FusedKind::Box { name, .. } if name == "g"));
+            }
+            other => panic!("expected Fused, got {other:?}"),
+        }
+        // The signature is untouched by fusion.
+        assert_eq!(plan.sig.output_type().to_string(), "{c}");
+    }
+
+    #[test]
+    fn fusion_records_serial_tree_suffixes() {
+        // Three stages: the suffixes must be exactly what the binary
+        // Serial instantiation would derive, so metric paths match.
+        let env = parse_program(
+            "box f (a) -> (a);\n\
+             box g (a) -> (a);",
+        )
+        .unwrap()
+        .env()
+        .unwrap();
+        let b = Bindings::new()
+            .bind("f", |r, e| e.emit(r.clone()))
+            .bind("g", |r, e| e.emit(r.clone()));
+        let ast = snet_lang::parse_net_expr("f .. g .. f").unwrap();
+        let unfused = compile_cfg(&ast, &env, &b, false).unwrap();
+        let fused = fuse(&unfused.root);
+        // Oracle: flatten the unfused tree.
+        let mut leaves = Vec::new();
+        flatten_serial(&unfused.root, &mut Vec::new(), &mut leaves);
+        let want: Vec<Vec<&'static str>> = leaves.into_iter().map(|(s, _)| s).collect();
+        match &*fused {
+            PNode::Fused { stages } => {
+                assert_eq!(stages.len(), 3);
+                let got: Vec<Vec<&'static str>> = stages.iter().map(|s| s.suffix.clone()).collect();
+                assert_eq!(got, want);
+            }
+            other => panic!("expected Fused, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fusion_stops_at_combinator_boundaries() {
+        // f .. (g ! <t>) .. f .. g: the split interrupts the chain —
+        // the runs on either side stay separate, the lone leading `f`
+        // stays a plain box, and the trailing pair fuses.
+        let env = parse_program(
+            "box f (a) -> (a);\n\
+             box g (a) -> (a);",
+        )
+        .unwrap()
+        .env()
+        .unwrap();
+        let b = Bindings::new()
+            .bind("f", |r, e| e.emit(r.clone()))
+            .bind("g", |r, e| e.emit(r.clone()));
+        let ast = snet_lang::parse_net_expr("f .. (g ! <t>) .. f .. g").unwrap();
+        let plan = compile_cfg(&ast, &env, &b, true).unwrap();
+        match &*plan.root {
+            PNode::Chain { parts } => {
+                assert_eq!(parts.len(), 3, "{:?}", plan.root);
+                assert!(matches!(&*parts[0].node, PNode::Box { .. }));
+                assert!(matches!(&*parts[1].node, PNode::Split { .. }));
+                match &*parts[2].node {
+                    PNode::Fused { stages } => assert_eq!(stages.len(), 2),
+                    other => panic!("expected trailing Fused, got {other:?}"),
+                }
+                // Lone stages keep their Serial-derived suffix; the
+                // fused part embeds suffixes in its stages instead.
+                assert!(!parts[0].suffix.is_empty());
+                assert!(!parts[1].suffix.is_empty());
+                assert!(parts[2].suffix.is_empty());
+            }
+            other => panic!("expected Chain, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fusion_recurses_into_combinator_inners() {
+        let env = parse_program(
+            "box f (a) -> (a);\n\
+             box g (a) -> (a);",
+        )
+        .unwrap()
+        .env()
+        .unwrap();
+        let b = Bindings::new()
+            .bind("f", |r, e| e.emit(r.clone()))
+            .bind("g", |r, e| e.emit(r.clone()));
+        let ast = snet_lang::parse_net_expr("(f .. g) ! <t>").unwrap();
+        let plan = compile_cfg(&ast, &env, &b, true).unwrap();
+        match &*plan.root {
+            PNode::Split { inner, .. } => {
+                assert!(matches!(&**inner, PNode::Fused { .. }), "{inner:?}");
+            }
+            other => panic!("expected Split, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fusion_is_idempotent() {
+        let env = env_fg();
+        let ast = snet_lang::parse_net_expr("f .. g").unwrap();
+        let plan = compile_cfg(&ast, &env, &bindings_id(), true).unwrap();
+        let again = fuse(&plan.root);
+        assert!(Arc::ptr_eq(&plan.root, &again));
     }
 
     #[test]

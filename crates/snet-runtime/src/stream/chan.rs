@@ -464,6 +464,33 @@ pub enum TryRecvError {
     Disconnected,
 }
 
+/// RAII holder of the producer role: releases the spinlock on drop,
+/// so a panic inside the critical section (e.g. a caller-supplied
+/// `send_each` iterator) unwinds cleanly instead of wedging every
+/// later sender in the acquisition spin loop.
+struct ProdGuard<'a, T> {
+    chan: &'a Chan<T>,
+}
+
+impl<T> Chan<T> {
+    fn lock_prod(&self) -> ProdGuard<'_, T> {
+        while self
+            .prod_lock
+            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            std::hint::spin_loop();
+        }
+        ProdGuard { chan: self }
+    }
+}
+
+impl<T> Drop for ProdGuard<'_, T> {
+    fn drop(&mut self) {
+        self.chan.prod_lock.store(false, Ordering::Release);
+    }
+}
+
 impl<T: Send> Sender<T> {
     /// Delivers a message: one uncontended CAS (the producer role), a
     /// slot write, one `Release` store, and one `SeqCst` load of the
@@ -474,19 +501,47 @@ impl<T: Send> Sender<T> {
         if !chan.rx_alive.load(Ordering::Acquire) {
             return Err(SendError(value));
         }
-        while chan
-            .prod_lock
-            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
-            .is_err()
-        {
-            std::hint::spin_loop();
-        }
-        // SAFETY: the spinlock is the producer role.
+        let guard = chan.lock_prod();
+        // SAFETY: the guard is the producer role.
         unsafe { chan.push(value) };
-        chan.prod_lock.store(false, Ordering::Release);
+        drop(guard);
         fence(Ordering::SeqCst);
         chan.maybe_wake();
         Ok(())
+    }
+
+    /// Delivers a run of messages with **one** producer-role
+    /// acquisition, one fence and one park-state check for the whole
+    /// run — the batch analogue of [`Sender::send`], for producers
+    /// that already hold their output in order (the fused pipeline's
+    /// tail). The no-lost-wake argument is unchanged: the run is a
+    /// single publish, fully ordered before the single check, so a
+    /// consumer that parked at any point during it is observed and
+    /// woken. The producer role is held across the iterator (a panic
+    /// in it releases the role cleanly via the guard, dropping the
+    /// unsent remainder), so other senders of a *cloned* sender stall
+    /// until the run completes; data edges are single-producer, and
+    /// buffer drains — the intended callers — never run user code.
+    ///
+    /// Returns how many messages were delivered (0 with `Err` when
+    /// the receiver is gone — the messages are dropped, matching the
+    /// teardown semantics every component applies to `send` results).
+    pub fn send_each(&self, values: impl IntoIterator<Item = T>) -> Result<usize, SendError<()>> {
+        let chan = &*self.chan;
+        if !chan.rx_alive.load(Ordering::Acquire) {
+            return Err(SendError(()));
+        }
+        let guard = chan.lock_prod();
+        let mut n = 0;
+        // SAFETY: the guard is the producer role.
+        for v in values {
+            unsafe { chan.push(v) };
+            n += 1;
+        }
+        drop(guard);
+        fence(Ordering::SeqCst);
+        chan.maybe_wake();
+        Ok(n)
     }
 }
 
@@ -856,6 +911,37 @@ impl<'a, T: Send> IntoIterator for &'a Receiver<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn send_each_preserves_fifo_and_wakes_parked_consumer() {
+        // FIFO across batch boundaries (incl. segment crossings: the
+        // batch is larger than one segment)...
+        let (tx, rx) = channel::<u32>();
+        assert_eq!(tx.send_each(0..100).unwrap(), 100);
+        tx.send(100).unwrap();
+        assert_eq!(tx.send_each(101..110).unwrap(), 9);
+        for i in 0..110 {
+            assert_eq!(rx.try_recv().unwrap(), i);
+        }
+        assert_eq!(rx.try_recv().unwrap_err(), TryRecvError::Empty);
+        // ...and the single post-batch park check wakes a blocked
+        // consumer (the no-lost-wake argument for the batched path).
+        let h = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Ok(v) = rx.recv() {
+                got.push(v);
+            }
+            got
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert_eq!(tx.send_each(0..5).unwrap(), 5);
+        drop(tx);
+        assert_eq!(h.join().unwrap(), vec![0, 1, 2, 3, 4]);
+        // A dead receiver drops the run.
+        let (tx, rx) = channel::<u32>();
+        drop(rx);
+        assert!(tx.send_each(0..5).is_err());
+    }
 
     #[test]
     fn send_recv_fifo() {

@@ -33,11 +33,25 @@
 //! documented) property of the label model.
 //!
 //! Transition caches (`shape + label -> shape'`) make incremental
-//! record construction (`set_field`/`set_tag`/`remove`) a read-locked
-//! map hit once warm, and plan caches do the same for
-//! `split_for`/`inherit`. All interned data is leaked, like labels
-//! and paths: handles are `Copy`, lookups return `&'static`
-//! references, and the universes are bounded per the argument above.
+//! record construction (`set_field`/`set_tag`/`remove`) cheap once
+//! warm, and plan caches do the same for `split_for`/`inherit`. All
+//! interned data is leaked, like labels and paths: handles are
+//! `Copy`, lookups return `&'static` references, and the universes
+//! are bounded per the argument above.
+//!
+//! # Lock-free warm construction
+//!
+//! Warm transitions resolve through a **thread-local** mirror of the
+//! process-wide transition tables before touching the table lock:
+//! once a thread has seen a `(shape, label)` transition, every later
+//! `set_field`/`set_tag`/`remove` taking it is a plain map hit with
+//! no shared atomic RMW at all. The process-wide read lock was
+//! invisible on one core, but it is one shared cache line bouncing
+//! between every pool worker constructing records concurrently —
+//! the transition result is immutable (`&'static ShapeInfo`), so each
+//! thread can cache it forever. The thread-local maps are bounded by
+//! the same label-universe argument as the global tables; each thread
+//! pays one global lookup per transition to warm its own copy.
 
 use crate::fxmap::FxMap;
 use crate::label::{Label, LabelKind};
@@ -169,6 +183,24 @@ struct Tables {
 /// `Shape::empty()` runs per constructed record (every
 /// `Record::new()`), so it must be a plain pointer load.
 static EMPTY_INFO: OnceLock<&'static ShapeInfo> = OnceLock::new();
+
+/// Thread-local mirror of the `grown`/`shrunk` transition tables (see
+/// module docs): warm record construction hits this cache without
+/// taking the process-wide table's read lock. Values are immutable
+/// `&'static` interner data, so a stale-free copy per thread is
+/// always safe.
+struct LocalTransitions {
+    grown: FxMap<(u32, Label), (&'static ShapeInfo, u32)>,
+    shrunk: FxMap<(u32, Label), &'static ShapeInfo>,
+}
+
+thread_local! {
+    static LOCAL: std::cell::RefCell<LocalTransitions> =
+        std::cell::RefCell::new(LocalTransitions {
+            grown: FxMap::default(),
+            shrunk: FxMap::default(),
+        });
+}
 
 fn tables() -> &'static RwLock<Tables> {
     static TABLES: OnceLock<RwLock<Tables>> = OnceLock::new();
@@ -334,10 +366,24 @@ impl Shape {
 
     /// The shape with `label` added: `(new shape, insertion slot in
     /// the same-kind half)`. The label must not already be present.
-    /// Cached per `(shape, label)` transition, so warm record
-    /// construction is a read-locked map hit.
+    /// Cached per `(shape, label)` transition — thread-locally first,
+    /// so warm record construction takes no lock at all.
     pub fn with(&self, label: Label) -> (Shape, usize) {
         debug_assert!(!self.contains(label));
+        let key = (self.id(), label);
+        if let Some((info, slot)) = LOCAL.with(|l| l.borrow().grown.get(&key).copied()) {
+            return (Shape { info }, slot as usize);
+        }
+        let (shape, slot) = self.with_global(label);
+        LOCAL.with(|l| l.borrow_mut().grown.insert(key, (shape.info, slot as u32)));
+        (shape, slot)
+    }
+
+    /// The global-table half of [`Shape::with`]: one read-locked hit
+    /// when some thread already interned the transition, the full
+    /// computation plus a write-locked insert on process-wide first
+    /// sight.
+    fn with_global(&self, label: Label) -> (Shape, usize) {
         {
             let t = tables().read();
             if let Some(&(id, slot)) = t.grown.get(&(self.id(), label)) {
@@ -363,9 +409,20 @@ impl Shape {
     }
 
     /// The shape with `label` removed (which must be present). Cached
-    /// like [`Shape::with`].
+    /// like [`Shape::with`] — thread-locally first, lock-free when
+    /// warm.
     pub fn without(&self, label: Label) -> Shape {
         debug_assert!(self.contains(label));
+        let key = (self.id(), label);
+        if let Some(info) = LOCAL.with(|l| l.borrow().shrunk.get(&key).copied()) {
+            return Shape { info };
+        }
+        let shape = self.without_global(label);
+        LOCAL.with(|l| l.borrow_mut().shrunk.insert(key, shape.info));
+        shape
+    }
+
+    fn without_global(&self, label: Label) -> Shape {
         {
             let t = tables().read();
             if let Some(&id) = t.shrunk.get(&(self.id(), label)) {
@@ -643,6 +700,31 @@ mod tests {
         assert!(out.inherit_plan(Shape::empty()).identity);
         let covered = Shape::of_type(&RecordType::of(&["d"], &["k"]));
         assert!(out.inherit_plan(covered).identity);
+    }
+
+    #[test]
+    fn warm_transitions_agree_across_threads() {
+        // The thread-local transition cache must hand every thread
+        // the same interned shapes the global tables hold: N threads
+        // repeatedly building the same record shape (the warm-path
+        // pattern of pool workers constructing records concurrently)
+        // all converge on one shape id per label set.
+        let base = Shape::of_type(&RecordType::of(&["ltc_a"], &[]));
+        let (expect, _) = base.with(l("ltc_b"));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        // Cold on this thread's cache first time,
+                        // warm (lock-free) for the other 99.
+                        let (grown, slot) = base.with(l("ltc_b"));
+                        assert_eq!(grown, expect);
+                        assert_eq!(slot, 1);
+                        assert_eq!(grown.without(l("ltc_b")), base);
+                    }
+                });
+            }
+        });
     }
 
     #[test]

@@ -1,0 +1,291 @@
+//! Fusion equivalence: the fused and unfused instantiations of the
+//! same plan must be observationally identical — byte-identical
+//! (deterministically ordered) output, identical per-stage metrics
+//! paths and counts — under every executor. Only the component count
+//! may differ: an n-stage fused chain runs as **one** component.
+//!
+//! `NetBuilder::fuse(bool)` drives both topologies in-process; the
+//! `SNET_FUSE=0` CI leg additionally re-runs the whole suite with the
+//! process default flipped.
+
+use snet_runtime::{Executor, Net, NetBuilder, ThreadPerComponent, WorkStealingPool};
+use snet_types::Record;
+use std::sync::Arc;
+
+/// The executor matrix of the ISSUE: threads, pool, pool+1.
+fn executors() -> Vec<(&'static str, Arc<dyn Executor>)> {
+    vec![
+        ("threads", Arc::new(ThreadPerComponent) as Arc<dyn Executor>),
+        ("pool", Arc::new(WorkStealingPool::new(2)) as _),
+        ("pool+1", Arc::new(WorkStealingPool::new(1)) as _),
+    ]
+}
+
+/// Boxes for every topology under test:
+/// * `inc` — 1:1, type-preserving;
+/// * `rep` — multi-emission: `x*10 + i` for `i in 0..c` (0 included,
+///   so some records vanish);
+/// * `dec` — star step: counts `n` down, exits tagged `<z>`.
+const SRC: &str = "
+    box inc (x) -> (x);
+    box rep (x, <c>) -> (x, <c>);
+    box dec (n) -> (n) | (n, <z>);
+";
+
+fn build(expr: &str, exec: Arc<dyn Executor>, fuse: bool) -> Net {
+    NetBuilder::from_source(&format!("{SRC}\nnet main = {expr};"))
+        .unwrap()
+        .bind("inc", |r, e| {
+            let x = r.field("x").unwrap().as_int().unwrap();
+            e.emit(Record::build().field("x", x + 1).finish());
+        })
+        .bind("rep", |r, e| {
+            let x = r.field("x").unwrap().as_int().unwrap();
+            let c = r.tag("c").unwrap();
+            for i in 0..c {
+                e.emit(Record::build().field("x", x * 10 + i).tag("c", c).finish());
+            }
+        })
+        .bind("dec", |r, e| {
+            let n = r.field("n").unwrap().as_int().unwrap();
+            if n <= 1 {
+                e.emit(Record::build().field("n", 0i64).tag("z", 1).finish());
+            } else {
+                e.emit(Record::build().field("n", n - 1).finish());
+            }
+        })
+        .executor(exec)
+        .fuse(fuse)
+        .build("main")
+        .unwrap()
+}
+
+/// Renders the full output stream for byte-for-byte comparison.
+fn drive_x(net: Net, n: i64) -> Vec<String> {
+    for i in 0..n {
+        net.send(
+            Record::build()
+                .field("x", i)
+                .tag("c", (i * 7 + 3) % 4)
+                .tag("k", (i * 5 + 1) % 3)
+                .finish(),
+        )
+        .unwrap();
+    }
+    net.finish().iter().map(|r| format!("{r:?}")).collect()
+}
+
+/// Deterministically ordered topologies (pure chains and det
+/// combinators) whose output must be **byte-identical** fused vs
+/// unfused, per executor.
+const DET_EXPRS: &[&str] = &[
+    // Pure chains, 1:1 and multi-emission.
+    "inc .. inc .. inc .. inc",
+    "rep .. rep",
+    "inc .. rep .. inc .. rep",
+    // Filters inside the chain.
+    "inc .. [{x} -> {y=x}] .. [{y} -> {x=y, <t>=1}] .. inc",
+    // Fusion barrier: a det split interrupts the chain — the runs on
+    // either side fuse separately, ordering still global.
+    "inc .. inc .. (rep ! <k>) .. inc .. inc",
+    // Det parallel of two fusable chains.
+    "(inc .. inc) | (rep .. inc)",
+    // Fused chain inside a det combinator scope (sort records must
+    // traverse the fused component byte-identically).
+    "(inc .. inc .. rep) ! <k>",
+];
+
+#[test]
+fn fused_output_is_byte_identical_to_unfused_across_executors() {
+    for expr in DET_EXPRS {
+        let reference = drive_x(build(expr, Arc::new(ThreadPerComponent), false), 60);
+        for (name, exec) in executors() {
+            for fuse in [true, false] {
+                let got = drive_x(build(expr, Arc::clone(&exec), fuse), 60);
+                assert_eq!(got, reference, "{expr} diverged under {name} (fuse={fuse})");
+            }
+        }
+    }
+}
+
+#[test]
+fn nondet_barrier_conserves_records_fused_and_unfused() {
+    // The non-det replicator barrier: global output order is
+    // scheduler-dependent, so compare the multiset (and rely on the
+    // det exprs above for ordering).
+    let expr = "inc .. inc .. (rep !! <k>) .. inc .. inc";
+    let mut reference = drive_x(build(expr, Arc::new(ThreadPerComponent), false), 60);
+    reference.sort();
+    for (name, exec) in executors() {
+        for fuse in [true, false] {
+            let mut got = drive_x(build(expr, Arc::clone(&exec), fuse), 60);
+            got.sort();
+            assert_eq!(
+                got, reference,
+                "{expr} lost/duplicated records under {name} (fuse={fuse})"
+            );
+        }
+    }
+}
+
+#[test]
+fn det_star_with_fused_inner_keeps_input_order() {
+    // (dec .. dec) * {<z>}: the star's inner pipeline fuses; det
+    // star output must stay in input order, identical to unfused.
+    let run = |fuse: bool, exec: Arc<dyn Executor>| -> Vec<String> {
+        let net = NetBuilder::from_source(&format!("{SRC}\nnet main = (dec .. dec) * {{<z>}};"))
+            .unwrap()
+            .bind("dec", |r, e| {
+                let n = r.field("n").unwrap().as_int().unwrap();
+                if n <= 1 {
+                    e.emit(Record::build().field("n", 0i64).tag("z", 1).finish());
+                } else {
+                    e.emit(Record::build().field("n", n - 1).finish());
+                }
+            })
+            .bind("inc", |r, e| e.emit(r.clone()))
+            .bind("rep", |r, e| e.emit(r.clone()))
+            .executor(exec)
+            .fuse(fuse)
+            .build("main")
+            .unwrap();
+        for (id, d) in (0..20i64).map(|i| (i, (i * 13 + 7) % 9 + 1)) {
+            net.send(Record::build().field("n", d).tag("id", id).finish())
+                .unwrap();
+        }
+        net.finish().iter().map(|r| format!("{r:?}")).collect()
+    };
+    let reference = run(false, Arc::new(ThreadPerComponent));
+    for (name, exec) in executors() {
+        for fuse in [true, false] {
+            assert_eq!(
+                run(fuse, Arc::clone(&exec)),
+                reference,
+                "det star diverged under {name} (fuse={fuse})"
+            );
+        }
+    }
+}
+
+#[test]
+fn fused_chain_runs_as_one_component() {
+    // The point of fusion: n stages, one scheduled component.
+    let fused = build(
+        "inc .. inc .. inc .. inc",
+        Arc::new(ThreadPerComponent),
+        true,
+    );
+    let unfused = build(
+        "inc .. inc .. inc .. inc",
+        Arc::new(ThreadPerComponent),
+        false,
+    );
+    assert_eq!(fused.threads_spawned(), 1);
+    assert_eq!(unfused.threads_spawned(), 4);
+    let _ = fused.finish();
+    let _ = unfused.finish();
+}
+
+#[test]
+fn barrier_chains_fuse_only_the_runs() {
+    // inc .. inc .. (rep !! <k>) .. inc .. inc: two fused runs around
+    // the replicator. Components before any record flows: 2 fused
+    // chains + dispatcher + merger (replicas unfold on demand).
+    let net = build(
+        "inc .. inc .. (rep !! <k>) .. inc .. inc",
+        Arc::new(ThreadPerComponent),
+        true,
+    );
+    assert_eq!(net.threads_spawned(), 4);
+    let _ = net.finish();
+}
+
+#[test]
+fn per_stage_metrics_paths_survive_fusion() {
+    // The string query API cannot tell the topologies apart: every
+    // per-stage counter lives at the same path with the same value.
+    let run = |fuse: bool| {
+        let net = build(
+            "inc .. [{x} -> {y=x}] .. [{y} -> {x=y}] .. inc",
+            Arc::new(ThreadPerComponent),
+            fuse,
+        );
+        for i in 0..10i64 {
+            net.send(Record::build().field("x", i).finish()).unwrap();
+        }
+        let metrics = Arc::clone(net.metrics());
+        let out = net.finish();
+        assert_eq!(out.len(), 10);
+        metrics.snapshot()
+    };
+    let fused = run(true);
+    let unfused = run(false);
+    let stage_keys = |snap: &std::collections::BTreeMap<String, u64>| {
+        snap.iter()
+            .filter(|(k, _)| k.contains("box:") || k.contains("filter"))
+            .map(|(k, v)| (k.clone(), *v))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(stage_keys(&fused), stage_keys(&unfused));
+    // And the chain is 1:1, so every stage saw all 10 records at its
+    // exact Serial-derived path.
+    for (k, v) in &fused {
+        if k.contains("records_in") && (k.contains("box:") || k.contains("filter")) {
+            assert_eq!(*v, 10, "{k}");
+        }
+    }
+    assert!(fused.keys().any(|k| k.contains("box:inc")));
+    assert!(fused.keys().any(|k| k.contains("filter")));
+}
+
+#[test]
+fn observers_see_per_stage_events_in_fused_chains() {
+    use parking_lot::Mutex;
+    let log: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let log2 = Arc::clone(&log);
+    let net = NetBuilder::from_source(&format!("{SRC}\nnet main = inc .. inc;"))
+        .unwrap()
+        .bind("inc", |r, e| {
+            let x = r.field("x").unwrap().as_int().unwrap();
+            e.emit(Record::build().field("x", x + 1).finish());
+        })
+        .bind("rep", |r, e| e.emit(r.clone()))
+        .bind("dec", |r, e| e.emit(r.clone()))
+        .observe(Arc::new(move |path, dir, _rec| {
+            log2.lock().push(format!("{path}:{dir:?}"));
+        }))
+        .fuse(true)
+        .build("main")
+        .unwrap();
+    assert_eq!(net.threads_spawned(), 1);
+    net.send(Record::build().field("x", 0i64).finish()).unwrap();
+    let _ = net.finish();
+    let log = log.lock();
+    // Both stages observed, distinct paths, both directions.
+    for stage in ["s0", "s1"] {
+        for dir in ["In", "Out"] {
+            assert!(
+                log.iter()
+                    .any(|e| e.contains(stage) && e.contains("box:inc") && e.ends_with(dir)),
+                "missing {stage} {dir} in {log:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn snet_fuse_env_controls_the_default() {
+    // Whichever way the process-wide default points (the SNET_FUSE=0
+    // CI leg flips it), the builder override wins both ways and the
+    // unforced build follows the env.
+    let default_fused = snet_runtime::fuse_default();
+    let net = NetBuilder::from_source(&format!("{SRC}\nnet main = inc .. inc;"))
+        .unwrap()
+        .bind("inc", |r, e| e.emit(r.clone()))
+        .bind("rep", |r, e| e.emit(r.clone()))
+        .bind("dec", |r, e| e.emit(r.clone()))
+        .build("main")
+        .unwrap();
+    assert_eq!(net.threads_spawned(), if default_fused { 1 } else { 2 });
+    let _ = net.finish();
+}
