@@ -40,7 +40,7 @@ use crate::ctx::Ctx;
 use crate::memo::PlanCache;
 use crate::metrics::{keys, Counter};
 use crate::path::CompPath;
-use crate::stream::{for_each_msg, stream, Dir, Msg, Receiver};
+use crate::stream::{feed_batch, for_each_msg, Dir, Msg, Receiver};
 use snet_types::{BoxSig, Record, RecordType, Shape};
 use std::sync::Arc;
 
@@ -249,31 +249,58 @@ pub fn spawn_box(
     imp: BoxImpl,
     input: Receiver,
 ) -> Receiver {
-    let (tx, rx) = stream();
     let mut core = BoxCore::new(ctx, path.into(), name, sig, imp);
+    let (tx, rx) = ctx.data_stream(core.path(), "out");
     let ctx2 = Arc::clone(ctx);
     ctx.spawn(core.path().as_str(), async move {
-        // Batched delivery via for_each_msg (see crate::stream): one
-        // wake drains a whole batch instead of paying a waker
-        // round-trip per record; messages arrive in stream order.
-        for_each_msg(input, |msg| match msg {
-            Msg::Rec(rec) => {
-                // A send failure means the downstream component is
-                // gone, which only happens during teardown; the
-                // record is simply dropped.
-                core.process(&ctx2, &rec, &mut |r| {
-                    let _ = tx.send(Msg::Rec(r));
-                });
+        if !tx.is_bounded() {
+            // Unbounded output (the default): batched delivery via
+            // for_each_msg (see crate::stream) — one wake drains a
+            // whole batch instead of paying a waker round-trip per
+            // record; messages arrive in stream order.
+            for_each_msg(input, |msg| match msg {
+                Msg::Rec(rec) => {
+                    // A send failure means the downstream component is
+                    // gone, which only happens during teardown; the
+                    // record is simply dropped.
+                    core.process(&ctx2, &rec, &mut |r| {
+                        let _ = tx.send(Msg::Rec(r));
+                    });
+                }
+                // Sort records pass through unchanged, behind any data
+                // already emitted for earlier records (guaranteed by
+                // the in-order delivery).
+                sort @ Msg::Sort { .. } => {
+                    let _ = tx.send(sort);
+                }
+            })
+            .await;
+            return;
+            // Input disconnected: dropping `tx` propagates
+            // end-of-stream.
+        }
+        // Bounded output: one input record at a time, its emissions
+        // published through the credit gate before the next input is
+        // consumed — transient memory is one record's amplification,
+        // not a batch's. Sort records take the ungated path so a
+        // deterministic round boundary is never held up by a full
+        // edge (see crate::stream).
+        let mut buf: Vec<Msg> = Vec::new();
+        while let Ok(msg) = input.recv_async().await {
+            match msg {
+                Msg::Rec(rec) => {
+                    core.process(&ctx2, &rec, &mut |r| buf.push(Msg::Rec(r)));
+                    if feed_batch(&tx, &mut buf).await.is_err() {
+                        return; // downstream gone: teardown
+                    }
+                }
+                sort @ Msg::Sort { .. } => {
+                    if tx.send(sort).is_err() {
+                        return;
+                    }
+                }
             }
-            // Sort records pass through unchanged, behind any data
-            // already emitted for earlier records (guaranteed by the
-            // in-order delivery).
-            sort @ Msg::Sort { .. } => {
-                let _ = tx.send(sort);
-            }
-        })
-        .await;
-        // Input disconnected: dropping `tx` propagates end-of-stream.
+        }
     });
     rx
 }
@@ -282,6 +309,7 @@ pub fn spawn_box(
 mod tests {
     use super::*;
     use crate::metrics::Metrics;
+    use crate::stream::stream;
     use snet_types::{Label, Value};
 
     fn test_ctx() -> Arc<Ctx> {

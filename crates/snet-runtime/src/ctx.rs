@@ -22,13 +22,55 @@
 //! [`Ctx::join_all`] works identically under both backends — including
 //! for components spawned transitively at runtime by the replicators.
 
-use crate::metrics::Metrics;
+use crate::metrics::{keys, Metrics};
 use crate::path::CompPath;
 use crate::sched::{default_executor, Executor, Tracker};
-use crate::stream::{Dir, Observer};
+use crate::stream::chan::EdgeStats;
+use crate::stream::{stream, stream_bounded, Dir, Observer, Receiver, Sender};
 use snet_types::Record;
+use std::collections::HashMap;
 use std::future::Future;
 use std::sync::Arc;
+
+/// Runtime configuration for one network, threaded through the shared
+/// [`Ctx`] to every component spawn site.
+#[derive(Clone, Debug, Default)]
+pub struct RunCfg {
+    /// Default capacity for data edges; `None` = unbounded (the
+    /// default — `SNET_STREAM_BOUND` flips it process-wide, and
+    /// `NetBuilder::bound` per net). See [`crate::stream`] for what a
+    /// bound does and does not gate.
+    pub bound: Option<usize>,
+    /// Per-edge capacity overrides keyed by edge name (the `name`
+    /// argument of [`Ctx::data_stream`], e.g. `"dispatch"`,
+    /// `"merge"`, `"ingress"`). `0` keeps that edge unbounded even
+    /// when `bound` is set.
+    pub bound_overrides: HashMap<String, usize>,
+    /// Opt-in bounded lane namespace for indexed-split routing paths:
+    /// when set, parallel replicators hash tag values into this many
+    /// lanes instead of one replica per distinct value, capping the
+    /// path-interner growth on unbounded tag domains (see
+    /// [`crate::split`] and the `NetBuilder::split_lanes` knob).
+    pub split_lanes: Option<u32>,
+    /// Per-replicator lane bounds keyed by routing-tag name; a tag's
+    /// entry wins over the net-global `split_lanes`.
+    pub split_lanes_by_tag: HashMap<String, u32>,
+}
+
+impl RunCfg {
+    /// Process-default configuration: the data-edge bound comes from
+    /// `SNET_STREAM_BOUND` (unset, empty or `0` = unbounded).
+    pub fn from_env() -> RunCfg {
+        let bound = std::env::var("SNET_STREAM_BOUND")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0);
+        RunCfg {
+            bound,
+            ..RunCfg::default()
+        }
+    }
+}
 
 /// Context threaded through instantiation and shared by all components
 /// of one network: metrics, observers, the executor, and the task
@@ -39,12 +81,7 @@ pub struct Ctx {
     observers: Vec<Observer>,
     executor: Arc<dyn Executor>,
     tracker: Arc<Tracker>,
-    /// Opt-in bounded lane namespace for indexed-split routing paths:
-    /// when set, parallel replicators hash tag values into this many
-    /// lanes instead of one replica per distinct value, capping the
-    /// path-interner growth on unbounded tag domains (see
-    /// [`crate::split`] and the `NetBuilder::split_lanes` knob).
-    split_lanes: Option<u32>,
+    cfg: RunCfg,
 }
 
 impl Ctx {
@@ -59,7 +96,7 @@ impl Ctx {
         observers: Vec<Observer>,
         executor: Arc<dyn Executor>,
     ) -> Arc<Ctx> {
-        Ctx::with_config(metrics, observers, executor, None)
+        Ctx::with_config(metrics, observers, executor, RunCfg::default())
     }
 
     /// Context on an explicit executor with runtime options.
@@ -67,20 +104,68 @@ impl Ctx {
         metrics: Arc<Metrics>,
         observers: Vec<Observer>,
         executor: Arc<dyn Executor>,
-        split_lanes: Option<u32>,
+        cfg: RunCfg,
     ) -> Arc<Ctx> {
         Arc::new(Ctx {
             metrics,
             observers,
             executor,
             tracker: Tracker::new(),
-            split_lanes,
+            cfg,
         })
     }
 
-    /// The indexed-split lane bound, if configured.
+    /// The indexed-split lane bound, if configured (net-global; see
+    /// [`Ctx::split_lanes_for`] for the per-tag resolution replicators
+    /// use).
     pub fn split_lanes(&self) -> Option<u32> {
-        self.split_lanes
+        self.cfg.split_lanes
+    }
+
+    /// The lane bound for the replicator routing on `tag`: a per-tag
+    /// binding wins over the net-global bound.
+    pub fn split_lanes_for(&self, tag: &str) -> Option<u32> {
+        self.cfg
+            .split_lanes_by_tag
+            .get(tag)
+            .copied()
+            .or(self.cfg.split_lanes)
+    }
+
+    /// Creates a data edge owned by the component at `path`: bounded
+    /// (with [`EdgeStats`] registered at `{path}/stream_depth` and
+    /// `{path}/credit_stalls`, mirrored into the `runtime/*` globals)
+    /// when the net's bound — or a per-edge override under `name` —
+    /// says so; a plain unbounded stream otherwise. Spawn-time API:
+    /// the bounded arm takes the metrics registry locks.
+    pub fn data_stream(&self, path: CompPath, name: &str) -> (Sender, Receiver) {
+        let cap = self.edge_cap(name);
+        if cap == 0 {
+            return stream();
+        }
+        let stats = EdgeStats {
+            depth: self.metrics.handle_at(path, keys::STREAM_DEPTH),
+            stalls: self.metrics.handle_at(path, keys::CREDIT_STALLS),
+            depth_global: self.metrics.handle(keys::STREAM_DEPTH_GLOBAL),
+            stalls_global: self.metrics.handle(keys::CREDIT_STALLS_GLOBAL),
+        };
+        stream_bounded(cap, Some(stats))
+    }
+
+    /// The capacity [`Ctx::data_stream`] would give an edge named
+    /// `name` (`0` = unbounded). Dispatchers that unfold edges lazily
+    /// use [`Ctx::edge_bounded`] to pick their record loop up front.
+    fn edge_cap(&self, name: &str) -> usize {
+        match self.cfg.bound_overrides.get(name) {
+            Some(&n) => n,
+            None => self.cfg.bound.unwrap_or(0),
+        }
+    }
+
+    /// Whether [`Ctx::data_stream`] would return a bounded edge for
+    /// `name`.
+    pub fn edge_bounded(&self, name: &str) -> bool {
+        self.edge_cap(name) > 0
     }
 
     /// Spawns a named component on the context's executor and

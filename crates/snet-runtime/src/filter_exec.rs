@@ -18,7 +18,7 @@ use crate::ctx::Ctx;
 use crate::memo::PlanCache;
 use crate::metrics::{keys, Counter};
 use crate::path::CompPath;
-use crate::stream::{for_each_msg, stream, Dir, Msg, Receiver};
+use crate::stream::{feed_batch, for_each_msg, Dir, Msg, Receiver};
 use snet_lang::FilterDef;
 use snet_types::{Record, Shape};
 use std::sync::Arc;
@@ -119,21 +119,42 @@ pub fn spawn_filter(
     def: FilterDef,
     input: Receiver,
 ) -> Receiver {
-    let (tx, rx) = stream();
     let mut core = FilterCore::new(ctx, path.into(), def);
+    let (tx, rx) = ctx.data_stream(core.path(), "out");
     let ctx2 = Arc::clone(ctx);
     ctx.spawn(core.path().as_str(), async move {
-        for_each_msg(input, |msg| match msg {
-            Msg::Rec(rec) => {
-                core.process(&ctx2, &rec, &mut |r| {
-                    let _ = tx.send(Msg::Rec(r));
-                });
+        if !tx.is_bounded() {
+            for_each_msg(input, |msg| match msg {
+                Msg::Rec(rec) => {
+                    core.process(&ctx2, &rec, &mut |r| {
+                        let _ = tx.send(Msg::Rec(r));
+                    });
+                }
+                sort @ Msg::Sort { .. } => {
+                    let _ = tx.send(sort);
+                }
+            })
+            .await;
+            return;
+        }
+        // Bounded output: per-record processing with credit-gated
+        // publication (see spawn_box for the memory argument).
+        let mut buf: Vec<Msg> = Vec::new();
+        while let Ok(msg) = input.recv_async().await {
+            match msg {
+                Msg::Rec(rec) => {
+                    core.process(&ctx2, &rec, &mut |r| buf.push(Msg::Rec(r)));
+                    if feed_batch(&tx, &mut buf).await.is_err() {
+                        return;
+                    }
+                }
+                sort @ Msg::Sort { .. } => {
+                    if tx.send(sort).is_err() {
+                        return;
+                    }
+                }
             }
-            sort @ Msg::Sort { .. } => {
-                let _ = tx.send(sort);
-            }
-        })
-        .await;
+        }
     });
     rx
 }
@@ -142,6 +163,7 @@ pub fn spawn_filter(
 mod tests {
     use super::*;
     use crate::metrics::Metrics;
+    use crate::stream::stream;
     use snet_lang::parse_filter;
     use snet_types::Record;
 

@@ -67,7 +67,7 @@ use crate::ctx::Ctx;
 use crate::filter_exec::FilterCore;
 use crate::path::CompPath;
 use crate::plan::{FusedKind, FusedStage};
-use crate::stream::{stream, yield_now, Msg, Receiver, RECV_BATCH};
+use crate::stream::{feed_batch, yield_now, Msg, Receiver, RECV_BATCH};
 use snet_types::Record;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -106,32 +106,28 @@ impl StageCore {
 
 /// The fused pipeline's working state: one FIFO message queue in
 /// front of each stage (sort records travel through them as ordinary
-/// tokens), plus a scratch buffer for the tail's batched publish.
+/// tokens).
 struct Pipeline {
     cores: Vec<StageCore>,
-    /// `queues[i]` feeds `cores[i]`; the tail's output goes straight
-    /// to the component's sender.
+    /// `queues[i]` feeds `cores[i]`; the tail's output lands in the
+    /// driver's out-buffer.
     queues: Vec<VecDeque<Msg>>,
-    scratch: Vec<Msg>,
 }
 
 impl Pipeline {
     fn new(cores: Vec<StageCore>) -> Pipeline {
         let queues = cores.iter().map(|_| VecDeque::new()).collect();
-        Pipeline {
-            cores,
-            queues,
-            scratch: Vec::new(),
-        }
+        Pipeline { cores, queues }
     }
 
     /// One bounded scheduling step (see module docs): spends at most
     /// `budget` stage-message units, draining the deepest non-empty
     /// stage first so completed work reaches the output with minimal
-    /// latency. Returns `true` while messages remain queued. A send
-    /// failure means downstream is gone (teardown); records are
-    /// dropped, as in every component.
-    fn step(&mut self, ctx: &Ctx, tx: &crate::stream::Sender, mut budget: usize) -> bool {
+    /// latency. The tail's output is appended to `out` — the driver
+    /// publishes it after the step, batched (and, on a bounded edge,
+    /// credit-gated, which is why publication is not inlined here).
+    /// Returns `true` while messages remain queued.
+    fn step(&mut self, ctx: &Ctx, out: &mut Vec<Msg>, mut budget: usize) -> bool {
         let n_stages = self.cores.len();
         while budget > 0 {
             let Some(i) = (0..n_stages).rev().find(|&i| !self.queues[i].is_empty()) else {
@@ -142,22 +138,18 @@ impl Pipeline {
             let core = &mut self.cores[i];
             let (mut n_in, mut n_out) = (0u64, 0u64);
             if i + 1 == n_stages {
-                // Tail stage: collect the run and publish it with one
-                // producer-role acquisition, one fence, one
-                // park-state check (see `chan::Sender::send_each`).
-                self.scratch.clear();
-                let scratch = &mut self.scratch;
+                // Tail stage: the run's output collects in `out` for
+                // one batched publish by the driver.
                 for msg in self.queues[i].drain(..take) {
                     match msg {
                         Msg::Rec(rec) => {
                             n_in += 1;
-                            n_out += core
-                                .process_uncounted(ctx, &rec, &mut |r| scratch.push(Msg::Rec(r)));
+                            n_out +=
+                                core.process_uncounted(ctx, &rec, &mut |r| out.push(Msg::Rec(r)));
                         }
-                        sort @ Msg::Sort { .. } => scratch.push(sort),
+                        sort @ Msg::Sort { .. } => out.push(sort),
                     }
                 }
-                let _ = tx.send_each(self.scratch.drain(..));
             } else {
                 let (head, rest) = self.queues.split_at_mut(i + 1);
                 let (q, next) = (&mut head[i], &mut rest[0]);
@@ -178,22 +170,18 @@ impl Pipeline {
     }
 }
 
-/// The dedicated-thread fast path: runs a contiguous record batch
-/// through every stage in order and publishes the tail in one batched
-/// send. No budget, no inter-stage queues — the OS preempts the
-/// component's own thread, so there is nothing to timeslice against
-/// (see module docs: fairness). Sort records never enter `batch`; the
-/// caller flushes at each one.
-fn flush(
+/// The dedicated-thread fast path's stage-major pass: runs a
+/// contiguous record batch through every stage in order, leaving the
+/// tail's output in `batch`. No budget, no inter-stage queues — the
+/// OS preempts the component's own thread, so there is nothing to
+/// timeslice against (see module docs: fairness). Sort records never
+/// enter `batch`; the caller flushes at each one.
+fn run_stages(
     cores: &mut [StageCore],
     ctx: &Ctx,
-    tx: &crate::stream::Sender,
     batch: &mut Vec<Record>,
     scratch: &mut Vec<Record>,
 ) {
-    if batch.is_empty() {
-        return;
-    }
     for core in cores.iter_mut() {
         scratch.clear();
         let (mut n_in, mut n_out) = (0u64, 0u64);
@@ -204,7 +192,40 @@ fn flush(
         core.add_counts(n_in, n_out);
         std::mem::swap(batch, scratch);
     }
+}
+
+/// [`run_stages`] + one batched publish straight off `batch` — the
+/// unbounded dedicated-thread path, where nothing gates the send and
+/// the extra hop through an out-buffer would be pure per-record tax.
+fn flush_send(
+    cores: &mut [StageCore],
+    ctx: &Ctx,
+    tx: &crate::stream::Sender,
+    batch: &mut Vec<Record>,
+    scratch: &mut Vec<Record>,
+) {
+    if batch.is_empty() {
+        return;
+    }
+    run_stages(cores, ctx, batch, scratch);
     let _ = tx.send_each(batch.drain(..).map(Msg::Rec));
+}
+
+/// [`run_stages`] collecting into `out` for the caller to publish —
+/// the bounded path, where publication must go through the credit
+/// gate (an async wait the stage pass cannot inline).
+fn flush(
+    cores: &mut [StageCore],
+    ctx: &Ctx,
+    batch: &mut Vec<Record>,
+    scratch: &mut Vec<Record>,
+    out: &mut Vec<Msg>,
+) {
+    if batch.is_empty() {
+        return;
+    }
+    run_stages(cores, ctx, batch, scratch);
+    out.extend(batch.drain(..).map(Msg::Rec));
 }
 
 /// Spawns a fused pipeline as a single component. Each stage's
@@ -216,8 +237,8 @@ pub fn spawn_fused(
     stages: &[FusedStage],
     input: Receiver,
 ) -> Receiver {
-    let (tx, rx) = stream();
     let path = path.into();
+    let (tx, rx) = ctx.data_stream(path, "out");
     let cores: Vec<StageCore> = stages
         .iter()
         .map(|stage| {
@@ -250,21 +271,70 @@ pub fn spawn_fused(
     if fair {
         ctx.spawn(task_name, async move {
             let mut pipe = Pipeline::new(cores);
+            let mut out: Vec<Msg> = Vec::new();
+            let bounded = tx.is_bounded();
             // One recv_each drain per wake (the fair timeslice, as in
             // for_each_msg); messages land in the head stage's queue
             // and budgeted steps push them through the stages,
             // yielding the worker between steps (see module docs:
-            // fairness). The final drain after disconnection reuses
-            // the same loop; dropping `tx` propagates end-of-stream.
+            // fairness). Each step's tail output publishes as one
+            // batch — through the credit gate when the edge is
+            // bounded, so a full edge parks this component between
+            // steps instead of growing the queue. The final drain
+            // after disconnection reuses the same loop; dropping `tx`
+            // propagates end-of-stream.
             loop {
                 let n = input
                     .recv_each(RECV_BATCH, &mut |msg| pipe.queues[0].push_back(msg))
                     .await;
-                while pipe.step(&ctx2, &tx, RECV_BATCH) {
+                loop {
+                    let more = pipe.step(&ctx2, &mut out, RECV_BATCH);
+                    if bounded {
+                        if feed_batch(&tx, &mut out).await.is_err() {
+                            return; // downstream gone: teardown
+                        }
+                    } else {
+                        // A send failure means downstream is gone
+                        // (teardown); records are dropped, as in
+                        // every component.
+                        let _ = tx.send_each(out.drain(..));
+                    }
+                    if !more {
+                        break;
+                    }
                     yield_now().await;
                 }
                 if n == 0 {
                     break;
+                }
+            }
+        });
+    } else if tx.is_bounded() {
+        ctx.spawn(task_name, async move {
+            let mut cores = cores;
+            let mut batch = Vec::new();
+            let mut scratch = Vec::new();
+            let mut out: Vec<Msg> = Vec::new();
+            // Bounded output on a dedicated thread: one input record
+            // flushes through the whole chain and publishes through
+            // the credit gate before the next is consumed, so
+            // transient memory is one record's cascade, not a
+            // batch's. Sorts take the ungated send path behind the
+            // data already published.
+            while let Ok(msg) = input.recv_async().await {
+                match msg {
+                    Msg::Rec(rec) => {
+                        batch.push(rec);
+                        flush(&mut cores, &ctx2, &mut batch, &mut scratch, &mut out);
+                        if feed_batch(&tx, &mut out).await.is_err() {
+                            return;
+                        }
+                    }
+                    sort @ Msg::Sort { .. } => {
+                        if tx.send(sort).is_err() {
+                            return;
+                        }
+                    }
                 }
             }
         });
@@ -282,15 +352,15 @@ pub fn spawn_fused(
                     .recv_each(RECV_BATCH, &mut |msg| match msg {
                         Msg::Rec(rec) => batch.push(rec),
                         sort @ Msg::Sort { .. } => {
-                            flush(&mut cores, &ctx2, &tx, &mut batch, &mut scratch);
+                            flush_send(&mut cores, &ctx2, &tx, &mut batch, &mut scratch);
                             let _ = tx.send(sort);
                         }
                     })
                     .await;
+                flush_send(&mut cores, &ctx2, &tx, &mut batch, &mut scratch);
                 if n == 0 {
                     break;
                 }
-                flush(&mut cores, &ctx2, &tx, &mut batch, &mut scratch);
             }
             // Input disconnected: dropping `tx` propagates
             // end-of-stream.
@@ -305,6 +375,7 @@ mod tests {
     use crate::metrics::Metrics;
     use crate::net::collect_records;
     use crate::plan::{compile_cfg, Bindings, PNode};
+    use crate::stream::stream;
     use snet_lang::{parse_net_expr, parse_program};
     use std::sync::Arc;
 

@@ -48,10 +48,10 @@ pub mod stream;
 pub mod trace;
 
 pub use boxfn::{BoxImpl, Emitter};
-pub use ctx::Ctx;
+pub use ctx::{Ctx, RunCfg};
 pub use memo::TypeMemo;
 pub use metrics::{Counter, Metrics};
-pub use net::{collect_records, BuildError, Net, NetBuilder, SendRejected};
+pub use net::{collect_records, BuildError, Net, NetBuilder, OverloadPolicy, SendRejected};
 pub use parallel::{RouteCache, RouteClass};
 pub use path::CompPath;
 pub use plan::{compile, compile_cfg, fuse, fuse_default, Bindings, CompileError, Plan};

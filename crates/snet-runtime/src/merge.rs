@@ -35,6 +35,25 @@
 //! byte-identity checks this module's guarantees are verified by)
 //! short-circuit on the interned shape id before touching any value —
 //! no per-record label probing anywhere on the merge path.
+//!
+//! # Bounded edges: branch inputs are exempt
+//!
+//! When the network runs with bounded data edges (see
+//! [`crate::stream`]), every stream a merger drains from is **exempted
+//! from its bound** at the moment it becomes a branch
+//! ([`Branch::from_spec`]). The merger consumes branches in an order
+//! its producers cannot observe — fixed rounds in det mode, sort
+//! barriers in non-det mode — so a credit-gated producer on a branch
+//! the merger is *not* currently draining could park forever: producer
+//! waits for credit, merger waits for the round's sort from that very
+//! producer. Exemption removes the wait-for edge and restores the
+//! unbounded-drain guarantee the round protocol's termination argument
+//! assumes; queue growth on branch edges stays bounded *upstream*
+//! instead, because the dispatcher that feeds every branch sends data
+//! through its own bounded edge. The merger's *output* stays gated
+//! (data goes through the credit-aware `feed` path; resolved sorts use
+//! the ungated `send`). The system-wide no-deadlock argument is in
+//! [`crate::sched`].
 
 use crate::ctx::Ctx;
 use crate::path::CompPath;
@@ -83,6 +102,19 @@ struct Branch {
 }
 
 impl Branch {
+    /// Adopts a spec as a live branch, lifting any capacity bound from
+    /// the branch stream first: merger-drained edges must never gate
+    /// their producer (see module docs, *branch inputs are exempt*).
+    fn from_spec(spec: BranchSpec) -> Branch {
+        spec.rx.exempt();
+        Branch {
+            rx: spec.rx,
+            watermark: spec.watermark,
+            blocked: None,
+            done: false,
+        }
+    }
+
     fn exempt(&self, level: u32, counter: u64) -> bool {
         counter < self.watermark.get(&level).copied().unwrap_or(0)
     }
@@ -115,16 +147,11 @@ pub fn spawn_merge(
 // ---------------------------------------------------------------------------
 
 async fn run_nondet(initial: Vec<BranchSpec>, control: chan::Receiver<BranchSpec>, out: Sender) {
-    let mut branches: Vec<Branch> = initial
-        .into_iter()
-        .map(|s| Branch {
-            rx: s.rx,
-            watermark: s.watermark,
-            blocked: None,
-            done: false,
-        })
-        .collect();
+    let mut branches: Vec<Branch> = initial.into_iter().map(Branch::from_spec).collect();
     let mut control_open = true;
+    // Whether the merged output is credit-gated (data records go
+    // through `feed`; sorts always take the ungated `send`).
+    let gated = out.is_bounded();
     // Sorts already forwarded, per level (counters are contiguous and
     // increasing at any point of the network, so a high-water mark is
     // an exact dedup).
@@ -140,12 +167,7 @@ async fn run_nondet(initial: Vec<BranchSpec>, control: chan::Receiver<BranchSpec
         // it could emit the sort ahead of the newcomer's data.
         while control_open {
             match control.try_recv() {
-                Ok(spec) => branches.push(Branch {
-                    rx: spec.rx,
-                    watermark: spec.watermark,
-                    blocked: None,
-                    done: false,
-                }),
+                Ok(spec) => branches.push(Branch::from_spec(spec)),
                 Err(TryRecvError::Empty) => break,
                 Err(TryRecvError::Disconnected) => {
                     control_open = false;
@@ -196,12 +218,7 @@ async fn run_nondet(initial: Vec<BranchSpec>, control: chan::Receiver<BranchSpec
         rotate = chosen + 1;
         if control_open && chosen == 0 {
             match control.try_recv() {
-                Ok(spec) => branches.push(Branch {
-                    rx: spec.rx,
-                    watermark: spec.watermark,
-                    blocked: None,
-                    done: false,
-                }),
+                Ok(spec) => branches.push(Branch::from_spec(spec)),
                 Err(TryRecvError::Disconnected) => control_open = false,
                 // Readiness raced with the top-of-loop joiner fold;
                 // nothing to consume this round.
@@ -222,7 +239,15 @@ async fn run_nondet(initial: Vec<BranchSpec>, control: chan::Receiver<BranchSpec
         loop {
             match branches[bi].rx.try_recv() {
                 Ok(Msg::Rec(rec)) => {
-                    let _ = out.send(Msg::Rec(rec));
+                    if gated {
+                        // Awaiting credit here is safe: the merger
+                        // never holds up a producer by parking (its
+                        // branch inputs are exempt), so this wait
+                        // only chains downstream.
+                        let _ = out.feed(Msg::Rec(rec)).await;
+                    } else {
+                        let _ = out.send(Msg::Rec(rec));
+                    }
                     burst += 1;
                     if burst >= RECV_BATCH {
                         yield_now().await;
@@ -295,15 +320,7 @@ async fn run_det(
     control: chan::Receiver<BranchSpec>,
     out: Sender,
 ) {
-    let mut branches: Vec<Branch> = initial
-        .into_iter()
-        .map(|s| Branch {
-            rx: s.rx,
-            watermark: s.watermark,
-            blocked: None,
-            done: false,
-        })
-        .collect();
+    let mut branches: Vec<Branch> = initial.into_iter().map(Branch::from_spec).collect();
     let mut control_open = true;
     let mut forwarded_outer: HashMap<u32, u64> = HashMap::new();
     let mut round: u64 = 0;
@@ -317,12 +334,7 @@ async fn run_det(
                 return;
             }
             match control.recv_async().await {
-                Ok(spec) => branches.push(Branch {
-                    rx: spec.rx,
-                    watermark: spec.watermark,
-                    blocked: None,
-                    done: false,
-                }),
+                Ok(spec) => branches.push(Branch::from_spec(spec)),
                 Err(_) => return,
             }
             continue;
@@ -342,12 +354,7 @@ async fn run_det(
             if i == branches.len() && control_open {
                 loop {
                     match control.try_recv() {
-                        Ok(spec) => branches.push(Branch {
-                            rx: spec.rx,
-                            watermark: spec.watermark,
-                            blocked: None,
-                            done: false,
-                        }),
+                        Ok(spec) => branches.push(Branch::from_spec(spec)),
                         Err(TryRecvError::Empty) => break,
                         Err(TryRecvError::Disconnected) => {
                             control_open = false;
@@ -382,6 +389,7 @@ async fn drain_branch_round(
     if b.done || b.exempt(level, round) {
         return;
     }
+    let gated = out.is_bounded();
     let mut since_yield = 0;
     loop {
         let msg = match b.rx.try_recv() {
@@ -396,7 +404,13 @@ async fn drain_branch_round(
         }
         match msg {
             Ok(Msg::Rec(rec)) => {
-                let _ = out.send(Msg::Rec(rec));
+                if gated {
+                    // Safe to wait: branch inputs are exempt, so this
+                    // merger parks no producer while it parks here.
+                    let _ = out.feed(Msg::Rec(rec)).await;
+                } else {
+                    let _ = out.send(Msg::Rec(rec));
+                }
             }
             Ok(Msg::Sort { level: l, counter }) => {
                 if l == level {

@@ -240,6 +240,20 @@ pub mod keys {
     /// and finish. Distinct paths are leaked by design (see
     /// `crate::path`); this makes the growth observable.
     pub const INTERNER_PATHS: &str = "runtime/interner_paths";
+    /// High-water mark of queued messages on one bounded edge
+    /// (suffix, keyed `{path}/stream_depth`; also mirrored into
+    /// [`STREAM_DEPTH_GLOBAL`]).
+    pub const STREAM_DEPTH: &str = "stream_depth";
+    /// Producer park episodes awaiting credit on one bounded edge
+    /// (suffix, keyed `{path}/credit_stalls`; also mirrored into
+    /// [`CREDIT_STALLS_GLOBAL`]).
+    pub const CREDIT_STALLS: &str = "credit_stalls";
+    /// Gauge (full key): net-global high-water queue depth across all
+    /// bounded edges.
+    pub const STREAM_DEPTH_GLOBAL: &str = "runtime/stream_depth";
+    /// Counter (full key): net-global credit stalls across all
+    /// bounded edges.
+    pub const CREDIT_STALLS_GLOBAL: &str = "runtime/credit_stalls";
 }
 
 #[cfg(test)]

@@ -21,19 +21,22 @@
 //! assert_eq!(outputs[0].field("x").unwrap().as_int(), Some(42));
 //! ```
 
-use crate::ctx::Ctx;
+use crate::ctx::{Ctx, RunCfg};
 use crate::instantiate::instantiate;
 use crate::memo::TypeMemo;
 use crate::metrics::{keys, Metrics};
 use crate::path::CompPath;
 use crate::plan::{Bindings, CompileError, Plan};
 use crate::sched::Executor;
-use crate::stream::{stream, Msg, Observer, Receiver, Sender};
+use crate::stream::chan::TryFeedError;
+use crate::stream::{Msg, Observer, Receiver, Sender};
 use parking_lot::RwLock;
 use snet_lang::{parse_net_expr, parse_program, Env, NetAst, ParseError, Program};
 use snet_types::{MultiType, NetSig, Record};
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Errors surfaced while building a network.
 #[derive(Debug)]
@@ -82,21 +85,18 @@ pub struct NetBuilder {
     observers: Vec<Observer>,
     executor: Option<Arc<dyn Executor>>,
     split_lanes: Option<u32>,
+    split_lanes_by_tag: HashMap<String, u32>,
     fuse: Option<bool>,
+    bound: Option<usize>,
+    bound_overrides: HashMap<String, usize>,
+    overload: OverloadPolicy,
 }
 
 impl NetBuilder {
     /// Starts from S-Net source text (box and net declarations).
     pub fn from_source(src: &str) -> Result<NetBuilder, BuildError> {
         let program = parse_program(src)?;
-        Ok(NetBuilder {
-            program,
-            bindings: Bindings::new(),
-            observers: Vec::new(),
-            executor: None,
-            split_lanes: None,
-            fuse: None,
-        })
+        Ok(NetBuilder::from_program(program))
     }
 
     /// Starts from an already-parsed program.
@@ -107,7 +107,11 @@ impl NetBuilder {
             observers: Vec::new(),
             executor: None,
             split_lanes: None,
+            split_lanes_by_tag: HashMap::new(),
             fuse: None,
+            bound: None,
+            bound_overrides: HashMap::new(),
+            overload: OverloadPolicy::Block,
         }
     }
 
@@ -152,6 +156,51 @@ impl NetBuilder {
         self
     }
 
+    /// Bounds only the replicators routing on the named tag to
+    /// `lanes` lanes, leaving other replicators on the net-global
+    /// [`NetBuilder::split_lanes`] setting (or unbounded unfolding).
+    /// Use it when one tag is drawn from an unbounded domain but
+    /// others are small and should keep the paper's value-indexed
+    /// replicas.
+    pub fn split_lanes_for(mut self, tag: &str, lanes: u32) -> Self {
+        assert!(lanes > 0, "split_lanes_for requires at least one lane");
+        self.split_lanes_by_tag.insert(tag.to_string(), lanes);
+        self
+    }
+
+    /// Bounds every data edge of this network to `cap` queued
+    /// records, enabling credit-based backpressure: producers of data
+    /// records park when an edge fills instead of growing the queue.
+    /// Sort records, merger-drained edges and the network's output
+    /// edge stay exempt so deterministic merging cannot deadlock (see
+    /// [`crate::stream`] and [`crate::sched`]). Default: unbounded,
+    /// unless `SNET_STREAM_BOUND=n` is set process-wide. What happens
+    /// when the *ingress* edge is full is the
+    /// [`NetBuilder::overload`] policy.
+    pub fn bound(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "bound requires a capacity of at least one");
+        self.bound = Some(cap);
+        self
+    }
+
+    /// Overrides the capacity of the data edges named `edge` (the
+    /// edge-name suffixes used by the spawn sites: `"ingress"`,
+    /// `"dispatch"`, `"merge"`, `"filter"`, `"fused"`, or a box
+    /// path's last segment). `0` keeps those edges unbounded even
+    /// when [`NetBuilder::bound`] is set.
+    pub fn bound_for(mut self, edge: &str, cap: usize) -> Self {
+        self.bound_overrides.insert(edge.to_string(), cap);
+        self
+    }
+
+    /// Selects what [`Net::send`] does when the bounded ingress edge
+    /// is full (default: [`OverloadPolicy::Block`]). Irrelevant while
+    /// the network is unbounded.
+    pub fn overload(mut self, policy: OverloadPolicy) -> Self {
+        self.overload = policy;
+        self
+    }
+
     /// Enables or disables the pipeline fusion pass for this network
     /// (see [`crate::plan`]): fused, a maximal `Serial` chain of boxes
     /// and filters runs as **one** scheduled component instead of one
@@ -190,11 +239,18 @@ impl NetBuilder {
         let fuse = self.fuse.unwrap_or_else(crate::plan::fuse_default);
         let plan = crate::plan::compile_cfg(ast, env, &self.bindings, fuse)?;
         let executor = self.executor.unwrap_or_else(crate::sched::default_executor);
-        Ok(Net::spawn_cfg(
+        let cfg = RunCfg {
+            bound: self.bound.or_else(|| RunCfg::from_env().bound),
+            bound_overrides: self.bound_overrides,
+            split_lanes: self.split_lanes,
+            split_lanes_by_tag: self.split_lanes_by_tag,
+        };
+        Ok(Net::spawn_full(
             plan,
             self.observers,
             executor,
-            self.split_lanes,
+            cfg,
+            self.overload,
         ))
     }
 }
@@ -230,32 +286,61 @@ pub struct Net {
     /// value is harmless: acceptance is a pure function of the shape,
     /// and a mismatch just falls through to the memo.
     boundary_hot: std::sync::atomic::AtomicU64,
+    /// What [`Net::send`] does when the bounded ingress edge is full.
+    overload: OverloadPolicy,
 }
 
 impl Net {
-    /// Spawns a compiled plan on the process-default executor.
+    /// Spawns a compiled plan on the process-default executor (and
+    /// the process-default stream bound, `SNET_STREAM_BOUND`).
     pub fn spawn(plan: Plan, observers: Vec<Observer>) -> Net {
         Net::spawn_on(plan, observers, crate::sched::default_executor())
     }
 
     /// Spawns a compiled plan on an explicit executor.
     pub fn spawn_on(plan: Plan, observers: Vec<Observer>, executor: Arc<dyn Executor>) -> Net {
-        Net::spawn_cfg(plan, observers, executor, None)
+        Net::spawn_full(
+            plan,
+            observers,
+            executor,
+            RunCfg::from_env(),
+            OverloadPolicy::Block,
+        )
     }
 
     /// Spawns a compiled plan on an explicit executor with runtime
-    /// options (currently the bounded split-lane namespace; see
-    /// [`NetBuilder::split_lanes`]).
+    /// options (stream bounds, split-lane namespaces; see [`RunCfg`]).
     pub fn spawn_cfg(
         plan: Plan,
         observers: Vec<Observer>,
         executor: Arc<dyn Executor>,
-        split_lanes: Option<u32>,
+        cfg: RunCfg,
+    ) -> Net {
+        Net::spawn_full(plan, observers, executor, cfg, OverloadPolicy::Block)
+    }
+
+    /// [`Net::spawn_cfg`] plus the ingress overload policy.
+    pub fn spawn_full(
+        plan: Plan,
+        observers: Vec<Observer>,
+        executor: Arc<dyn Executor>,
+        cfg: RunCfg,
+        overload: OverloadPolicy,
     ) -> Net {
         let metrics = Metrics::new();
-        let ctx = Ctx::with_config(metrics, observers, executor, split_lanes);
-        let (tx, rx) = stream();
-        let output = instantiate(&ctx, &plan.root, CompPath::root("net"), rx);
+        let ctx = Ctx::with_config(metrics, observers, executor, cfg);
+        // The ingress edge is a data edge like any other: when the
+        // net is bounded, `Net::send` is where backpressure reaches
+        // the caller (via the overload policy).
+        let root = CompPath::root("net");
+        let (tx, rx) = ctx.data_stream(root, "ingress");
+        let output = instantiate(&ctx, &plan.root, root, rx);
+        // The final output edge is exempt from bounding: its consumer
+        // is the driver thread, whose drain rate the runtime cannot
+        // schedule — a bounded output would deadlock the ubiquitous
+        // send-everything-then-finish() driver pattern. Memory at the
+        // boundary is the driver's contract, exactly as in the seed.
+        output.exempt();
         // Gauge, not counter: the high-water mark of the process-wide
         // path interner, re-sampled at finish() after dynamic
         // unfolding. Makes the known unbounded-tag-domain interner
@@ -271,6 +356,7 @@ impl Net {
             sig: plan.sig,
             boundary: RwLock::new(TypeMemo::new()),
             boundary_hot: std::sync::atomic::AtomicU64::new(0),
+            overload,
         }
     }
 
@@ -328,9 +414,31 @@ impl Net {
                 input_type: self.input_type().to_string(),
             });
         }
-        match &self.input {
-            Some(tx) => tx.send(Msg::Rec(rec)).map_err(|_| SendRejected::Closed),
-            None => Err(SendRejected::Closed),
+        let tx = match &self.input {
+            Some(tx) => tx,
+            None => return Err(SendRejected::Closed),
+        };
+        if !tx.is_bounded() {
+            // Unbounded ingress (the default): the seed's send path.
+            return tx.send(Msg::Rec(rec)).map_err(|_| SendRejected::Closed);
+        }
+        match self.overload {
+            OverloadPolicy::Block => {
+                tx.feed_blocking(Msg::Rec(rec), None).map_err(|e| match e {
+                    // No deadline: `Full` is unreachable.
+                    TryFeedError::Full(_) | TryFeedError::Disconnected(_) => SendRejected::Closed,
+                })
+            }
+            OverloadPolicy::Shed => tx.try_feed(Msg::Rec(rec)).map_err(|e| match e {
+                TryFeedError::Full(_) => SendRejected::Overloaded,
+                TryFeedError::Disconnected(_) => SendRejected::Closed,
+            }),
+            OverloadPolicy::Timeout(d) => tx
+                .feed_blocking(Msg::Rec(rec), Some(Instant::now() + d))
+                .map_err(|e| match e {
+                    TryFeedError::Full(_) => SendRejected::Timeout,
+                    TryFeedError::Disconnected(_) => SendRejected::Closed,
+                }),
         }
     }
 
@@ -403,6 +511,24 @@ impl fmt::Debug for Net {
     }
 }
 
+/// What [`Net::send`] does when the network's bounded ingress edge is
+/// full — the graceful-degradation knob ([`NetBuilder::overload`]).
+/// Irrelevant while the network is unbounded (the default).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Park the calling thread until capacity frees (or the network
+    /// closes). The default: an open-loop producer is throttled to
+    /// the network's service rate.
+    #[default]
+    Block,
+    /// Reject immediately with [`SendRejected::Overloaded`] — a typed,
+    /// retryable error the caller can back off on.
+    Shed,
+    /// Block up to the given duration, then reject with
+    /// [`SendRejected::Timeout`].
+    Timeout(Duration),
+}
+
 /// Why [`Net::send`] rejected a record.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SendRejected {
@@ -411,6 +537,13 @@ pub enum SendRejected {
         input_type: String,
     },
     Closed,
+    /// The bounded ingress edge is full and the overload policy is
+    /// [`OverloadPolicy::Shed`]. Retryable: capacity frees as the
+    /// network drains.
+    Overloaded,
+    /// The bounded ingress edge stayed full past the
+    /// [`OverloadPolicy::Timeout`] deadline. Retryable.
+    Timeout,
 }
 
 impl fmt::Display for SendRejected {
@@ -424,6 +557,10 @@ impl fmt::Display for SendRejected {
                 "record of type {record_type} does not match network input {input_type}"
             ),
             SendRejected::Closed => write!(f, "network input is closed"),
+            SendRejected::Overloaded => write!(f, "network ingress is at capacity (shed)"),
+            SendRejected::Timeout => {
+                write!(f, "network ingress stayed at capacity past the deadline")
+            }
         }
     }
 }

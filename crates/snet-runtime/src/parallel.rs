@@ -30,7 +30,7 @@ use crate::merge::{spawn_merge, BranchSpec, MergeMode};
 use crate::metrics::keys;
 use crate::path::CompPath;
 use crate::plan::PNode;
-use crate::stream::{chan, for_each_msg, stream, Dir, Msg, Receiver};
+use crate::stream::{chan, for_each_msg, Dir, Msg, Receiver};
 use snet_types::{NetSig, Record};
 use std::sync::Arc;
 
@@ -143,8 +143,8 @@ pub fn spawn_parallel(
     input: Receiver,
 ) -> Receiver {
     let comb = path.into().child(if det { "par" } else { "parnd" });
-    let (ltx, lrx) = stream();
-    let (rtx, rrx) = stream();
+    let (ltx, lrx) = ctx.data_stream(comb.child("L"), "dispatch");
+    let (rtx, rrx) = ctx.data_stream(comb.child("R"), "dispatch");
     let left_out = instantiate(ctx, left, comb.child("L"), lrx);
     let right_out = instantiate(ctx, right, comb.child("R"), rrx);
 
@@ -152,7 +152,7 @@ pub fn spawn_parallel(
     // immediately.
     let (ctl_tx, ctl_rx) = chan::channel::<BranchSpec>();
     drop(ctl_tx);
-    let (out_tx, out_rx) = stream();
+    let (out_tx, out_rx) = ctx.data_stream(comb, "merge");
     let mode = if det {
         MergeMode::Det { level }
     } else {
@@ -176,6 +176,55 @@ pub fn spawn_parallel(
     let records_in = ctx.metrics.handle_at(dpath, keys::RECORDS_IN);
     let routed_left = ctx.metrics.handle_at(dpath, "routed_left");
     let routed_right = ctx.metrics.handle_at(dpath, "routed_right");
+    if ltx.is_bounded() {
+        // Bounded branch edges: data routes through the credit gate
+        // (an async path), so the dispatcher runs per-message. Sort
+        // broadcasts stay on the ungated `send` path — a det round
+        // boundary must reach *both* branches, including the one the
+        // merger is not currently draining, without waiting.
+        ctx.spawn(format!("{dpath}/dispatch"), async move {
+            let mut counter: u64 = 0;
+            while let Ok(msg) = input.recv_async().await {
+                match msg {
+                    Msg::Rec(rec) => {
+                        if ctx2.has_observers() {
+                            ctx2.observe(dpath, Dir::In, &rec);
+                        }
+                        records_in.inc(1);
+                        let go_left = routes.decide(&rec).unwrap_or_else(|| {
+                            let (lsig, rsig) = routes.sigs();
+                            panic!(
+                                "record {rec:?} matches neither branch of parallel \
+                                 composition at '{dpath}' (left {}, right {})",
+                                lsig.input_type(),
+                                rsig.input_type()
+                            )
+                        });
+                        let target = if go_left { &ltx } else { &rtx };
+                        if go_left {
+                            routed_left.inc(1);
+                        } else {
+                            routed_right.inc(1);
+                        }
+                        // A full branch edge parks the dispatcher —
+                        // and transitively everything upstream.
+                        let _ = target.feed(Msg::Rec(rec)).await;
+                        if det {
+                            let sort = Msg::Sort { level, counter };
+                            let _ = ltx.send(sort.clone());
+                            let _ = rtx.send(sort);
+                            counter += 1;
+                        }
+                    }
+                    sort @ Msg::Sort { .. } => {
+                        let _ = ltx.send(sort.clone());
+                        let _ = rtx.send(sort);
+                    }
+                }
+            }
+        });
+        return out_rx;
+    }
     ctx.spawn(format!("{dpath}/dispatch"), async move {
         let mut counter: u64 = 0;
         for_each_msg(input, |msg| match msg {
@@ -226,6 +275,7 @@ mod tests {
     use crate::metrics::Metrics;
     use crate::net::collect_records;
     use crate::plan::{compile, Bindings};
+    use crate::stream::stream;
     use snet_lang::{parse_net_expr, parse_program};
     use snet_types::Record;
 

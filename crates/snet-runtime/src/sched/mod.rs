@@ -34,25 +34,43 @@
 //! could produce. Two properties rule this out here:
 //!
 //! 1. **Waiting components hold no worker.** A component waits only by
-//!    awaiting a stream (`poll_recv`/`poll_ready`/`recv_batch`);
-//!    `Pending` returns the worker to the pool. There is no
+//!    awaiting a stream (`poll_recv`/`poll_ready`/`recv_batch`, and —
+//!    on bounded edges — the sender-side `feed`/`acquire` credit
+//!    futures); `Pending` returns the worker to the pool. There is no
 //!    in-component blocking primitive, so "all workers stuck waiting"
 //!    cannot occur — a waiting component *is not on a worker*.
-//! 2. **Streams are unbounded, so senders never wait.** The
-//!    deterministic merger drains branches in a fixed round order; a
-//!    branch that is not currently being drained can keep producing
-//!    into its channel without anyone consuming. With bounded channels
-//!    that producer could fill the channel and wait on the *consumer*,
-//!    closing a cycle; unbounded channels make every runnable producer
-//!    complete its send and eventually deliver the sort record the
-//!    merger's round is waiting on.
+//! 2. **Every sender-side wait edge points at a consumer that will
+//!    run.** Edges are unbounded by default, so senders never wait at
+//!    all. When a network opts into bounded data edges
+//!    (`NetBuilder::bound` / `SNET_STREAM_BOUND`, see
+//!    [`crate::stream`]), a data producer may additionally park
+//!    awaiting credit — a wait edge pointing at the edge's *consumer*,
+//!    which releases one credit per pop. That edge is only dangerous
+//!    if the consumer can decline to pop until the parked producer
+//!    itself makes progress, closing a cycle. Exactly one component
+//!    family consumes selectively — the mergers, which drain branches
+//!    in a fixed round order (det) or hold branches at sort barriers
+//!    (non-det) — and every merger-drained edge is **exempted from
+//!    bounding** at branch adoption ([`crate::merge`]), so no credit
+//!    wait can point at a merger. Sort records are likewise never
+//!    gated (dispatchers broadcast them to *all* branches, including
+//!    ones the merger is not draining; see [`crate::stream`]), so a
+//!    det round boundary always lands. What remains are credit waits
+//!    into run-to-completion consumers (boxes, filters, fused chains,
+//!    dispatchers, guards) that unconditionally drain their single
+//!    input: each such wait edge points down the pipeline toward the
+//!    network output, which the driver drains (and which
+//!    `Net::spawn` exempts). The wait graph over bounded edges is
+//!    therefore acyclic — a chain of parked producers always bottoms
+//!    out in a consumer with no credit wait of its own.
 //!
-//! Together: every wait edge points from a parked task to a *runnable*
-//! producer chain, and runnable tasks always find a worker (workers
-//! only sleep when every run queue is empty). Progress is guaranteed
-//! for any worker count ≥ 1 — `WorkStealingPool::new(1)` is a valid,
-//! fully sequential scheduler, which the determinism tests exploit to
-//! force adversarial interleavings.
+//! Together: every wait edge — empty-input *or* full-output — points
+//! from a parked task to a *runnable* chain, and runnable tasks always
+//! find a worker (workers only sleep when every run queue is empty).
+//! Progress is guaranteed for any worker count ≥ 1 —
+//! `WorkStealingPool::new(1)` is a valid, fully sequential scheduler,
+//! which the determinism tests exploit to force adversarial
+//! interleavings.
 //!
 //! ## …including under coalesced wakeups
 //!
@@ -68,7 +86,14 @@
 //! other. Coalescing therefore removes wakes only on edges where the
 //! consumer is demonstrably awake and will drain the message in its
 //! current batch; no wait edge is ever left without a pending wake,
-//! and the deadlock-freedom argument goes through unchanged.
+//! and the deadlock-freedom argument goes through unchanged. The
+//! producer side of a bounded edge keeps the mirror-image invariant:
+//! a producer parked on credit re-checks the credit word (and
+//! receiver liveness) *after* publishing itself as parked, and the
+//! pop path checks the park flag *after* releasing the credit, again
+//! SeqCst-ordered — a parked producer always has a wake in flight or
+//! genuinely no credit (see [`crate::stream::chan`], *why a parked
+//! producer cannot be lost*).
 //!
 //! Fairness is budget-based, as in production async runtimes: a
 //! worker grants each task a fixed message budget per poll

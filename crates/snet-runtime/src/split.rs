@@ -23,7 +23,13 @@
 //! `NetBuilder::split_lanes(n)` knob caps it: tag values are hashed
 //! into `n` lanes (`.../lane{i}`), so at most `n` replicas — and at
 //! most `n` interned branch paths — exist per replicator, no matter
-//! how many distinct values flow. The paper's guarantee is preserved
+//! how many distinct values flow. The bound resolves **per
+//! replicator**: `NetBuilder::split_lanes_for(tag, n)` binds a lane
+//! count to one routing-tag name, winning over the net-global knob,
+//! so a net can cap its session-id splitter without collapsing a
+//! small fixed-domain splitter elsewhere (see
+//! [`crate::ctx::Ctx::split_lanes_for`]). The paper's guarantee is
+//! preserved
 //! (equal tag values still always reach the same replica; hashing is
 //! deterministic); what is given up is isolation *between* distinct
 //! values that collide into one lane, which is exactly the trade the
@@ -69,7 +75,7 @@ pub fn spawn_split(
 ) -> Receiver {
     let comb = path.into().child(if det { "split" } else { "splitnd" });
     let (ctl_tx, ctl_rx) = chan::channel::<BranchSpec>();
-    let (out_tx, out_rx) = stream();
+    let (out_tx, out_rx) = ctx.data_stream(comb, "merge");
     let mode = if det {
         MergeMode::Det { level }
     } else {
@@ -97,9 +103,98 @@ pub fn spawn_split(
     let ctx2 = Arc::clone(ctx);
     let inner = Arc::clone(inner);
     let dpath = comb;
-    let lanes = ctx.split_lanes();
+    let lanes = ctx.split_lanes_for(tag.name());
+    // When replica input edges are bounded, data routes through the
+    // credit gate (an async path), so the dispatcher runs a
+    // per-message loop instead of the batched closure drain. Sort
+    // broadcasts stay on the ungated `send` path either way: a det
+    // round boundary must reach *every* replica — including the ones
+    // the merger is not currently draining — without waiting.
+    let gated = ctx.edge_bounded("dispatch");
     let records_in = ctx.metrics.handle_at(dpath, keys::RECORDS_IN);
     let branches_created = ctx.metrics.handle_at(dpath, keys::BRANCHES);
+    if gated {
+        ctx.spawn(format!("{dpath}/dispatch"), async move {
+            let mut branches: HashMap<i64, Sender> = HashMap::new();
+            let mut tag_slot: Option<(u32, Option<usize>)> = None;
+            let mut watermark = Watermark::new();
+            let mut counter: u64 = 0;
+            while let Ok(msg) = input.recv_async().await {
+                match msg {
+                    Msg::Rec(rec) => {
+                        if ctx2.has_observers() {
+                            ctx2.observe(dpath, Dir::In, &rec);
+                        }
+                        records_in.inc(1);
+                        let sid = rec.shape().id();
+                        let slot = match tag_slot {
+                            Some((cached, slot)) if cached == sid => slot,
+                            _ => {
+                                let slot = rec.shape().tag_index(tag);
+                                tag_slot = Some((sid, slot));
+                                slot
+                            }
+                        };
+                        let v = slot.map(|i| rec.tag_value_at(i)).unwrap_or_else(|| {
+                            panic!(
+                                "record {rec:?} reached parallel replicator at '{dpath}' \
+                                 without routing tag {tag}"
+                            )
+                        });
+                        let key = match lanes {
+                            Some(n) => lane_of(v, n),
+                            None => v,
+                        };
+                        let branch_tx = branches.entry(key).or_insert_with(|| {
+                            let seg = match lanes {
+                                Some(_) => format!("lane{key}"),
+                                None => format!("branch{key}"),
+                            };
+                            let bpath = dpath.child(&seg);
+                            let (btx, brx) = ctx2.data_stream(bpath, "dispatch");
+                            let replica_out = instantiate(&ctx2, &inner, bpath, brx);
+                            branches_created.inc(1);
+                            let _ = ctl_tx.send(BranchSpec {
+                                rx: replica_out,
+                                watermark: watermark.clone(),
+                            });
+                            btx
+                        });
+                        // A full replica edge parks the dispatcher here
+                        // — and transitively everything upstream —
+                        // instead of growing the replica's queue.
+                        let _ = branch_tx.feed(Msg::Rec(rec)).await;
+                        if det {
+                            let sort = Msg::Sort { level, counter };
+                            for tx in branches.values() {
+                                let _ = tx.send(sort.clone());
+                            }
+                            let _ = spine_tx.send(sort);
+                            watermark.insert(level, counter + 1);
+                            counter += 1;
+                        }
+                    }
+                    Msg::Sort {
+                        level: l,
+                        counter: c,
+                    } => {
+                        for tx in branches.values() {
+                            let _ = tx.send(Msg::Sort {
+                                level: l,
+                                counter: c,
+                            });
+                        }
+                        let _ = spine_tx.send(Msg::Sort {
+                            level: l,
+                            counter: c,
+                        });
+                        watermark.insert(l, c + 1);
+                    }
+                }
+            }
+        });
+        return out_rx;
+    }
     ctx.spawn(format!("{dpath}/dispatch"), async move {
         let mut branches: HashMap<i64, Sender> = HashMap::new();
         // Routing-tag slot per record shape: resolved once per shape,

@@ -56,7 +56,7 @@ pub fn spawn_star(
 ) -> Receiver {
     let comb = path.into().child(if det { "star" } else { "starnd" });
     let (ctl_tx, ctl_rx) = chan::channel::<BranchSpec>();
-    let (out_tx, out_rx) = stream();
+    let (out_tx, out_rx) = ctx.data_stream(comb, "merge");
     let mode = if det {
         MergeMode::Det { level }
     } else {
@@ -84,7 +84,28 @@ pub fn spawn_star(
 /// The deterministic entry stamper: broadcasts `Sort{level, n}` after
 /// the n-th input record, partitioning the chain into rounds.
 fn spawn_stamper(ctx: &Arc<Ctx>, comb: CompPath, level: u32, input: Receiver) -> Receiver {
-    let (tx, rx) = stream();
+    let (tx, rx) = ctx.data_stream(comb.child("stamper"), "dispatch");
+    if tx.is_bounded() {
+        // Credit-gated data, ungated sorts: the sort stamped after a
+        // record must follow it even when the edge is full, or the
+        // det merger's round bookkeeping would run ahead of the data.
+        ctx.spawn(format!("{comb}/stamper"), async move {
+            let mut counter: u64 = 0;
+            while let Ok(msg) = input.recv_async().await {
+                match msg {
+                    rec @ Msg::Rec(_) => {
+                        let _ = tx.feed(rec).await;
+                        let _ = tx.send(Msg::Sort { level, counter });
+                        counter += 1;
+                    }
+                    sort @ Msg::Sort { .. } => {
+                        let _ = tx.send(sort);
+                    }
+                }
+            }
+        });
+        return rx;
+    }
     ctx.spawn(format!("{comb}/stamper"), async move {
         let mut counter: u64 = 0;
         for_each_msg(input, |msg| match msg {
@@ -117,6 +138,9 @@ fn spawn_guard(
     watermark: Watermark,
     ctl: chan::Sender<BranchSpec>,
 ) {
+    // The tap is a merger branch: it stays a plain unbounded stream
+    // (the merger would exempt any bound at adoption anyway — see
+    // crate::merge, *branch inputs are exempt*).
     let (tap_tx, tap_rx) = stream();
     let _ = ctl.send(BranchSpec {
         rx: tap_rx,
@@ -126,6 +150,73 @@ fn spawn_guard(
     let ctx2 = Arc::clone(ctx);
     let stage_path = shared.comb.child(&format!("stage{stage}"));
     let gpath = stage_path.child("guard");
+    if ctx.edge_bounded("dispatch") {
+        // Bounded chain edges: the forward into the next replica goes
+        // through the credit gate, so a slow replica parks this guard
+        // (and transitively the whole upstream chain) instead of
+        // growing its queue. Exits and sorts stay ungated — the tap
+        // is exempt, and a det round boundary must propagate down the
+        // chain without waiting.
+        ctx.spawn(gpath.as_str(), async move {
+            let mut wm = watermark;
+            let mut next: Option<Sender> = None;
+            let mut exit_memo: TypeMemo<bool> = TypeMemo::new();
+            while let Ok(msg) = input.recv_async().await {
+                match msg {
+                    Msg::Rec(rec) => {
+                        if ctx2.has_observers() {
+                            ctx2.observe(gpath, Dir::In, &rec);
+                        }
+                        let exits = exit_memo
+                            .get_or_insert_with(&rec, |rt| rt.is_subtype_of(&shared.exit.pattern))
+                            && shared
+                                .exit
+                                .guard
+                                .as_ref()
+                                .map(|g| g.eval(&rec).unwrap_or(false))
+                                .unwrap_or(true);
+                        if exits {
+                            shared.exits.inc(1);
+                            let _ = tap_tx.send(Msg::Rec(rec));
+                        } else {
+                            if next.is_none() {
+                                let (rtx, rrx) = ctx2.data_stream(stage_path, "dispatch");
+                                let replica_out =
+                                    instantiate(&ctx2, &shared.inner, stage_path, rrx);
+                                spawn_guard(
+                                    &ctx2,
+                                    Arc::clone(&shared),
+                                    stage + 1,
+                                    replica_out,
+                                    wm.clone(),
+                                    ctl.clone(),
+                                );
+                                next = Some(rtx);
+                            }
+                            let _ = next.as_ref().unwrap().feed(Msg::Rec(rec)).await;
+                        }
+                    }
+                    Msg::Sort {
+                        level: l,
+                        counter: c,
+                    } => {
+                        let _ = tap_tx.send(Msg::Sort {
+                            level: l,
+                            counter: c,
+                        });
+                        if let Some(tx) = &next {
+                            let _ = tx.send(Msg::Sort {
+                                level: l,
+                                counter: c,
+                            });
+                        }
+                        wm.insert(l, c + 1);
+                    }
+                }
+            }
+        });
+        return;
+    }
     ctx.spawn(gpath.as_str(), async move {
         let mut wm = watermark;
         let mut next: Option<Sender> = None;

@@ -1,5 +1,6 @@
-//! The native stream transport: an unbounded channel over lock-free
-//! segmented linked chunks, with coalesced consumer wakeups.
+//! The native stream transport: a channel over lock-free segmented
+//! linked chunks, with coalesced consumer wakeups — unbounded by
+//! default, optionally credit-bounded (see "Bounded edges" below).
 //!
 //! Until PR 3 streams rode on the vendored crossbeam shim — a
 //! `Mutex<VecDeque>` plus condvar plus a waker list, which charged
@@ -75,7 +76,48 @@
 //! channel reports `Pending` with an immediate self-wake so the task
 //! is rescheduled behind its siblings instead of monopolising the
 //! worker.
+//!
+//! # Bounded edges (backpressure)
+//!
+//! A channel may carry a capacity ([`channel_cfg`]): a `cap` word and
+//! a `depth` credit word turn producer/consumer rate mismatches into
+//! producer parking instead of an unbounded memory bill. The gate is
+//! **opt-in per call path**:
+//!
+//! * [`Sender::feed`] / [`Sender::try_feed`] / [`Sender::feed_blocking`]
+//!   (and the batch pair [`Sender::acquire`] +
+//!   [`Sender::send_each_reserved`]) acquire one credit per message —
+//!   a CAS raising `depth` below `cap` — and park the producer when
+//!   the edge is full. Every pop returns a credit and wakes parked
+//!   producers. Data records travel this way on bounded edges.
+//! * The plain [`Sender::send`] / [`Sender::send_each`] paths count
+//!   depth but **never wait**. Sort records and control traffic go
+//!   this way: a deterministic dispatcher's sort broadcast, or a
+//!   merger forwarding a sort mid-drain, must not gate on a full
+//!   edge, or the fixed-order drain could deadlock (the system-level
+//!   no-deadlock argument is in [`crate::sched`]). Depth may
+//!   therefore transiently exceed `cap` by the in-flight ungated
+//!   traffic; the bound holds exactly for gated traffic.
+//!
+//! ## Why a parked producer cannot be lost
+//!
+//! The producer protocol mirrors the consumer's post-registration
+//! re-check: the producer stores its waker, sets `prod_parked`
+//! (SeqCst), then **re-checks** credit and receiver liveness; only if
+//! both still block does it return `Pending`. The consumer decrements
+//! `depth` (SeqCst RMW) on every pop of a bounded channel, then reads
+//! `prod_parked`. In the SeqCst total order either the producer's
+//! re-check observes the freed credit (and retries instead of
+//! parking), or its `prod_parked` store precedes the consumer's read
+//! (and the consumer wakes it); there is no third interleaving.
+//! Receiver drop runs the same publish-then-check shape (`rx_alive`
+//! store, fence, producer wake), so a producer cannot sleep through
+//! disconnection either. [`Receiver::exempt`] lifts the capacity and
+//! releases every parked producer — mergers exempt their branch
+//! inputs at registration so the drain order never gates upstream.
 
+use crate::metrics::Counter;
+use parking_lot::Mutex;
 use std::cell::{Cell, UnsafeCell};
 use std::fmt;
 use std::future::Future;
@@ -166,30 +208,86 @@ struct ConsCursor<T> {
     idx: usize,
 }
 
+/// Telemetry handles for one bounded edge, registered by the edge's
+/// creator under the owning component's path (see
+/// [`crate::ctx::Ctx`]): high-water queue depth and producer credit
+/// stalls, each mirrored into a net-global aggregate so operators get
+/// one number to alarm on without enumerating edges.
+pub struct EdgeStats {
+    /// `{path}/stream_depth` — high-water mark of queued messages.
+    pub depth: Counter,
+    /// `{path}/credit_stalls` — producer park episodes awaiting credit.
+    pub stalls: Counter,
+    /// `runtime/stream_depth` — net-global high-water mark.
+    pub depth_global: Counter,
+    /// `runtime/credit_stalls` — net-global stall count.
+    pub stalls_global: Counter,
+}
+
+impl EdgeStats {
+    fn note_depth(&self, d: u64) {
+        self.depth.max(d);
+        self.depth_global.max(d);
+    }
+
+    fn note_stall(&self) {
+        self.stalls.inc(1);
+        self.stalls_global.inc(1);
+    }
+}
+
 // Waker handshake states (see module docs).
 const WAKER_IDLE: u8 = 0; // no waker registered; consumer is active
 const WAKER_REGISTERING: u8 = 1; // consumer is writing the waker cell
 const WAKER_REGISTERED: u8 = 2; // consumer parked; senders must wake
 const WAKER_WAKING: u8 = 3; // a sender is taking the waker out
 
+/// Field order is load-bearing (`repr(C)`): the first group is every
+/// word a per-message `send`/`pop` touches on an unbounded edge — the
+/// exact working set the pre-backpressure channel kept on one cache
+/// line — and the backpressure machinery sits strictly after it, so
+/// the default (unbounded) hot paths never pull the bounded-only
+/// fields into cache.
+#[repr(C)]
 struct Chan<T> {
+    // --- Hot line: per-message working set. ---
     // Producer side.
     prod: UnsafeCell<ProdCursor<T>>,
+    // Consumer side.
+    cons: UnsafeCell<ConsCursor<T>>,
+    // Shared.
+    waker: UnsafeCell<Option<Waker>>,
+    senders: AtomicUsize,
     /// Micro spinlock serialising producers. On a single-producer
     /// stream — every data edge — acquisition never contends: the SPSC
     /// fast path is one uncontended CAS. Only cloned senders (the
     /// mergers' branch-join control channels) ever spin.
     prod_lock: AtomicBool,
-    // Consumer side.
-    cons: UnsafeCell<ConsCursor<T>>,
     /// Single-consumer guard: turns concurrent consumer misuse into a
     /// panic instead of undefined behaviour.
     cons_busy: AtomicBool,
-    // Shared.
-    senders: AtomicUsize,
     rx_alive: AtomicBool,
     wake_state: AtomicU8,
-    waker: UnsafeCell<Option<Waker>>,
+    /// True iff the channel was *created* bounded. Immutable, so the
+    /// hot paths of a created-unbounded channel (every seed-default
+    /// edge) skip the `cap` atomic entirely — one predictable branch
+    /// instead of a shared-cacheline load per message.
+    bounded: bool,
+    // --- Backpressure (module docs: "Bounded edges"). ---
+    /// Capacity in messages; 0 = unbounded (every gate is a no-op).
+    /// Only ever lowered to 0 at runtime ([`Receiver::exempt`]), never
+    /// raised, so depth accounting cannot underflow.
+    cap: AtomicUsize,
+    /// Credit word: messages counted in (credit-acquired or pushed
+    /// ungated) and not yet popped. Maintained only while bounded.
+    depth: AtomicUsize,
+    /// True when at least one producer parked awaiting credit.
+    prod_parked: AtomicBool,
+    /// Wakers of parked producers. Cold: touched only when a bounded
+    /// edge actually fills.
+    prod_waiters: Mutex<Vec<Waker>>,
+    /// Backpressure telemetry, if the edge's creator registered any.
+    stats: Option<EdgeStats>,
 }
 
 // SAFETY: the UnsafeCell cursors are confined by protocol — `prod` to
@@ -241,6 +339,9 @@ impl<T> Chan<T> {
         }
         let v = (*slot.val.get()).assume_init_read();
         c.idx += 1;
+        if self.bounded && self.cap.load(Ordering::Relaxed) != 0 {
+            self.release_credit();
+        }
         Some(v)
     }
 
@@ -356,6 +457,109 @@ impl<T> Chan<T> {
         }
         false
     }
+
+    // --- Backpressure (module docs: "Bounded edges") ----------------
+
+    /// Claims up to `want` credits. Returns how many were claimed:
+    /// `want` on an unbounded channel (one capacity load, nothing
+    /// else), `0` when the edge is full.
+    fn try_acquire(&self, want: usize) -> usize {
+        let cap = self.cap.load(Ordering::Relaxed);
+        if cap == 0 {
+            return want;
+        }
+        let mut d = self.depth.load(Ordering::Relaxed);
+        loop {
+            if d >= cap {
+                return 0;
+            }
+            let take = want.min(cap - d);
+            match self
+                .depth
+                .compare_exchange_weak(d, d + take, Ordering::SeqCst, Ordering::Relaxed)
+            {
+                Ok(_) => {
+                    if let Some(s) = &self.stats {
+                        s.note_depth((d + take) as u64);
+                    }
+                    return take;
+                }
+                Err(cur) => d = cur,
+            }
+        }
+    }
+
+    /// Records `n` un-gated pushes (plain `send` paths: sorts and
+    /// control traffic). Never waits — depth may transiently exceed
+    /// the capacity, which is exactly the exemption. Must run
+    /// **before** the pushes so a racing pop cannot decrement a count
+    /// that was never added.
+    #[inline(always)]
+    fn count_ungated(&self, n: usize) {
+        if !self.bounded || n == 0 || self.cap.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        self.count_ungated_slow(n);
+    }
+
+    /// The bounded-edge half of [`Chan::count_ungated`], kept out of
+    /// line so the unbounded send path pays one predictable branch.
+    #[cold]
+    fn count_ungated_slow(&self, n: usize) {
+        let d = self.depth.fetch_add(n, Ordering::SeqCst) + n;
+        if let Some(s) = &self.stats {
+            s.note_depth(d as u64);
+        }
+    }
+
+    /// True when a gated send could currently proceed — the parked
+    /// producer's re-check.
+    fn has_credit(&self) -> bool {
+        let cap = self.cap.load(Ordering::SeqCst);
+        cap == 0 || self.depth.load(Ordering::SeqCst) < cap
+    }
+
+    /// Returns one message's credit and, when that opens the edge,
+    /// wakes parked producers. Called by every pop of a bounded
+    /// channel.
+    fn release_credit(&self) {
+        let cap = self.cap.load(Ordering::Relaxed);
+        let new = self.depth.fetch_sub(1, Ordering::SeqCst) - 1;
+        // `cap` may have raced to 0 (exempt): `new < 0` is vacuously
+        // false, and `exempt` itself already woke everyone.
+        if new < cap {
+            self.wake_producers();
+        }
+    }
+
+    /// Parks `w` as a producer awaiting credit. The caller must
+    /// re-check credit and receiver liveness *after* this returns —
+    /// the SeqCst store below pairs with the consumer's depth
+    /// decrement so a freed credit cannot be slept through.
+    fn park_producer(&self, w: &Waker) {
+        {
+            let mut q = self.prod_waiters.lock();
+            if !q.iter().any(|e| e.will_wake(w)) {
+                q.push(w.clone());
+            }
+        }
+        self.prod_parked.store(true, Ordering::SeqCst);
+    }
+
+    /// Wakes every parked producer (credit released, capacity lifted,
+    /// or receiver gone). Waking all of them for one freed credit is a
+    /// deliberate simplification: they re-race for the credit and
+    /// losers re-park; bounded data edges are single-producer in
+    /// practice, so the herd is size one.
+    fn wake_producers(&self) {
+        if self.prod_parked.load(Ordering::SeqCst) && self.prod_parked.swap(false, Ordering::SeqCst)
+        {
+            let wakers: Vec<Waker> = std::mem::take(&mut *self.prod_waiters.lock());
+            for w in wakers {
+                w.wake();
+            }
+        }
+    }
 }
 
 impl<T> Drop for Chan<T> {
@@ -401,6 +605,16 @@ impl<T> Drop for ConsGuard<'_, T> {
 
 /// Creates an unbounded native channel.
 pub fn channel<T: Send>() -> (Sender<T>, Receiver<T>) {
+    channel_cfg(0, None)
+}
+
+/// Creates a native channel with an explicit capacity (`0` =
+/// unbounded) and optional backpressure telemetry. The capacity gates
+/// only the credit paths ([`Sender::feed`] and friends); the plain
+/// [`Sender::send`] path never waits — the sort-record and
+/// control-traffic exemption the no-deadlock argument rests on (see
+/// module docs).
+pub fn channel_cfg<T: Send>(cap: usize, stats: Option<EdgeStats>) -> (Sender<T>, Receiver<T>) {
     let seg = Seg::alloc();
     let chan = Arc::new(Chan {
         prod: UnsafeCell::new(ProdCursor { seg, idx: 0 }),
@@ -411,6 +625,12 @@ pub fn channel<T: Send>() -> (Sender<T>, Receiver<T>) {
         rx_alive: AtomicBool::new(true),
         wake_state: AtomicU8::new(WAKER_IDLE),
         waker: UnsafeCell::new(None),
+        bounded: cap != 0,
+        cap: AtomicUsize::new(cap),
+        depth: AtomicUsize::new(0),
+        prod_parked: AtomicBool::new(false),
+        prod_waiters: Mutex::new(Vec::new()),
+        stats,
     });
     (
         Sender {
@@ -444,6 +664,33 @@ impl<T> fmt::Debug for SendError<T> {
 impl<T> fmt::Display for SendError<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "sending on a disconnected stream")
+    }
+}
+
+/// Why a non-blocking (or deadline-bounded) credit-gated send failed.
+/// The undelivered message is returned either way.
+pub enum TryFeedError<T> {
+    /// No credit within the allowed wait: the edge is full.
+    Full(T),
+    /// The receiver is gone.
+    Disconnected(T),
+}
+
+impl<T> fmt::Debug for TryFeedError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryFeedError::Full(_) => write!(f, "TryFeedError::Full(..)"),
+            TryFeedError::Disconnected(_) => write!(f, "TryFeedError::Disconnected(..)"),
+        }
+    }
+}
+
+impl<T> fmt::Display for TryFeedError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryFeedError::Full(_) => write!(f, "stream is at capacity"),
+            TryFeedError::Disconnected(_) => write!(f, "sending on a disconnected stream"),
+        }
     }
 }
 
@@ -501,6 +748,7 @@ impl<T: Send> Sender<T> {
         if !chan.rx_alive.load(Ordering::Acquire) {
             return Err(SendError(value));
         }
+        chan.count_ungated(1);
         let guard = chan.lock_prod();
         // SAFETY: the guard is the producer role.
         unsafe { chan.push(value) };
@@ -533,6 +781,40 @@ impl<T: Send> Sender<T> {
         }
         let guard = chan.lock_prod();
         let mut n = 0;
+        // `bounded` is immutable, so the depth accounting hoists out
+        // of the loop for the common unbounded edge.
+        // SAFETY: the guard is the producer role.
+        if chan.bounded {
+            for v in values {
+                chan.count_ungated(1);
+                unsafe { chan.push(v) };
+                n += 1;
+            }
+        } else {
+            for v in values {
+                unsafe { chan.push(v) };
+                n += 1;
+            }
+        }
+        drop(guard);
+        fence(Ordering::SeqCst);
+        chan.maybe_wake();
+        Ok(n)
+    }
+
+    /// [`Sender::send_each`] for credits already held: pushes without
+    /// touching the credit word. Callers must have [`Sender::acquire`]d
+    /// one credit per message.
+    pub fn send_each_reserved(
+        &self,
+        values: impl IntoIterator<Item = T>,
+    ) -> Result<usize, SendError<()>> {
+        let chan = &*self.chan;
+        if !chan.rx_alive.load(Ordering::Acquire) {
+            return Err(SendError(()));
+        }
+        let guard = chan.lock_prod();
+        let mut n = 0;
         // SAFETY: the guard is the producer role.
         for v in values {
             unsafe { chan.push(v) };
@@ -542,6 +824,115 @@ impl<T: Send> Sender<T> {
         fence(Ordering::SeqCst);
         chan.maybe_wake();
         Ok(n)
+    }
+
+    /// Credit-gated send: on a bounded channel, awaits a capacity
+    /// credit (parking the task, not the thread); an unbounded channel
+    /// resolves immediately — the fast path is [`Sender::send`] plus
+    /// one capacity load. See module docs for the no-lost-wake
+    /// protocol.
+    pub fn feed(&self, value: T) -> Feed<'_, T> {
+        Feed {
+            tx: self,
+            value: Some(value),
+            stalled: false,
+        }
+    }
+
+    /// Non-blocking credit-gated send: `Err(Full)` instead of waiting.
+    pub fn try_feed(&self, value: T) -> Result<(), TryFeedError<T>> {
+        let chan = &*self.chan;
+        if !chan.rx_alive.load(Ordering::Acquire) {
+            return Err(TryFeedError::Disconnected(value));
+        }
+        if chan.try_acquire(1) == 0 {
+            return Err(TryFeedError::Full(value));
+        }
+        let guard = chan.lock_prod();
+        // SAFETY: the guard is the producer role.
+        unsafe { chan.push(value) };
+        drop(guard);
+        fence(Ordering::SeqCst);
+        chan.maybe_wake();
+        Ok(())
+    }
+
+    /// Blocking credit-gated send, for driver threads
+    /// ([`crate::net::Net::send`] under the `Block` and `Timeout`
+    /// overload policies). `deadline` bounds the wait (`Err(Full)` on
+    /// expiry, message returned); `None` blocks until credit or
+    /// disconnection. Parks the OS thread through the same
+    /// park/re-check protocol the async path uses.
+    pub fn feed_blocking(
+        &self,
+        value: T,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<(), TryFeedError<T>> {
+        let chan = &*self.chan;
+        let mut stalled = false;
+        loop {
+            if !chan.rx_alive.load(Ordering::Acquire) {
+                return Err(TryFeedError::Disconnected(value));
+            }
+            if chan.try_acquire(1) > 0 {
+                let guard = chan.lock_prod();
+                // SAFETY: the guard is the producer role.
+                unsafe { chan.push(value) };
+                drop(guard);
+                fence(Ordering::SeqCst);
+                chan.maybe_wake();
+                return Ok(());
+            }
+            if !stalled {
+                stalled = true;
+                if let Some(s) = &chan.stats {
+                    s.note_stall();
+                }
+            }
+            let expired = PARKER.with(|p| {
+                let waker = Waker::from(Arc::clone(p));
+                chan.park_producer(&waker);
+                fence(Ordering::SeqCst);
+                // Re-check before sleeping (no lost wake): if a credit
+                // appeared or the receiver died, loop around instead.
+                if chan.has_credit() || !chan.rx_alive.load(Ordering::SeqCst) {
+                    return false;
+                }
+                while !p.notified.swap(false, Ordering::Acquire) {
+                    match deadline {
+                        None => std::thread::park(),
+                        Some(d) => {
+                            let now = std::time::Instant::now();
+                            if now >= d {
+                                return true;
+                            }
+                            std::thread::park_timeout(d - now);
+                        }
+                    }
+                }
+                false
+            });
+            if expired {
+                return Err(TryFeedError::Full(value));
+            }
+        }
+    }
+
+    /// Awaits up to `want` credits, resolving with how many were
+    /// granted (at least one). Pair with
+    /// [`Sender::send_each_reserved`] for gated batch publication.
+    pub fn acquire(&self, want: usize) -> Acquire<'_, T> {
+        Acquire {
+            tx: self,
+            want,
+            stalled: false,
+        }
+    }
+
+    /// True when this channel was created with a capacity (and it has
+    /// not been lifted by [`Receiver::exempt`]).
+    pub fn is_bounded(&self) -> bool {
+        self.chan.cap.load(Ordering::Relaxed) != 0
     }
 }
 
@@ -812,6 +1203,27 @@ impl<T: Send> Receiver<T> {
     pub fn iter(&self) -> Iter<'_, T> {
         Iter { rx: self }
     }
+
+    /// Lifts the capacity: the channel becomes unbounded and every
+    /// parked producer is released. Mergers exempt their branch
+    /// inputs at registration — the det-merge drain obligation must
+    /// never gate an upstream producer (see [`crate::sched`] for the
+    /// system-level no-deadlock argument).
+    pub fn exempt(&self) {
+        self.chan.cap.store(0, Ordering::SeqCst);
+        self.chan.wake_producers();
+    }
+
+    /// Messages currently counted against the capacity (always 0 on a
+    /// channel created unbounded). Test and telemetry surface.
+    pub fn depth(&self) -> usize {
+        self.chan.depth.load(Ordering::SeqCst)
+    }
+
+    /// The configured capacity; 0 = unbounded.
+    pub fn capacity(&self) -> usize {
+        self.chan.cap.load(Ordering::SeqCst)
+    }
 }
 
 impl<T> Drop for Receiver<T> {
@@ -819,6 +1231,10 @@ impl<T> Drop for Receiver<T> {
         // Senders observe this and fail fast; anything already queued
         // is released when the channel drops.
         self.chan.rx_alive.store(false, Ordering::Release);
+        // Producers parked on a full edge must observe the death, not
+        // sleep on it (publish-then-check; module docs).
+        fence(Ordering::SeqCst);
+        self.chan.wake_producers();
     }
 }
 
@@ -845,6 +1261,100 @@ thread_local! {
         thread: std::thread::current(),
         notified: AtomicBool::new(false),
     });
+}
+
+/// Future returned by [`Sender::feed`].
+pub struct Feed<'a, T> {
+    tx: &'a Sender<T>,
+    value: Option<T>,
+    stalled: bool,
+}
+
+// The fields are never pinned (no self-references); safe to move.
+impl<T> Unpin for Feed<'_, T> {}
+
+impl<T: Send> Future for Feed<'_, T> {
+    type Output = Result<(), SendError<T>>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let chan = &*this.tx.chan;
+        loop {
+            if !chan.rx_alive.load(Ordering::Acquire) {
+                let v = this.value.take().expect("Feed polled after completion");
+                return Poll::Ready(Err(SendError(v)));
+            }
+            if chan.try_acquire(1) == 0 {
+                // Full: park, then re-check, so a credit released (or
+                // a receiver dropped) in the window cannot be slept
+                // through (module docs: parked-producer protocol).
+                chan.park_producer(cx.waker());
+                fence(Ordering::SeqCst);
+                if chan.try_acquire(1) == 0 {
+                    if chan.rx_alive.load(Ordering::SeqCst) {
+                        if !this.stalled {
+                            this.stalled = true;
+                            if let Some(s) = &chan.stats {
+                                s.note_stall();
+                            }
+                        }
+                        return Poll::Pending;
+                    }
+                    continue; // receiver died: report the error
+                }
+            }
+            // One credit held: publish.
+            let v = this.value.take().expect("Feed polled after completion");
+            let guard = chan.lock_prod();
+            // SAFETY: the guard is the producer role.
+            unsafe { chan.push(v) };
+            drop(guard);
+            fence(Ordering::SeqCst);
+            chan.maybe_wake();
+            return Poll::Ready(Ok(()));
+        }
+    }
+}
+
+/// Future returned by [`Sender::acquire`].
+pub struct Acquire<'a, T> {
+    tx: &'a Sender<T>,
+    want: usize,
+    stalled: bool,
+}
+
+impl<T> Unpin for Acquire<'_, T> {}
+
+impl<T: Send> Future for Acquire<'_, T> {
+    type Output = Result<usize, SendError<()>>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let chan = &*this.tx.chan;
+        loop {
+            if !chan.rx_alive.load(Ordering::Acquire) {
+                return Poll::Ready(Err(SendError(())));
+            }
+            let got = chan.try_acquire(this.want);
+            if got > 0 {
+                return Poll::Ready(Ok(got));
+            }
+            chan.park_producer(cx.waker());
+            fence(Ordering::SeqCst);
+            let got = chan.try_acquire(this.want);
+            if got > 0 {
+                return Poll::Ready(Ok(got));
+            }
+            if chan.rx_alive.load(Ordering::SeqCst) {
+                if !this.stalled {
+                    this.stalled = true;
+                    if let Some(s) = &chan.stats {
+                        s.note_stall();
+                    }
+                }
+                return Poll::Pending;
+            }
+            // Receiver died between checks: loop to report it.
+        }
+    }
 }
 
 /// Future returned by [`Receiver::recv_async`].
@@ -1200,6 +1710,197 @@ mod tests {
         }
         drop(tx);
         assert_eq!(h.join().unwrap(), (0..100_000u64).sum());
+    }
+
+    #[test]
+    fn bounded_try_feed_and_depth_accounting() {
+        let (tx, rx) = channel_cfg::<i32>(2, None);
+        assert!(tx.is_bounded());
+        assert_eq!(rx.capacity(), 2);
+        tx.try_feed(1).unwrap();
+        tx.try_feed(2).unwrap();
+        assert_eq!(rx.depth(), 2);
+        assert!(matches!(tx.try_feed(3), Err(TryFeedError::Full(3))));
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(rx.depth(), 1);
+        tx.try_feed(3).unwrap();
+        assert!(matches!(tx.try_feed(4), Err(TryFeedError::Full(4))));
+        drop(rx);
+        assert!(matches!(tx.try_feed(5), Err(TryFeedError::Disconnected(5))));
+    }
+
+    #[test]
+    fn plain_send_is_exempt_from_the_bound() {
+        // Sorts and control traffic go through `send`: counted against
+        // depth, never gated.
+        let (tx, rx) = channel_cfg::<i32>(1, None);
+        tx.try_feed(1).unwrap();
+        tx.send(2).unwrap();
+        tx.send(3).unwrap();
+        assert_eq!(rx.depth(), 3);
+        assert!(matches!(tx.try_feed(4), Err(TryFeedError::Full(_))));
+        for want in [1, 2, 3] {
+            assert_eq!(rx.recv(), Ok(want));
+        }
+        assert_eq!(rx.depth(), 0);
+        tx.try_feed(4).unwrap();
+    }
+
+    #[test]
+    fn feed_blocking_waits_for_credit() {
+        let (tx, rx) = channel_cfg::<i32>(1, None);
+        tx.try_feed(0).unwrap();
+        let h = std::thread::spawn(move || {
+            tx.feed_blocking(1, None).unwrap();
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert_eq!(rx.recv(), Ok(0));
+        h.join().unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+    }
+
+    #[test]
+    fn feed_blocking_deadline_expires() {
+        let (tx, rx) = channel_cfg::<i32>(1, None);
+        tx.try_feed(0).unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(40);
+        assert!(matches!(
+            tx.feed_blocking(1, Some(deadline)),
+            Err(TryFeedError::Full(1))
+        ));
+        drop(rx);
+    }
+
+    #[test]
+    fn feed_blocking_errors_when_receiver_drops_midwait() {
+        let (tx, rx) = channel_cfg::<i32>(1, None);
+        tx.try_feed(0).unwrap();
+        let h = std::thread::spawn(move || tx.feed_blocking(1, None));
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        drop(rx);
+        assert!(matches!(
+            h.join().unwrap(),
+            Err(TryFeedError::Disconnected(1))
+        ));
+    }
+
+    #[test]
+    fn feed_future_parks_and_wakes_on_pop() {
+        let (tx, rx) = channel_cfg::<i32>(1, None);
+        tx.try_feed(0).unwrap();
+        let (counts, waker) = count_waker();
+        let mut cx = Context::from_waker(&waker);
+        let mut fut = tx.feed(1);
+        assert!(Pin::new(&mut fut).poll(&mut cx).is_pending());
+        assert_eq!(counts.0.load(Ordering::SeqCst), 0);
+        // The pop releases a credit and wakes the parked producer.
+        assert_eq!(rx.try_recv(), Ok(0));
+        assert_eq!(counts.0.load(Ordering::SeqCst), 1);
+        assert!(matches!(
+            Pin::new(&mut fut).poll(&mut cx),
+            Poll::Ready(Ok(()))
+        ));
+        assert_eq!(rx.try_recv(), Ok(1));
+    }
+
+    #[test]
+    fn exempt_lifts_bound_and_wakes_producers() {
+        let (tx, rx) = channel_cfg::<i32>(1, None);
+        tx.try_feed(0).unwrap();
+        let (counts, waker) = count_waker();
+        let mut cx = Context::from_waker(&waker);
+        let mut fut = tx.feed(1);
+        assert!(Pin::new(&mut fut).poll(&mut cx).is_pending());
+        rx.exempt();
+        assert_eq!(counts.0.load(Ordering::SeqCst), 1);
+        assert!(matches!(
+            Pin::new(&mut fut).poll(&mut cx),
+            Poll::Ready(Ok(()))
+        ));
+        assert!(!tx.is_bounded());
+        // Unbounded from here on: feeds no longer gate.
+        for i in 2..100 {
+            tx.try_feed(i).unwrap();
+        }
+    }
+
+    #[test]
+    fn acquire_and_send_each_reserved_batch() {
+        let (tx, rx) = channel_cfg::<u32>(8, None);
+        let (_c, waker) = count_waker();
+        let mut cx = Context::from_waker(&waker);
+        let mut fut = tx.acquire(5);
+        let got = match Pin::new(&mut fut).poll(&mut cx) {
+            Poll::Ready(Ok(n)) => n,
+            other => panic!("acquire: {other:?}"),
+        };
+        assert_eq!(got, 5);
+        assert_eq!(tx.send_each_reserved(0..5).unwrap(), 5);
+        assert_eq!(rx.depth(), 5);
+        // Partial grant when only part of the request fits.
+        let mut fut = tx.acquire(10);
+        let got = match Pin::new(&mut fut).poll(&mut cx) {
+            Poll::Ready(Ok(n)) => n,
+            other => panic!("acquire: {other:?}"),
+        };
+        assert_eq!(got, 3);
+        assert_eq!(tx.send_each_reserved(5..8).unwrap(), 3);
+        // Full: a further acquire parks.
+        let mut fut = tx.acquire(1);
+        assert!(Pin::new(&mut fut).poll(&mut cx).is_pending());
+        for i in 0..8 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+        assert_eq!(rx.depth(), 0);
+    }
+
+    #[test]
+    fn bounded_spsc_stress_holds_depth_bound() {
+        let (tx, rx) = channel_cfg::<u64>(4, None);
+        let h = std::thread::spawn(move || {
+            let mut sum = 0u64;
+            let mut hwm = 0usize;
+            loop {
+                // Gated traffic only: depth never exceeds the bound.
+                hwm = hwm.max(rx.depth());
+                match rx.recv() {
+                    Ok(v) => sum += v,
+                    Err(_) => break,
+                }
+            }
+            (sum, hwm)
+        });
+        for i in 0..10_000u64 {
+            tx.feed_blocking(i, None).unwrap();
+        }
+        drop(tx);
+        let (sum, hwm) = h.join().unwrap();
+        assert_eq!(sum, (0..10_000u64).sum());
+        assert!(hwm <= 4, "depth {hwm} exceeded bound 4");
+    }
+
+    #[test]
+    fn edge_stats_record_depth_and_stalls() {
+        let m = crate::metrics::Metrics::new();
+        let stats = EdgeStats {
+            depth: m.handle("edge/stream_depth"),
+            stalls: m.handle("edge/credit_stalls"),
+            depth_global: m.handle("runtime/stream_depth"),
+            stalls_global: m.handle("runtime/credit_stalls"),
+        };
+        let (tx, rx) = channel_cfg::<i32>(2, Some(stats));
+        tx.try_feed(1).unwrap();
+        tx.try_feed(2).unwrap();
+        assert_eq!(m.get("edge/stream_depth"), 2);
+        assert_eq!(m.get("runtime/stream_depth"), 2);
+        assert!(matches!(tx.try_feed(3), Err(TryFeedError::Full(_))));
+        // `try_feed` never parks, so no stall yet; a deadline-bounded
+        // blocking feed parks exactly once.
+        assert_eq!(m.get("edge/credit_stalls"), 0);
+        let _ = tx.feed_blocking(3, Some(std::time::Instant::now()));
+        assert_eq!(m.get("edge/credit_stalls"), 1);
+        assert_eq!(m.get("runtime/credit_stalls"), 1);
+        drop(rx);
     }
 
     #[test]

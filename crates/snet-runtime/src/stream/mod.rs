@@ -1,14 +1,22 @@
 //! Streams and messages.
 //!
 //! Boxes are "connected to the rest of the network by two typed
-//! streams" (paper, Section 4). A stream here is an unbounded native
-//! channel of [`Msg`]s — see [`chan`] for the transport: lock-free
-//! segmented chunks, an SPSC fast path on every single-producer edge
-//! (which is every data edge), and **coalesced wakeups**. Unbounded is
-//! deliberate: deterministic merging drains branches in a fixed order,
-//! and a bounded channel on a branch that is not currently being
-//! drained could deadlock the dispatcher — the original S-Net runtime
-//! made the same choice.
+//! streams" (paper, Section 4). A stream here is a native channel of
+//! [`Msg`]s — see [`chan`] for the transport: lock-free segmented
+//! chunks, an SPSC fast path on every single-producer edge (which is
+//! every data edge), and **coalesced wakeups**. Edges are unbounded
+//! by default; a network may opt into **bounded data edges** with
+//! credit-based backpressure (`NetBuilder::bound` /
+//! `SNET_STREAM_BOUND`), turning producer/consumer rate mismatches
+//! into producer parking instead of unbounded queue growth. The bound
+//! is selective by design: deterministic merging drains branches in a
+//! fixed order, and gating a branch that is not currently being
+//! drained would deadlock the dispatcher — the original S-Net runtime
+//! kept *everything* unbounded for exactly that reason. Here, sort
+//! records and every merger-drained edge stay exempt ([`feed_batch`],
+//! [`chan::Receiver::exempt`]), which recovers the same freedom while
+//! bounding the data plane; the no-deadlock argument lives in
+//! [`crate::sched`].
 //!
 //! Besides data records the streams carry **sort records** — the
 //! classic S-Net implementation device for the deterministic
@@ -58,10 +66,11 @@
 //! task's waker, and the send path reschedules the component when data
 //! (or end-of-stream) arrives. This is what lets thousands of
 //! dynamically unfolded components share a handful of OS threads.
-//! Combined with unbounded channels — senders never wait — cooperative
-//! parking cannot deadlock even the deterministic merger's fixed
-//! drain order; the full argument lives in the [`crate::sched`]
-//! module docs.
+//! Senders on unbounded edges never wait; on bounded edges a *data*
+//! producer may additionally park awaiting credit — but every edge a
+//! merger drains from is exempt from bounding, so the deterministic
+//! merger's fixed drain order cannot be gated by a parked upstream;
+//! the full argument lives in the [`crate::sched`] module docs.
 
 pub mod chan;
 
@@ -88,13 +97,62 @@ pub enum Msg {
     Sort { level: u32, counter: u64 },
 }
 
-/// Stream endpoints (unbounded; see module docs for why).
+/// Stream endpoints (unbounded by default; see module docs).
 pub type Sender = chan::Sender<Msg>;
 pub type Receiver = chan::Receiver<Msg>;
 
-/// Creates a new stream.
+/// Creates a new (unbounded) stream.
 pub fn stream() -> (Sender, Receiver) {
     chan::channel()
+}
+
+/// Creates a stream with a capacity bound on its data plane: records
+/// route through the credit-gated `feed` paths, sort records through
+/// the exempt `send` path (see module docs and [`chan`]).
+pub fn stream_bounded(cap: usize, stats: Option<chan::EdgeStats>) -> (Sender, Receiver) {
+    chan::channel_cfg(cap, stats)
+}
+
+/// Publishes a mixed record/sort buffer to `tx`, draining `buf`:
+/// records go through the credit gate (awaiting capacity on a bounded
+/// edge), sort records through the ungated `send` path — the
+/// det-merge exemption, so a sort broadcast never waits behind a full
+/// edge. Each maximal run of records is published with one credit
+/// acquisition and one producer-role lock per grant
+/// ([`chan::Sender::acquire`] + [`chan::Sender::send_each_reserved`]),
+/// keeping the bounded path batched like the unbounded one.
+///
+/// On a disconnected receiver the remainder is dropped and `Err` is
+/// returned, matching the `let _ = tx.send(..)` teardown idiom of the
+/// component loops.
+pub async fn feed_batch(tx: &Sender, buf: &mut Vec<Msg>) -> Result<(), chan::SendError<()>> {
+    while !buf.is_empty() {
+        if matches!(buf[0], Msg::Sort { .. }) {
+            let sort = buf.remove(0);
+            if tx.send(sort).is_err() {
+                buf.clear();
+                return Err(chan::SendError(()));
+            }
+            continue;
+        }
+        let run = buf.iter().take_while(|m| matches!(m, Msg::Rec(_))).count();
+        let mut sent = 0;
+        while sent < run {
+            let got = match tx.acquire(run - sent).await {
+                Ok(n) => n,
+                Err(_) => {
+                    buf.clear();
+                    return Err(chan::SendError(()));
+                }
+            };
+            if tx.send_each_reserved(buf.drain(..got)).is_err() {
+                buf.clear();
+                return Err(chan::SendError(()));
+            }
+            sent += got;
+        }
+    }
+    Ok(())
 }
 
 /// Direction of an observed record relative to the observed component.

@@ -135,5 +135,15 @@ fn repeated_instantiation_accumulates_under_identical_keys() {
     let keys_a: Vec<&String> = a.keys().collect();
     let keys_b: Vec<&String> = b.keys().collect();
     assert_eq!(keys_a, keys_b);
-    assert_eq!(a, b);
+    // `stream_depth` is a high-water gauge: how far a queue grows
+    // before its consumer drains it is scheduling-dependent (visible
+    // under SNET_STREAM_BOUND, where every edge maintains it), so the
+    // gauges are exempt from run-to-run value equality.
+    let values = |snap: &std::collections::BTreeMap<String, u64>| {
+        snap.iter()
+            .filter(|(k, _)| !k.ends_with("stream_depth"))
+            .map(|(k, v)| (k.clone(), *v))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(values(&a), values(&b));
 }

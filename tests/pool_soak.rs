@@ -133,6 +133,64 @@ fn shared_pool_survives_many_sequential_and_concurrent_nets() {
     drive_pipeline(pipeline_net(exec), 25);
 }
 
+/// Bounded nets on the shared pool: the backpressure gauges
+/// (`stream_depth` high-water, `credit_stalls` park episodes) are the
+/// operator-facing signal that a production pool is running against
+/// its bounds. Soak a slow bounded pipeline and sample both — depth
+/// must report, must respect the bound, and a consumer ~100× slower
+/// than the ingress must register stalls.
+#[test]
+fn bounded_soak_reports_depth_and_stall_gauges() {
+    const BOUND: usize = 4;
+    let pool: Arc<dyn Executor> = Arc::new(WorkStealingPool::new(2));
+    for round in 0..4 {
+        let net = NetBuilder::from_source(
+            "box inc (x) -> (x);
+             box drag (x) -> (x);
+             net main = inc .. drag;",
+        )
+        .unwrap()
+        .bind("inc", |r, e| {
+            let x = r.field("x").unwrap().as_int().unwrap();
+            e.emit(Record::build().field("x", x + 1).finish());
+        })
+        .bind("drag", |r, e| {
+            std::thread::sleep(std::time::Duration::from_micros(100));
+            e.emit(r.clone());
+        })
+        .executor(Arc::clone(&pool))
+        .fuse(false)
+        .bound(BOUND)
+        .build("main")
+        .unwrap();
+        for i in 0..300i64 {
+            net.send(Record::build().field("x", i).finish()).unwrap();
+        }
+        let metrics = Arc::clone(net.metrics());
+        let out = net.finish();
+        assert_eq!(out.len(), 300, "round {round}");
+
+        // Per-edge high-waters and the net-global mirror both report,
+        // and no bounded edge ever exceeded its capacity.
+        let depth = metrics.max_matching("stream_depth");
+        assert!(depth > 0, "round {round}: no depth samples recorded");
+        assert!(
+            depth as usize <= BOUND,
+            "round {round}: depth {depth} exceeded bound {BOUND}"
+        );
+        assert_eq!(metrics.get("runtime/stream_depth"), depth);
+        assert!(
+            metrics.get("runtime/credit_stalls") > 0,
+            "round {round}: a 100µs/record consumer must stall its producer"
+        );
+        assert_eq!(
+            metrics.sum_matching("credit_stalls"),
+            metrics.get("runtime/credit_stalls") * 2,
+            "round {round}: per-edge stalls must mirror into the global counter"
+        );
+    }
+}
+
 #[test]
 fn shared_pool_outlives_thread_per_component_churn() {
     // Interleave pool nets with thread-per-component nets: the

@@ -9,8 +9,9 @@
 
 use proptest::prelude::*;
 use snet_lang::{Env, NetAst};
-use snet_runtime::{Bindings, Net, Plan};
+use snet_runtime::{Bindings, Net, Plan, RunCfg, ThreadPerComponent};
 use snet_types::{BoxSig, Label, Record};
+use std::sync::Arc;
 
 /// A random combinator tree over the identity box `id (x, <k>) -> (x, <k>)`.
 /// Star is excluded: an identity box never produces the exit pattern,
@@ -39,7 +40,7 @@ fn arb_net() -> impl Strategy<Value = NetAst> {
     })
 }
 
-fn build(ast: &NetAst) -> Net {
+fn build_cfg(ast: &NetAst, cfg: RunCfg) -> Net {
     let mut env = Env::new();
     env.declare_box(
         "id",
@@ -53,7 +54,22 @@ fn build(ast: &NetAst) -> Net {
         em.emit(rec.clone());
     });
     let plan: Plan = snet_runtime::compile(ast, &env, &bindings).expect("random net compiles");
-    Net::spawn(plan, Vec::new())
+    Net::spawn_cfg(plan, Vec::new(), Arc::new(ThreadPerComponent), cfg)
+}
+
+fn build(ast: &NetAst) -> Net {
+    build_cfg(ast, RunCfg::default())
+}
+
+fn drive(net: Net, xs: &[(i64, i64)]) -> Vec<(i64, i64)> {
+    for (x, k) in xs {
+        net.send(Record::build().field("x", *x).tag("k", *k).finish())
+            .unwrap();
+    }
+    net.finish()
+        .iter()
+        .map(|r| (r.field("x").unwrap().as_int().unwrap(), r.tag("k").unwrap()))
+        .collect()
 }
 
 proptest! {
@@ -113,5 +129,139 @@ proptest! {
             .collect();
         let want: Vec<i64> = xs.iter().map(|(x, _)| *x).collect();
         prop_assert_eq!(got, want);
+    }
+
+    /// Bounding an arbitrary topology changes *when* producers run,
+    /// never *what* comes out: the delivered multiset equals the
+    /// unbounded run's, even at bound 1 (maximum pressure).
+    #[test]
+    fn bounded_topologies_deliver_the_same_records(
+        ast in arb_net(),
+        bound in 1usize..9,
+        xs in proptest::collection::vec((0i64..1_000_000, 0i64..5), 0..40),
+    ) {
+        let mut unbounded = drive(build(&ast), &xs);
+        let mut bounded = drive(
+            build_cfg(&ast, RunCfg { bound: Some(bound), ..RunCfg::default() }),
+            &xs,
+        );
+        unbounded.sort();
+        bounded.sort();
+        prop_assert_eq!(bounded, unbounded, "bound {} changed output of {:?}", bound, ast);
+    }
+
+    /// Under a fully deterministic topology the comparison tightens to
+    /// exact sequence equality: credit waits must not perturb sort
+    /// record interleaving.
+    #[test]
+    fn bounded_det_topologies_preserve_order(
+        depth in 1usize..4,
+        bound in 1usize..6,
+        xs in proptest::collection::vec((0i64..1_000_000, 0i64..5), 0..30),
+    ) {
+        let mut ast = NetAst::split_det(NetAst::boxref("id"), "k");
+        for _ in 0..depth {
+            ast = NetAst::parallel_det(
+                ast.clone(),
+                NetAst::split_det(NetAst::boxref("id"), "k"),
+            );
+        }
+        let got = drive(
+            build_cfg(&ast, RunCfg { bound: Some(bound), ..RunCfg::default() }),
+            &xs,
+        );
+        prop_assert_eq!(got, xs);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Credit accounting on a single edge, against a reference model.
+// ---------------------------------------------------------------------------
+
+/// One random operation against a bounded channel.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Gated producer path (`try_feed`): must succeed exactly when the
+    /// model says in-flight < capacity.
+    TryFeed,
+    /// Ungated producer path (plain `send`, the sort/control
+    /// exemption): always succeeds, counted but never gated.
+    SendUngated,
+    /// Consumer pop: releases one credit when something is queued.
+    Pop,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![Just(Op::TryFeed), Just(Op::SendUngated), Just(Op::Pop)],
+        0..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The credit invariant: at every step, granted − consumed equals
+    /// the channel's in-flight depth, `try_feed` admits exactly while
+    /// in-flight < capacity, and *gated* traffic alone never pushes
+    /// depth past the capacity (ungated sends may — by design).
+    #[test]
+    fn credit_accounting_matches_reference_model(
+        cap in 1usize..8,
+        ops in arb_ops(),
+    ) {
+        use snet_runtime::stream::chan::{channel_cfg, TryFeedError};
+
+        let (tx, rx) = channel_cfg::<u64>(cap, None);
+        let mut granted = 0u64;   // records admitted (gated + ungated)
+        let mut consumed = 0u64;  // records popped
+        let mut sent_ungated = false;
+        for op in &ops {
+            match op {
+                Op::TryFeed => {
+                    let in_flight = granted - consumed;
+                    match tx.try_feed(granted) {
+                        Ok(()) => {
+                            prop_assert!(
+                                in_flight < cap as u64,
+                                "try_feed admitted at depth {} >= cap {}", in_flight, cap
+                            );
+                            granted += 1;
+                        }
+                        Err(TryFeedError::Full(_)) => {
+                            prop_assert!(
+                                in_flight >= cap as u64,
+                                "try_feed refused at depth {} < cap {}", in_flight, cap
+                            );
+                        }
+                        Err(TryFeedError::Disconnected(_)) => unreachable!(),
+                    }
+                }
+                Op::SendUngated => {
+                    tx.send(granted).unwrap();
+                    granted += 1;
+                    sent_ungated = true;
+                }
+                Op::Pop => {
+                    if rx.try_recv().is_ok() {
+                        consumed += 1;
+                    } else {
+                        prop_assert_eq!(granted, consumed, "empty channel with credits out");
+                    }
+                }
+            }
+            // The invariant proper: depth tracks granted − consumed
+            // exactly — no credit is ever leaked or double-released.
+            prop_assert_eq!(rx.depth() as u64, granted - consumed);
+            if !sent_ungated {
+                prop_assert!(rx.depth() <= cap, "gated-only traffic exceeded cap");
+            }
+        }
+        // Drain: every remaining credit comes back.
+        while rx.try_recv().is_ok() {
+            consumed += 1;
+        }
+        prop_assert_eq!(granted, consumed);
+        prop_assert_eq!(rx.depth(), 0);
     }
 }

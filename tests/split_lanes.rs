@@ -3,16 +3,23 @@
 //! grow the process-wide path interner past the lane bound — the
 //! `runtime/interner_paths` gauge plateaus.
 //!
-//! This file intentionally holds a single test: it asserts an *upper
-//! bound* on a process-wide counter, so it must not race other tests
-//! interning paths in the same process (each integration-test file is
-//! its own process).
+//! The interner test asserts an *upper bound* on a process-wide
+//! counter, so every test in this file that spawns a net (interning
+//! paths) serialises on [`INTERNER`]; other integration-test files
+//! are separate processes and cannot interfere.
 
 use snet_runtime::NetBuilder;
 use snet_types::Record;
 use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard};
 
 const LANES: u32 = 8;
+
+static INTERNER: Mutex<()> = Mutex::new(());
+
+fn serialize_interner() -> MutexGuard<'static, ()> {
+    INTERNER.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 fn lane_net() -> snet_runtime::Net {
     NetBuilder::from_source(
@@ -28,6 +35,7 @@ fn lane_net() -> snet_runtime::Net {
 
 #[test]
 fn interner_paths_plateau_under_unbounded_tag_domain() {
+    let _serial = serialize_interner();
     // Warm phase: enough distinct tag values to populate every lane
     // (8 lanes, 200 values — the chance of an empty lane is
     // negligible, and the assertion below does not depend on it).
@@ -73,4 +81,56 @@ fn interner_paths_plateau_under_unbounded_tag_domain() {
     for (x, k) in outputs {
         assert_eq!(x, k, "record payload corrupted by lane routing");
     }
+}
+
+/// Per-replicator lane bounds (`NetBuilder::split_lanes_for`): two
+/// replicators routing on different tags, the net-global lane count
+/// for one and a tighter per-tag override for the other. The
+/// `branches` gauge of each replicator must respect *its own* bound.
+#[test]
+fn per_tag_lane_bound_overrides_net_global() {
+    let _serial = serialize_interner();
+    const GLOBAL: u32 = 16;
+    const FOR_B: u32 = 4;
+    let net = NetBuilder::from_source(
+        "box ida (x, <a>) -> (x, <a>);
+         box idb (y, <b>) -> (y, <b>);
+         net main = (ida !! <a>) | (idb !! <b>);",
+    )
+    .unwrap()
+    .bind("ida", |r, e| e.emit(r.clone()))
+    .bind("idb", |r, e| e.emit(r.clone()))
+    .split_lanes(GLOBAL)
+    .split_lanes_for("b", FOR_B)
+    .build("main")
+    .unwrap();
+
+    // 100 distinct routing values per replicator: enough to hit every
+    // lane of both namespaces many times over.
+    for k in 0..100i64 {
+        net.send(Record::build().field("x", k).tag("a", k).finish())
+            .unwrap();
+        net.send(Record::build().field("y", k).tag("b", k).finish())
+            .unwrap();
+    }
+    let metrics = std::sync::Arc::clone(net.metrics());
+    let out = net.finish();
+    assert_eq!(out.len(), 200);
+
+    let snap = metrics.snapshot();
+    let lanes = |side: &str| -> u64 {
+        snap.iter()
+            .filter(|(k, _)| k.ends_with("/branches") && k.contains(side))
+            .map(|(_, v)| *v)
+            .sum()
+    };
+    let (a_lanes, b_lanes) = (lanes("/L/"), lanes("/R/"));
+    assert!(
+        a_lanes > u64::from(FOR_B) && a_lanes <= u64::from(GLOBAL),
+        "tag-a replicator used {a_lanes} lanes, expected ({FOR_B}, {GLOBAL}]"
+    );
+    assert!(
+        (1..=u64::from(FOR_B)).contains(&b_lanes),
+        "tag-b replicator used {b_lanes} lanes past its override {FOR_B}"
+    );
 }
