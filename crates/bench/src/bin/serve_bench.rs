@@ -1,0 +1,272 @@
+//! `serve_bench` — the PR 7 open-loop service harness.
+//!
+//! Drives both service workloads (sudoku Fig. 1, sensor fusion)
+//! through the `snet-runtime::serve` front door at a fixed arrival
+//! rate and reports sustained RPS + p50/p99/p999 tail latency at
+//! steady state, written to `BENCH_PR7.json`.
+//!
+//! Two modes:
+//!
+//! * default (full): per workload, calibrate capacity with a short
+//!   closed-loop burst, then run the open loop at ~60 % of measured
+//!   capacity for 12 000 requests across 8 concurrent callers.
+//!   Asserts zero lost/misrouted responses (the PR's correctness
+//!   criterion) and writes the JSON artifact.
+//! * `--smoke`: a short fixed-rate burst per workload for CI — same
+//!   zero-loss assertions plus a generous p99 sanity ceiling, no
+//!   artifact.
+//!
+//! The arrival schedule and latency bookkeeping live in
+//! `snet_runtime::serve` ([`run_open_loop`]); this binary only picks
+//! rates, formats JSON and enforces the assertions.
+
+use snet_bench::workloads::{sensor_workload, sudoku_workload, ServeWorkload};
+use snet_runtime::ctx::RunCfg;
+use snet_runtime::{run_open_loop, LoadReport, OpenLoopCfg, Service};
+use std::time::{Duration, Instant};
+
+/// Closed-loop capacity probe: `callers` threads issue request/wait
+/// pairs for `window`; completions per second estimate the service
+/// rate the open loop must stay under to be stable.
+fn calibrate(wl: &ServeWorkload, callers: usize, window: Duration) -> f64 {
+    let svc = Service::start((wl.build)().expect("workload builds"));
+    let deadline = Instant::now() + window;
+    let total: u64 = std::thread::scope(|s| {
+        let svc = &svc;
+        let threads: Vec<_> = (0..callers)
+            .map(|k| {
+                s.spawn(move || {
+                    let mut done = 0u64;
+                    let mut i = k;
+                    while Instant::now() < deadline {
+                        let h = svc.call((wl.make_req)(i)).expect("calibration call");
+                        h.wait().expect("calibration response");
+                        done += 1;
+                        i += callers;
+                    }
+                    done
+                })
+            })
+            .collect();
+        threads.into_iter().map(|t| t.join().unwrap()).sum()
+    });
+    svc.shutdown();
+    total as f64 / window.as_secs_f64()
+}
+
+struct RunRow {
+    name: &'static str,
+    cfg: OpenLoopCfg,
+    capacity_rps: f64,
+    report: LoadReport,
+}
+
+fn run_workload(wl: &ServeWorkload, cfg: OpenLoopCfg, capacity_rps: f64) -> RunRow {
+    let svc = Service::start((wl.build)().expect("workload builds"));
+    let report = run_open_loop(&svc, &cfg, wl.make_req, wl.check);
+    svc.shutdown();
+    RunRow {
+        name: wl.name,
+        cfg,
+        capacity_rps,
+        report,
+    }
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+fn json(rows: &[RunRow]) -> String {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let executor = std::env::var("SNET_EXECUTOR").unwrap_or_else(|_| "threads".into());
+    let workers = std::env::var("SNET_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok());
+    let fused = std::env::var("SNET_FUSE").map(|v| v != "0").unwrap_or(true);
+    let bound = RunCfg::from_env().bound;
+    let epoch_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"serve_open_loop\",\n  \"pr\": 7,\n");
+    out.push_str(&format!("  \"unix_time\": {epoch_secs},\n"));
+    out.push_str("  \"host\": {\n");
+    out.push_str(&format!("    \"cores\": {cores},\n"));
+    out.push_str(&format!("    \"executor\": \"{executor}\",\n"));
+    out.push_str(&format!(
+        "    \"workers\": {},\n",
+        workers.map_or("null".into(), |w| w.to_string())
+    ));
+    out.push_str(&format!("    \"fused\": {fused},\n"));
+    out.push_str(&format!(
+        "    \"stream_bound\": {}\n",
+        bound.map_or("null".into(), |b| b.to_string())
+    ));
+    out.push_str("  },\n  \"workloads\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let r = &row.report;
+        out.push_str(&format!(
+            "    {{\n      \"name\": \"{}\",\n      \"rate_hz\": {:.1},\n      \
+             \"calibrated_capacity_rps\": {:.1},\n      \"total\": {},\n      \
+             \"warmup\": {},\n      \"callers\": {},\n      \"sent\": {},\n      \
+             \"completed\": {},\n      \"rejected\": {},\n      \"lost\": {},\n      \
+             \"misrouted\": {},\n      \"sustained_rps\": {:.1},\n      \
+             \"window_secs\": {:.3},\n      \"measured\": {},\n      \
+             \"latency_ms\": {{ \"p50\": {:.3}, \"p99\": {:.3}, \"p999\": {:.3}, \
+             \"max\": {:.3}, \"mean\": {:.3} }},\n      \
+             \"depth_high_water\": {},\n      \"credit_stalls\": {}\n    }}{}\n",
+            row.name,
+            row.cfg.rate_hz,
+            row.capacity_rps,
+            row.cfg.total,
+            row.cfg.warmup,
+            row.cfg.callers,
+            r.sent,
+            r.completed,
+            r.rejected,
+            r.lost,
+            r.misrouted,
+            r.sustained_rps,
+            r.window_secs,
+            r.measured,
+            ms(r.p50_ns),
+            ms(r.p99_ns),
+            ms(r.p999_ns),
+            ms(r.max_ns),
+            r.mean_ns / 1e6,
+            r.depth_high_water,
+            r.credit_stalls,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn print_row(row: &RunRow) {
+    let r = &row.report;
+    println!(
+        "{:<20} rate {:>7.1}/s  sustained {:>7.1}/s  p50 {:>8.3} ms  p99 {:>8.3} ms  \
+         p999 {:>8.3} ms  max {:>8.3} ms",
+        row.name,
+        row.cfg.rate_hz,
+        r.sustained_rps,
+        ms(r.p50_ns),
+        ms(r.p99_ns),
+        ms(r.p999_ns),
+        ms(r.max_ns),
+    );
+    println!(
+        "{:<20} sent {}  completed {}  rejected {}  lost {}  misrouted {}  \
+         depth-hw {}  stalls {}",
+        "",
+        r.sent,
+        r.completed,
+        r.rejected,
+        r.lost,
+        r.misrouted,
+        r.depth_high_water,
+        r.credit_stalls,
+    );
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let workloads = [sudoku_workload(), sensor_workload()];
+    let mut rows = Vec::new();
+    let mut failures = Vec::new();
+
+    for wl in &workloads {
+        let (cfg, capacity) = if smoke {
+            (
+                OpenLoopCfg {
+                    rate_hz: 300.0,
+                    total: 1_500,
+                    warmup: 150,
+                    callers: 4,
+                    deadline: Duration::from_secs(20),
+                    ..OpenLoopCfg::default()
+                },
+                0.0,
+            )
+        } else {
+            let capacity = calibrate(wl, 8, Duration::from_secs(2));
+            // 60 % of closed-loop capacity: high enough that queues
+            // form and tails are real, low enough that the open loop
+            // is stable (arrival < service rate) and steady state
+            // exists.
+            let rate = (capacity * 0.6).clamp(50.0, 20_000.0);
+            (
+                OpenLoopCfg {
+                    rate_hz: rate,
+                    total: 12_000,
+                    warmup: 1_000,
+                    callers: 8,
+                    deadline: Duration::from_secs(60),
+                    ..OpenLoopCfg::default()
+                },
+                capacity,
+            )
+        };
+        println!(
+            "[{}] {} requests at {:.1}/s over {} callers{}",
+            wl.name,
+            cfg.total,
+            cfg.rate_hz,
+            cfg.callers,
+            if smoke {
+                " (smoke)".to_string()
+            } else {
+                format!(" (capacity ≈ {capacity:.1}/s)")
+            }
+        );
+        let row = run_workload(wl, cfg, capacity);
+        print_row(&row);
+
+        let r = &row.report;
+        if r.lost != 0 {
+            failures.push(format!("{}: {} lost responses", row.name, r.lost));
+        }
+        if r.misrouted != 0 {
+            failures.push(format!("{}: {} misrouted responses", row.name, r.misrouted));
+        }
+        if r.rejected != 0 {
+            // Block policy: nothing should shed.
+            failures.push(format!("{}: {} rejected requests", row.name, r.rejected));
+        }
+        if r.completed != r.sent {
+            failures.push(format!(
+                "{}: sent {} but completed {}",
+                row.name, r.sent, r.completed
+            ));
+        }
+        if smoke && r.p99_ns > 2_000_000_000 {
+            // Generous sanity ceiling (2 s): catches a wedged demux or
+            // a pathological queue, not ordinary CI jitter.
+            failures.push(format!(
+                "{}: p99 {:.1} ms over sanity ceiling",
+                row.name,
+                ms(r.p99_ns)
+            ));
+        }
+        rows.push(row);
+    }
+
+    if !smoke {
+        std::fs::write("BENCH_PR7.json", json(&rows)).expect("write BENCH_PR7.json");
+        println!("wrote BENCH_PR7.json");
+    }
+
+    if failures.is_empty() {
+        println!("SERVE OK: all responses correlated, zero lost/misrouted");
+    } else {
+        for f in &failures {
+            eprintln!("SERVE FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

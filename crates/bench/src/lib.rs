@@ -16,6 +16,8 @@
 //!   table recorded in EXPERIMENTS.md and asserting the paper's
 //!   bounds; machine-readable rows go to `experiments.json`.
 
+pub mod workloads;
+
 use std::time::{Duration, Instant};
 
 /// One behavioural measurement row (EXPERIMENTS.md table).

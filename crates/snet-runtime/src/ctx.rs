@@ -32,14 +32,31 @@ use std::collections::HashMap;
 use std::future::Future;
 use std::sync::Arc;
 
+/// The process-default data-edge capacity, applied when neither
+/// `SNET_STREAM_BOUND` nor a per-net `NetBuilder::bound`/`unbounded`
+/// overrides it. **Backpressure is on by default** since PR 7, with
+/// the value picked from the open-loop serve harness
+/// (`crates/bench/src/bin/serve_bench.rs`, BENCH_PR7.json): at
+/// moderate load (300 req/s smoke) steady-state depth high-water is
+/// single-digit on both service workloads, so 128 is an order of
+/// magnitude above anything a stable system queues; at 60 % of
+/// closed-loop capacity the sudoku workload's ingress briefly fills
+/// to the cap (52 producer stalls across 12 000 requests, zero
+/// losses, p99 still bounded) — i.e. the bound only ever engages when
+/// arrivals genuinely outrun service, which is exactly when unbounded
+/// edges would otherwise grow without limit. Escape hatches:
+/// `SNET_STREAM_BOUND=0` process-wide or `NetBuilder::unbounded()`
+/// per net restore the seed's unbounded edges.
+pub const DEFAULT_STREAM_BOUND: usize = 128;
+
 /// Runtime configuration for one network, threaded through the shared
 /// [`Ctx`] to every component spawn site.
 #[derive(Clone, Debug, Default)]
 pub struct RunCfg {
-    /// Default capacity for data edges; `None` = unbounded (the
-    /// default — `SNET_STREAM_BOUND` flips it process-wide, and
-    /// `NetBuilder::bound` per net). See [`crate::stream`] for what a
-    /// bound does and does not gate.
+    /// Default capacity for data edges; `None` = unbounded
+    /// ([`DEFAULT_STREAM_BOUND`] applies unless `SNET_STREAM_BOUND`
+    /// or `NetBuilder::bound`/`unbounded` says otherwise). See
+    /// [`crate::stream`] for what a bound does and does not gate.
     pub bound: Option<usize>,
     /// Per-edge capacity overrides keyed by edge name (the `name`
     /// argument of [`Ctx::data_stream`], e.g. `"dispatch"`,
@@ -59,12 +76,18 @@ pub struct RunCfg {
 
 impl RunCfg {
     /// Process-default configuration: the data-edge bound comes from
-    /// `SNET_STREAM_BOUND` (unset, empty or `0` = unbounded).
+    /// `SNET_STREAM_BOUND` — `n` bounds every data edge at `n`, `0`
+    /// restores unbounded edges, and unset (or unparsable) applies
+    /// [`DEFAULT_STREAM_BOUND`].
     pub fn from_env() -> RunCfg {
-        let bound = std::env::var("SNET_STREAM_BOUND")
+        let bound = match std::env::var("SNET_STREAM_BOUND")
             .ok()
             .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&n| n > 0);
+        {
+            Some(0) => None,
+            Some(n) => Some(n),
+            None => Some(DEFAULT_STREAM_BOUND),
+        };
         RunCfg {
             bound,
             ..RunCfg::default()

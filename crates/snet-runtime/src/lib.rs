@@ -42,6 +42,7 @@ pub mod parallel;
 pub mod path;
 pub mod plan;
 pub mod sched;
+pub mod serve;
 pub mod split;
 pub mod star;
 pub mod stream;
@@ -56,5 +57,8 @@ pub use parallel::{RouteCache, RouteClass};
 pub use path::CompPath;
 pub use plan::{compile, compile_cfg, fuse, fuse_default, Bindings, CompileError, Plan};
 pub use sched::{Executor, ThreadPerComponent, WorkStealingPool};
+pub use serve::{
+    run_open_loop, CallError, CallHandle, CallOpts, LoadReport, OpenLoopCfg, Response, Service,
+};
 pub use stream::{Dir, Msg, Observer};
 pub use trace::{TraceEntry, TraceLog};

@@ -254,6 +254,21 @@ pub mod keys {
     /// Counter (full key): net-global credit stalls across all
     /// bounded edges.
     pub const CREDIT_STALLS_GLOBAL: &str = "runtime/credit_stalls";
+    /// Counter (full key): requests accepted by a [`crate::serve`]
+    /// front door (tagged and injected into the network).
+    pub const SERVE_REQUESTS: &str = "serve/requests";
+    /// Counter (full key): requests completed with their full
+    /// response (every expected record correlated back).
+    pub const SERVE_COMPLETED: &str = "serve/completed";
+    /// Counter (full key): egress records that could not be
+    /// correlated to a pending request — a record that lost its
+    /// request-id tag (misrouted) or arrived after its caller gave up
+    /// (late). A healthy service holds this at zero apart from
+    /// deliberately abandoned calls.
+    pub const SERVE_STRAY: &str = "serve/stray";
+    /// Gauge (full key): high-water mark of concurrently in-flight
+    /// requests at the serve front door.
+    pub const SERVE_INFLIGHT: &str = "serve/inflight";
 }
 
 #[cfg(test)]

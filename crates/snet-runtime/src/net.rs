@@ -173,13 +173,26 @@ impl NetBuilder {
     /// records park when an edge fills instead of growing the queue.
     /// Sort records, merger-drained edges and the network's output
     /// edge stay exempt so deterministic merging cannot deadlock (see
-    /// [`crate::stream`] and [`crate::sched`]). Default: unbounded,
-    /// unless `SNET_STREAM_BOUND=n` is set process-wide. What happens
-    /// when the *ingress* edge is full is the
-    /// [`NetBuilder::overload`] policy.
+    /// [`crate::stream`] and [`crate::sched`]). Default:
+    /// [`crate::ctx::DEFAULT_STREAM_BOUND`], overridable process-wide
+    /// with `SNET_STREAM_BOUND` (`0` = unbounded; see
+    /// [`RunCfg::from_env`]). What happens when the *ingress* edge is
+    /// full is the [`NetBuilder::overload`] policy.
     pub fn bound(mut self, cap: usize) -> Self {
-        assert!(cap > 0, "bound requires a capacity of at least one");
+        assert!(
+            cap > 0,
+            "bound requires a capacity of at least one (use unbounded() to lift the default)"
+        );
         self.bound = Some(cap);
+        self
+    }
+
+    /// Removes the data-edge bound for this network: every edge grows
+    /// without backpressure, the seed's behaviour. The per-net
+    /// rendering of `SNET_STREAM_BOUND=0`, and the escape hatch from
+    /// the bounded default.
+    pub fn unbounded(mut self) -> Self {
+        self.bound = Some(0);
         self
     }
 
@@ -240,7 +253,14 @@ impl NetBuilder {
         let plan = crate::plan::compile_cfg(ast, env, &self.bindings, fuse)?;
         let executor = self.executor.unwrap_or_else(crate::sched::default_executor);
         let cfg = RunCfg {
-            bound: self.bound.or_else(|| RunCfg::from_env().bound),
+            // Per-net setting beats the process default; an explicit
+            // `unbounded()` is stored as `Some(0)` and resolves to no
+            // bound at all.
+            bound: match self.bound {
+                Some(0) => None,
+                Some(n) => Some(n),
+                None => RunCfg::from_env().bound,
+            },
             bound_overrides: self.bound_overrides,
             split_lanes: self.split_lanes,
             split_lanes_by_tag: self.split_lanes_by_tag,
@@ -261,12 +281,12 @@ impl NetBuilder {
 /// adversarial senders.
 const BOUNDARY_MEMO_CAP: usize = 4096;
 
-/// A running network: one global input stream, one global output
-/// stream (networks are SISO, like every component).
-pub struct Net {
-    input: Option<Sender>,
-    output: Receiver,
-    ctx: Arc<Ctx>,
+/// The ingress type gate of a running network: the signature plus the
+/// memoized acceptance checks. Extracted from [`Net`] so the serve
+/// layer ([`crate::serve`]) can take the gate with it when it
+/// decomposes a network into its ingress/egress halves — both front
+/// doors run the exact same acceptance logic.
+pub(crate) struct Boundary {
     sig: NetSig,
     /// Memoized boundary type checks: one `match_score` per distinct
     /// record type ever injected, instead of per record (the
@@ -278,14 +298,117 @@ pub struct Net {
     /// so unlike the dispatcher's post-boundary cache this memo would
     /// otherwise grow with adversarial label diversity; past the cap,
     /// novel types fall back to the uncached check.
-    boundary: RwLock<TypeMemo<bool>>,
+    memo: RwLock<TypeMemo<bool>>,
     /// Lock-free front line of the boundary memo: the most recently
     /// accepted shape id, `+1` (0 = none yet). Monomorphic streams —
     /// the overwhelmingly common case — check one relaxed atomic load
     /// per record instead of taking the memo's read lock. A stale
     /// value is harmless: acceptance is a pure function of the shape,
     /// and a mismatch just falls through to the memo.
-    boundary_hot: std::sync::atomic::AtomicU64,
+    hot: std::sync::atomic::AtomicU64,
+}
+
+impl Boundary {
+    pub(crate) fn new(sig: NetSig) -> Boundary {
+        Boundary {
+            sig,
+            memo: RwLock::new(TypeMemo::new()),
+            hot: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn sig(&self) -> &NetSig {
+        &self.sig
+    }
+
+    /// Whether a record may enter the network (some input variant is a
+    /// subtype of the record's type). Memoized per record shape.
+    pub(crate) fn accepts(&self, rec: &Record) -> bool {
+        use std::sync::atomic::Ordering;
+        let hot = u64::from(rec.shape().id()) + 1;
+        if self.hot.load(Ordering::Relaxed) == hot {
+            // The stream's steady-state type: no lock at all.
+            return true;
+        }
+        // Two statements on purpose: the read guard must drop before
+        // the miss path takes the write lock (a `match` on the locked
+        // expression would hold the read guard across both arms).
+        let cached = self.memo.read().get(rec);
+        let accepted = cached.unwrap_or_else(|| {
+            let mut memo = self.memo.write();
+            if memo.len() < BOUNDARY_MEMO_CAP {
+                memo.get_or_insert_with(rec, |rt| self.sig.match_score(rt).is_some())
+            } else {
+                // Memo saturated (adversarially diverse label sets):
+                // compute without caching.
+                drop(memo);
+                self.sig.match_score(&rec.record_type()).is_some()
+            }
+        });
+        if accepted {
+            self.hot.store(hot, Ordering::Relaxed);
+        }
+        accepted
+    }
+
+    /// The rejection error for a record that failed [`Boundary::accepts`]
+    /// (error path only: rebuilds the type strings for the message).
+    pub(crate) fn mismatch(&self, rec: &Record) -> SendRejected {
+        SendRejected::TypeMismatch {
+            record_type: rec.record_type().to_string(),
+            input_type: self.sig.input_type().to_string(),
+        }
+    }
+}
+
+/// Publishes one record to an ingress edge under an overload policy:
+/// the unbounded path is the seed's plain send; on a bounded edge the
+/// policy decides between parking, shedding and a deadline. Shared by
+/// [`Net::send`] and the serve layer's ingress ([`crate::serve`]).
+pub(crate) fn send_policy(
+    tx: &Sender,
+    rec: Record,
+    policy: OverloadPolicy,
+) -> Result<(), SendRejected> {
+    if !tx.is_bounded() {
+        return tx.send(Msg::Rec(rec)).map_err(|_| SendRejected::Closed);
+    }
+    match policy {
+        OverloadPolicy::Block => tx.feed_blocking(Msg::Rec(rec), None).map_err(|e| match e {
+            // No deadline: `Full` is unreachable.
+            TryFeedError::Full(_) | TryFeedError::Disconnected(_) => SendRejected::Closed,
+        }),
+        OverloadPolicy::Shed => tx.try_feed(Msg::Rec(rec)).map_err(|e| match e {
+            TryFeedError::Full(_) => SendRejected::Overloaded,
+            TryFeedError::Disconnected(_) => SendRejected::Closed,
+        }),
+        OverloadPolicy::Timeout(d) => tx
+            .feed_blocking(Msg::Rec(rec), Some(Instant::now() + d))
+            .map_err(|e| match e {
+                TryFeedError::Full(_) => SendRejected::Timeout,
+                TryFeedError::Disconnected(_) => SendRejected::Closed,
+            }),
+    }
+}
+
+/// The pieces of a running network the serve layer builds on: the
+/// ingress sender, the egress receiver, the shared context and the
+/// boundary type gate (see [`Net::into_serve_parts`]).
+pub(crate) struct ServeParts {
+    pub(crate) input: Sender,
+    pub(crate) output: Receiver,
+    pub(crate) ctx: Arc<Ctx>,
+    pub(crate) boundary: Boundary,
+    pub(crate) overload: OverloadPolicy,
+}
+
+/// A running network: one global input stream, one global output
+/// stream (networks are SISO, like every component).
+pub struct Net {
+    input: Option<Sender>,
+    output: Receiver,
+    ctx: Arc<Ctx>,
+    boundary: Boundary,
     /// What [`Net::send`] does when the bounded ingress edge is full.
     overload: OverloadPolicy,
 }
@@ -353,26 +476,43 @@ impl Net {
             input: Some(tx),
             output,
             ctx,
-            sig: plan.sig,
-            boundary: RwLock::new(TypeMemo::new()),
-            boundary_hot: std::sync::atomic::AtomicU64::new(0),
+            boundary: Boundary::new(plan.sig),
             overload,
         }
     }
 
     /// The network's inferred input type.
     pub fn input_type(&self) -> MultiType {
-        self.sig.input_type()
+        self.boundary.sig().input_type()
     }
 
     /// The network's inferred output type.
     pub fn output_type(&self) -> MultiType {
-        self.sig.output_type()
+        self.boundary.sig().output_type()
     }
 
     /// The network's full signature.
     pub fn sig(&self) -> &NetSig {
-        &self.sig
+        self.boundary.sig()
+    }
+
+    /// Decomposes the running network into the parts the serve layer
+    /// needs — the ingress sender, the egress receiver, the context
+    /// and the boundary gate. Crate-internal: only [`crate::serve`]
+    /// reassembles these into a request/response front door. Panics if
+    /// the input was already closed.
+    pub(crate) fn into_serve_parts(mut self) -> ServeParts {
+        let input = self
+            .input
+            .take()
+            .expect("cannot serve a network whose input is closed");
+        ServeParts {
+            input,
+            output: self.output,
+            ctx: self.ctx,
+            boundary: self.boundary,
+            overload: self.overload,
+        }
     }
 
     /// Injects a record. Fails when the record does not match any
@@ -380,66 +520,14 @@ impl Net {
     /// surfaced synchronously at the boundary) or when the input was
     /// already closed.
     pub fn send(&self, rec: Record) -> Result<(), SendRejected> {
-        use std::sync::atomic::Ordering;
-        let hot = u64::from(rec.shape().id()) + 1;
-        let accepted = if self.boundary_hot.load(Ordering::Relaxed) == hot {
-            // The stream's steady-state type: no lock at all.
-            true
-        } else {
-            // Two statements on purpose: the read guard must drop
-            // before the miss path takes the write lock (a `match` on
-            // the locked expression would hold the read guard across
-            // both arms).
-            let cached = self.boundary.read().get(&rec);
-            let accepted = cached.unwrap_or_else(|| {
-                let mut memo = self.boundary.write();
-                if memo.len() < BOUNDARY_MEMO_CAP {
-                    memo.get_or_insert_with(&rec, |rt| self.sig.match_score(rt).is_some())
-                } else {
-                    // Memo saturated (adversarially diverse label
-                    // sets): compute without caching.
-                    drop(memo);
-                    self.sig.match_score(&rec.record_type()).is_some()
-                }
-            });
-            if accepted {
-                self.boundary_hot.store(hot, Ordering::Relaxed);
-            }
-            accepted
-        };
-        if !accepted {
-            // Error path only: rebuild the type for the message.
-            return Err(SendRejected::TypeMismatch {
-                record_type: rec.record_type().to_string(),
-                input_type: self.input_type().to_string(),
-            });
+        if !self.boundary.accepts(&rec) {
+            return Err(self.boundary.mismatch(&rec));
         }
         let tx = match &self.input {
             Some(tx) => tx,
             None => return Err(SendRejected::Closed),
         };
-        if !tx.is_bounded() {
-            // Unbounded ingress (the default): the seed's send path.
-            return tx.send(Msg::Rec(rec)).map_err(|_| SendRejected::Closed);
-        }
-        match self.overload {
-            OverloadPolicy::Block => {
-                tx.feed_blocking(Msg::Rec(rec), None).map_err(|e| match e {
-                    // No deadline: `Full` is unreachable.
-                    TryFeedError::Full(_) | TryFeedError::Disconnected(_) => SendRejected::Closed,
-                })
-            }
-            OverloadPolicy::Shed => tx.try_feed(Msg::Rec(rec)).map_err(|e| match e {
-                TryFeedError::Full(_) => SendRejected::Overloaded,
-                TryFeedError::Disconnected(_) => SendRejected::Closed,
-            }),
-            OverloadPolicy::Timeout(d) => tx
-                .feed_blocking(Msg::Rec(rec), Some(Instant::now() + d))
-                .map_err(|e| match e {
-                    TryFeedError::Full(_) => SendRejected::Timeout,
-                    TryFeedError::Disconnected(_) => SendRejected::Closed,
-                }),
-        }
+        send_policy(tx, rec, self.overload)
     }
 
     /// Closes the input stream; the network will drain and terminate.
@@ -505,8 +593,8 @@ impl fmt::Debug for Net {
             } else {
                 "closed"
             },
-            self.sig.input_type(),
-            self.sig.output_type()
+            self.input_type(),
+            self.output_type()
         )
     }
 }

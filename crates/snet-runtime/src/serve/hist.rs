@@ -1,0 +1,260 @@
+//! Log-linear latency histogram (the HDR-histogram technique).
+//!
+//! The open-loop harness records one latency sample per request at
+//! rates where storing raw samples would dominate the measurement.
+//! The classic fix is a **log-linear** bucket layout: exact buckets up
+//! to [`SUB_BUCKETS`], then per power of two a linear run of
+//! `SUB_BUCKETS / 2` buckets, so every recorded value lands in a
+//! bucket whose width is at most `value / (SUB_BUCKETS / 2)` — a fixed
+//! relative error (< 1 % here) across the full `u64` range, with O(1)
+//! record and a few KB of memory regardless of sample count.
+//!
+//! Values are unitless; the serve harness records **nanoseconds**.
+
+/// Exact buckets below this value; also fixes the relative precision
+/// of the logarithmic half (width ≤ value / (SUB_BUCKETS/2), i.e.
+/// < 1 % at 256).
+const SUB_BUCKETS: u64 = 256;
+const SUB_BITS: u32 = SUB_BUCKETS.trailing_zeros(); // 8
+/// Buckets per power-of-two group past the linear region.
+const GROUP: u64 = SUB_BUCKETS / 2;
+/// Highest shift [`index`] can produce for a `u64` value.
+const MAX_SHIFT: u64 = 64 - SUB_BITS as u64; // 56
+const BUCKETS: usize = (SUB_BUCKETS + MAX_SHIFT * GROUP) as usize;
+
+/// Bucket index of a value (see module docs for the layout).
+fn index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    // Scale v down so it falls in [GROUP, SUB_BUCKETS): the shift
+    // identifies the power-of-two group, the scaled value the linear
+    // sub-bucket within it.
+    let shift = msb - (SUB_BITS - 1);
+    let sub = v >> shift;
+    (SUB_BUCKETS + (u64::from(shift) - 1) * GROUP + (sub - GROUP)) as usize
+}
+
+/// Representative value of a bucket (midpoint of its range).
+fn value_of(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUB_BUCKETS {
+        return idx;
+    }
+    let shift = (idx - SUB_BUCKETS) / GROUP + 1;
+    let sub = (idx - SUB_BUCKETS) % GROUP + GROUP;
+    let lo = sub << shift;
+    let width = 1u64 << shift;
+    lo + width / 2
+}
+
+/// A fixed-memory latency recorder with bounded relative error.
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[index(v)] += 1;
+        self.total += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact maximum recorded sample (not bucket-quantized).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact minimum recorded sample; 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Mean of the recorded samples (exact, from the running sum).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]` (e.g. `0.999`), quantized to
+    /// the bucket's representative value; 0 when empty. The answer is
+    /// within < 1 % of the true sample quantile (see module docs).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the requested quantile, 1-based; ceil so q = 1.0
+        // lands on the last sample.
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Never report beyond the observed extremes.
+                return value_of(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..SUB_BUCKETS {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.count(), SUB_BUCKETS);
+        assert_eq!(h.max(), SUB_BUCKETS - 1);
+        // Every small value maps to its own bucket.
+        for v in 0..SUB_BUCKETS {
+            assert_eq!(index(v), v as usize);
+            assert_eq!(value_of(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // A bucket's representative differs from any value mapped into
+        // it by less than value / GROUP.
+        for &v in &[
+            300u64,
+            1_000,
+            65_536,
+            1_000_000,
+            123_456_789,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let rep = value_of(index(v));
+            let err = rep.abs_diff(v) as f64;
+            assert!(
+                err <= v as f64 / GROUP as f64,
+                "value {v}: representative {rep}, err {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn index_is_monotone_across_group_boundaries() {
+        let mut values: Vec<u64> = Vec::new();
+        for msb in 0..63 {
+            values.extend([
+                (1u64 << msb).saturating_sub(1),
+                1u64 << msb,
+                (1u64 << msb) + 1,
+            ]);
+        }
+        values.sort_unstable();
+        let mut last = 0;
+        for v in values {
+            let i = index(v);
+            assert!(i >= last, "index regressed at {v}");
+            assert!(i < BUCKETS);
+            last = i;
+        }
+    }
+
+    #[test]
+    fn quantiles_of_uniform_samples() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v * 1_000); // 1ms..10s in µs-ish units
+        }
+        let p50 = h.quantile(0.50);
+        let p99 = h.quantile(0.99);
+        let p999 = h.quantile(0.999);
+        assert!(
+            (p50 as f64 - 5_000_000.0).abs() / 5_000_000.0 < 0.02,
+            "{p50}"
+        );
+        assert!(
+            (p99 as f64 - 9_900_000.0).abs() / 9_900_000.0 < 0.02,
+            "{p99}"
+        );
+        assert!(
+            (p999 as f64 - 9_990_000.0).abs() / 9_990_000.0 < 0.02,
+            "{p999}"
+        );
+        assert!(p50 <= p99 && p99 <= p999);
+        assert_eq!(h.quantile(1.0), h.max());
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 10);
+        assert_eq!(a.max(), 1_000_000);
+        assert!(a.mean() > 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_quiet() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

@@ -1,0 +1,499 @@
+//! The request/response front door: [`Service`], [`CallHandle`] and
+//! the demultiplexer that routes net output back to callers.
+
+use crate::metrics::{keys, Metrics};
+use crate::net::{send_policy, Boundary, Net, OverloadPolicy, SendRejected, ServeParts};
+use crate::stream::{Msg, Receiver, Sender};
+use snet_types::{Label, Record};
+use std::collections::HashMap;
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Waker};
+use std::time::Instant;
+
+/// The reserved request-id tag. The leading `#` puts it outside the
+/// identifier alphabet of the `.snet` language (`[A-Za-z0-9_]+`), so
+/// no user program can name it: it cannot appear in a box signature
+/// (so flow inheritance always splits it off before the box function
+/// runs and re-attaches it on every emit), in a filter expression, or
+/// in a type annotation. At the Rust surface, [`Service::call`]
+/// rejects records that already carry any `#rid` label, and the demux
+/// strips the tag before a response reaches the caller — user code can
+/// neither forge nor observe it.
+pub const RESERVED_RID: &str = "#rid";
+
+/// Why a call failed — at the ingress edge (returned synchronously by
+/// [`Service::call`]) or on the completion side (resolved through the
+/// [`CallHandle`]).
+#[derive(Debug)]
+pub enum CallError {
+    /// The ingress edge rejected the record: type mismatch, shed under
+    /// [`OverloadPolicy::Shed`], deadline under
+    /// [`OverloadPolicy::Timeout`], or closed input.
+    Rejected(SendRejected),
+    /// The record already carries a [`RESERVED_RID`] label; accepting
+    /// it would let a caller forge (or collide with) another request's
+    /// correlation id.
+    ReservedTag,
+    /// The service shut down (net output reached end-of-stream) before
+    /// this request completed.
+    ServiceStopped,
+    /// [`CallHandle::wait_deadline`] gave up before the response
+    /// arrived; the request was abandoned (late records count as
+    /// stray).
+    Deadline,
+}
+
+impl fmt::Display for CallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CallError::Rejected(e) => write!(f, "ingress rejected request: {e}"),
+            CallError::ReservedTag => {
+                write!(f, "record carries the reserved {RESERVED_RID} label")
+            }
+            CallError::ServiceStopped => write!(f, "service stopped before the request completed"),
+            CallError::Deadline => write!(f, "deadline elapsed before the request completed"),
+        }
+    }
+}
+
+impl std::error::Error for CallError {}
+
+/// A completed request: the response records (reserved tag already
+/// stripped, net emission order) plus the demux-side completion
+/// timestamp — latency measured against it excludes the caller's own
+/// wakeup delay, which matters when handles are harvested lazily.
+#[derive(Debug)]
+pub struct Response {
+    pub records: Vec<Record>,
+    pub completed_at: Instant,
+}
+
+/// Per-request completion state, owned jointly by the caller's
+/// [`CallHandle`] and the demux thread. Lock order: the pending map's
+/// lock is never taken while a slot lock is held.
+struct SlotState {
+    /// Records collected so far (response order = net emission order).
+    got: Vec<Record>,
+    /// How many records complete the request.
+    expect: usize,
+    /// Set exactly once: the terminal outcome.
+    done: Option<Result<(), CallError>>,
+    /// When the final record arrived (for latency measurement that
+    /// excludes the caller's own wakeup delay).
+    completed_at: Option<Instant>,
+    /// Caller parked via the `Future` impl, if any.
+    waker: Option<Waker>,
+}
+
+struct Slot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+impl Slot {
+    fn new(expect: usize) -> Arc<Slot> {
+        Arc::new(Slot {
+            state: Mutex::new(SlotState {
+                got: Vec::new(),
+                expect,
+                done: None,
+                completed_at: None,
+                waker: None,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Marks the slot finished and wakes both kinds of waiters. Must
+    /// be called with no other slot/pending lock held.
+    fn finish(&self, outcome: Result<(), CallError>) {
+        let mut st = self.state.lock().unwrap();
+        if st.done.is_none() {
+            st.done = Some(outcome);
+            st.completed_at = Some(Instant::now());
+            if let Some(w) = st.waker.take() {
+                drop(st);
+                self.cv.notify_all();
+                w.wake();
+                return;
+            }
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+}
+
+/// Everything the demux thread and the call handles share.
+struct Inner {
+    /// Ingress sender; `None` after [`Service::shutdown`] began. Calls
+    /// clone the sender out under this lock (an `Arc` bump) so the
+    /// potentially-blocking send itself happens lockless.
+    input: Mutex<Option<Sender>>,
+    /// In-flight requests by rid. A request leaves the map when it
+    /// completes, is abandoned at a deadline, or fails at shutdown.
+    pending: Mutex<HashMap<u64, Arc<Slot>>>,
+    boundary: Boundary,
+    overload: OverloadPolicy,
+    metrics: Arc<Metrics>,
+    next_rid: AtomicU64,
+    inflight: AtomicU64,
+}
+
+impl Inner {
+    /// Removes a request from the pending map (deadline abandonment);
+    /// returns whether it was still there.
+    fn abandon(&self, rid: u64) -> bool {
+        let removed = self.pending.lock().unwrap().remove(&rid).is_some();
+        if removed {
+            self.inflight.fetch_sub(1, Ordering::Relaxed);
+        }
+        removed
+    }
+}
+
+/// Per-call options for [`Service::call_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct CallOpts {
+    /// How many output records complete the request (most nets answer
+    /// a request with exactly one record; a splitter workload may emit
+    /// several).
+    pub expect: usize,
+    /// Ingress overload policy for this call; `None` inherits the
+    /// net's policy (`Net::spawn_full`, default `Block`).
+    pub policy: Option<OverloadPolicy>,
+}
+
+impl Default for CallOpts {
+    fn default() -> CallOpts {
+        CallOpts {
+            expect: 1,
+            policy: None,
+        }
+    }
+}
+
+/// A request/response session over one running network.
+///
+/// `Service` turns the SISO stream pair of a [`Net`] into a
+/// many-caller front door: each [`Service::call`] stamps the record
+/// with a fresh [`RESERVED_RID`] tag, flow inheritance carries the tag
+/// through every box and filter untouched, and a demux thread strips
+/// it off the output edge to complete the caller's [`CallHandle`].
+/// Ingress backpressure (PR 6's bounded edges) surfaces per call via
+/// [`OverloadPolicy`].
+pub struct Service {
+    inner: Arc<Inner>,
+    /// Demux thread handle; taken by [`Service::shutdown`].
+    demux: Option<std::thread::JoinHandle<()>>,
+    ctx: Arc<crate::ctx::Ctx>,
+}
+
+impl Service {
+    /// Starts serving requests over `net`. The net's output edge is
+    /// consumed by the service's demux thread from now on.
+    pub fn start(net: Net) -> Service {
+        let ServeParts {
+            input,
+            output,
+            ctx,
+            boundary,
+            overload,
+        } = net.into_serve_parts();
+        let inner = Arc::new(Inner {
+            input: Mutex::new(Some(input)),
+            pending: Mutex::new(HashMap::new()),
+            boundary,
+            overload,
+            metrics: Arc::clone(&ctx.metrics),
+            next_rid: AtomicU64::new(1),
+            inflight: AtomicU64::new(0),
+        });
+        let demux = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("snet-serve-demux".into())
+                .spawn(move || demux_loop(&inner, &output))
+                .expect("spawn demux thread")
+        };
+        Service {
+            inner,
+            demux: Some(demux),
+            ctx,
+        }
+    }
+
+    /// Issues a request expecting a single response record, under the
+    /// net's ingress policy. See [`Service::call_with`].
+    pub fn call(&self, rec: Record) -> Result<CallHandle, CallError> {
+        self.call_with(rec, CallOpts::default())
+    }
+
+    /// Issues a request: boundary-checks the record, stamps it with a
+    /// fresh request id and publishes it to the ingress edge under the
+    /// overload policy. Ingress rejections (mismatch, shed, ingress
+    /// deadline, closed) surface synchronously; the returned handle
+    /// resolves when `opts.expect` response records have arrived.
+    pub fn call_with(&self, mut rec: Record, opts: CallOpts) -> Result<CallHandle, CallError> {
+        if rec.has(Label::tag(RESERVED_RID)) || rec.has(Label::field(RESERVED_RID)) {
+            return Err(CallError::ReservedTag);
+        }
+        if !self.inner.boundary.accepts(&rec) {
+            return Err(CallError::Rejected(self.inner.boundary.mismatch(&rec)));
+        }
+        let tx = match &*self.inner.input.lock().unwrap() {
+            Some(tx) => tx.clone(),
+            None => return Err(CallError::Rejected(SendRejected::Closed)),
+        };
+        let rid = self.inner.next_rid.fetch_add(1, Ordering::Relaxed);
+        rec.set_tag(RESERVED_RID, rid as i64);
+        let slot = Slot::new(opts.expect.max(1));
+        // Register before sending: on a fast net the response can
+        // reach the demux before `call_with` returns.
+        self.inner
+            .pending
+            .lock()
+            .unwrap()
+            .insert(rid, Arc::clone(&slot));
+        let inflight = self.inner.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.inner
+            .metrics
+            .handle(keys::SERVE_INFLIGHT)
+            .max(inflight);
+        let policy = opts.policy.unwrap_or(self.inner.overload);
+        if let Err(e) = send_policy(&tx, rec, policy) {
+            self.inner.abandon(rid);
+            return Err(CallError::Rejected(e));
+        }
+        self.inner.metrics.handle(keys::SERVE_REQUESTS).inc(1);
+        Ok(CallHandle {
+            rid,
+            issued_at: Instant::now(),
+            slot,
+            inner: Arc::clone(&self.inner),
+        })
+    }
+
+    /// The service's metrics registry (shared with the underlying
+    /// net's components).
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.inner.metrics
+    }
+
+    /// Requests currently in flight (issued, not yet completed or
+    /// abandoned).
+    pub fn inflight(&self) -> u64 {
+        self.inner.inflight.load(Ordering::Relaxed)
+    }
+
+    /// The executor the underlying network runs on.
+    pub fn executor(&self) -> &Arc<dyn crate::sched::Executor> {
+        self.ctx.executor()
+    }
+
+    /// Stops accepting requests, drains the network and joins every
+    /// component (propagating component panics). Requests still in
+    /// flight complete normally if the net answers them during the
+    /// drain; any left unanswered fail with
+    /// [`CallError::ServiceStopped`].
+    pub fn shutdown(mut self) {
+        self.begin_shutdown();
+        if let Some(h) = self.demux.take() {
+            let _ = h.join();
+        }
+        self.ctx.join_all();
+    }
+
+    /// Drops the ingress sender so the net sees end-of-stream once
+    /// in-flight `call_with` clones finish.
+    fn begin_shutdown(&self) {
+        self.inner.input.lock().unwrap().take();
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        // Best effort: close ingress so the net and demux wind down on
+        // their own. Explicit `shutdown()` joins and propagates panics;
+        // a plain drop must not block the caller.
+        self.begin_shutdown();
+    }
+}
+
+impl fmt::Debug for Service {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Service {{ sig: {} -> {}, inflight: {} }}",
+            self.inner.boundary.sig().input_type(),
+            self.inner.boundary.sig().output_type(),
+            self.inflight()
+        )
+    }
+}
+
+/// The demux loop: pops the net's output edge, strips the reserved
+/// tag and completes the owning request's slot. Records with no (or an
+/// unknown) request id — possible only if a user program sent records
+/// into the service's net by other means — are dropped and counted
+/// under `serve/stray`.
+fn demux_loop(inner: &Inner, output: &Receiver) {
+    let completed = inner.metrics.handle(keys::SERVE_COMPLETED);
+    let stray = inner.metrics.handle(keys::SERVE_STRAY);
+    loop {
+        match output.recv() {
+            Ok(Msg::Rec(mut rec)) => {
+                let rid = match rec.tag(RESERVED_RID) {
+                    Some(v) => v as u64,
+                    None => {
+                        stray.inc(1);
+                        continue;
+                    }
+                };
+                rec.remove(Label::tag(RESERVED_RID));
+                let slot = match inner.pending.lock().unwrap().get(&rid) {
+                    Some(s) => Arc::clone(s),
+                    None => {
+                        // Completed, abandoned at a deadline, or forged
+                        // upstream: nobody is waiting.
+                        stray.inc(1);
+                        continue;
+                    }
+                };
+                let finished = {
+                    let mut st = slot.state.lock().unwrap();
+                    st.got.push(rec);
+                    st.got.len() >= st.expect
+                };
+                if finished {
+                    // Remove-then-finish, honouring the pending→slot
+                    // lock order.
+                    if inner.pending.lock().unwrap().remove(&rid).is_some() {
+                        inner.inflight.fetch_sub(1, Ordering::Relaxed);
+                        completed.inc(1);
+                        slot.finish(Ok(()));
+                    }
+                }
+            }
+            // Sort records are net-internal; a well-formed net never
+            // leaks them, skip defensively (same as `Net::recv`).
+            Ok(Msg::Sort { .. }) => continue,
+            Err(_) => break,
+        }
+    }
+    // End-of-stream: every request still pending can never complete.
+    let stranded: Vec<Arc<Slot>> = {
+        let mut pending = inner.pending.lock().unwrap();
+        let slots = pending.values().map(Arc::clone).collect();
+        pending.clear();
+        slots
+    };
+    for slot in &stranded {
+        inner.inflight.fetch_sub(1, Ordering::Relaxed);
+        slot.finish(Err(CallError::ServiceStopped));
+    }
+}
+
+/// A pending request: a [`Future`] resolving to the response records,
+/// with blocking companions ([`CallHandle::wait`],
+/// [`CallHandle::wait_deadline`]) for thread-based callers.
+pub struct CallHandle {
+    rid: u64,
+    issued_at: Instant,
+    slot: Arc<Slot>,
+    inner: Arc<Inner>,
+}
+
+impl CallHandle {
+    /// The request id assigned to this call (diagnostic only — the tag
+    /// itself never appears in responses).
+    pub fn rid(&self) -> u64 {
+        self.rid
+    }
+
+    /// When the request entered the ingress edge.
+    pub fn issued_at(&self) -> Instant {
+        self.issued_at
+    }
+
+    /// Blocks until the response is complete.
+    pub fn wait(self) -> Result<Response, CallError> {
+        let mut st = self.slot.state.lock().unwrap();
+        while st.done.is_none() {
+            st = self.slot.cv.wait(st).unwrap();
+        }
+        Self::take(&mut st)
+    }
+
+    /// Like [`CallHandle::wait`] with a deadline: past it the request
+    /// is abandoned ([`CallError::Deadline`]) and any late response
+    /// records count as stray.
+    pub fn wait_deadline(self, deadline: Instant) -> Result<Response, CallError> {
+        {
+            let mut st = self.slot.state.lock().unwrap();
+            while st.done.is_none() {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _timeout) = self.slot.cv.wait_timeout(st, deadline - now).unwrap();
+                st = guard;
+            }
+            if st.done.is_some() {
+                return Self::take(&mut st);
+            }
+        }
+        // Timed out: withdraw from the pending map, then re-check —
+        // the demux may have completed the request in the window
+        // between the wait and the removal.
+        self.inner.abandon(self.rid);
+        let mut st = self.slot.state.lock().unwrap();
+        match st.done {
+            Some(_) => Self::take(&mut st),
+            None => Err(CallError::Deadline),
+        }
+    }
+
+    /// Completion timestamp (demux-side, excludes caller wakeup
+    /// latency); `None` until the request completes.
+    pub fn completed_at(&self) -> Option<Instant> {
+        self.slot.state.lock().unwrap().completed_at
+    }
+
+    fn take(st: &mut SlotState) -> Result<Response, CallError> {
+        match st.done.as_ref().expect("call outcome set") {
+            Ok(()) => Ok(Response {
+                records: std::mem::take(&mut st.got),
+                completed_at: st.completed_at.unwrap_or_else(Instant::now),
+            }),
+            Err(CallError::ServiceStopped) => Err(CallError::ServiceStopped),
+            Err(CallError::Deadline) => Err(CallError::Deadline),
+            Err(CallError::ReservedTag) => Err(CallError::ReservedTag),
+            // `Rejected` never reaches a slot (it surfaces from
+            // `call_with` synchronously).
+            Err(CallError::Rejected(_)) => Err(CallError::ServiceStopped),
+        }
+    }
+}
+
+impl Future for CallHandle {
+    type Output = Result<Response, CallError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut st = self.slot.state.lock().unwrap();
+        if st.done.is_some() {
+            return Poll::Ready(Self::take(&mut st));
+        }
+        st.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+impl fmt::Debug for CallHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CallHandle {{ rid: {} }}", self.rid)
+    }
+}

@@ -242,9 +242,13 @@ fn det_output_identical_bounded_vs_unbounded_across_executors() {
         .bind("sink", |r, e| e.emit(r.clone()))
         .executor(exec)
         .fuse(fuse);
-        if let Some(n) = bound {
-            b = b.bound(n);
-        }
+        // `None` must be an explicit opt-out: since PR 7 the process
+        // default is bounded (DEFAULT_STREAM_BOUND), so omitting
+        // `.bound()` would no longer give this leg unbounded edges.
+        b = match bound {
+            Some(n) => b.bound(n),
+            None => b.unbounded(),
+        };
         b.build("main").unwrap()
     };
     let drive = |net: Net| -> Vec<i64> {

@@ -1,0 +1,509 @@
+//! The serve layer's correlation contract, across the executor ×
+//! fusion matrix.
+//!
+//! What PR 7's front door promises: every response reaches exactly
+//! the caller whose request produced it — out of order across a
+//! nondet merge, several records per request, a hundred-plus
+//! concurrent callers on one net — and the reserved `#rid` tag that
+//! makes it work is neither forgeable nor observable from outside.
+//! Ingress overload (`Shed`/`Timeout`) surfaces as typed errors at
+//! the `Service::call` boundary, and deterministic combinators keep
+//! their byte-identity guarantee behind the front door.
+
+use snet_runtime::{
+    CallError, CallOpts, Executor, Net, NetBuilder, OverloadPolicy, SendRejected, Service,
+    ThreadPerComponent, WorkStealingPool,
+};
+use snet_types::{Label, Record};
+use std::future::Future;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The {threads, pool(2)} × {fused, unfused} matrix every correlation
+/// scenario runs under. Executors are built fresh per leg (a pool is
+/// tied to the nets spawned on it).
+fn matrix() -> Vec<(String, Arc<dyn Executor>, bool)> {
+    let mut legs: Vec<(String, Arc<dyn Executor>, bool)> = Vec::new();
+    for fuse in [true, false] {
+        legs.push((
+            format!("threads/fuse={fuse}"),
+            Arc::new(ThreadPerComponent) as Arc<dyn Executor>,
+            fuse,
+        ));
+        legs.push((
+            format!("pool(2)/fuse={fuse}"),
+            Arc::new(WorkStealingPool::new(2)) as Arc<dyn Executor>,
+            fuse,
+        ));
+    }
+    legs
+}
+
+/// `slow (a) -> (r)` sleeps; `fast (b) -> (r)` doesn't. Type-routed
+/// nondet parallel: completions cross each other on the output edge.
+fn slow_fast_net(exec: Arc<dyn Executor>, fuse: bool) -> Net {
+    NetBuilder::from_source(
+        "box slow (a) -> (r);
+         box fast (b) -> (r);
+         net main = slow || fast;",
+    )
+    .unwrap()
+    .bind("slow", |rec, em| {
+        std::thread::sleep(Duration::from_millis(60));
+        let a = rec.field("a").unwrap().as_int().unwrap();
+        em.emit(Record::build().field("r", a).finish());
+    })
+    .bind("fast", |rec, em| {
+        let b = rec.field("b").unwrap().as_int().unwrap();
+        em.emit(Record::build().field("r", b).finish());
+    })
+    .executor(exec)
+    .fuse(fuse)
+    .build("main")
+    .unwrap()
+}
+
+#[test]
+fn out_of_order_completions_across_nondet_merge() {
+    for (leg, exec, fuse) in matrix() {
+        let svc = Service::start(slow_fast_net(exec, fuse));
+        let slow = svc
+            .call(Record::build().field("a", 111i64).finish())
+            .unwrap();
+        let fast = svc
+            .call(Record::build().field("b", 222i64).finish())
+            .unwrap();
+        // The fast response overtakes the slow one on the shared
+        // output edge; each must still land in its own slot.
+        let fast_resp = fast.wait().unwrap();
+        let slow_resp = slow.wait().unwrap();
+        assert_eq!(
+            fast_resp.records[0].field("r").unwrap().as_int(),
+            Some(222),
+            "{leg}: fast response must carry the fast request's payload"
+        );
+        assert_eq!(
+            slow_resp.records[0].field("r").unwrap().as_int(),
+            Some(111),
+            "{leg}: slow response must carry the slow request's payload"
+        );
+        assert!(
+            fast_resp.completed_at <= slow_resp.completed_at,
+            "{leg}: completions crossed on the wire"
+        );
+        svc.shutdown();
+    }
+}
+
+#[test]
+fn multi_record_responses_resolve_once_complete() {
+    for (leg, exec, fuse) in matrix() {
+        let net = NetBuilder::from_source(
+            "box fan (x) -> (y);
+             net main = fan;",
+        )
+        .unwrap()
+        .bind("fan", |rec, em| {
+            let x = rec.field("x").unwrap().as_int().unwrap();
+            for i in 0..3 {
+                em.emit(Record::build().field("y", x * 10 + i).finish());
+            }
+        })
+        .executor(exec)
+        .fuse(fuse)
+        .build("main")
+        .unwrap();
+        let svc = Service::start(net);
+        let handles: Vec<_> = (0..20i64)
+            .map(|x| {
+                svc.call_with(
+                    Record::build().field("x", x).finish(),
+                    CallOpts {
+                        expect: 3,
+                        policy: None,
+                    },
+                )
+                .unwrap()
+            })
+            .collect();
+        for (x, h) in handles.into_iter().enumerate() {
+            let resp = h.wait().unwrap();
+            let ys: Vec<i64> = resp
+                .records
+                .iter()
+                .map(|r| r.field("y").unwrap().as_int().unwrap())
+                .collect();
+            let x = x as i64;
+            assert_eq!(
+                ys,
+                vec![x * 10, x * 10 + 1, x * 10 + 2],
+                "{leg}: all three records of request {x}, in emission order"
+            );
+        }
+        svc.shutdown();
+    }
+}
+
+#[test]
+fn hundred_plus_concurrent_callers_each_get_their_own_response() {
+    for (leg, exec, fuse) in matrix() {
+        let net = NetBuilder::from_source(
+            "box echo (x) -> (x);
+             net main = echo;",
+        )
+        .unwrap()
+        .bind("echo", |rec, em| em.emit(rec.clone()))
+        .executor(exec)
+        .fuse(fuse)
+        .build("main")
+        .unwrap();
+        let svc = Service::start(net);
+        std::thread::scope(|s| {
+            let svc = &svc;
+            let callers: Vec<_> = (0..128i64)
+                .map(|k| {
+                    s.spawn(move || {
+                        let resp = svc
+                            .call(Record::build().field("x", k).finish())
+                            .unwrap()
+                            .wait()
+                            .unwrap();
+                        resp.records[0].field("x").unwrap().as_int().unwrap()
+                    })
+                })
+                .collect();
+            for (k, c) in callers.into_iter().enumerate() {
+                assert_eq!(
+                    c.join().unwrap(),
+                    k as i64,
+                    "{leg}: caller {k} got another caller's response"
+                );
+            }
+        });
+        svc.shutdown();
+    }
+}
+
+/// A net whose single box parks on a gate until released: ingress
+/// bound 1 fills deterministically, so `Shed` and `Timeout` rejections
+/// are observable at the call surface without racing the box.
+#[test]
+fn shed_and_timeout_surface_at_call() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let gate = Arc::new(AtomicBool::new(false));
+    let started = Arc::new(AtomicBool::new(false));
+    let (gate_box, started_box) = (Arc::clone(&gate), Arc::clone(&started));
+    let net = NetBuilder::from_source(
+        "box slow (x) -> (y);
+         net main = slow;",
+    )
+    .unwrap()
+    .bind("slow", move |rec, em| {
+        started_box.store(true, Ordering::Release);
+        while !gate_box.load(Ordering::Acquire) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let x = rec.field("x").unwrap().as_int().unwrap();
+        em.emit(Record::build().field("y", x).finish());
+    })
+    .bound_for("ingress", 1)
+    .build("main")
+    .unwrap();
+    let svc = Service::start(net);
+    let shed = CallOpts {
+        expect: 1,
+        policy: Some(OverloadPolicy::Shed),
+    };
+    // Fill deterministically: request A is popped by the box (popping
+    // returns the ingress credit) which then parks on the gate; once
+    // `started` is up the box cannot pop again, so request B occupies
+    // the capacity-1 ingress for good and request C must shed.
+    let mut accepted = Vec::new();
+    let a = svc
+        .call_with(Record::build().field("x", 0i64).finish(), shed)
+        .expect("A fits an empty ingress");
+    accepted.push((0i64, a));
+    while !started.load(Ordering::Acquire) {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let b = svc
+        .call_with(Record::build().field("x", 1i64).finish(), shed)
+        .expect("B fits: the box drained A before parking");
+    accepted.push((1i64, b));
+    match svc.call_with(Record::build().field("x", 2i64).finish(), shed) {
+        Err(CallError::Rejected(SendRejected::Overloaded)) => {}
+        other => panic!("expected shed on the full ingress, got {other:?}"),
+    }
+    // A timeout call against the still-full ingress gives up with the
+    // typed Timeout rejection.
+    let t0 = Instant::now();
+    match svc.call_with(
+        Record::build().field("x", 99i64).finish(),
+        CallOpts {
+            expect: 1,
+            policy: Some(OverloadPolicy::Timeout(Duration::from_millis(30))),
+        },
+    ) {
+        Err(CallError::Rejected(SendRejected::Timeout)) => {}
+        other => panic!("expected Timeout rejection, got {other:?}"),
+    }
+    assert!(
+        t0.elapsed() >= Duration::from_millis(25),
+        "timeout returned early"
+    );
+    // Release the box: everything accepted completes, correlated.
+    gate.store(true, std::sync::atomic::Ordering::Release);
+    for (i, h) in accepted {
+        let resp = h.wait().unwrap();
+        assert_eq!(resp.records[0].field("y").unwrap().as_int(), Some(i));
+    }
+    svc.shutdown();
+}
+
+/// Deterministic combinators behind the front door: per-request
+/// response sequences are byte-identical across every executor ×
+/// fusion leg, even with 8 callers racing.
+#[test]
+fn det_byte_identity_per_request_across_matrix() {
+    let run_leg = |exec: Arc<dyn Executor>, fuse: bool| -> Vec<Vec<i64>> {
+        let net = NetBuilder::from_source(
+            "box rep (x, <c>) -> (y);
+             box sink (y) -> (y);
+             net main = ((rep | rep) ! <k>) .. sink;",
+        )
+        .unwrap()
+        .bind("rep", |rec, em| {
+            let x = rec.field("x").unwrap().as_int().unwrap();
+            let c = rec.tag("c").unwrap();
+            for i in 0..c {
+                em.emit(Record::build().field("y", x * 10 + i).finish());
+            }
+        })
+        .bind("sink", |r, e| e.emit(r.clone()))
+        .executor(exec)
+        .fuse(fuse)
+        .build("main")
+        .unwrap();
+        let svc = Service::start(net);
+        const N: usize = 200;
+        let mut out: Vec<Vec<i64>> = vec![Vec::new(); N];
+        std::thread::scope(|s| {
+            let svc = &svc;
+            let threads: Vec<_> = (0..8usize)
+                .map(|t| {
+                    s.spawn(move || {
+                        let mut mine = Vec::new();
+                        let mut i = t;
+                        while i < N {
+                            let c = 1 + (i as i64) % 3;
+                            let h = svc
+                                .call_with(
+                                    Record::build()
+                                        .field("x", i as i64)
+                                        .tag("c", c)
+                                        .tag("k", (i as i64) % 5)
+                                        .finish(),
+                                    CallOpts {
+                                        expect: c as usize,
+                                        policy: None,
+                                    },
+                                )
+                                .unwrap();
+                            mine.push((i, h));
+                            i += 8;
+                        }
+                        mine.into_iter()
+                            .map(|(i, h)| {
+                                let ys = h
+                                    .wait()
+                                    .unwrap()
+                                    .records
+                                    .iter()
+                                    .map(|r| r.field("y").unwrap().as_int().unwrap())
+                                    .collect::<Vec<_>>();
+                                (i, ys)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for t in threads {
+                for (i, ys) in t.join().unwrap() {
+                    out[i] = ys;
+                }
+            }
+        });
+        svc.shutdown();
+        out
+    };
+
+    let reference = run_leg(Arc::new(ThreadPerComponent), true);
+    for (i, ys) in reference.iter().enumerate() {
+        let want: Vec<i64> = (0..1 + (i as i64) % 3)
+            .map(|j| (i as i64) * 10 + j)
+            .collect();
+        assert_eq!(ys, &want, "request {i}: det emission order");
+    }
+    for (leg, exec, fuse) in matrix() {
+        let got = run_leg(exec, fuse);
+        assert_eq!(
+            got, reference,
+            "{leg}: det byte-identity behind the front door"
+        );
+    }
+}
+
+/// 10k requests, 8 concurrent callers, zero lost or misrouted — the
+/// acceptance criterion as a test (closed-loop so it stays fast in
+/// CI; the open-loop variant lives in `serve_bench`).
+#[test]
+fn ten_thousand_requests_fully_correlated() {
+    let net = NetBuilder::from_source(
+        "box echo (x) -> (x);
+         net main = echo;",
+    )
+    .unwrap()
+    .bind("echo", |rec, em| em.emit(rec.clone()))
+    .build("main")
+    .unwrap();
+    let svc = Service::start(net);
+    const TOTAL: usize = 10_000;
+    std::thread::scope(|s| {
+        let svc = &svc;
+        let threads: Vec<_> = (0..8usize)
+            .map(|t| {
+                s.spawn(move || {
+                    let mut i = t;
+                    while i < TOTAL {
+                        let resp = svc
+                            .call(Record::build().field("x", i as i64).finish())
+                            .unwrap()
+                            .wait()
+                            .unwrap();
+                        assert_eq!(
+                            resp.records[0].field("x").unwrap().as_int(),
+                            Some(i as i64),
+                            "response {i} misrouted"
+                        );
+                        i += 8;
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+    });
+    let m = Arc::clone(svc.metrics());
+    svc.shutdown();
+    assert_eq!(m.get("serve/requests"), TOTAL as u64);
+    assert_eq!(m.get("serve/completed"), TOTAL as u64);
+    assert_eq!(m.get("serve/stray"), 0);
+}
+
+#[test]
+fn reserved_tag_cannot_be_forged_or_observed() {
+    let net = NetBuilder::from_source(
+        "box echo (x) -> (x);
+         net main = echo;",
+    )
+    .unwrap()
+    .bind("echo", |rec, em| {
+        // The box sees no reserved label: flow inheritance split it
+        // off before this closure ran.
+        assert!(
+            !rec.labels().any(|l| l.name().starts_with('#')),
+            "box must never observe a reserved label"
+        );
+        em.emit(rec.clone())
+    })
+    .build("main")
+    .unwrap();
+    let svc = Service::start(net);
+    // Forging: a record already carrying #rid (as tag or field) is
+    // rejected before it reaches the net.
+    let mut forged = Record::build().field("x", 1i64).finish();
+    forged.set_tag("#rid", 7);
+    assert!(matches!(svc.call(forged), Err(CallError::ReservedTag)));
+    // Type mismatches still surface as the boundary error, not a hang.
+    assert!(matches!(
+        svc.call(Record::build().field("nope", 1i64).finish()),
+        Err(CallError::Rejected(SendRejected::TypeMismatch { .. }))
+    ));
+    // Observing: the response carries no reserved label.
+    let resp = svc
+        .call(Record::build().field("x", 42i64).finish())
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert!(!resp.records[0].has(Label::tag("#rid")));
+    assert!(!resp.records[0].labels().any(|l| l.name().starts_with('#')));
+    svc.shutdown();
+}
+
+/// Requests the net never answers: a deadline abandons them with the
+/// typed error, and shutdown fails whatever is still pending.
+#[test]
+fn unanswered_requests_fail_typed_not_hang() {
+    let net = NetBuilder::from_source(
+        "box blackhole (x) -> (y);
+         net main = blackhole;",
+    )
+    .unwrap()
+    .bind("blackhole", |_rec, _em| {})
+    .build("main")
+    .unwrap();
+    let svc = Service::start(net);
+    let h = svc.call(Record::build().field("x", 1i64).finish()).unwrap();
+    match h.wait_deadline(Instant::now() + Duration::from_millis(50)) {
+        Err(CallError::Deadline) => {}
+        other => panic!("expected Deadline, got {other:?}"),
+    }
+    let pending = svc.call(Record::build().field("x", 2i64).finish()).unwrap();
+    let waiter = std::thread::spawn(move || pending.wait());
+    svc.shutdown();
+    match waiter.join().unwrap() {
+        Err(CallError::ServiceStopped) => {}
+        other => panic!("expected ServiceStopped, got {other:?}"),
+    }
+}
+
+/// The `CallHandle` future surface: polling resolves without a
+/// blocking wait (a minimal hand-rolled executor drives it).
+#[test]
+fn call_handle_is_a_future() {
+    use std::sync::mpsc;
+    use std::task::{Context, Poll, Wake, Waker};
+
+    struct Notify(mpsc::Sender<()>);
+    impl Wake for Notify {
+        fn wake(self: Arc<Self>) {
+            let _ = self.0.send(());
+        }
+    }
+
+    let net = NetBuilder::from_source(
+        "box echo (x) -> (x);
+         net main = echo;",
+    )
+    .unwrap()
+    .bind("echo", |rec, em| {
+        std::thread::sleep(Duration::from_millis(20));
+        em.emit(rec.clone())
+    })
+    .build("main")
+    .unwrap();
+    let svc = Service::start(net);
+    let mut h = Box::pin(svc.call(Record::build().field("x", 5i64).finish()).unwrap());
+    let (tx, rx) = mpsc::channel();
+    let waker = Waker::from(Arc::new(Notify(tx)));
+    let mut cx = Context::from_waker(&waker);
+    let resp = loop {
+        match h.as_mut().poll(&mut cx) {
+            Poll::Ready(r) => break r.unwrap(),
+            Poll::Pending => rx.recv_timeout(Duration::from_secs(5)).expect("woken"),
+        }
+    };
+    assert_eq!(resp.records[0].field("x").unwrap().as_int(), Some(5));
+    svc.shutdown();
+}
