@@ -16,13 +16,22 @@
 //!   zero-loss assertions plus a generous p99 sanity ceiling, no
 //!   artifact.
 //!
+//! `--chaos` (composable with either mode) enables seeded fault
+//! injection for the run: 1 % of records panic at a box boundary
+//! under a restart-then-skip policy (`SNET_CHAOS`/`SNET_FAULT_POLICY`
+//! override the defaults). The assertions shift accordingly: faulted
+//! requests must resolve as typed errors (and there must be some —
+//! otherwise injection never engaged), *unaffected* requests must
+//! still complete losslessly with a bounded p99, and
+//! `completed + faulted` must account for every request sent.
+//!
 //! The arrival schedule and latency bookkeeping live in
 //! `snet_runtime::serve` ([`run_open_loop`]); this binary only picks
 //! rates, formats JSON and enforces the assertions.
 
 use snet_bench::workloads::{sensor_workload, sudoku_workload, ServeWorkload};
 use snet_runtime::ctx::RunCfg;
-use snet_runtime::{run_open_loop, LoadReport, OpenLoopCfg, Service};
+use snet_runtime::{run_open_loop, CallError, LoadReport, OpenLoopCfg, Service};
 use std::time::{Duration, Instant};
 
 /// Closed-loop capacity probe: `callers` threads issue request/wait
@@ -40,8 +49,13 @@ fn calibrate(wl: &ServeWorkload, callers: usize, window: Duration) -> f64 {
                     let mut i = k;
                     while Instant::now() < deadline {
                         let h = svc.call((wl.make_req)(i)).expect("calibration call");
-                        h.wait().expect("calibration response");
-                        done += 1;
+                        match h.wait() {
+                            Ok(_) => done += 1,
+                            // Under --chaos a calibration request may
+                            // fault; it still counts as served work.
+                            Err(CallError::Faulted { .. }) => done += 1,
+                            Err(e) => panic!("calibration response: {e}"),
+                        }
                         i += callers;
                     }
                     done
@@ -113,7 +127,8 @@ fn json(rows: &[RunRow]) -> String {
             "    {{\n      \"name\": \"{}\",\n      \"rate_hz\": {:.1},\n      \
              \"calibrated_capacity_rps\": {:.1},\n      \"total\": {},\n      \
              \"warmup\": {},\n      \"callers\": {},\n      \"sent\": {},\n      \
-             \"completed\": {},\n      \"rejected\": {},\n      \"lost\": {},\n      \
+             \"completed\": {},\n      \"faulted\": {},\n      \"rejected\": {},\n      \
+             \"lost\": {},\n      \
              \"misrouted\": {},\n      \"sustained_rps\": {:.1},\n      \
              \"window_secs\": {:.3},\n      \"measured\": {},\n      \
              \"latency_ms\": {{ \"p50\": {:.3}, \"p99\": {:.3}, \"p999\": {:.3}, \
@@ -127,6 +142,7 @@ fn json(rows: &[RunRow]) -> String {
             row.cfg.callers,
             r.sent,
             r.completed,
+            r.faulted,
             r.rejected,
             r.lost,
             r.misrouted,
@@ -161,11 +177,12 @@ fn print_row(row: &RunRow) {
         ms(r.max_ns),
     );
     println!(
-        "{:<20} sent {}  completed {}  rejected {}  lost {}  misrouted {}  \
+        "{:<20} sent {}  completed {}  faulted {}  rejected {}  lost {}  misrouted {}  \
          depth-hw {}  stalls {}",
         "",
         r.sent,
         r.completed,
+        r.faulted,
         r.rejected,
         r.lost,
         r.misrouted,
@@ -176,6 +193,36 @@ fn print_row(row: &RunRow) {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let chaos = std::env::args().any(|a| a == "--chaos");
+    if chaos {
+        // Before any threads exist: seed deterministic 1 % panic
+        // injection and a restart-then-skip policy, unless the caller
+        // pinned their own via the environment.
+        if std::env::var("SNET_CHAOS").is_err() {
+            std::env::set_var("SNET_CHAOS", "4242:0.01");
+        }
+        if std::env::var("SNET_FAULT_POLICY").is_err() {
+            std::env::set_var("SNET_FAULT_POLICY", "restart:2:1");
+        }
+        println!(
+            "chaos: SNET_CHAOS={} SNET_FAULT_POLICY={}",
+            std::env::var("SNET_CHAOS").unwrap(),
+            std::env::var("SNET_FAULT_POLICY").unwrap()
+        );
+        // Injected panics are contained and accounted by the runtime;
+        // the default hook's per-panic backtrace would drown the
+        // report. Real (non-injected) panics still print.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|s| s.starts_with("chaos:"));
+            if !injected {
+                prev(info);
+            }
+        }));
+    }
     let workloads = [sudoku_workload(), sensor_workload()];
     let mut rows = Vec::new();
     let mut failures = Vec::new();
@@ -238,10 +285,22 @@ fn main() {
             // Block policy: nothing should shed.
             failures.push(format!("{}: {} rejected requests", row.name, r.rejected));
         }
-        if r.completed != r.sent {
+        if chaos && r.faulted == 0 {
             failures.push(format!(
-                "{}: sent {} but completed {}",
-                row.name, r.sent, r.completed
+                "{}: --chaos set but no request faulted (injection never engaged)",
+                row.name
+            ));
+        }
+        if !chaos && r.faulted != 0 {
+            failures.push(format!(
+                "{}: {} faulted requests without --chaos",
+                row.name, r.faulted
+            ));
+        }
+        if r.completed + r.faulted != r.sent {
+            failures.push(format!(
+                "{}: sent {} but completed {} + faulted {}",
+                row.name, r.sent, r.completed, r.faulted
             ));
         }
         if smoke && r.p99_ns > 2_000_000_000 {
@@ -262,7 +321,11 @@ fn main() {
     }
 
     if failures.is_empty() {
-        println!("SERVE OK: all responses correlated, zero lost/misrouted");
+        if chaos {
+            println!("SERVE OK: zero lost/misrouted; every fault resolved as a typed error");
+        } else {
+            println!("SERVE OK: all responses correlated, zero lost/misrouted");
+        }
     } else {
         for f in &failures {
             eprintln!("SERVE FAIL: {f}");

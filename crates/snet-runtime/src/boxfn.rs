@@ -137,6 +137,12 @@ pub(crate) struct BoxCore {
     /// context construction) — the record loop never chases the
     /// context for it.
     observing: bool,
+    /// The fault boundary, resolved once at construction; `None` in
+    /// the default (FailNet, no chaos) configuration so the hot path
+    /// pays one predictable branch (see [`crate::fault`]). `Option`
+    /// also lets [`BoxCore::process_uncounted`] move the guard out
+    /// while the body borrows `&mut self`.
+    guard: Option<crate::fault::FaultGuard>,
     records_in: Counter,
     records_out: Counter,
 }
@@ -160,6 +166,7 @@ impl BoxCore {
             input_type,
             no_excess: Record::new(),
             observing: ctx.has_observers(),
+            guard: ctx.fault_guard(path),
             records_in: ctx.metrics.handle_at(path, keys::RECORDS_IN),
             records_out: ctx.metrics.handle_at(path, keys::RECORDS_OUT),
             sig,
@@ -191,12 +198,29 @@ impl BoxCore {
 
     /// The counter-free core of [`BoxCore::process`]; returns the
     /// emission count for the caller's `records_out` accounting.
+    /// Runs under the net's fault boundary when one is configured —
+    /// a panic in the box function (or a chaos injection) is
+    /// contained per the [`crate::FaultPolicy`], identically for
+    /// standalone and fused stages.
     pub(crate) fn process_uncounted(
         &mut self,
         ctx: &Ctx,
         rec: &Record,
         sink: &mut dyn FnMut(Record),
     ) -> u64 {
+        match self.guard.take() {
+            None => self.process_raw(ctx, rec, sink),
+            Some(mut g) => {
+                let n = g.run(rec, sink, &mut |r, s| self.process_raw(ctx, r, s));
+                self.guard = Some(g);
+                n
+            }
+        }
+    }
+
+    /// The raw per-record path: split, apply, inherit — no fault
+    /// boundary (panics unwind to the caller).
+    fn process_raw(&mut self, ctx: &Ctx, rec: &Record, sink: &mut dyn FnMut(Record)) -> u64 {
         if self.observing {
             ctx.observe(self.path, Dir::In, rec);
         }

@@ -22,6 +22,9 @@
 //! [`Ctx::join_all`] works identically under both backends — including
 //! for components spawned transitively at runtime by the replicators.
 
+use crate::fault::{
+    payload_msg, ChaosConfig, Fault, FaultGuard, FaultHub, FaultObserver, FaultPolicy,
+};
 use crate::metrics::{keys, Metrics};
 use crate::path::CompPath;
 use crate::sched::{default_executor, Executor, Tracker};
@@ -72,13 +75,22 @@ pub struct RunCfg {
     /// Per-replicator lane bounds keyed by routing-tag name; a tag's
     /// entry wins over the net-global `split_lanes`.
     pub split_lanes_by_tag: HashMap<String, u32>,
+    /// What a box/filter panic does to the net (see
+    /// [`crate::fault`]): fail it (default), skip the poison record,
+    /// or restart the stage with backoff.
+    pub fault_policy: FaultPolicy,
+    /// Deterministic fault injection at the box/filter boundary;
+    /// `None` (the default) injects nothing.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl RunCfg {
     /// Process-default configuration: the data-edge bound comes from
     /// `SNET_STREAM_BOUND` — `n` bounds every data edge at `n`, `0`
     /// restores unbounded edges, and unset (or unparsable) applies
-    /// [`DEFAULT_STREAM_BOUND`].
+    /// [`DEFAULT_STREAM_BOUND`]. The fault policy comes from
+    /// `SNET_FAULT_POLICY` and chaos injection from `SNET_CHAOS` (see
+    /// [`crate::fault`]).
     pub fn from_env() -> RunCfg {
         let bound = match std::env::var("SNET_STREAM_BOUND")
             .ok()
@@ -90,6 +102,8 @@ impl RunCfg {
         };
         RunCfg {
             bound,
+            fault_policy: FaultPolicy::from_env(),
+            chaos: ChaosConfig::from_env(),
             ..RunCfg::default()
         }
     }
@@ -104,6 +118,7 @@ pub struct Ctx {
     observers: Vec<Observer>,
     executor: Arc<dyn Executor>,
     tracker: Arc<Tracker>,
+    faults: Arc<FaultHub>,
     cfg: RunCfg,
 }
 
@@ -129,11 +144,26 @@ impl Ctx {
         executor: Arc<dyn Executor>,
         cfg: RunCfg,
     ) -> Arc<Ctx> {
+        let tracker = Tracker::new();
+        let faults = FaultHub::new(Arc::clone(&metrics));
+        // Component-death leg of the fault channel: a task that dies
+        // at the executor boundary (FailNet unwinds, coordination-
+        // layer bugs) raises a typed Fault carrying its name, under
+        // both executors (see sched *Failure model*).
+        let hub = Arc::clone(&faults);
+        tracker.set_panic_hook(move |name, payload| {
+            hub.raise(Fault {
+                component: name.to_string(),
+                msg: payload_msg(payload),
+                dropped: None,
+            });
+        });
         Arc::new(Ctx {
             metrics,
             observers,
             executor,
-            tracker: Tracker::new(),
+            tracker,
+            faults,
             cfg,
         })
     }
@@ -198,8 +228,35 @@ impl Ctx {
         name: impl Into<String>,
         fut: impl Future<Output = ()> + Send + 'static,
     ) {
-        let done = self.tracker.register();
-        self.executor.spawn(name.into(), Box::pin(fut), done);
+        let name = name.into();
+        let done = self.tracker.register(&name);
+        self.executor.spawn(name, Box::pin(fut), done);
+    }
+
+    /// Subscribes a fault observer: called synchronously for every
+    /// contained fault in this net (guarded-core skips/restarts and
+    /// component-level deaths). See [`crate::fault`].
+    pub fn on_fault(&self, obs: FaultObserver) {
+        self.faults.subscribe(obs);
+    }
+
+    /// Snapshot of this net's fault log (oldest first, bounded).
+    pub fn faults(&self) -> Vec<Fault> {
+        self.faults.faults()
+    }
+
+    /// The fault guard for the execution core at `path`, per the
+    /// net's policy and chaos config; `None` in the default
+    /// (FailNet, no injection) configuration — the hot path then
+    /// bypasses fault handling entirely.
+    pub(crate) fn fault_guard(&self, path: CompPath) -> Option<FaultGuard> {
+        FaultGuard::for_stage(
+            self.cfg.fault_policy,
+            self.cfg.chaos.as_ref(),
+            &self.faults,
+            &self.metrics,
+            path,
+        )
     }
 
     /// The executor components of this network run on.

@@ -36,6 +36,9 @@ pub(crate) struct FilterCore {
     /// `ctx.has_observers()`, resolved once (observers are fixed at
     /// context construction).
     observing: bool,
+    /// The fault boundary, resolved once; `None` in the default
+    /// configuration (see `BoxCore::guard`).
+    guard: Option<crate::fault::FaultGuard>,
     records_in: Counter,
     records_out: Counter,
 }
@@ -49,6 +52,7 @@ impl FilterCore {
         FilterCore {
             plans: PlanCache::new(Shape::of_type(&def.pattern)),
             observing: ctx.has_observers(),
+            guard: ctx.fault_guard(path),
             records_in: ctx.metrics.handle_at(path, keys::RECORDS_IN),
             records_out: ctx.metrics.handle_at(path, keys::RECORDS_OUT),
             def,
@@ -77,13 +81,29 @@ impl FilterCore {
     }
 
     /// The counter-free core of [`FilterCore::process`]; returns the
-    /// output count for the caller's `records_out` accounting.
+    /// output count for the caller's `records_out` accounting. Runs
+    /// under the net's fault boundary when one is configured —
+    /// pattern-mismatch and tag-expression panics (and chaos
+    /// injections) are contained per the [`crate::FaultPolicy`],
+    /// identically for standalone and fused stages.
     pub(crate) fn process_uncounted(
         &mut self,
         ctx: &Ctx,
         rec: &Record,
         sink: &mut dyn FnMut(Record),
     ) -> u64 {
+        match self.guard.take() {
+            None => self.process_raw(ctx, rec, sink),
+            Some(mut g) => {
+                let n = g.run(rec, sink, &mut |r, s| self.process_raw(ctx, r, s));
+                self.guard = Some(g);
+                n
+            }
+        }
+    }
+
+    /// The raw per-record path — no fault boundary.
+    fn process_raw(&mut self, ctx: &Ctx, rec: &Record, sink: &mut dyn FnMut(Record)) -> u64 {
         if self.observing {
             ctx.observe(self.path, Dir::In, rec);
         }

@@ -61,6 +61,13 @@
 //! [`crate::filter_exec::FilterCore`]); per-stage split plans resolve
 //! through each core's spawn-local `PlanCache` keyed by record shape,
 //! exactly as standalone.
+//!
+//! **Faults.** The fault boundary lives *inside* the cores
+//! (`process_uncounted`; see [`crate::fault`]), so a fused stage and
+//! its unfused twin contain panics — and receive chaos injections —
+//! identically: a skipped record at stage *k* simply contributes
+//! nothing to stage *k+1*'s queue, and the decision stream is keyed
+//! by the stage's own path, which fusion preserves.
 
 use crate::boxfn::BoxCore;
 use crate::ctx::Ctx;

@@ -25,12 +25,17 @@
 //!   ([`stream::Observer`]);
 //! * the component-to-thread mapping is pluggable ([`sched`]): the
 //!   deterministic combinators produce identical output under either
-//!   executor because ordering lives in sort records, not scheduling.
+//!   executor because ordering lives in sort records, not scheduling;
+//! * box/filter panics are contained at the execution-core boundary
+//!   per a configurable [`FaultPolicy`], observable as typed
+//!   [`Fault`]s, with deterministic chaos injection ([`ChaosConfig`])
+//!   to exercise the failure paths ([`fault`]).
 //!
 //! Entry point: [`NetBuilder`].
 
 pub mod boxfn;
 pub mod ctx;
+pub mod fault;
 pub mod filter_exec;
 pub mod fused;
 pub mod instantiate;
@@ -50,6 +55,7 @@ pub mod trace;
 
 pub use boxfn::{BoxImpl, Emitter};
 pub use ctx::{Ctx, RunCfg};
+pub use fault::{ChaosConfig, Fault, FaultObserver, FaultPolicy};
 pub use memo::TypeMemo;
 pub use metrics::{Counter, Metrics};
 pub use net::{collect_records, BuildError, Net, NetBuilder, OverloadPolicy, SendRejected};
@@ -58,7 +64,8 @@ pub use path::CompPath;
 pub use plan::{compile, compile_cfg, fuse, fuse_default, Bindings, CompileError, Plan};
 pub use sched::{Executor, ThreadPerComponent, WorkStealingPool};
 pub use serve::{
-    run_open_loop, CallError, CallHandle, CallOpts, LoadReport, OpenLoopCfg, Response, Service,
+    run_open_loop, CallError, CallHandle, CallOpts, DrainReport, LoadReport, OpenLoopCfg, Response,
+    Service,
 };
 pub use stream::{Dir, Msg, Observer};
-pub use trace::{TraceEntry, TraceLog};
+pub use trace::{FaultEntry, TraceEntry, TraceLog};

@@ -269,6 +269,32 @@ pub mod keys {
     /// Gauge (full key): high-water mark of concurrently in-flight
     /// requests at the serve front door.
     pub const SERVE_INFLIGHT: &str = "serve/inflight";
+    /// Counter (full key): fault incidents across the net — one per
+    /// faulted record (skipped or recovered-by-restart) or dead
+    /// component, not per retry attempt. See [`crate::fault`].
+    pub const COMPONENT_PANICS: &str = "runtime/component_panics";
+    /// Counter (full key): panics injected by the chaos layer (one
+    /// per poisoned record; see [`crate::ChaosConfig`]).
+    pub const CHAOS_INJECTED: &str = "runtime/chaos_injected";
+    /// Fault incidents at one component (suffix, keyed
+    /// `{path}/panics`).
+    pub const PANICS: &str = "panics";
+    /// Poison records dropped at one guarded stage (suffix, keyed
+    /// `{path}/records_skipped`; terminal skips only — a record
+    /// recovered by restart is not skipped).
+    pub const RECORDS_SKIPPED: &str = "records_skipped";
+    /// Restart attempts at one guarded stage (suffix, keyed
+    /// `{path}/restarts`; one per retry, so a record that needed two
+    /// attempts counts one restart).
+    pub const RESTARTS: &str = "restarts";
+    /// Counter (full key): serve requests resolved as
+    /// [`crate::CallError::Faulted`] because a component fault
+    /// dropped one of their records.
+    pub const SERVE_FAULTED: &str = "serve/faulted";
+    /// Counter (full key): panics of the serve demux thread itself
+    /// (each fails all open slots with `ServiceStopped` — callers are
+    /// never stranded).
+    pub const SERVE_DEMUX_PANICS: &str = "serve/demux_panics";
 }
 
 #[cfg(test)]

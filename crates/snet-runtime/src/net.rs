@@ -22,6 +22,7 @@
 //! ```
 
 use crate::ctx::{Ctx, RunCfg};
+use crate::fault::{ChaosConfig, Fault, FaultObserver, FaultPolicy};
 use crate::instantiate::instantiate;
 use crate::memo::TypeMemo;
 use crate::metrics::{keys, Metrics};
@@ -90,6 +91,9 @@ pub struct NetBuilder {
     bound: Option<usize>,
     bound_overrides: HashMap<String, usize>,
     overload: OverloadPolicy,
+    fault_policy: Option<FaultPolicy>,
+    chaos: Option<ChaosConfig>,
+    fault_observers: Vec<FaultObserver>,
 }
 
 impl NetBuilder {
@@ -112,6 +116,9 @@ impl NetBuilder {
             bound: None,
             bound_overrides: HashMap::new(),
             overload: OverloadPolicy::Block,
+            fault_policy: None,
+            chaos: None,
+            fault_observers: Vec::new(),
         }
     }
 
@@ -228,6 +235,40 @@ impl NetBuilder {
         self
     }
 
+    /// Selects what a box/filter panic does to this network (see
+    /// [`crate::fault`]): fail the whole net
+    /// ([`FaultPolicy::FailNet`], the default), drop the poison
+    /// record and keep the component alive
+    /// ([`FaultPolicy::SkipRecord`]), or retry the stage with bounded
+    /// exponential backoff before giving up to a skip
+    /// ([`FaultPolicy::Restart`]). Per-net setting; the process
+    /// default comes from `SNET_FAULT_POLICY`. Deterministic merge
+    /// output is unaffected by containment — see the failure-model
+    /// notes in [`crate::sched`].
+    pub fn fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.fault_policy = Some(policy);
+        self
+    }
+
+    /// Enables deterministic fault injection at every box/filter
+    /// boundary of this network (see [`ChaosConfig`]): seeded
+    /// probabilistic panics and stalls, reproducible run-to-run from
+    /// the seed. Testing/soak knob; the process default comes from
+    /// `SNET_CHAOS`.
+    pub fn chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = Some(chaos);
+        self
+    }
+
+    /// Registers a fault observer: called synchronously with every
+    /// contained [`Fault`] (skipped records, restarts that recovered,
+    /// component deaths). Pair with
+    /// [`crate::TraceLog::fault_observer`] for a recording sink.
+    pub fn on_fault(mut self, obs: FaultObserver) -> Self {
+        self.fault_observers.push(obs);
+        self
+    }
+
     /// Compiles and spawns the named net.
     pub fn build(self, net_name: &str) -> Result<Net, BuildError> {
         let env = self.program.env()?;
@@ -264,14 +305,16 @@ impl NetBuilder {
             bound_overrides: self.bound_overrides,
             split_lanes: self.split_lanes,
             split_lanes_by_tag: self.split_lanes_by_tag,
+            fault_policy: self.fault_policy.unwrap_or_else(FaultPolicy::from_env),
+            chaos: self.chaos.or_else(ChaosConfig::from_env),
         };
-        Ok(Net::spawn_full(
-            plan,
-            self.observers,
-            executor,
-            cfg,
-            self.overload,
-        ))
+        let net = Net::spawn_full(plan, self.observers, executor, cfg, self.overload);
+        // No records flow until the caller sends, so subscribing
+        // right after spawn cannot miss a fault.
+        for obs in self.fault_observers {
+            net.ctx.on_fault(obs);
+        }
+        Ok(net)
     }
 }
 
@@ -569,6 +612,18 @@ impl Net {
     /// The network's metrics registry.
     pub fn metrics(&self) -> &Arc<Metrics> {
         &self.ctx.metrics
+    }
+
+    /// Subscribes a fault observer on the running network (see
+    /// [`NetBuilder::on_fault`]).
+    pub fn on_fault(&self, obs: FaultObserver) {
+        self.ctx.on_fault(obs);
+    }
+
+    /// Snapshot of the network's fault log: every contained fault so
+    /// far, oldest first (bounded; see [`crate::fault`]).
+    pub fn faults(&self) -> Vec<Fault> {
+        self.ctx.faults()
     }
 
     /// Number of components spawned so far (tasks, not OS threads —

@@ -121,6 +121,43 @@
 //! [`WorkStealingPool`] with `SNET_WORKERS` (default
 //! `max(2, num_cpus)`) workers. `Ctx::with_executor` /
 //! `NetBuilder::executor` select per network.
+//!
+//! # Failure model
+//!
+//! A component task that panics completes with its panic payload:
+//! both executors catch the unwind at the task boundary (the
+//! per-component thread's `catch_unwind` under [`ThreadPerComponent`],
+//! the worker's `run_task` under [`WorkStealingPool`] — workers
+//! themselves never die) and hand the payload to [`Completion`]. From
+//! there two things happen, identically under either backend:
+//!
+//! 1. **Accounting.** The [`Tracker`] records the *first* payload and
+//!    decrements the live count; [`Tracker::wait_quiescent`] (i.e.
+//!    `Ctx::join_all`) re-raises it once the net is quiescent. This is
+//!    [`crate::FaultPolicy::FailNet`] — the default: one dead
+//!    component fails the whole net, loudly.
+//! 2. **Observation.** The tracker's panic hook (installed once per
+//!    net by `Ctx::with_config`) raises a typed [`crate::Fault`]
+//!    carrying the task's name: `runtime/component_panics` increments,
+//!    fault observers fire, and the serve front door (if any) can
+//!    resolve affected requests instead of letting callers hang.
+//!
+//! Task-boundary death is the *backstop*. Under
+//! [`crate::FaultPolicy::SkipRecord`] / [`crate::FaultPolicy::Restart`]
+//! the per-record fault guard inside the box/filter execution cores
+//! ([`crate::fault`]) contains user-code panics *before* they reach
+//! the task boundary, so the component stays alive and only the poison
+//! record is affected. Coordination-layer components — dispatchers,
+//! mergers, guards, sync cells — are runtime code, not user code: a
+//! panic there is a runtime bug and always fails the net regardless of
+//! policy.
+//!
+//! Containment cannot break determinism: the det-merge protocol
+//! ([`crate::merge`]) encodes ordering in sort records, which flow
+//! through the stream loops and never enter the guarded per-record
+//! cores. A skipped data record is indistinguishable from a box that
+//! emitted nothing for it — round boundaries still arrive on every
+//! branch, in order.
 
 mod deque;
 mod pool;
@@ -164,6 +201,10 @@ struct TrackerState {
     panic: Option<Box<dyn Any + Send>>,
 }
 
+/// Tracker panic hook: `(task name, panic payload)`, called once per
+/// task death before completion accounting (see *Failure model*).
+type PanicHook = Box<dyn Fn(&str, &(dyn Any + Send)) + Send + Sync>;
+
 /// Counts live component tasks of one network and collects the first
 /// panic. This replaces the seed's `Vec<JoinHandle>`: join handles are
 /// an OS-thread concept, but components on a pool have no handle —
@@ -172,6 +213,7 @@ pub struct Tracker {
     state: Mutex<TrackerState>,
     cv: Condvar,
     total: AtomicUsize,
+    on_panic: OnceLock<PanicHook>,
 }
 
 impl Tracker {
@@ -183,18 +225,29 @@ impl Tracker {
             }),
             cv: Condvar::new(),
             total: AtomicUsize::new(0),
+            on_panic: OnceLock::new(),
         })
+    }
+
+    /// Installs the panic hook (at most once per tracker; later calls
+    /// are ignored). Called with the task name and payload whenever a
+    /// task completes with a panic, before completion accounting —
+    /// this is the component-death leg of the fault channel (see
+    /// *Failure model*).
+    pub fn set_panic_hook(&self, hook: impl Fn(&str, &(dyn Any + Send)) + Send + Sync + 'static) {
+        let _ = self.on_panic.set(Box::new(hook));
     }
 
     /// Registers one task; the returned [`Completion`] must accompany
     /// it to the executor. Registration happens-before the spawning
     /// call returns, so a task that spawns children keeps `live`
     /// above zero until every transitively spawned child completed.
-    pub fn register(self: &Arc<Self>) -> Completion {
+    pub fn register(self: &Arc<Self>, name: &str) -> Completion {
         self.state.lock().live += 1;
         self.total.fetch_add(1, Ordering::Relaxed);
         Completion {
             tracker: Arc::clone(self),
+            name: name.to_string(),
             fired: false,
         }
     }
@@ -225,6 +278,7 @@ impl Tracker {
 /// One task's completion token (see [`Tracker::register`]).
 pub struct Completion {
     tracker: Arc<Tracker>,
+    name: String,
     fired: bool,
 }
 
@@ -232,6 +286,14 @@ impl Completion {
     /// Marks the task complete, recording a panic payload if any.
     pub fn complete(mut self, result: Result<(), Box<dyn Any + Send>>) {
         self.fired = true;
+        if let Err(p) = &result {
+            // Hook first, outside the state lock: subscribers may take
+            // their own locks (metrics, serve slot maps) and must not
+            // nest inside tracker state.
+            if let Some(hook) = self.tracker.on_panic.get() {
+                hook(&self.name, p.as_ref());
+            }
+        }
         let mut st = self.tracker.state.lock();
         if let Err(p) = result {
             if st.panic.is_none() {
@@ -318,7 +380,7 @@ mod tests {
                     Box::pin(async move {
                         n.fetch_add(1, Ordering::Relaxed);
                     }),
-                    tracker.register(),
+                    tracker.register("t"),
                 );
             }
             tracker.wait_quiescent();
@@ -331,11 +393,11 @@ mod tests {
     fn propagates_first_panic() {
         for (name, exec) in executors() {
             let tracker = Tracker::new();
-            exec.spawn("ok".into(), Box::pin(async {}), tracker.register());
+            exec.spawn("ok".into(), Box::pin(async {}), tracker.register("t"));
             exec.spawn(
                 "boom".into(),
                 Box::pin(async { panic!("component failure") }),
-                tracker.register(),
+                tracker.register("t"),
             );
             let r =
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| tracker.wait_quiescent()));
@@ -360,7 +422,7 @@ mod tests {
                         tx1.send(v + 1).unwrap();
                     }
                 }),
-                tracker.register(),
+                tracker.register("t"),
             );
             exec.spawn(
                 "stage1".into(),
@@ -369,7 +431,7 @@ mod tests {
                         tx2.send(v * 2).unwrap();
                     }
                 }),
-                tracker.register(),
+                tracker.register("t"),
             );
             for i in 0..100 {
                 tx0.send(i).unwrap();
@@ -380,6 +442,38 @@ mod tests {
             assert_eq!(
                 got,
                 (0..100).map(|i| (i + 1) * 2).collect::<Vec<_>>(),
+                "executor {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn panic_hook_sees_task_name_and_payload_under_both_executors() {
+        use parking_lot::Mutex as PMutex;
+        for (name, exec) in executors() {
+            let tracker = Tracker::new();
+            let seen: Arc<PMutex<Vec<(String, String)>>> = Arc::new(PMutex::new(Vec::new()));
+            let seen2 = Arc::clone(&seen);
+            tracker.set_panic_hook(move |task, payload| {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .unwrap_or_default();
+                seen2.lock().push((task.to_string(), msg));
+            });
+            exec.spawn("ok".into(), Box::pin(async {}), tracker.register("ok"));
+            exec.spawn(
+                "boom".into(),
+                Box::pin(async { panic!("component failure") }),
+                tracker.register("boom"),
+            );
+            let r =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| tracker.wait_quiescent()));
+            assert!(r.is_err(), "executor {name}");
+            let seen = seen.lock();
+            assert_eq!(
+                seen.as_slice(),
+                &[("boom".to_string(), "component failure".to_string())],
                 "executor {name}"
             );
         }
@@ -406,7 +500,7 @@ mod tests {
                 Box::pin(async move {
                     assert!(rx.recv_async().await.is_err());
                 }),
-                tracker.register(),
+                tracker.register("t"),
             );
             // Let the worker park the task, then end the stream.
             std::thread::sleep(std::time::Duration::from_millis(20));

@@ -67,7 +67,6 @@ struct Task {
     state: AtomicU8,
     slot: Mutex<TaskSlot>,
     shared: Arc<Shared>,
-    name: String,
 }
 
 impl Wake for Task {
@@ -278,7 +277,9 @@ fn run_task(task: Arc<Task>) {
         }
         Ok(Poll::Ready(())) => finish(&task, Ok(())),
         Err(payload) => {
-            eprintln!("component task '{}' panicked; worker continues", task.name);
+            // The worker survives; the payload reaches the tracker's
+            // panic hook (fault channel, metrics, observers) and
+            // wait_quiescent via Completion — no stderr side channel.
             finish(&task, Err(payload));
         }
     }
@@ -348,7 +349,9 @@ impl WorkStealingPool {
 }
 
 impl Executor for WorkStealingPool {
-    fn spawn(&self, name: String, fut: TaskFuture, done: Completion) {
+    fn spawn(&self, _name: String, fut: TaskFuture, done: Completion) {
+        // The task name travels with its Completion (tracker-side);
+        // the pool itself has no per-task use for it.
         let task = Arc::new(Task {
             state: AtomicU8::new(SCHEDULED),
             slot: Mutex::new(TaskSlot {
@@ -356,7 +359,6 @@ impl Executor for WorkStealingPool {
                 done: Some(done),
             }),
             shared: Arc::clone(&self.shared),
-            name,
         });
         self.shared.push(task);
     }

@@ -75,6 +75,11 @@ pub struct LoadReport {
     /// Requests sent but never completed (harvest deadline or service
     /// stop). Zero is the correctness criterion.
     pub lost: u64,
+    /// Requests resolved as [`CallError::Faulted`]: a component fault
+    /// consumed one of their records and the service failed them
+    /// promptly. Under chaos injection these are *expected* — the
+    /// correctness criterion is `lost == 0`, not `faulted == 0`.
+    pub faulted: u64,
     /// Responses whose record payload failed the caller's check.
     pub misrouted: u64,
     pub p50_ns: u64,
@@ -135,6 +140,7 @@ pub fn run_open_loop(
         completed: u64,
         rejected: u64,
         lost: u64,
+        faulted: u64,
         misrouted: u64,
         /// Steady-state window edges this caller observed.
         first_intended: Option<Instant>,
@@ -153,6 +159,7 @@ pub fn run_open_loop(
                         completed: 0,
                         rejected: 0,
                         lost: 0,
+                        faulted: 0,
                         misrouted: 0,
                         first_intended: None,
                         last_completed: None,
@@ -208,6 +215,9 @@ pub fn run_open_loop(
                                     }
                                 }
                             }
+                            // A faulted request resolved promptly with
+                            // a typed error — contained, not lost.
+                            Err(CallError::Faulted { .. }) => stats.faulted += 1,
                             Err(_) => stats.lost += 1,
                         }
                     }
@@ -228,6 +238,7 @@ pub fn run_open_loop(
         report.completed += st.completed;
         report.rejected += st.rejected;
         report.lost += st.lost;
+        report.faulted += st.faulted;
         report.misrouted += st.misrouted;
         if let Some(fi) = st.first_intended {
             if first_intended.is_none_or(|f| fi < f) {

@@ -70,10 +70,49 @@
 //! plus sustained steady-state RPS — the numbers behind
 //! `BENCH_PR7.json` and the default stream bound
 //! ([`crate::ctx::DEFAULT_STREAM_BOUND`]).
+//!
+//! # Failure model
+//!
+//! What a component failure does to callers, by failure site and the
+//! net's [`crate::FaultPolicy`] (see [`crate::fault`] and the
+//! failure-model notes in [`crate::sched`]):
+//!
+//! - **Box/filter panic, policy `SkipRecord`/`Restart`.** The fault
+//!   is contained at the execution core; if the retry budget (if any)
+//!   is exhausted, the poison record is dropped. The service
+//!   subscribes to the net's fault channel: a dropped record carrying
+//!   a request id **fails exactly that request** as
+//!   [`CallError::Faulted`]`{component, msg}` — promptly, not at the
+//!   caller's deadline. Other requests are untouched: the component
+//!   stays alive and keeps serving them. Responses that would need
+//!   the dropped record can never arrive, so nothing leaks; any
+//!   sibling records of a faulted multi-record request that do reach
+//!   the egress count as stray (their slot is gone).
+//! - **Box/filter panic, policy `FailNet` (default).** Today's
+//!   semantics: the panic unwinds the component, end-of-stream
+//!   cascades to the egress, the demux exits, and *every* open
+//!   request fails with [`CallError::ServiceStopped`];
+//!   [`Service::shutdown`] re-raises the panic from `join_all`.
+//! - **Demux death.** The demux thread is itself guarded: if it
+//!   panics (`serve/demux_panics`), every open slot is failed with
+//!   [`CallError::ServiceStopped`] on the way out — callers are never
+//!   stranded on a slot nobody will complete.
+//! - **Stray records.** Rid-less, late, or post-fault records are
+//!   dropped and counted (`serve/stray`) *and* reported to stream
+//!   observers at the `serve/stray` path, so drops are attributable.
+//!
+//! Containment does not disturb deterministic merging (sort records
+//! never enter the guarded cores — see [`crate::sched`]), so a
+//! served det net under `SkipRecord` still answers every non-faulted
+//! request byte-identically to a fault-free run.
+//!
+//! [`Service::drain`] is the graceful exit: stop intake immediately,
+//! let in-flight requests flush within a grace window, then tear
+//! down — the [`DrainReport`] tallies completed / faulted / stranded.
 
 pub mod hist;
 mod loadgen;
 mod service;
 
 pub use loadgen::{run_open_loop, LoadReport, OpenLoopCfg};
-pub use service::{CallError, CallHandle, CallOpts, Response, Service, RESERVED_RID};
+pub use service::{CallError, CallHandle, CallOpts, DrainReport, Response, Service, RESERVED_RID};

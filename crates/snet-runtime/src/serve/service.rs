@@ -10,7 +10,7 @@ use std::fmt;
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::task::{Context, Poll, Waker};
 use std::time::Instant;
 
@@ -45,6 +45,12 @@ pub enum CallError {
     /// arrived; the request was abandoned (late records count as
     /// stray).
     Deadline,
+    /// A component fault consumed one of this request's records: the
+    /// stage at `component` panicked and the net's
+    /// [`crate::FaultPolicy`] dropped the record (terminal skip after
+    /// any restart budget). The request can never complete, so it
+    /// resolves promptly instead of hanging to its deadline.
+    Faulted { component: String, msg: String },
 }
 
 impl fmt::Display for CallError {
@@ -56,6 +62,9 @@ impl fmt::Display for CallError {
             }
             CallError::ServiceStopped => write!(f, "service stopped before the request completed"),
             CallError::Deadline => write!(f, "deadline elapsed before the request completed"),
+            CallError::Faulted { component, msg } => {
+                write!(f, "request faulted at {component}: {msg}")
+            }
         }
     }
 }
@@ -70,6 +79,20 @@ impl std::error::Error for CallError {}
 pub struct Response {
     pub records: Vec<Record>,
     pub completed_at: Instant,
+}
+
+/// Outcome tally of a graceful [`Service::drain`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Requests completed over the service's lifetime (including the
+    /// drain window).
+    pub completed: u64,
+    /// Requests resolved as [`CallError::Faulted`] over the
+    /// service's lifetime.
+    pub faulted: u64,
+    /// Requests still open when the grace window closed; each fails
+    /// with [`CallError::ServiceStopped`] as the net winds down.
+    pub stranded: u64,
 }
 
 /// Per-request completion state, owned jointly by the caller's
@@ -108,10 +131,17 @@ impl Slot {
         })
     }
 
+    /// The slot state, recovering from poison: if the demux died while
+    /// touching a slot, the caller must still observe its terminal
+    /// outcome (set by `fail_pending`) rather than panic in `wait`.
+    fn state(&self) -> MutexGuard<'_, SlotState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Marks the slot finished and wakes both kinds of waiters. Must
     /// be called with no other slot/pending lock held.
     fn finish(&self, outcome: Result<(), CallError>) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state();
         if st.done.is_none() {
             st.done = Some(outcome);
             st.completed_at = Some(Instant::now());
@@ -144,10 +174,18 @@ struct Inner {
 }
 
 impl Inner {
+    /// The pending map, recovering from poison: a panic on the demux
+    /// thread (e.g. a faulty observer) must not cascade into every
+    /// caller's `wait`/`abandon` path — the map's state is a plain
+    /// rid→slot registry, valid regardless of where the writer died.
+    fn pending(&self) -> MutexGuard<'_, HashMap<u64, Arc<Slot>>> {
+        self.pending.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Removes a request from the pending map (deadline abandonment);
     /// returns whether it was still there.
     fn abandon(&self, rid: u64) -> bool {
-        let removed = self.pending.lock().unwrap().remove(&rid).is_some();
+        let removed = self.pending().remove(&rid).is_some();
         if removed {
             self.inflight.fetch_sub(1, Ordering::Relaxed);
         }
@@ -195,6 +233,12 @@ pub struct Service {
 impl Service {
     /// Starts serving requests over `net`. The net's output edge is
     /// consumed by the service's demux thread from now on.
+    ///
+    /// The service subscribes to the net's fault channel: when a
+    /// contained fault drops a record carrying a request id, the
+    /// owning request resolves promptly as [`CallError::Faulted`]
+    /// instead of hanging to its deadline (see *Failure model* in
+    /// [`crate::serve`]).
     pub fn start(net: Net) -> Service {
         let ServeParts {
             input,
@@ -212,11 +256,47 @@ impl Service {
             next_rid: AtomicU64::new(1),
             inflight: AtomicU64::new(0),
         });
+        {
+            // `Inner` holds no Ctx, so this subscription creates no
+            // reference cycle. Called from the faulting component's
+            // thread: pending-map lock then slot lock, the demux's own
+            // lock order.
+            let inner = Arc::clone(&inner);
+            let faulted = ctx.metrics.handle(keys::SERVE_FAULTED);
+            ctx.on_fault(Arc::new(move |fault: &crate::fault::Fault| {
+                let Some(rec) = &fault.dropped else { return };
+                let Some(rid) = rec.tag(RESERVED_RID) else {
+                    return;
+                };
+                let slot = inner.pending().remove(&(rid as u64));
+                if let Some(slot) = slot {
+                    inner.inflight.fetch_sub(1, Ordering::Relaxed);
+                    faulted.inc(1);
+                    slot.finish(Err(CallError::Faulted {
+                        component: fault.component.clone(),
+                        msg: fault.msg.clone(),
+                    }));
+                }
+            }));
+        }
         let demux = {
             let inner = Arc::clone(&inner);
+            let ctx = Arc::clone(&ctx);
             std::thread::Builder::new()
                 .name("snet-serve-demux".into())
-                .spawn(move || demux_loop(&inner, &output))
+                .spawn(move || {
+                    // The demux is the only thing standing between the
+                    // net's output and every open slot: if it dies,
+                    // callers must not be stranded. Catch its panic,
+                    // count it, and fail whatever is still pending.
+                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        demux_loop(&inner, &ctx, &output)
+                    }));
+                    if r.is_err() {
+                        inner.metrics.handle(keys::SERVE_DEMUX_PANICS).inc(1);
+                    }
+                    fail_pending(&inner);
+                })
                 .expect("spawn demux thread")
         };
         Service {
@@ -253,11 +333,7 @@ impl Service {
         let slot = Slot::new(opts.expect.max(1));
         // Register before sending: on a fast net the response can
         // reach the demux before `call_with` returns.
-        self.inner
-            .pending
-            .lock()
-            .unwrap()
-            .insert(rid, Arc::clone(&slot));
+        self.inner.pending().insert(rid, Arc::clone(&slot));
         let inflight = self.inner.inflight.fetch_add(1, Ordering::Relaxed) + 1;
         self.inner
             .metrics
@@ -307,6 +383,31 @@ impl Service {
         self.ctx.join_all();
     }
 
+    /// Graceful drain: stop intake immediately, give in-flight
+    /// requests up to `grace` to flush through the net, then shut
+    /// down. New calls are rejected (`Closed`) from the moment drain
+    /// begins; requests the net answers within the grace window
+    /// complete normally; whatever is still open afterwards fails
+    /// with [`CallError::ServiceStopped`] when the demux sees
+    /// end-of-stream. Returns the outcome tally.
+    pub fn drain(mut self, grace: std::time::Duration) -> DrainReport {
+        self.begin_shutdown();
+        let deadline = Instant::now() + grace;
+        while self.inflight() > 0 && Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let stranded = self.inflight();
+        if let Some(h) = self.demux.take() {
+            let _ = h.join();
+        }
+        self.ctx.join_all();
+        DrainReport {
+            completed: self.inner.metrics.get(keys::SERVE_COMPLETED),
+            faulted: self.inner.metrics.get(keys::SERVE_FAULTED),
+            stranded,
+        }
+    }
+
     /// Drops the ingress sender so the net sees end-of-stream once
     /// in-flight `call_with` clones finish.
     fn begin_shutdown(&self) {
@@ -338,40 +439,51 @@ impl fmt::Debug for Service {
 /// The demux loop: pops the net's output edge, strips the reserved
 /// tag and completes the owning request's slot. Records with no (or an
 /// unknown) request id — possible only if a user program sent records
-/// into the service's net by other means — are dropped and counted
-/// under `serve/stray`.
-fn demux_loop(inner: &Inner, output: &Receiver) {
+/// into the service's net by other means, or if a record arrived
+/// after its caller gave up — are dropped, counted under
+/// `serve/stray`, and reported to stream observers at the
+/// `serve/stray` path so the drop is attributable, not silent.
+fn demux_loop(inner: &Inner, ctx: &crate::ctx::Ctx, output: &Receiver) {
     let completed = inner.metrics.handle(keys::SERVE_COMPLETED);
     let stray = inner.metrics.handle(keys::SERVE_STRAY);
+    let observing = ctx.has_observers();
+    let stray_path = crate::path::CompPath::root("serve").child("stray");
+    let drop_stray = |rec: &Record| {
+        stray.inc(1);
+        if observing {
+            ctx.observe(stray_path, crate::stream::Dir::In, rec);
+        }
+    };
     loop {
         match output.recv() {
             Ok(Msg::Rec(mut rec)) => {
                 let rid = match rec.tag(RESERVED_RID) {
                     Some(v) => v as u64,
                     None => {
-                        stray.inc(1);
+                        drop_stray(&rec);
                         continue;
                     }
                 };
                 rec.remove(Label::tag(RESERVED_RID));
-                let slot = match inner.pending.lock().unwrap().get(&rid) {
-                    Some(s) => Arc::clone(s),
-                    None => {
-                        // Completed, abandoned at a deadline, or forged
-                        // upstream: nobody is waiting.
-                        stray.inc(1);
-                        continue;
-                    }
+                // Bind the lookup to a variable so the map guard drops
+                // here — observers (via `drop_stray`) and slot locks
+                // must never run under the pending lock.
+                let slot = inner.pending().get(&rid).map(Arc::clone);
+                let Some(slot) = slot else {
+                    // Completed, abandoned at a deadline, faulted,
+                    // or forged upstream: nobody is waiting.
+                    drop_stray(&rec);
+                    continue;
                 };
                 let finished = {
-                    let mut st = slot.state.lock().unwrap();
+                    let mut st = slot.state();
                     st.got.push(rec);
                     st.got.len() >= st.expect
                 };
                 if finished {
                     // Remove-then-finish, honouring the pending→slot
                     // lock order.
-                    if inner.pending.lock().unwrap().remove(&rid).is_some() {
+                    if inner.pending().remove(&rid).is_some() {
                         inner.inflight.fetch_sub(1, Ordering::Relaxed);
                         completed.inc(1);
                         slot.finish(Ok(()));
@@ -384,9 +496,15 @@ fn demux_loop(inner: &Inner, output: &Receiver) {
             Err(_) => break,
         }
     }
-    // End-of-stream: every request still pending can never complete.
+}
+
+/// Fails every request still pending with
+/// [`CallError::ServiceStopped`]. Runs when the demux exits — on
+/// end-of-stream *or* after a demux panic — so no caller is ever
+/// stranded on an open slot.
+fn fail_pending(inner: &Inner) {
     let stranded: Vec<Arc<Slot>> = {
-        let mut pending = inner.pending.lock().unwrap();
+        let mut pending = inner.pending();
         let slots = pending.values().map(Arc::clone).collect();
         pending.clear();
         slots
@@ -421,9 +539,13 @@ impl CallHandle {
 
     /// Blocks until the response is complete.
     pub fn wait(self) -> Result<Response, CallError> {
-        let mut st = self.slot.state.lock().unwrap();
+        let mut st = self.slot.state();
         while st.done.is_none() {
-            st = self.slot.cv.wait(st).unwrap();
+            st = self
+                .slot
+                .cv
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         Self::take(&mut st)
     }
@@ -433,13 +555,17 @@ impl CallHandle {
     /// records count as stray.
     pub fn wait_deadline(self, deadline: Instant) -> Result<Response, CallError> {
         {
-            let mut st = self.slot.state.lock().unwrap();
+            let mut st = self.slot.state();
             while st.done.is_none() {
                 let now = Instant::now();
                 if now >= deadline {
                     break;
                 }
-                let (guard, _timeout) = self.slot.cv.wait_timeout(st, deadline - now).unwrap();
+                let (guard, _timeout) = self
+                    .slot
+                    .cv
+                    .wait_timeout(st, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
                 st = guard;
             }
             if st.done.is_some() {
@@ -450,7 +576,7 @@ impl CallHandle {
         // the demux may have completed the request in the window
         // between the wait and the removal.
         self.inner.abandon(self.rid);
-        let mut st = self.slot.state.lock().unwrap();
+        let mut st = self.slot.state();
         match st.done {
             Some(_) => Self::take(&mut st),
             None => Err(CallError::Deadline),
@@ -460,7 +586,7 @@ impl CallHandle {
     /// Completion timestamp (demux-side, excludes caller wakeup
     /// latency); `None` until the request completes.
     pub fn completed_at(&self) -> Option<Instant> {
-        self.slot.state.lock().unwrap().completed_at
+        self.slot.state().completed_at
     }
 
     fn take(st: &mut SlotState) -> Result<Response, CallError> {
@@ -472,6 +598,10 @@ impl CallHandle {
             Err(CallError::ServiceStopped) => Err(CallError::ServiceStopped),
             Err(CallError::Deadline) => Err(CallError::Deadline),
             Err(CallError::ReservedTag) => Err(CallError::ReservedTag),
+            Err(CallError::Faulted { component, msg }) => Err(CallError::Faulted {
+                component: component.clone(),
+                msg: msg.clone(),
+            }),
             // `Rejected` never reaches a slot (it surfaces from
             // `call_with` synchronously).
             Err(CallError::Rejected(_)) => Err(CallError::ServiceStopped),
@@ -483,7 +613,7 @@ impl Future for CallHandle {
     type Output = Result<Response, CallError>;
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
-        let mut st = self.slot.state.lock().unwrap();
+        let mut st = self.slot.state();
         if st.done.is_some() {
             return Poll::Ready(Self::take(&mut st));
         }

@@ -7,6 +7,7 @@
 //! direction and record *type* (payloads stay opaque — this is the
 //! coordination layer's view).
 
+use crate::fault::{Fault, FaultObserver};
 use crate::stream::{Dir, Observer};
 use parking_lot::Mutex;
 use snet_types::RecordType;
@@ -26,10 +27,25 @@ pub struct TraceEntry {
     pub rtype: RecordType,
 }
 
+/// One observed component fault (see [`crate::fault`]).
+#[derive(Clone, Debug)]
+pub struct FaultEntry {
+    /// Microseconds since the log was created.
+    pub t_us: u128,
+    /// Faulting component path (or task name for component deaths).
+    pub component: String,
+    /// The panic message.
+    pub msg: String,
+    /// Whether the fault dropped a record (terminal skip) as opposed
+    /// to a recovered restart or component death.
+    pub dropped: bool,
+}
+
 /// A shared, thread-safe trace of stream activity.
 pub struct TraceLog {
     start: Instant,
     entries: Mutex<Vec<TraceEntry>>,
+    faults: Mutex<Vec<FaultEntry>>,
 }
 
 impl TraceLog {
@@ -37,6 +53,7 @@ impl TraceLog {
         Arc::new(TraceLog {
             start: Instant::now(),
             entries: Mutex::new(Vec::new()),
+            faults: Mutex::new(Vec::new()),
         })
     }
 
@@ -55,9 +72,31 @@ impl TraceLog {
         })
     }
 
+    /// A [`FaultObserver`] feeding this log; pass to
+    /// [`crate::NetBuilder::on_fault`]. Every contained fault —
+    /// skipped records, recovered restarts, component deaths — lands
+    /// as a [`FaultEntry`] alongside the stream trace.
+    pub fn fault_observer(self: &Arc<Self>) -> FaultObserver {
+        let log = Arc::clone(self);
+        Arc::new(move |fault: &Fault| {
+            let entry = FaultEntry {
+                t_us: log.start.elapsed().as_micros(),
+                component: fault.component.clone(),
+                msg: fault.msg.clone(),
+                dropped: fault.dropped.is_some(),
+            };
+            log.faults.lock().push(entry);
+        })
+    }
+
     /// A snapshot of all entries so far, in observation order.
     pub fn entries(&self) -> Vec<TraceEntry> {
         self.entries.lock().clone()
+    }
+
+    /// A snapshot of all fault entries so far, in observation order.
+    pub fn faults(&self) -> Vec<FaultEntry> {
+        self.faults.lock().clone()
     }
 
     /// Entries whose component path contains `needle` — "observe one
@@ -84,7 +123,8 @@ impl TraceLog {
         m
     }
 
-    /// Renders the log as text, one line per crossing.
+    /// Renders the log as text, one line per crossing, with `[FAULT]`
+    /// lines appended for observed faults.
     pub fn render(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
@@ -94,6 +134,20 @@ impl TraceLog {
                 Dir::Out => "->",
             };
             let _ = writeln!(out, "[{:>9}us] {} {} {}", e.t_us, e.path, arrow, e.rtype);
+        }
+        for f in self.faults.lock().iter() {
+            let _ = writeln!(
+                out,
+                "[{:>9}us] [FAULT] {} {}: {}",
+                f.t_us,
+                f.component,
+                if f.dropped {
+                    "dropped record"
+                } else {
+                    "no drop"
+                },
+                f.msg
+            );
         }
         out
     }

@@ -9,7 +9,10 @@
 
 use proptest::prelude::*;
 use snet_lang::{Env, NetAst};
-use snet_runtime::{Bindings, Net, Plan, RunCfg, ThreadPerComponent};
+use snet_runtime::{
+    Bindings, ChaosConfig, Executor, FaultPolicy, Net, Plan, RunCfg, ThreadPerComponent,
+    WorkStealingPool,
+};
 use snet_types::{BoxSig, Label, Record};
 use std::sync::Arc;
 
@@ -40,7 +43,7 @@ fn arb_net() -> impl Strategy<Value = NetAst> {
     })
 }
 
-fn build_cfg(ast: &NetAst, cfg: RunCfg) -> Net {
+fn build_full(ast: &NetAst, cfg: RunCfg, fuse: bool, executor: Arc<dyn Executor>) -> Net {
     let mut env = Env::new();
     env.declare_box(
         "id",
@@ -53,8 +56,18 @@ fn build_cfg(ast: &NetAst, cfg: RunCfg) -> Net {
     let bindings = Bindings::new().bind("id", |rec: &Record, em: &mut snet_runtime::Emitter| {
         em.emit(rec.clone());
     });
-    let plan: Plan = snet_runtime::compile(ast, &env, &bindings).expect("random net compiles");
-    Net::spawn_cfg(plan, Vec::new(), Arc::new(ThreadPerComponent), cfg)
+    let plan: Plan =
+        snet_runtime::compile_cfg(ast, &env, &bindings, fuse).expect("random net compiles");
+    Net::spawn_cfg(plan, Vec::new(), executor, cfg)
+}
+
+fn build_cfg(ast: &NetAst, cfg: RunCfg) -> Net {
+    build_full(
+        ast,
+        cfg,
+        snet_runtime::fuse_default(),
+        Arc::new(ThreadPerComponent),
+    )
 }
 
 fn build(ast: &NetAst) -> Net {
@@ -171,6 +184,139 @@ proptest! {
             &xs,
         );
         prop_assert_eq!(got, xs);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chaos soak: seeded fault injection over random topologies.
+// ---------------------------------------------------------------------------
+
+/// Runs `f` on a helper thread and panics if it takes longer than
+/// `secs` — turns a would-be hang into a test failure. The helper
+/// thread is leaked on timeout, which is acceptable in a test binary.
+fn with_watchdog<T: Send + 'static>(secs: u64, f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    rx.recv_timeout(std::time::Duration::from_secs(secs))
+        .expect("chaos soak run hung (watchdog fired)")
+}
+
+/// Output multiset plus the fault counters of one chaos run.
+#[derive(Debug, PartialEq, Eq)]
+struct SoakOutcome {
+    /// Sorted (x, k) payloads that made it through.
+    out: Vec<(i64, i64)>,
+    injected: u64,
+    skipped: u64,
+    panics: u64,
+}
+
+fn soak_run(
+    ast: &NetAst,
+    chaos: Option<ChaosConfig>,
+    fuse: bool,
+    executor: Arc<dyn Executor>,
+    xs: &[(i64, i64)],
+) -> SoakOutcome {
+    let cfg = RunCfg {
+        fault_policy: FaultPolicy::SkipRecord,
+        chaos,
+        ..RunCfg::default()
+    };
+    let net = build_full(ast, cfg, fuse, executor);
+    let metrics = Arc::clone(net.metrics());
+    let mut out = drive(net, xs);
+    out.sort();
+    SoakOutcome {
+        out,
+        injected: metrics.get("runtime/chaos_injected"),
+        skipped: metrics.sum_matching("records_skipped"),
+        panics: metrics.get("runtime/component_panics"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The chaos soak (see `fault` module docs): a seeded injector
+    /// panics boxes at random inside arbitrary topologies under the
+    /// `SkipRecord` policy, across {thread-per-component, pool(2)} ×
+    /// {fused, unfused}. The net must never hang, every record must
+    /// either come out intact or be accounted for by exactly one
+    /// skip, and all four configurations must agree — the decision
+    /// stream is keyed by (stage path, record index), both of which
+    /// are invariant under executor choice and fusion. With chaos off
+    /// the run is indistinguishable from an unguarded one.
+    #[test]
+    fn chaos_soak_contains_faults_identically_across_configs(
+        ast in arb_net(),
+        xs in proptest::collection::vec((0i64..1_000_000, 0i64..5), 0..30),
+    ) {
+        // CI pins SNET_CHAOS_SEED for reproducible logs; default is a
+        // fixed constant so local runs are deterministic too.
+        let seed: u64 = std::env::var("SNET_CHAOS_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0xC0FFEE);
+        let chaos = ChaosConfig::new(seed, 0.05);
+
+        let configs: Vec<(&str, bool, Arc<dyn Executor>)> = vec![
+            ("threads/fused", true, Arc::new(ThreadPerComponent)),
+            ("threads/unfused", false, Arc::new(ThreadPerComponent)),
+            ("pool2/fused", true, Arc::new(WorkStealingPool::new(2))),
+            ("pool2/unfused", false, Arc::new(WorkStealingPool::new(2))),
+        ];
+        let mut outcomes = Vec::new();
+        for (name, fuse, executor) in configs {
+            let ast2 = ast.clone();
+            let xs2 = xs.to_vec();
+            let chaos2 = chaos.clone();
+            let outcome = with_watchdog(60, move || {
+                soak_run(&ast2, Some(chaos2), fuse, executor, &xs2)
+            });
+            // Containment accounting: every injected panic is exactly
+            // one skipped record and one contained fault, and nothing
+            // else goes missing.
+            prop_assert_eq!(outcome.skipped, outcome.injected, "{}: {:?}", name, ast);
+            prop_assert_eq!(outcome.panics, outcome.injected, "{}: {:?}", name, ast);
+            prop_assert_eq!(
+                outcome.out.len() as u64,
+                xs.len() as u64 - outcome.skipped,
+                "{}: lost records beyond the skipped ones in {:?}", name, ast
+            );
+            // Survivors are a sub-multiset of the inputs.
+            let mut want = xs.to_vec();
+            want.sort();
+            let mut w = want.iter().peekable();
+            for got in &outcome.out {
+                while w.peek().is_some_and(|x| *x < got) { w.next(); }
+                prop_assert_eq!(w.next(), Some(got), "{}: fabricated record", name);
+            }
+            outcomes.push((name, outcome));
+        }
+        // All four configurations saw the same poison records.
+        for pair in outcomes.windows(2) {
+            prop_assert_eq!(
+                &pair[0].1, &pair[1].1,
+                "configs {} and {} diverged on {:?}", pair[0].0, pair[1].0, ast
+            );
+        }
+
+        // Chaos off: the guarded pipeline is a transparent wrapper —
+        // nothing skipped, nothing lost, full multiset out.
+        let ast2 = ast.clone();
+        let xs2 = xs.to_vec();
+        let clean = with_watchdog(60, move || {
+            soak_run(&ast2, None, true, Arc::new(ThreadPerComponent), &xs2)
+        });
+        prop_assert_eq!(clean.injected, 0);
+        prop_assert_eq!(clean.skipped, 0);
+        prop_assert_eq!(clean.panics, 0);
+        let mut want = xs.clone();
+        want.sort();
+        prop_assert_eq!(clean.out, want);
     }
 }
 
