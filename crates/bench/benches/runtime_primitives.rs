@@ -48,6 +48,21 @@ fn id_net_on(expr: &str, exec: Arc<dyn Executor>) -> snet_runtime::Net {
         .unwrap()
 }
 
+fn id_net_fan(expr: &str, exec: Arc<dyn Executor>, fan: bool) -> snet_runtime::Net {
+    let src = format!(
+        "box id (x) -> (x);
+         net main = {expr};"
+    );
+    NetBuilder::from_source(&src)
+        .unwrap()
+        .bind("id", |r, e| e.emit(r.clone()))
+        .executor(exec)
+        .fuse(true)
+        .fuse_fan(fan)
+        .build("main")
+        .unwrap()
+}
+
 fn drive(net: snet_runtime::Net, with_tag: bool) -> usize {
     for i in 0..N_RECORDS as i64 {
         let mut r = Record::build().field("x", i).finish();
@@ -107,6 +122,55 @@ fn bench_fused_chain(c: &mut Criterion) {
                     assert_eq!(n, N_RECORDS as usize);
                 })
             });
+        }
+    }
+    g.finish();
+}
+
+/// RT_fused_fan — the PR 10 tentpole measured directly: a det
+/// indexed split (`id ! <k>`, 4 lanes) with replica fusion on (one
+/// component — dispatch, lane cores and merge handoff run inline) vs
+/// off (dispatcher → lane → merger, three channel hops + wakeups per
+/// record). The `live` legs keep the net alive across iterations
+/// (the RT_throughput shape); the `build` legs include construction
+/// and teardown (the RT_split shape). Per executor, both ways.
+fn bench_fused_fan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("RT_fused_fan");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.throughput(Throughput::Elements(N_RECORDS));
+    g.sample_size(10);
+    for (ename, exec) in exec_variants() {
+        for (mode, fan) in [("fused", true), ("unfused", false)] {
+            let net = id_net_fan("id ! <k>", Arc::clone(&exec), fan);
+            g.bench_with_input(
+                BenchmarkId::new(format!("live_{mode}"), ename),
+                &(),
+                |b, _| {
+                    b.iter(|| {
+                        for i in 0..N_RECORDS as i64 {
+                            let mut r = Record::build().field("x", i).finish();
+                            r.set_tag("k", i % 4);
+                            net.send(r).unwrap();
+                        }
+                        for _ in 0..N_RECORDS {
+                            net.recv().expect("det split echoes every record");
+                        }
+                    })
+                },
+            );
+            let _ = net.finish();
+            g.bench_with_input(
+                BenchmarkId::new(format!("build_{mode}"), ename),
+                &(),
+                |b, _| {
+                    b.iter(|| {
+                        let net = id_net_fan("id ! <k>", Arc::clone(&exec), fan);
+                        let n = drive(net, true);
+                        assert_eq!(n, N_RECORDS as usize);
+                    })
+                },
+            );
         }
     }
     g.finish();
@@ -514,6 +578,7 @@ criterion_group!(
     bench_throughput,
     bench_box_chain,
     bench_fused_chain,
+    bench_fused_fan,
     bench_filter,
     bench_parallel_dispatch,
     bench_split,

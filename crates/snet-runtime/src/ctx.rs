@@ -75,6 +75,16 @@ pub struct RunCfg {
     /// Per-replicator lane bounds keyed by routing-tag name; a tag's
     /// entry wins over the net-global `split_lanes`.
     pub split_lanes_by_tag: HashMap<String, u32>,
+    /// Per-combinator escape hatch for replica fusion (see
+    /// [`crate::plan`], *fan fusion*): `None` = fuse (the default),
+    /// `Some(false)` = keep every fan unfused at runtime even when
+    /// the plan carries `FusedFan` nodes. `SNET_FUSE=0` disables the
+    /// whole fusion pass at compile time instead.
+    pub fan_fuse: Option<bool>,
+    /// Per-replicator fan-fusion overrides keyed by routing-tag name
+    /// (indexed splits only — parallel and star have no tag to key
+    /// on); a tag's entry wins over the net-global `fan_fuse`.
+    pub fan_fuse_by_tag: HashMap<String, bool>,
     /// What a box/filter panic does to the net (see
     /// [`crate::fault`]): fail it (default), skip the poison record,
     /// or restart the stage with backoff.
@@ -183,6 +193,28 @@ impl Ctx {
             .get(tag)
             .copied()
             .or(self.cfg.split_lanes)
+    }
+
+    /// Whether the fan combinator routing on `tag` (if any) may run
+    /// fused at this net's runtime settings: a per-tag override wins
+    /// over the net-global `fan_fuse`, and the default is on.
+    pub fn fan_fuse_for(&self, tag: Option<&str>) -> bool {
+        tag.and_then(|t| self.cfg.fan_fuse_by_tag.get(t).copied())
+            .or(self.cfg.fan_fuse)
+            .unwrap_or(true)
+    }
+
+    /// The net's fault policy (fused fans fall back to the unfused
+    /// topology under `Restart`, whose backoff sleep must not park
+    /// co-scheduled lanes).
+    pub(crate) fn fault_policy(&self) -> FaultPolicy {
+        self.cfg.fault_policy
+    }
+
+    /// An explicit per-edge capacity override for `name`, if one was
+    /// configured (`Some(0)` = explicitly unbounded).
+    pub(crate) fn edge_override(&self, name: &str) -> Option<usize> {
+        self.cfg.bound_overrides.get(name).copied()
     }
 
     /// Creates a data edge owned by the component at `path`: bounded

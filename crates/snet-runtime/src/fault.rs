@@ -115,6 +115,18 @@ impl FaultPolicy {
             .unwrap_or_default()
     }
 
+    /// Whether this policy can block a stage mid-record (the restart
+    /// backoff sleep). Fused fans check this at spawn and fall back
+    /// to the unfused topology: inside one fused component the sleep
+    /// would park every co-scheduled lane, not just the faulty one,
+    /// whereas skip/failnet resolve synchronously and contain
+    /// identically fused or unfused (the guard lives inside the
+    /// stage core either way, and chaos decision streams are keyed
+    /// by the stage path, which fusion preserves).
+    pub fn restarts(&self) -> bool {
+        matches!(self, FaultPolicy::Restart { .. })
+    }
+
     /// Parses the `SNET_FAULT_POLICY` syntax; `None` on anything
     /// unrecognised (callers fall back to the default).
     pub fn parse(s: &str) -> Option<FaultPolicy> {

@@ -72,17 +72,58 @@
 use crate::boxfn::BoxCore;
 use crate::ctx::Ctx;
 use crate::filter_exec::FilterCore;
+use crate::merge::FusedTail;
+use crate::metrics::{keys, Counter};
+use crate::parallel::{decide_or_panic, RouteCache};
 use crate::path::CompPath;
-use crate::plan::{FusedKind, FusedStage};
-use crate::stream::{feed_batch, yield_now, Msg, Receiver, RECV_BATCH};
+use crate::plan::{FanKind, FusedKind, FusedStage, PNode};
+use crate::split::TagDispatch;
+use crate::star::ExitDispatch;
+use crate::stream::{feed_batch, yield_now, Dir, Msg, Receiver, RECV_BATCH};
 use snet_types::Record;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 /// One stage's execution core inside a fused component.
 enum StageCore {
     Box(BoxCore),
     Filter(FilterCore),
+}
+
+/// Builds the execution core for one fused stage at its interned
+/// path — the per-stage spawn bookkeeping shared by the chain driver
+/// ([`spawn_fused`]) and the fan driver's lanes ([`lane_cores`]).
+fn stage_core(ctx: &Ctx, p: CompPath, kind: &FusedKind) -> StageCore {
+    match kind {
+        FusedKind::Box { name, sig, imp } => {
+            StageCore::Box(BoxCore::new(ctx, p, name, sig.clone(), Arc::clone(imp)))
+        }
+        FusedKind::Filter { def } => StageCore::Filter(FilterCore::new(ctx, p, def.clone())),
+    }
+}
+
+/// Builds one fan lane's stage cores from its SISO-fusable body plan,
+/// registering every per-stage path exactly as the unfused replica
+/// instantiation would (`instantiate(body, bpath)`): a `Fused` body's
+/// stages descend through their recorded suffixes; a lone box or
+/// filter registers directly under the lane path (the `box:{name}` /
+/// `filter` child comes from the core constructor, as standalone).
+fn lane_cores(ctx: &Ctx, bpath: CompPath, body: &PNode) -> Vec<StageCore> {
+    match body {
+        PNode::Fused { stages } => stages
+            .iter()
+            .map(|stage| stage_core(ctx, bpath.descend(&stage.suffix), &stage.kind))
+            .collect(),
+        PNode::Box { name, sig, imp } => vec![StageCore::Box(BoxCore::new(
+            ctx,
+            bpath,
+            name,
+            sig.clone(),
+            Arc::clone(imp),
+        ))],
+        PNode::Filter { def } => vec![StageCore::Filter(FilterCore::new(ctx, bpath, def.clone()))],
+        other => unreachable!("fan-fusion body is not SISO-fusable: {other:?}"),
+    }
 }
 
 impl StageCore {
@@ -248,17 +289,7 @@ pub fn spawn_fused(
     let (tx, rx) = ctx.data_stream(path, "out");
     let cores: Vec<StageCore> = stages
         .iter()
-        .map(|stage| {
-            let p = path.descend(&stage.suffix);
-            match &stage.kind {
-                FusedKind::Box { name, sig, imp } => {
-                    StageCore::Box(BoxCore::new(ctx, p, name, sig.clone(), Arc::clone(imp)))
-                }
-                FusedKind::Filter { def } => {
-                    StageCore::Filter(FilterCore::new(ctx, p, def.clone()))
-                }
-            }
-        })
+        .map(|stage| stage_core(ctx, path.descend(&stage.suffix), &stage.kind))
         .collect();
     // The component is named after its head stage — unique even when
     // several fused runs of one Chain share the chain-root path.
@@ -373,6 +404,324 @@ pub fn spawn_fused(
             // end-of-stream.
         });
     }
+    rx
+}
+
+/// Whether a [`FanKind`] may actually run fused under this net's
+/// runtime settings; `false` sends instantiation down the ordinary
+/// unfused replicator spawn (see [`crate::instantiate`]). Three
+/// conditions, all documented in [`crate::plan`] (*fan fusion*):
+///
+/// * the per-combinator escape hatch
+///   ([`crate::ctx::RunCfg::fan_fuse`] / `fan_fuse_by_tag`) is off;
+/// * the fault policy is `Restart` — its backoff sleep would park
+///   every co-scheduled lane, not just the faulty one;
+/// * an **explicit** capacity override names the `"dispatch"` edge:
+///   the user asked for credit-gated lane edges, and a fused fan has
+///   no lane edges to gate. (The net-global default bound does *not*
+///   fall back: fusion replaces the lane edge with a synchronous
+///   handoff — stricter than any capacity — and backpressure still
+///   propagates through the fan's own input edge.)
+pub(crate) fn fan_fusable_here(ctx: &Ctx, kind: &FanKind) -> bool {
+    let tag = match kind {
+        FanKind::Split { tag, .. } => Some(tag.name()),
+        FanKind::Parallel { .. } | FanKind::Star { .. } => None,
+    };
+    ctx.fan_fuse_for(tag)
+        && !ctx.fault_policy().restarts()
+        && !matches!(ctx.edge_override("dispatch"), Some(n) if n > 0)
+}
+
+/// The fused fan's dispatch-and-lane state: the same classification
+/// cores the standalone dispatcher tasks use ([`TagDispatch`],
+/// [`RouteCache`], [`ExitDispatch`] — identical routing, panics and
+/// memoization), each lane a stage-core vector run stage-major, with
+/// emissions landing in the component's [`FusedTail`].
+///
+/// Processing each record synchronously, in input order, is what
+/// makes the merge degenerate: the deterministic variants need **no
+/// sort records at all** inside the fan, because concatenating each
+/// record's lane output in arrival order *is* the
+/// round-by-round-in-join-order drain of the unfused det merger (for
+/// a star, depth-`d` exits of one record precede its depth-`d+1`
+/// exits — join order — and per-depth arrival order is the lane's
+/// emission order). Outer-scope sorts are forwarded at their stream
+/// position, exactly once, which is what the unfused merger's
+/// barrier/round bookkeeping reduces to when every branch is drained
+/// in lockstep.
+enum DispatchCore {
+    /// `body ! <tag>` / `body !! <tag>`: lanes unfold on demand per
+    /// branch key, exactly like the standalone dispatcher's replica
+    /// map.
+    Split {
+        route: TagDispatch,
+        body: Arc<PNode>,
+        lanes: HashMap<i64, Vec<StageCore>>,
+        records_in: Counter,
+        branches_created: Counter,
+    },
+    /// `left | right` / `left || right`: both lanes exist up front,
+    /// as standalone (parallel composition instantiates eagerly).
+    Par {
+        routes: RouteCache,
+        left: Vec<StageCore>,
+        right: Vec<StageCore>,
+        records_in: Counter,
+        routed_left: Counter,
+        routed_right: Counter,
+    },
+    /// `body * {exit}` / `body ** {exit}`: replica `d` unfolds when
+    /// the first record passes guard `d` without exiting, exactly
+    /// like the standalone chain's demand-driven unfolding.
+    Star {
+        route: ExitDispatch,
+        body: Arc<PNode>,
+        lanes: Vec<Vec<StageCore>>,
+        /// `gpaths[d]` is guard `d`'s observer path
+        /// (`{comb}/stage{d}/guard`), interned at the same moment the
+        /// unfused chain would intern it.
+        gpaths: Vec<CompPath>,
+        exits: Counter,
+        stages: Counter,
+        /// Scratch frontier for the per-record depth walk (reused
+        /// across records).
+        frontier: Vec<Record>,
+    },
+}
+
+impl DispatchCore {
+    /// Runs one input record through its lane(s); emissions land in
+    /// `tail` in output order. Returns the stage-message units spent
+    /// (the fair loop's budgeting currency). `batch`/`scratch` are
+    /// the driver's reusable stage-major buffers.
+    fn process(
+        &mut self,
+        ctx: &Ctx,
+        comb: CompPath,
+        rec: Record,
+        tail: &mut FusedTail,
+        batch: &mut Vec<Record>,
+        scratch: &mut Vec<Record>,
+    ) -> usize {
+        match self {
+            DispatchCore::Split {
+                route,
+                body,
+                lanes,
+                records_in,
+                branches_created,
+            } => {
+                if ctx.has_observers() {
+                    ctx.observe(comb, Dir::In, &rec);
+                }
+                records_in.inc(1);
+                let key = route.key(&rec, comb);
+                let cores = lanes.entry(key).or_insert_with(|| {
+                    branches_created.inc(1);
+                    lane_cores(ctx, comb.child(&route.seg(key)), body)
+                });
+                batch.clear();
+                batch.push(rec);
+                run_stages(cores, ctx, batch, scratch);
+                let units = cores.len() + batch.len();
+                tail.extend(batch.drain(..));
+                units
+            }
+            DispatchCore::Par {
+                routes,
+                left,
+                right,
+                records_in,
+                routed_left,
+                routed_right,
+            } => {
+                if ctx.has_observers() {
+                    ctx.observe(comb, Dir::In, &rec);
+                }
+                records_in.inc(1);
+                let cores = if decide_or_panic(routes, &rec, comb) {
+                    routed_left.inc(1);
+                    left
+                } else {
+                    routed_right.inc(1);
+                    right
+                };
+                batch.clear();
+                batch.push(rec);
+                run_stages(cores, ctx, batch, scratch);
+                let units = cores.len() + batch.len();
+                tail.extend(batch.drain(..));
+                units
+            }
+            DispatchCore::Star {
+                route,
+                body,
+                lanes,
+                gpaths,
+                exits,
+                stages,
+                frontier,
+            } => {
+                let mut units = 0;
+                frontier.clear();
+                frontier.push(rec);
+                let mut depth = 0;
+                while !frontier.is_empty() {
+                    // Guard `depth`: exits leave for the tail, the
+                    // rest enter replica `depth`.
+                    batch.clear();
+                    for r in frontier.drain(..) {
+                        if ctx.has_observers() {
+                            ctx.observe(gpaths[depth], Dir::In, &r);
+                        }
+                        units += 1;
+                        if route.exits(&r) {
+                            exits.inc(1);
+                            tail.push(r);
+                        } else {
+                            batch.push(r);
+                        }
+                    }
+                    if batch.is_empty() {
+                        break;
+                    }
+                    if lanes.len() == depth {
+                        // Demand-driven unfolding: replica `depth`
+                        // plus the next guard's path, registered at
+                        // the same moment the standalone chain would
+                        // spawn them.
+                        lanes.push(lane_cores(ctx, comb.child(&format!("stage{depth}")), body));
+                        gpaths.push(comb.child(&format!("stage{}", depth + 1)).child("guard"));
+                        stages.max(depth as u64 + 2);
+                    }
+                    let cores = &mut lanes[depth];
+                    run_stages(cores, ctx, batch, scratch);
+                    units += cores.len() + batch.len();
+                    std::mem::swap(frontier, batch);
+                    depth += 1;
+                }
+                units
+            }
+        }
+    }
+}
+
+/// Spawns a fused fan combinator as a single component: dispatch,
+/// every lane's stages and the merge handoff run in one record loop
+/// (see [`DispatchCore`] for the ordering argument and
+/// [`crate::plan`], *fan fusion*, for legality). Per-lane metrics
+/// paths, observer events and panics are byte-identical to the
+/// unfused replicator; only the component count differs.
+pub fn spawn_fused_fan(
+    ctx: &Arc<Ctx>,
+    path: impl Into<CompPath>,
+    kind: &FanKind,
+    det: bool,
+    input: Receiver,
+) -> Receiver {
+    let path = path.into();
+    let (comb, mut core) = match kind {
+        FanKind::Split { body, tag } => {
+            let comb = path.child(if det { "split" } else { "splitnd" });
+            (
+                comb,
+                DispatchCore::Split {
+                    route: TagDispatch::new(ctx, *tag),
+                    body: Arc::clone(body),
+                    lanes: HashMap::new(),
+                    records_in: ctx.metrics.handle_at(comb, keys::RECORDS_IN),
+                    branches_created: ctx.metrics.handle_at(comb, keys::BRANCHES),
+                },
+            )
+        }
+        FanKind::Parallel {
+            left,
+            right,
+            left_sig,
+            right_sig,
+        } => {
+            let comb = path.child(if det { "par" } else { "parnd" });
+            (
+                comb,
+                DispatchCore::Par {
+                    routes: RouteCache::new(left_sig.clone(), right_sig.clone()),
+                    left: lane_cores(ctx, comb.child("L"), left),
+                    right: lane_cores(ctx, comb.child("R"), right),
+                    records_in: ctx.metrics.handle_at(comb, keys::RECORDS_IN),
+                    routed_left: ctx.metrics.handle_at(comb, "routed_left"),
+                    routed_right: ctx.metrics.handle_at(comb, "routed_right"),
+                },
+            )
+        }
+        FanKind::Star { body, exit } => {
+            let comb = path.child(if det { "star" } else { "starnd" });
+            let stages = ctx.metrics.handle_at(comb, keys::STAGES);
+            stages.max(1);
+            (
+                comb,
+                DispatchCore::Star {
+                    route: ExitDispatch::new(exit.clone()),
+                    body: Arc::clone(body),
+                    lanes: Vec::new(),
+                    gpaths: vec![comb.child("stage0").child("guard")],
+                    exits: ctx.metrics.handle_at(comb, keys::EXITS),
+                    stages,
+                    frontier: Vec::new(),
+                },
+            )
+        }
+    };
+    let (tx, rx) = ctx.data_stream(comb, "merge");
+    // The same fairness split as spawn_fused: budgeted processing
+    // with cooperative yields on a shared-worker pool; on a dedicated
+    // thread, per-record publication when the output edge is bounded
+    // (transient memory is one record's cascade) and batched
+    // publication per input drain otherwise.
+    let fair = ctx.executor().os_thread_bound().is_some();
+    let per_record_flush = !fair && tx.is_bounded();
+    let ctx2 = Arc::clone(ctx);
+    ctx.spawn(format!("{comb}/dispatch"), async move {
+        let mut tail = FusedTail::new(tx);
+        let mut batch: Vec<Record> = Vec::new();
+        let mut scratch: Vec<Record> = Vec::new();
+        let mut pending: VecDeque<Msg> = VecDeque::new();
+        let mut units = 0usize;
+        loop {
+            let n = input
+                .recv_each(RECV_BATCH, &mut |msg| pending.push_back(msg))
+                .await;
+            while let Some(msg) = pending.pop_front() {
+                match msg {
+                    Msg::Rec(rec) => {
+                        units +=
+                            core.process(&ctx2, comb, rec, &mut tail, &mut batch, &mut scratch);
+                    }
+                    // Outer-scope sorts forward at their stream
+                    // position — everything caused by earlier input
+                    // is already in the tail buffer ahead of them.
+                    Msg::Sort { level, counter } => tail.push_sort(level, counter),
+                }
+                if per_record_flush {
+                    if tail.flush().await.is_err() {
+                        return; // downstream gone: teardown
+                    }
+                } else if fair && units >= RECV_BATCH {
+                    units = 0;
+                    if tail.flush().await.is_err() {
+                        return;
+                    }
+                    yield_now().await;
+                }
+            }
+            if tail.flush().await.is_err() {
+                return;
+            }
+            if n == 0 {
+                break;
+            }
+        }
+        // EOS: dropping the tail's sender propagates end-of-stream.
+    });
     rx
 }
 

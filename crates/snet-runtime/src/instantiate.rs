@@ -13,10 +13,10 @@
 use crate::boxfn::spawn_box;
 use crate::ctx::Ctx;
 use crate::filter_exec::spawn_filter;
-use crate::fused::spawn_fused;
+use crate::fused::{fan_fusable_here, spawn_fused, spawn_fused_fan};
 use crate::parallel::spawn_parallel;
 use crate::path::CompPath;
-use crate::plan::PNode;
+use crate::plan::{FanKind, PNode};
 use crate::split::spawn_split;
 use crate::star::spawn_star;
 use crate::stream::Receiver;
@@ -64,6 +64,32 @@ pub fn instantiate(
             level,
         } => spawn_split(ctx, path, inner, *tag, *det, *level, input),
         PNode::Fused { stages } => spawn_fused(ctx, path, stages, input),
+        PNode::FusedFan { kind, det, level } => {
+            // Plan-level legality got the node here; the runtime
+            // check can still fall back to the unfused replicator
+            // (escape hatch, Restart policy, explicit lane-edge
+            // bound — see crate::fused::fan_fusable_here).
+            if fan_fusable_here(ctx, kind) {
+                spawn_fused_fan(ctx, path, kind, *det, input)
+            } else {
+                match kind {
+                    FanKind::Split { body, tag } => {
+                        spawn_split(ctx, path, body, *tag, *det, *level, input)
+                    }
+                    FanKind::Parallel {
+                        left,
+                        right,
+                        left_sig,
+                        right_sig,
+                    } => spawn_parallel(
+                        ctx, path, left, right, left_sig, right_sig, *det, *level, input,
+                    ),
+                    FanKind::Star { body, exit } => {
+                        spawn_star(ctx, path, body, exit, *det, *level, input)
+                    }
+                }
+            }
+        }
         PNode::Chain { parts } => {
             // A partially fused Serial spine: parts connect in
             // sequence, each under its recorded suffix so component

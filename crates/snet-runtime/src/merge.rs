@@ -58,7 +58,10 @@
 use crate::ctx::Ctx;
 use crate::path::CompPath;
 use crate::stream::chan::{self, TryRecvError};
-use crate::stream::{yield_now, Msg, ReadySource, Receiver, SelectReady, Sender, RECV_BATCH};
+use crate::stream::{
+    feed_batch, yield_now, Msg, ReadySource, Receiver, SelectReady, Sender, RECV_BATCH,
+};
+use snet_types::Record;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -79,6 +82,65 @@ impl BranchSpec {
         BranchSpec {
             rx,
             watermark: Watermark::new(),
+        }
+    }
+}
+
+/// The fused-fan merge tail: where an unfused lane publishes to a
+/// per-branch channel for a merger task to drain, a fused lane's
+/// emissions land here — an in-component buffer flushed straight to
+/// the combinator's output edge, bypassing both the branch channel
+/// and the merger wakeup. Legal because the fused-fan driver (see
+/// [`crate::fused`]) runs each record through its lane synchronously
+/// in input order: the "merge" degenerates to a concatenation in
+/// arrival order, which for det scopes *is* input order — no
+/// per-branch round bookkeeping, and no sort records between lanes.
+/// Outer-scope sorts are pushed at their stream position, exactly
+/// where the unfused merger would forward them once per round.
+pub(crate) struct FusedTail {
+    out: Sender,
+    buf: Vec<Msg>,
+    gated: bool,
+}
+
+impl FusedTail {
+    pub(crate) fn new(out: Sender) -> FusedTail {
+        let gated = out.is_bounded();
+        FusedTail {
+            out,
+            buf: Vec::new(),
+            gated,
+        }
+    }
+
+    pub(crate) fn push(&mut self, rec: Record) {
+        self.buf.push(Msg::Rec(rec));
+    }
+
+    pub(crate) fn extend(&mut self, recs: impl Iterator<Item = Record>) {
+        self.buf.extend(recs.map(Msg::Rec));
+    }
+
+    pub(crate) fn push_sort(&mut self, level: u32, counter: u64) {
+        self.buf.push(Msg::Sort { level, counter });
+    }
+
+    /// Publishes everything buffered, in order: records go through
+    /// the credit gate when the output edge is bounded (a full edge
+    /// parks the fused component, as it would park the unfused
+    /// merger), sorts stay ungated. `Err` means downstream
+    /// disconnected — teardown, like every component's send failure.
+    pub(crate) async fn flush(&mut self) -> Result<(), ()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        if self.gated {
+            feed_batch(&self.out, &mut self.buf).await.map_err(|_| ())
+        } else {
+            self.out
+                .send_each(self.buf.drain(..))
+                .map(|_| ())
+                .map_err(|_| ())
         }
     }
 }

@@ -295,6 +295,10 @@ pub mod keys {
     /// (each fails all open slots with `ServiceStopped` — callers are
     /// never stranded).
     pub const SERVE_DEMUX_PANICS: &str = "serve/demux_panics";
+    /// Counter (full key): calls served from a recycled completion
+    /// slot instead of a fresh allocation (the serve front door keeps
+    /// a small free list; see `serve::service`).
+    pub const SERVE_SLOT_REUSE: &str = "serve/slot_reuse";
 }
 
 #[cfg(test)]

@@ -88,6 +88,8 @@ pub struct NetBuilder {
     split_lanes: Option<u32>,
     split_lanes_by_tag: HashMap<String, u32>,
     fuse: Option<bool>,
+    fan_fuse: Option<bool>,
+    fan_fuse_by_tag: HashMap<String, bool>,
     bound: Option<usize>,
     bound_overrides: HashMap<String, usize>,
     overload: OverloadPolicy,
@@ -113,6 +115,8 @@ impl NetBuilder {
             split_lanes: None,
             split_lanes_by_tag: HashMap::new(),
             fuse: None,
+            fan_fuse: None,
+            fan_fuse_by_tag: HashMap::new(),
             bound: None,
             bound_overrides: HashMap::new(),
             overload: OverloadPolicy::Block,
@@ -235,6 +239,28 @@ impl NetBuilder {
         self
     }
 
+    /// Enables or disables *replica* fusion for this network's fan
+    /// combinators (see [`crate::plan`], *fan fusion*): fused, a
+    /// split/parallel/star whose body collapsed to a single stage run
+    /// executes dispatch, lanes and merge as **one** component.
+    /// Default: on whenever the fusion pass itself is on — this knob
+    /// is the per-net escape hatch that keeps chains fused while
+    /// restoring the dispatcher/lane/merger topology for every fan.
+    /// Output and per-stage metrics paths are identical either way.
+    pub fn fuse_fan(mut self, fuse: bool) -> Self {
+        self.fan_fuse = Some(fuse);
+        self
+    }
+
+    /// Per-combinator rendering of [`NetBuilder::fuse_fan`]: applies
+    /// only to the indexed replicators routing on the named tag,
+    /// winning over the net-global setting. (Parallel and star
+    /// combinators carry no routing tag; use `fuse_fan` for those.)
+    pub fn fuse_fan_for(mut self, tag: &str, fuse: bool) -> Self {
+        self.fan_fuse_by_tag.insert(tag.to_string(), fuse);
+        self
+    }
+
     /// Selects what a box/filter panic does to this network (see
     /// [`crate::fault`]): fail the whole net
     /// ([`FaultPolicy::FailNet`], the default), drop the poison
@@ -305,6 +331,8 @@ impl NetBuilder {
             bound_overrides: self.bound_overrides,
             split_lanes: self.split_lanes,
             split_lanes_by_tag: self.split_lanes_by_tag,
+            fan_fuse: self.fan_fuse,
+            fan_fuse_by_tag: self.fan_fuse_by_tag,
             fault_policy: self.fault_policy.unwrap_or_else(FaultPolicy::from_env),
             chaos: self.chaos.or_else(ChaosConfig::from_env),
         };

@@ -129,6 +129,22 @@ impl RouteCache {
     }
 }
 
+/// Routes one record or dies: the shared decision step for the
+/// standalone dispatcher task and the fused-fan driver (see
+/// [`crate::fused`]), so an unroutable record produces the same
+/// diagnostic either way. `true` = left.
+pub(crate) fn decide_or_panic(routes: &mut RouteCache, rec: &Record, dpath: CompPath) -> bool {
+    routes.decide(rec).unwrap_or_else(|| {
+        let (lsig, rsig) = routes.sigs();
+        panic!(
+            "record {rec:?} matches neither branch of parallel composition \
+             at '{dpath}' (left {}, right {})",
+            lsig.input_type(),
+            rsig.input_type()
+        )
+    })
+}
+
 /// Spawns a parallel composition; returns its output stream.
 #[allow(clippy::too_many_arguments)]
 pub fn spawn_parallel(
@@ -191,15 +207,7 @@ pub fn spawn_parallel(
                             ctx2.observe(dpath, Dir::In, &rec);
                         }
                         records_in.inc(1);
-                        let go_left = routes.decide(&rec).unwrap_or_else(|| {
-                            let (lsig, rsig) = routes.sigs();
-                            panic!(
-                                "record {rec:?} matches neither branch of parallel \
-                                 composition at '{dpath}' (left {}, right {})",
-                                lsig.input_type(),
-                                rsig.input_type()
-                            )
-                        });
+                        let go_left = decide_or_panic(&mut routes, &rec, dpath);
                         let target = if go_left { &ltx } else { &rtx };
                         if go_left {
                             routed_left.inc(1);
@@ -233,15 +241,7 @@ pub fn spawn_parallel(
                     ctx2.observe(dpath, Dir::In, &rec);
                 }
                 records_in.inc(1);
-                let go_left = routes.decide(&rec).unwrap_or_else(|| {
-                    let (lsig, rsig) = routes.sigs();
-                    panic!(
-                        "record {rec:?} matches neither branch of parallel composition \
-                         at '{dpath}' (left {}, right {})",
-                        lsig.input_type(),
-                        rsig.input_type()
-                    )
-                });
+                let go_left = decide_or_panic(&mut routes, &rec, dpath);
                 let target = if go_left { &ltx } else { &rtx };
                 if go_left {
                     routed_left.inc(1);

@@ -48,9 +48,70 @@
 //! string metrics query API, observers and per-stage counters are
 //! indistinguishable between the fused and unfused topologies.
 //!
+//! # Fan fusion (replica fusion)
+//!
+//! The same argument extends across replicator boundaries. A
+//! `Split`/`Parallel`/`Star` whose body fused to a single SISO run
+//! pays three scheduled hops per record — dispatcher, lane, merger —
+//! where one suffices: the dispatcher's classification is a few
+//! table lookups, each lane is a stage vector the fused driver can
+//! run in place, and because the records are then processed
+//! **synchronously in stream order**, the input order the
+//! deterministic merger would laboriously re-establish from sort
+//! records is simply never disturbed. The pass rewrites such
+//! combinators to [`PNode::FusedFan`] nodes, spawned by
+//! [`crate::fused::spawn_fused_fan`] as one component that runs
+//! dispatch, the lanes' stage cores and the merge handoff together
+//! (the merge side is [`crate::merge`]'s branch buffer minus the
+//! channel).
+//!
+//! **Fan legality rules.** Dispatch/merge fusion is legal only when
+//! the whole fan is self-contained:
+//!
+//! * **SISO fused bodies only.** A body must itself have fused to a
+//!   single stage run (`Fused`, or a lone `Box`/`Filter`). A nested
+//!   combinator inside the body owns its *own* dispatcher and merge
+//!   point, and fan fusion never crosses a nested combinator's merge
+//!   point: the outer combinator then stays a regular replicator
+//!   (whose replicas may well contain fused fans of their own — the
+//!   nested fan-in-fan case).
+//! * **No external taps.** Every stream the fan's merge consumes must
+//!   originate in one of its own lanes. That holds by construction
+//!   for all three combinators today; a scope whose merger adopted
+//!   branches from outside the fan (e.g. a hypothetical external tap
+//!   into a nondet merge) could not be co-scheduled without changing
+//!   its interleaving guarantees.
+//! * **Runtime conditions** (checked at instantiation, falling back
+//!   to the unfused replicator spawn — see
+//!   [`crate::fused::fan_fusable_here`]): per-lane `"dispatch"` edges
+//!   must not carry an explicit capacity override (a user bounding
+//!   replica edges asked for per-lane backpressure, which fusion
+//!   erases — the net-global default bound still applies to the
+//!   fan's input and merged output edges, so default-bounded nets do
+//!   fuse); and the fault policy must not be
+//!   [`crate::fault::FaultPolicy::Restart`], whose backoff sleeps
+//!   would stall every co-scheduled lane where the unfused topology
+//!   stalls one replica. Per-stage containment of `SkipRecord` and
+//!   chaos injection is unaffected by fusion — the fault boundary
+//!   lives inside the stage cores, keyed by stage paths fusion
+//!   preserves.
+//!
+//! Determinism needs no sort records inside a fused fan: processing
+//! each input record to completion before the next starts makes the
+//! merged output order the input order (for `Star`, depth-by-depth
+//! frontier processing reproduces the det merger's
+//! join-order-by-guard drain), and enclosing scopes' sort records
+//! forward at their stream position. The nondeterministic variants
+//! fuse too: the inline order is one of the schedules their
+//! semantics admit, and enclosing-scope barrier ordering (all data
+//! dispatched before a sort is emitted before it) holds trivially.
+//!
 //! Fusion is on by default; `SNET_FUSE=0` (process-wide) or
 //! [`crate::NetBuilder::fuse`]`(false)` (per net) keep the unfused
-//! topology buildable, and [`compile_cfg`] gives explicit control.
+//! topology buildable, [`crate::NetBuilder::fuse_fan`] /
+//! [`crate::NetBuilder::fuse_fan_for`] give per-net and
+//! per-combinator control over fan fusion alone, and [`compile_cfg`]
+//! gives explicit control.
 
 use crate::boxfn::BoxImpl;
 use snet_lang::{Env, ExitPattern, FilterDef, NetAst};
@@ -106,6 +167,35 @@ pub enum PNode {
     Chain {
         parts: Vec<ChainPart>,
     },
+    /// A replicator whose body fused to a single SISO stage run,
+    /// collapsed by the [`fuse`] pass (see module docs, *Fan
+    /// fusion*): dispatch, every lane's stages and the merge handoff
+    /// run as **one** component
+    /// ([`crate::fused::spawn_fused_fan`]), unless the runtime
+    /// legality check falls back to the unfused replicator spawn.
+    FusedFan {
+        kind: FanKind,
+        det: bool,
+        level: u32,
+    },
+}
+
+/// What a [`PNode::FusedFan`] dispatches on. Each body handle is a
+/// SISO-fusable subplan (`Fused`, or a lone `Box`/`Filter`): the fan
+/// driver builds lane stage cores directly from it, and the runtime
+/// fallback instantiates it as an ordinary replica plan.
+pub enum FanKind {
+    /// `body ! <tag>` / `body !! <tag>`.
+    Split { body: Arc<PNode>, tag: Label },
+    /// `left | right` / `left || right`.
+    Parallel {
+        left: Arc<PNode>,
+        right: Arc<PNode>,
+        left_sig: NetSig,
+        right_sig: NetSig,
+    },
+    /// `body * {exit}` / `body ** {exit}`.
+    Star { body: Arc<PNode>, exit: ExitPattern },
 }
 
 /// One stage of a [`PNode::Fused`] pipeline.
@@ -175,6 +265,17 @@ impl fmt::Debug for PNode {
                 }
                 write!(f, ")")
             }
+            PNode::FusedFan { kind, det, .. } => match kind {
+                FanKind::Split { body, tag } => {
+                    write!(f, "FusedFan(split det={det}, tag={tag}, {body:?})")
+                }
+                FanKind::Parallel { left, right, .. } => {
+                    write!(f, "FusedFan(par det={det}, {left:?}, {right:?})")
+                }
+                FanKind::Star { body, exit } => {
+                    write!(f, "FusedFan(star det={det}, exit={exit}, {body:?})")
+                }
+            },
         }
     }
 }
@@ -274,6 +375,16 @@ fn is_siso(node: &PNode) -> bool {
     matches!(node, PNode::Box { .. } | PNode::Filter { .. })
 }
 
+/// True for an (already fused) subplan a fused fan may adopt as a
+/// lane body: a single SISO stage run, nothing that owns its own
+/// dispatcher or merge point (see module docs, *Fan legality rules*).
+fn fan_fusable(node: &PNode) -> bool {
+    matches!(
+        node,
+        PNode::Fused { .. } | PNode::Box { .. } | PNode::Filter { .. }
+    )
+}
+
 /// The fusion rewrite (see the module docs for legality rules):
 /// collapses maximal `Serial` runs of SISO stages into
 /// [`PNode::Fused`] nodes and recurses into combinator inners.
@@ -288,40 +399,87 @@ pub fn fuse(node: &Arc<PNode>) -> Arc<PNode> {
             right_sig,
             det,
             level,
-        } => Arc::new(PNode::Parallel {
-            left: fuse(left),
-            right: fuse(right),
-            left_sig: left_sig.clone(),
-            right_sig: right_sig.clone(),
-            det: *det,
-            level: *level,
-        }),
+        } => {
+            let left = fuse(left);
+            let right = fuse(right);
+            if fan_fusable(&left) && fan_fusable(&right) {
+                Arc::new(PNode::FusedFan {
+                    kind: FanKind::Parallel {
+                        left,
+                        right,
+                        left_sig: left_sig.clone(),
+                        right_sig: right_sig.clone(),
+                    },
+                    det: *det,
+                    level: *level,
+                })
+            } else {
+                Arc::new(PNode::Parallel {
+                    left,
+                    right,
+                    left_sig: left_sig.clone(),
+                    right_sig: right_sig.clone(),
+                    det: *det,
+                    level: *level,
+                })
+            }
+        }
         PNode::Star {
             inner,
             exit,
             det,
             level,
-        } => Arc::new(PNode::Star {
-            inner: fuse(inner),
-            exit: exit.clone(),
-            det: *det,
-            level: *level,
-        }),
+        } => {
+            let inner = fuse(inner);
+            if fan_fusable(&inner) {
+                Arc::new(PNode::FusedFan {
+                    kind: FanKind::Star {
+                        body: inner,
+                        exit: exit.clone(),
+                    },
+                    det: *det,
+                    level: *level,
+                })
+            } else {
+                Arc::new(PNode::Star {
+                    inner,
+                    exit: exit.clone(),
+                    det: *det,
+                    level: *level,
+                })
+            }
+        }
         PNode::Split {
             inner,
             tag,
             det,
             level,
-        } => Arc::new(PNode::Split {
-            inner: fuse(inner),
-            tag: *tag,
-            det: *det,
-            level: *level,
-        }),
-        // Leaves (and already-fused nodes) pass through by handle.
-        PNode::Box { .. } | PNode::Filter { .. } | PNode::Fused { .. } | PNode::Chain { .. } => {
-            Arc::clone(node)
+        } => {
+            let inner = fuse(inner);
+            if fan_fusable(&inner) {
+                Arc::new(PNode::FusedFan {
+                    kind: FanKind::Split {
+                        body: inner,
+                        tag: *tag,
+                    },
+                    det: *det,
+                    level: *level,
+                })
+            } else {
+                Arc::new(PNode::Split {
+                    inner,
+                    tag: *tag,
+                    det: *det,
+                    level: *level,
+                })
+            }
         }
+        // Leaves (and already-fused nodes) pass through by handle.
+        PNode::Box { .. }
+        | PNode::Filter { .. }
+        | PNode::Fused { .. }
+        | PNode::Chain { .. }
+        | PNode::FusedFan { .. } => Arc::clone(node),
     }
 }
 
@@ -597,7 +755,9 @@ mod tests {
             PNode::Chain { parts } => {
                 assert_eq!(parts.len(), 3, "{:?}", plan.root);
                 assert!(matches!(&*parts[0].node, PNode::Box { .. }));
-                assert!(matches!(&*parts[1].node, PNode::Split { .. }));
+                // The split interrupts the chain, but its lone-box
+                // body is itself SISO — so it fan-fuses in place.
+                assert!(matches!(&*parts[1].node, PNode::FusedFan { .. }));
                 match &*parts[2].node {
                     PNode::Fused { stages } => assert_eq!(stages.len(), 2),
                     other => panic!("expected trailing Fused, got {other:?}"),
@@ -627,11 +787,67 @@ mod tests {
         let ast = snet_lang::parse_net_expr("(f .. g) ! <t>").unwrap();
         let plan = compile_cfg(&ast, &env, &b, true).unwrap();
         match &*plan.root {
-            PNode::Split { inner, .. } => {
-                assert!(matches!(&**inner, PNode::Fused { .. }), "{inner:?}");
+            PNode::FusedFan {
+                kind: FanKind::Split { body, .. },
+                det: true,
+                ..
+            } => {
+                assert!(matches!(&**body, PNode::Fused { .. }), "{body:?}");
             }
-            other => panic!("expected Split, got {other:?}"),
+            other => panic!("expected FusedFan(split), got {other:?}"),
         }
+    }
+
+    #[test]
+    fn fan_fusion_refuses_nested_combinator_bodies() {
+        // (f ! <u>) ! <t>: the outer split's body is itself a
+        // combinator — fan fusion must not cross its merge point. The
+        // outer stays a regular Split; the inner (lone SISO body)
+        // fan-fuses.
+        let env = parse_program(
+            "box f (a) -> (a);\n\
+             box g (a) -> (a);",
+        )
+        .unwrap()
+        .env()
+        .unwrap();
+        let b = Bindings::new()
+            .bind("f", |r, e| e.emit(r.clone()))
+            .bind("g", |r, e| e.emit(r.clone()));
+        let ast = snet_lang::parse_net_expr("(f ! <u>) ! <t>").unwrap();
+        let plan = compile_cfg(&ast, &env, &b, true).unwrap();
+        match &*plan.root {
+            PNode::Split { inner, .. } => match &**inner {
+                PNode::FusedFan {
+                    kind: FanKind::Split { body, .. },
+                    ..
+                } => assert!(matches!(&**body, PNode::Box { .. })),
+                other => panic!("expected inner FusedFan, got {other:?}"),
+            },
+            other => panic!("expected outer Split, got {other:?}"),
+        }
+        // Star and parallel refuse the same way.
+        let ast = snet_lang::parse_net_expr("((f ! <u>) | g) ** {a}").unwrap();
+        let plan = compile_cfg(&ast, &env, &b, true).unwrap();
+        match &*plan.root {
+            PNode::Star { inner, .. } => {
+                assert!(matches!(&**inner, PNode::Parallel { .. }), "{inner:?}");
+            }
+            other => panic!("expected Star, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fan_fusion_is_idempotent_and_off_without_the_pass() {
+        let env = env_fg();
+        let ast = snet_lang::parse_net_expr("(f .. g) ! <t>").unwrap();
+        let plan = compile_cfg(&ast, &env, &bindings_id(), true).unwrap();
+        assert!(matches!(&*plan.root, PNode::FusedFan { .. }));
+        let again = fuse(&plan.root);
+        assert!(Arc::ptr_eq(&plan.root, &again));
+        // With the pass off, no FusedFan exists anywhere.
+        let unfused = compile_cfg(&ast, &env, &bindings_id(), false).unwrap();
+        assert!(matches!(&*unfused.root, PNode::Split { .. }));
     }
 
     #[test]
@@ -684,8 +900,10 @@ mod tests {
             .bind("f", |r, e| e.emit(r.clone()))
             .bind("g", |r, e| e.emit(r.clone()));
         // Outer det parallel (level 0) containing a det split (level 1).
+        // Fusion off: levels are a compile_node property, and the
+        // unfused tree shows them directly.
         let ast = snet_lang::parse_net_expr("(f ! <t>) | g").unwrap();
-        let plan = compile(&ast, &env, &b).unwrap();
+        let plan = compile_cfg(&ast, &env, &b, false).unwrap();
         match &*plan.root {
             PNode::Parallel {
                 det: true,
@@ -705,7 +923,7 @@ mod tests {
         }
         // Non-det combinators do not increase depth.
         let ast = snet_lang::parse_net_expr("(f ! <t>) || g").unwrap();
-        let plan = compile(&ast, &env, &b).unwrap();
+        let plan = compile_cfg(&ast, &env, &b, false).unwrap();
         match &*plan.root {
             PNode::Parallel {
                 det: false, left, ..

@@ -157,6 +157,11 @@ impl Slot {
     }
 }
 
+/// Completion slots kept for reuse once their request has fully
+/// resolved — enough for a deep pipeline of sequential callers
+/// without letting an idle service pin memory.
+const FREE_LIST_CAP: usize = 64;
+
 /// Everything the demux thread and the call handles share.
 struct Inner {
     /// Ingress sender; `None` after [`Service::shutdown`] began. Calls
@@ -166,6 +171,12 @@ struct Inner {
     /// In-flight requests by rid. A request leaves the map when it
     /// completes, is abandoned at a deadline, or fails at shutdown.
     pending: Mutex<HashMap<u64, Arc<Slot>>>,
+    /// Completed slots parked for reuse. The demux parks a slot when
+    /// it finishes a request; `call_with` pops one and recycles it
+    /// only if the caller's handle is gone too (`Arc::get_mut`
+    /// proves unique ownership), so a slot is never reset while
+    /// anything can still read it.
+    free: Mutex<Vec<Arc<Slot>>>,
     boundary: Boundary,
     overload: OverloadPolicy,
     metrics: Arc<Metrics>,
@@ -190,6 +201,47 @@ impl Inner {
             self.inflight.fetch_sub(1, Ordering::Relaxed);
         }
         removed
+    }
+
+    fn free(&self) -> MutexGuard<'_, Vec<Arc<Slot>>> {
+        self.free.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Parks a completed slot for reuse (bounded; excess slots just
+    /// drop). Only called for slots whose terminal outcome is set —
+    /// a parked slot can still be *read* by its caller, never
+    /// written; the uniqueness check in [`Inner::take_free`] defers
+    /// the actual reset until the caller is gone.
+    fn park_slot(&self, slot: Arc<Slot>) {
+        let mut free = self.free();
+        if free.len() < FREE_LIST_CAP {
+            free.push(slot);
+        }
+    }
+
+    /// Pops a parked slot and resets it for `expect` records, if its
+    /// previous caller has dropped every reference. A slot that is
+    /// still shared (its caller has not harvested the handle yet) is
+    /// discarded rather than re-queued — the demux will park fresh
+    /// ones as requests complete.
+    fn take_free(&self, expect: usize) -> Option<Arc<Slot>> {
+        let mut slot = self.free().pop()?;
+        let unique = Arc::get_mut(&mut slot).is_some();
+        if !unique {
+            return None;
+        }
+        // Re-borrow: the borrow above must end before we move `slot`.
+        let st = Arc::get_mut(&mut slot)
+            .expect("uniqueness just verified")
+            .state
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner);
+        st.got.clear();
+        st.expect = expect;
+        st.done = None;
+        st.completed_at = None;
+        st.waker = None;
+        Some(slot)
     }
 }
 
@@ -250,6 +302,7 @@ impl Service {
         let inner = Arc::new(Inner {
             input: Mutex::new(Some(input)),
             pending: Mutex::new(HashMap::new()),
+            free: Mutex::new(Vec::new()),
             boundary,
             overload,
             metrics: Arc::clone(&ctx.metrics),
@@ -330,7 +383,14 @@ impl Service {
         };
         let rid = self.inner.next_rid.fetch_add(1, Ordering::Relaxed);
         rec.set_tag(RESERVED_RID, rid as i64);
-        let slot = Slot::new(opts.expect.max(1));
+        let expect = opts.expect.max(1);
+        let slot = match self.inner.take_free(expect) {
+            Some(slot) => {
+                self.inner.metrics.handle(keys::SERVE_SLOT_REUSE).inc(1);
+                slot
+            }
+            None => Slot::new(expect),
+        };
         // Register before sending: on a fast net the response can
         // reach the demux before `call_with` returns.
         self.inner.pending().insert(rid, Arc::clone(&slot));
@@ -487,6 +547,7 @@ fn demux_loop(inner: &Inner, ctx: &crate::ctx::Ctx, output: &Receiver) {
                         inner.inflight.fetch_sub(1, Ordering::Relaxed);
                         completed.inc(1);
                         slot.finish(Ok(()));
+                        inner.park_slot(slot);
                     }
                 }
             }

@@ -48,7 +48,7 @@ use crate::metrics::keys;
 use crate::path::CompPath;
 use crate::plan::PNode;
 use crate::stream::{chan, for_each_msg, stream, Dir, Msg, Receiver, Sender};
-use snet_types::Label;
+use snet_types::{Label, Record};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -61,6 +61,69 @@ pub fn lane_of(v: i64, n: u32) -> i64 {
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^= z >> 31;
     (z % u64::from(n.max(1))) as i64
+}
+
+/// The indexed replicator's per-record classification — the split
+/// half of the dispatch core shared between the standalone
+/// dispatcher task and the fused-fan driver ([`crate::fused`]): a
+/// shape-cached routing-tag slot read plus the optional lane hash.
+/// Equal tag values always map to equal keys, so replica affinity —
+/// and the branch path namespace — is identical however the
+/// replicator executes.
+pub(crate) struct TagDispatch {
+    tag: Label,
+    lanes: Option<u32>,
+    /// Routing-tag slot per record shape: resolved once per shape,
+    /// then a direct value-array read (streams are overwhelmingly
+    /// shape-monomorphic, so a one-entry cache suffices; a shape
+    /// change just re-resolves).
+    tag_slot: Option<(u32, Option<usize>)>,
+}
+
+impl TagDispatch {
+    pub(crate) fn new(ctx: &Ctx, tag: Label) -> TagDispatch {
+        TagDispatch {
+            tag,
+            lanes: ctx.split_lanes_for(tag.name()),
+            tag_slot: None,
+        }
+    }
+
+    /// The branch key for a record: the raw tag value, or its lane
+    /// hash under a bounded lane namespace. Panics (a routing error)
+    /// on a record without the tag — `dpath` names the replicator in
+    /// the message.
+    pub(crate) fn key(&mut self, rec: &Record, dpath: CompPath) -> i64 {
+        let sid = rec.shape().id();
+        let slot = match self.tag_slot {
+            Some((cached, slot)) if cached == sid => slot,
+            _ => {
+                let slot = rec.shape().tag_index(self.tag);
+                self.tag_slot = Some((sid, slot));
+                slot
+            }
+        };
+        let tag = self.tag;
+        let v = slot.map(|i| rec.tag_value_at(i)).unwrap_or_else(|| {
+            panic!(
+                "record {rec:?} reached parallel replicator at '{dpath}' without \
+                 routing tag {tag}"
+            )
+        });
+        match self.lanes {
+            Some(n) => lane_of(v, n),
+            None => v,
+        }
+    }
+
+    /// The branch path segment for `key` — built once per unfolded
+    /// replica, never per record.
+    pub(crate) fn seg(&self, key: i64) -> String {
+        match self.lanes {
+            Some(_) => format!("lane{key}"),
+            None => format!("branch{key}"),
+        }
+    }
 }
 
 /// Spawns an indexed parallel replicator; returns its output stream.
@@ -103,7 +166,7 @@ pub fn spawn_split(
     let ctx2 = Arc::clone(ctx);
     let inner = Arc::clone(inner);
     let dpath = comb;
-    let lanes = ctx.split_lanes_for(tag.name());
+    let mut route = TagDispatch::new(ctx, tag);
     // When replica input edges are bounded, data routes through the
     // credit gate (an async path), so the dispatcher runs a
     // per-message loop instead of the batched closure drain. Sort
@@ -116,7 +179,6 @@ pub fn spawn_split(
     if gated {
         ctx.spawn(format!("{dpath}/dispatch"), async move {
             let mut branches: HashMap<i64, Sender> = HashMap::new();
-            let mut tag_slot: Option<(u32, Option<usize>)> = None;
             let mut watermark = Watermark::new();
             let mut counter: u64 = 0;
             while let Ok(msg) = input.recv_async().await {
@@ -126,31 +188,9 @@ pub fn spawn_split(
                             ctx2.observe(dpath, Dir::In, &rec);
                         }
                         records_in.inc(1);
-                        let sid = rec.shape().id();
-                        let slot = match tag_slot {
-                            Some((cached, slot)) if cached == sid => slot,
-                            _ => {
-                                let slot = rec.shape().tag_index(tag);
-                                tag_slot = Some((sid, slot));
-                                slot
-                            }
-                        };
-                        let v = slot.map(|i| rec.tag_value_at(i)).unwrap_or_else(|| {
-                            panic!(
-                                "record {rec:?} reached parallel replicator at '{dpath}' \
-                                 without routing tag {tag}"
-                            )
-                        });
-                        let key = match lanes {
-                            Some(n) => lane_of(v, n),
-                            None => v,
-                        };
+                        let key = route.key(&rec, dpath);
                         let branch_tx = branches.entry(key).or_insert_with(|| {
-                            let seg = match lanes {
-                                Some(_) => format!("lane{key}"),
-                                None => format!("branch{key}"),
-                            };
-                            let bpath = dpath.child(&seg);
+                            let bpath = dpath.child(&route.seg(key));
                             let (btx, brx) = ctx2.data_stream(bpath, "dispatch");
                             let replica_out = instantiate(&ctx2, &inner, bpath, brx);
                             branches_created.inc(1);
@@ -197,11 +237,6 @@ pub fn spawn_split(
     }
     ctx.spawn(format!("{dpath}/dispatch"), async move {
         let mut branches: HashMap<i64, Sender> = HashMap::new();
-        // Routing-tag slot per record shape: resolved once per shape,
-        // then a direct value-array read (streams are overwhelmingly
-        // shape-monomorphic, so a one-entry cache suffices; a shape
-        // change just re-resolves).
-        let mut tag_slot: Option<(u32, Option<usize>)> = None;
         // Sorts broadcast so far, per level: the watermark handed to
         // replicas created later (they will never see earlier sorts).
         let mut watermark = Watermark::new();
@@ -212,37 +247,15 @@ pub fn spawn_split(
                     ctx2.observe(dpath, Dir::In, &rec);
                 }
                 records_in.inc(1);
-                let sid = rec.shape().id();
-                let slot = match tag_slot {
-                    Some((cached, slot)) if cached == sid => slot,
-                    _ => {
-                        let slot = rec.shape().tag_index(tag);
-                        tag_slot = Some((sid, slot));
-                        slot
-                    }
-                };
-                let v = slot.map(|i| rec.tag_value_at(i)).unwrap_or_else(|| {
-                    panic!(
-                        "record {rec:?} reached parallel replicator at '{dpath}' without \
-                         routing tag {tag}"
-                    )
-                });
                 // With a bounded lane namespace, the branch key is the
                 // lane index; equal tag values still hash to the same
                 // lane, preserving the paper's same-value-same-replica
                 // guarantee.
-                let key = match lanes {
-                    Some(n) => lane_of(v, n),
-                    None => v,
-                };
+                let key = route.key(&rec, dpath);
                 let branch_tx = branches.entry(key).or_insert_with(|| {
                     // Demand-driven unfolding of a fresh replica.
                     let (btx, brx) = stream();
-                    let seg = match lanes {
-                        Some(_) => format!("lane{key}"),
-                        None => format!("branch{key}"),
-                    };
-                    let replica_out = instantiate(&ctx2, &inner, dpath.child(&seg), brx);
+                    let replica_out = instantiate(&ctx2, &inner, dpath.child(&route.seg(key)), brx);
                     branches_created.inc(1);
                     // Register the tap before any subsequent sort
                     // broadcast so the merger can account for it.

@@ -31,7 +31,43 @@ use crate::path::CompPath;
 use crate::plan::PNode;
 use crate::stream::{chan, for_each_msg, stream, Dir, Msg, Receiver, Sender};
 use snet_lang::ExitPattern;
+use snet_types::Record;
 use std::sync::Arc;
+
+/// The exit decision for a serial replicator, shared between the
+/// standalone guard tasks and the fused-fan driver (see
+/// [`crate::fused`]): a per-shape memo of the exit-pattern subset test
+/// plus the dynamic tag guard. One instance per guard position — the
+/// memo is keyed by record shape, and shapes flowing past different
+/// chain depths can differ.
+pub(crate) struct ExitDispatch {
+    exit: ExitPattern,
+    memo: TypeMemo<bool>,
+}
+
+impl ExitDispatch {
+    pub(crate) fn new(exit: ExitPattern) -> ExitDispatch {
+        ExitDispatch {
+            exit,
+            memo: TypeMemo::new(),
+        }
+    }
+
+    /// Whether this record leaves through the guard's tap. The subset
+    /// test depends only on the record's type and is memoized per
+    /// shape id; the optional tag guard stays dynamic (it reads
+    /// values, not labels). A guard that cannot evaluate (a referenced
+    /// tag is absent) does not release the record.
+    pub(crate) fn exits(&mut self, rec: &Record) -> bool {
+        let ExitDispatch { exit, memo } = self;
+        memo.get_or_insert_with(rec, |rt| rt.is_subtype_of(&exit.pattern))
+            && exit
+                .guard
+                .as_ref()
+                .map(|g| g.eval(rec).unwrap_or(false))
+                .unwrap_or(true)
+    }
+}
 
 struct StarShared {
     inner: Arc<PNode>,
@@ -160,22 +196,14 @@ fn spawn_guard(
         ctx.spawn(gpath.as_str(), async move {
             let mut wm = watermark;
             let mut next: Option<Sender> = None;
-            let mut exit_memo: TypeMemo<bool> = TypeMemo::new();
+            let mut exit_memo = ExitDispatch::new(shared.exit.clone());
             while let Ok(msg) = input.recv_async().await {
                 match msg {
                     Msg::Rec(rec) => {
                         if ctx2.has_observers() {
                             ctx2.observe(gpath, Dir::In, &rec);
                         }
-                        let exits = exit_memo
-                            .get_or_insert_with(&rec, |rt| rt.is_subtype_of(&shared.exit.pattern))
-                            && shared
-                                .exit
-                                .guard
-                                .as_ref()
-                                .map(|g| g.eval(&rec).unwrap_or(false))
-                                .unwrap_or(true);
-                        if exits {
+                        if exit_memo.exits(&rec) {
                             shared.exits.inc(1);
                             let _ = tap_tx.send(Msg::Rec(rec));
                         } else {
@@ -220,27 +248,13 @@ fn spawn_guard(
     ctx.spawn(gpath.as_str(), async move {
         let mut wm = watermark;
         let mut next: Option<Sender> = None;
-        // The exit-pattern subset test depends only on the record's
-        // type: memoized per shape id, like every other per-record
-        // type decision (the optional tag guard stays dynamic — it
-        // reads values, not labels).
-        let mut exit_memo: TypeMemo<bool> = TypeMemo::new();
+        let mut exit_memo = ExitDispatch::new(shared.exit.clone());
         for_each_msg(input, |msg| match msg {
             Msg::Rec(rec) => {
                 if ctx2.has_observers() {
                     ctx2.observe(gpath, Dir::In, &rec);
                 }
-                let exits = exit_memo
-                    .get_or_insert_with(&rec, |rt| rt.is_subtype_of(&shared.exit.pattern))
-                    && shared
-                        .exit
-                        .guard
-                        .as_ref()
-                        // A guard that cannot evaluate (a referenced
-                        // tag is absent) does not release the record.
-                        .map(|g| g.eval(&rec).unwrap_or(false))
-                        .unwrap_or(true);
-                if exits {
+                if exit_memo.exits(&rec) {
                     shared.exits.inc(1);
                     let _ = tap_tx.send(Msg::Rec(rec));
                 } else {

@@ -177,10 +177,15 @@ fn fig1_scales_to_25x25_boards() {
 #[test]
 fn boxes_spawn_threads_per_replica() {
     // "If we assume that each box creates a separate process/thread"
-    // (Section 5) — the runtime does exactly that; the thread count
-    // grows with the unfolding.
+    // (Section 5) — the literal execution model. Replica fusion runs
+    // Fig. 1's whole star as one component by default, so this test
+    // pins the paper's topology with the per-net escape hatch.
     let puzzle = puzzles::classic9();
-    let net = sudoku::networks::fig1_net(3).unwrap();
+    let net = sudoku::networks::builder(3, Vec::new())
+        .unwrap()
+        .fuse_fan(false)
+        .build_expr(sudoku::networks::FIG1)
+        .unwrap();
     net.send(sudoku::boxes::puzzle_record(&puzzle)).unwrap();
     let threads_before_drain = net.threads_spawned();
     let _ = net.finish();

@@ -8,7 +8,9 @@
 //! `SNET_FUSE=0` CI leg additionally re-runs the whole suite with the
 //! process default flipped.
 
-use snet_runtime::{Executor, Net, NetBuilder, ThreadPerComponent, WorkStealingPool};
+use snet_runtime::{
+    ChaosConfig, Executor, FaultPolicy, Net, NetBuilder, ThreadPerComponent, WorkStealingPool,
+};
 use snet_types::Record;
 use std::sync::Arc;
 
@@ -32,7 +34,9 @@ const SRC: &str = "
     box dec (n) -> (n) | (n, <z>);
 ";
 
-fn build(expr: &str, exec: Arc<dyn Executor>, fuse: bool) -> Net {
+/// A builder for `expr` with every box bound — the shared base for
+/// the fuse / fuse_fan / fault-policy variations below.
+fn fan_builder(expr: &str) -> NetBuilder {
     NetBuilder::from_source(&format!("{SRC}\nnet main = {expr};"))
         .unwrap()
         .bind("inc", |r, e| {
@@ -54,6 +58,10 @@ fn build(expr: &str, exec: Arc<dyn Executor>, fuse: bool) -> Net {
                 e.emit(Record::build().field("n", n - 1).finish());
             }
         })
+}
+
+fn build(expr: &str, exec: Arc<dyn Executor>, fuse: bool) -> Net {
+    fan_builder(expr)
         .executor(exec)
         .fuse(fuse)
         .build("main")
@@ -95,6 +103,63 @@ const DET_EXPRS: &[&str] = &[
     "(inc .. inc .. rep) ! <k>",
 ];
 
+/// Like [`drive_x`] but with a second routing tag so nested
+/// replicators (`! <k2>` inside `! <k>`) have something to route on.
+fn drive_fan(net: Net, n: i64) -> Vec<String> {
+    for i in 0..n {
+        net.send(
+            Record::build()
+                .field("x", i)
+                .tag("c", (i * 7 + 3) % 4)
+                .tag("k", (i * 5 + 1) % 3)
+                .tag("k2", (i * 3 + 2) % 2)
+                .finish(),
+        )
+        .unwrap();
+    }
+    net.finish().iter().map(|r| format!("{r:?}")).collect()
+}
+
+#[test]
+fn fused_fan_matrix_is_byte_identical() {
+    // The ISSUE's fused-fan matrix: det split, det parallel, and a
+    // nested fan-in-fan, each driven across {threads, pool(1),
+    // pool(2)} × {fan fused, fan unfused} with chain fusion on.
+    // Output must be byte-identical to the fully unfused reference.
+    let exprs = [
+        "(inc .. inc .. rep) ! <k>",
+        "(inc .. inc) | (rep .. inc)",
+        "((inc .. rep) ! <k2>) ! <k>",
+    ];
+    for expr in exprs {
+        let reference = drive_fan(
+            fan_builder(expr)
+                .executor(Arc::new(ThreadPerComponent))
+                .fuse(false)
+                .build("main")
+                .unwrap(),
+            60,
+        );
+        for (name, exec) in executors() {
+            for fan in [true, false] {
+                let got = drive_fan(
+                    fan_builder(expr)
+                        .executor(Arc::clone(&exec))
+                        .fuse(true)
+                        .fuse_fan(fan)
+                        .build("main")
+                        .unwrap(),
+                    60,
+                );
+                assert_eq!(
+                    got, reference,
+                    "{expr} diverged under {name} (fuse_fan={fan})"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn fused_output_is_byte_identical_to_unfused_across_executors() {
     for expr in DET_EXPRS {
@@ -130,23 +195,15 @@ fn nondet_barrier_conserves_records_fused_and_unfused() {
 
 #[test]
 fn det_star_with_fused_inner_keeps_input_order() {
-    // (dec .. dec) * {<z>}: the star's inner pipeline fuses; det
-    // star output must stay in input order, identical to unfused.
-    let run = |fuse: bool, exec: Arc<dyn Executor>| -> Vec<String> {
-        let net = NetBuilder::from_source(&format!("{SRC}\nnet main = (dec .. dec) * {{<z>}};"))
-            .unwrap()
-            .bind("dec", |r, e| {
-                let n = r.field("n").unwrap().as_int().unwrap();
-                if n <= 1 {
-                    e.emit(Record::build().field("n", 0i64).tag("z", 1).finish());
-                } else {
-                    e.emit(Record::build().field("n", n - 1).finish());
-                }
-            })
-            .bind("inc", |r, e| e.emit(r.clone()))
-            .bind("rep", |r, e| e.emit(r.clone()))
+    // (dec .. dec) * {<z>}: the star's inner pipeline fuses — and
+    // with fan fusion the whole star collapses into one component.
+    // Det star output must stay in input order, identical to
+    // unfused, both ways.
+    let run = |fuse: bool, fan: bool, exec: Arc<dyn Executor>| -> Vec<String> {
+        let net = fan_builder("(dec .. dec) * {<z>}")
             .executor(exec)
             .fuse(fuse)
+            .fuse_fan(fan)
             .build("main")
             .unwrap();
         for (id, d) in (0..20i64).map(|i| (i, (i * 13 + 7) % 9 + 1)) {
@@ -155,14 +212,16 @@ fn det_star_with_fused_inner_keeps_input_order() {
         }
         net.finish().iter().map(|r| format!("{r:?}")).collect()
     };
-    let reference = run(false, Arc::new(ThreadPerComponent));
+    let reference = run(false, false, Arc::new(ThreadPerComponent));
     for (name, exec) in executors() {
         for fuse in [true, false] {
-            assert_eq!(
-                run(fuse, Arc::clone(&exec)),
-                reference,
-                "det star diverged under {name} (fuse={fuse})"
-            );
+            for fan in [true, false] {
+                assert_eq!(
+                    run(fuse, fan, Arc::clone(&exec)),
+                    reference,
+                    "det star diverged under {name} (fuse={fuse}, fan={fan})"
+                );
+            }
         }
     }
 }
@@ -189,15 +248,55 @@ fn fused_chain_runs_as_one_component() {
 #[test]
 fn barrier_chains_fuse_only_the_runs() {
     // inc .. inc .. (rep !! <k>) .. inc .. inc: two fused runs around
-    // the replicator. Components before any record flows: 2 fused
-    // chains + dispatcher + merger (replicas unfold on demand).
+    // the replicator, which replica fusion collapses to a single
+    // component of its own (dispatch + lanes + merge handoff) — 3
+    // components in total, with lane cores unfolding on demand
+    // inside the middle one.
     let net = build(
         "inc .. inc .. (rep !! <k>) .. inc .. inc",
         Arc::new(ThreadPerComponent),
         true,
     );
-    assert_eq!(net.threads_spawned(), 4);
+    assert_eq!(net.threads_spawned(), 3);
     let _ = net.finish();
+}
+
+#[test]
+fn fan_fusion_escape_hatches_restore_the_unfused_topology() {
+    // Fused: the whole replicator is one component. The net-global
+    // and per-tag escape hatches restore dispatcher + merger at
+    // spawn (replicas still unfold on demand); a hatch naming some
+    // other tag changes nothing.
+    let spawn_count = |b: NetBuilder| {
+        let net = b.fuse(true).build("main").unwrap();
+        let n = net.threads_spawned();
+        net.send(
+            Record::build()
+                .field("x", 1i64)
+                .tag("c", 2)
+                .tag("k", 0)
+                .finish(),
+        )
+        .unwrap();
+        let _ = net.finish();
+        n
+    };
+    let expr = "(inc .. rep) ! <k>";
+    assert_eq!(spawn_count(fan_builder(expr)), 1);
+    assert_eq!(spawn_count(fan_builder(expr).fuse_fan(false)), 2);
+    assert_eq!(spawn_count(fan_builder(expr).fuse_fan_for("k", false)), 2);
+    assert_eq!(spawn_count(fan_builder(expr).fuse_fan_for("zzz", false)), 1);
+    // Restart's backoff sleep would park co-scheduled lanes: the
+    // runtime legality check falls back on its own.
+    assert_eq!(
+        spawn_count(fan_builder(expr).fault_policy(FaultPolicy::Restart {
+            max_retries: 1,
+            backoff: std::time::Duration::from_millis(1),
+        })),
+        2
+    );
+    // An explicit lane-edge bound is honored by falling back too.
+    assert_eq!(spawn_count(fan_builder(expr).bound_for("dispatch", 8)), 2);
 }
 
 #[test]
@@ -241,6 +340,90 @@ fn per_stage_metrics_paths_survive_fusion() {
     }
     assert!(fused.keys().any(|k| k.contains("box:inc")));
     assert!(fused.keys().any(|k| k.contains("filter")));
+}
+
+#[test]
+fn fan_metrics_paths_survive_replica_fusion() {
+    // Replica fusion keeps every per-path counter — dispatcher
+    // records_in/branches at the combinator path, per-replica box
+    // counters at branch{k}/... — at the same key with the same value.
+    let run = |fan: bool| {
+        let net = fan_builder("(inc .. inc .. rep) ! <k>")
+            .executor(Arc::new(ThreadPerComponent))
+            .fuse(true)
+            .fuse_fan(fan)
+            .build("main")
+            .unwrap();
+        for i in 0..30i64 {
+            net.send(
+                Record::build()
+                    .field("x", i)
+                    .tag("c", (i * 7 + 3) % 4)
+                    .tag("k", (i * 5 + 1) % 3)
+                    .finish(),
+            )
+            .unwrap();
+        }
+        let metrics = Arc::clone(net.metrics());
+        let _ = net.finish();
+        metrics.snapshot()
+    };
+    let fused = run(true);
+    let unfused = run(false);
+    let keys = |snap: &std::collections::BTreeMap<String, u64>| {
+        snap.iter()
+            // Per-edge gauges vanish with the edges by design;
+            // runtime/* globals (interner gauge, chaos counters) are
+            // process-wide and depend on test interleaving.
+            .filter(|(k, _)| !k.ends_with("/stream_depth") && !k.ends_with("/credit_stalls"))
+            .filter(|(k, _)| !k.starts_with("runtime/"))
+            .map(|(k, v)| (k.clone(), *v))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(keys(&fused), keys(&unfused));
+    assert!(fused.keys().any(|k| k.contains("branch")));
+}
+
+#[test]
+fn chaos_skips_are_identical_fused_and_unfused_inside_lanes() {
+    // The ISSUE's chaos leg: with a fixed seed, the per-stage chaos
+    // decision streams are keyed by stage path, so replica fusion
+    // must produce the exact same skips — same output, same per-path
+    // records_skipped, and skipped == injected (panic-only chaos).
+    let run = |fan: bool| {
+        let net = fan_builder("(inc .. inc .. rep) ! <k>")
+            .executor(Arc::new(ThreadPerComponent))
+            .fault_policy(FaultPolicy::SkipRecord)
+            .chaos(ChaosConfig::new(0xFA57_F00D, 0.1))
+            .fuse(true)
+            .fuse_fan(fan)
+            .build("main")
+            .unwrap();
+        let metrics = Arc::clone(net.metrics());
+        let out = drive_fan(net, 80);
+        let injected = metrics.get("runtime/chaos_injected");
+        let skipped = metrics.sum_matching("records_skipped");
+        assert!(injected > 0, "chaos at 10% over 80 records never fired");
+        assert_eq!(
+            skipped, injected,
+            "panic-only chaos: every injected fault must surface as a skip"
+        );
+        let mut skips: Vec<(String, u64)> = metrics
+            .snapshot()
+            .into_iter()
+            .filter(|(k, v)| k.contains("records_skipped") && *v > 0)
+            .collect();
+        skips.sort();
+        (out, skips)
+    };
+    let (out_fused, skips_fused) = run(true);
+    let (out_unfused, skips_unfused) = run(false);
+    assert_eq!(out_fused, out_unfused);
+    assert_eq!(skips_fused, skips_unfused);
+    assert!(
+        skips_fused.iter().any(|(k, _)| k.contains("branch")),
+        "expected skips inside replica branches, got {skips_fused:?}"
+    );
 }
 
 #[test]

@@ -41,6 +41,9 @@ fn matrix() -> Vec<(String, Arc<dyn Executor>, bool)> {
 
 /// `slow (a) -> (r)` sleeps; `fast (b) -> (r)` doesn't. Type-routed
 /// nondet parallel: completions cross each other on the output edge.
+/// Replica fusion would run both branches inline in arrival order
+/// (a valid nondet interleaving, but no crossing), so this test pins
+/// the concurrent-branch topology with the escape hatch.
 fn slow_fast_net(exec: Arc<dyn Executor>, fuse: bool) -> Net {
     NetBuilder::from_source(
         "box slow (a) -> (r);
@@ -48,6 +51,7 @@ fn slow_fast_net(exec: Arc<dyn Executor>, fuse: bool) -> Net {
          net main = slow || fast;",
     )
     .unwrap()
+    .fuse_fan(false)
     .bind("slow", |rec, em| {
         std::thread::sleep(Duration::from_millis(60));
         let a = rec.field("a").unwrap().as_int().unwrap();
@@ -399,6 +403,40 @@ fn ten_thousand_requests_fully_correlated() {
     assert_eq!(m.get("serve/requests"), TOTAL as u64);
     assert_eq!(m.get("serve/completed"), TOTAL as u64);
     assert_eq!(m.get("serve/stray"), 0);
+}
+
+/// Sequential callers recycle completion slots: after the first call
+/// resolves and its handle drops, the demux-parked slot serves the
+/// next request instead of a fresh allocation.
+#[test]
+fn sequential_calls_reuse_completion_slots() {
+    let net = NetBuilder::from_source(
+        "box echo (x) -> (x);
+         net main = echo;",
+    )
+    .unwrap()
+    .bind("echo", |rec, em| em.emit(rec.clone()))
+    .build("main")
+    .unwrap();
+    let svc = Service::start(net);
+    const N: i64 = 50;
+    for i in 0..N {
+        let resp = svc
+            .call(Record::build().field("x", i).finish())
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(resp.records[0].field("x").unwrap().as_int(), Some(i));
+    }
+    let m = Arc::clone(svc.metrics());
+    svc.shutdown();
+    let reused = m.get("serve/slot_reuse");
+    assert!(
+        reused > 0,
+        "strictly sequential calls never hit the slot free list"
+    );
+    assert!(reused < N as u64, "more reuses than calls");
+    assert_eq!(m.get("serve/completed"), N as u64);
 }
 
 #[test]

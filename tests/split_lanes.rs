@@ -83,6 +83,46 @@ fn interner_paths_plateau_under_unbounded_tag_domain() {
     }
 }
 
+/// Replica fusion interns zero paths of its own: the fused-fan
+/// driver derives the exact component paths the unfused topology
+/// interns (combinator, branch/lane, per-stage, merge edge) and
+/// nothing else. Once the unfused replicator has run, re-running the
+/// same net fan-fused must leave the process-wide interner — and the
+/// net's `runtime/interner_paths` gauge — exactly at the plateau.
+#[test]
+fn replica_fusion_adds_zero_interner_paths() {
+    let _serial = serialize_interner();
+    let drive = |fan: bool| -> u64 {
+        let net = NetBuilder::from_source(
+            "box id (x, <lanek>) -> (x, <lanek>);\n\
+             net main = id !! <lanek>;",
+        )
+        .unwrap()
+        .bind("id", |r, e| e.emit(r.clone()))
+        .split_lanes(LANES)
+        .fuse_fan(fan)
+        .build("main")
+        .unwrap();
+        let metrics = std::sync::Arc::clone(net.metrics());
+        for k in 0..200i64 {
+            net.send(Record::build().field("x", k).tag("lanek", k).finish())
+                .unwrap();
+        }
+        assert_eq!(net.finish().len(), 200);
+        metrics.get("runtime/interner_paths")
+    };
+    // Plateau with the unfused dispatcher → lane → merger paths.
+    drive(false);
+    let plateau = snet_runtime::path::interned_paths();
+    let gauge = drive(true);
+    assert_eq!(
+        snet_runtime::path::interned_paths(),
+        plateau,
+        "replica fusion interned paths beyond the unfused topology"
+    );
+    assert_eq!(gauge, plateau as u64, "gauge disagrees with the interner");
+}
+
 /// Per-replicator lane bounds (`NetBuilder::split_lanes_for`): two
 /// replicators routing on different tags, the net-global lane count
 /// for one and a tighter per-tag override for the other. The
